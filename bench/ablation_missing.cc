@@ -1,0 +1,88 @@
+// Validates the §1.2 claim that lower-dimensional projections "can be mined
+// even in data sets which have missing attribute values" — useful when full
+// feature descriptions do not exist.
+//
+// A point participates in a cube's count only when every conditioned
+// attribute is present; missing coordinates never match. We sweep the
+// fraction of missing cells and measure planted-anomaly recall and
+// projection quality. For contrast, the kNN baseline runs with the standard
+// partial-distance convention (skip missing dims, rescale) on the same
+// data.
+//
+// Expected shape: detection degrades gracefully — an anomaly is lost only
+// when one of its own 2 deviating coordinates happens to be deleted (so
+// expected recall ~ (1-f)^2) — rather than collapsing. kNN stays near zero
+// throughout (it already fails at 0% missing for these anomalies).
+
+#include <cstdio>
+
+#include "baselines/knn_outlier.h"
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "data/generators/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace hido {
+namespace {
+
+int Main() {
+  std::printf("=== Missing-values robustness (section 1.2) ===\n");
+  std::printf("N=1000, d=32, 8 groups, 8 planted anomalies, k=2, phi=5\n\n");
+
+  TablePrinter table({"missing", "planted recall", "best S", "flagged",
+                      "kNN recall"});
+  for (double fraction : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    SubspaceOutlierConfig config;
+    config.num_points = 1000;
+    config.num_dims = 32;
+    config.num_groups = 8;
+    config.num_outliers = 8;
+    config.missing_fraction = fraction;
+    config.seed = 400;
+    const GeneratedDataset g = GenerateSubspaceOutliers(config);
+
+    DetectorConfig dconfig;
+    dconfig.phi = 5;
+    dconfig.target_dim = 2;
+    dconfig.num_projections = 24;
+    dconfig.evolution.population_size = 100;
+    dconfig.evolution.max_generations = 50;
+    dconfig.evolution.restarts = 10;
+    dconfig.evolution.mutation.p1 = 0.5;
+    dconfig.evolution.mutation.p2 = 0.5;
+    dconfig.seed = 2;
+    const DetectionResult result = OutlierDetector(dconfig).Detect(g.data);
+
+    std::vector<size_t> flagged;
+    for (const OutlierRecord& o : result.report.outliers) {
+      flagged.push_back(o.row);
+    }
+    const double recall = RecallOfPlanted(flagged, g.outlier_rows);
+    const double best = result.report.projections.empty()
+                            ? 0.0
+                            : result.report.projections.front().sparsity;
+
+    const DistanceMetric metric(g.data);
+    KnnOutlierOptions kopts;
+    kopts.k = 5;
+    kopts.num_outliers = 16;
+    std::vector<size_t> knn_rows;
+    for (const KnnOutlier& o : TopNKnnOutliers(metric, kopts)) {
+      knn_rows.push_back(o.row);
+    }
+    const double knn_recall = RecallOfPlanted(knn_rows, g.outlier_rows);
+
+    table.AddRow({StrFormat("%.0f%%", 100.0 * fraction),
+                  StrFormat("%.2f", recall), StrFormat("%.2f", best),
+                  StrFormat("%zu", flagged.size()),
+                  StrFormat("%.2f", knn_recall)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace hido
+
+int main() { return hido::Main(); }

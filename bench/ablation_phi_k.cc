@@ -1,0 +1,94 @@
+// Studies the §2.4 parameter rule k* = floor(log_phi(N/s^2 + 1)).
+//
+// Section 1 tabulates k* and the empty-cube sparsity coefficient across N
+// and phi — the "largest k at which abnormal sparsity is distinguishable
+// from the emptiness high dimensionality forces by default".
+//
+// Section 2 validates the rule empirically: on planted data (N=1000,
+// phi=5 => k*=3 at s=-2), detection quality peaks around k <= k* and
+// collapses for k > k* where even the planted cells stop being
+// statistically remarkable (count-1 cubes approach S = 0 from below, then
+// turn positive).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "core/parameter_advisor.h"
+#include "data/generators/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "grid/sparsity.h"
+
+namespace hido {
+namespace {
+
+int Main() {
+  std::printf("=== Section 2.4: choosing phi and k ===\n\n");
+
+  std::printf("k* and empty-cube sparsity S_empty(k*) at s=-3:\n");
+  TablePrinter rule({"N", "phi=3", "phi=5", "phi=10", "phi=15"});
+  for (size_t n : {100u, 1000u, 10000u, 100000u, 1000000u}) {
+    std::vector<std::string> cells = {StrFormat("%zu", n)};
+    for (size_t phi : {3u, 5u, 10u, 15u}) {
+      const ParameterAdvice advice = AdviseParameters(n, 1000, -3.0, phi);
+      cells.push_back(StrFormat("k*=%zu (S_empty=%.2f)", advice.k,
+                                advice.empty_cube_sparsity));
+    }
+    rule.AddRow(cells);
+  }
+  rule.Print();
+
+  std::printf("\nDetection quality vs k (N=1000, d=24, phi=5; planted 2-d "
+              "anomalies; k* = %zu at s=-2):\n",
+              RecommendProjectionDim(1000, 5, -2.0));
+  SubspaceOutlierConfig config;
+  config.num_points = 1000;
+  config.num_dims = 24;
+  config.num_groups = 6;
+  config.num_outliers = 10;
+  config.seed = 77;
+  const GeneratedDataset g = GenerateSubspaceOutliers(config);
+
+  TablePrinter sweep({"k", "S(count=1)", "S_empty", "best found S",
+                      "planted recall", "flagged"});
+  const SparsityModel model(config.num_points, 5);
+  for (size_t k = 2; k <= 6; ++k) {
+    DetectorConfig dconfig;
+    dconfig.phi = 5;
+    dconfig.target_dim = k;
+    dconfig.num_projections = 20;
+    dconfig.evolution.population_size = 100;
+    dconfig.evolution.max_generations = 60;
+    dconfig.evolution.restarts = 4;
+    dconfig.seed = 5;
+    const DetectionResult result = OutlierDetector(dconfig).Detect(g.data);
+
+    std::vector<size_t> flagged;
+    for (const OutlierRecord& o : result.report.outliers) {
+      flagged.push_back(o.row);
+    }
+    const double recall = RecallOfPlanted(flagged, g.outlier_rows);
+    const double best =
+        result.report.projections.empty()
+            ? 0.0
+            : result.report.projections.front().sparsity;
+    sweep.AddRow({StrFormat("%zu", k),
+                  StrFormat("%.2f", model.Coefficient(1, k)),
+                  StrFormat("%.2f", model.EmptyCubeCoefficient(k)),
+                  StrFormat("%.2f", best), StrFormat("%.2f", recall),
+                  StrFormat("%zu", flagged.size())});
+  }
+  sweep.Print();
+  std::printf(
+      "\nS(count=1) is the sparsity of a cube holding a single point: once\n"
+      "it approaches 0 (k near/above k*), a lone anomaly is statistically\n"
+      "unremarkable and detection degrades — exactly the paper's argument\n"
+      "for k = k*.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hido
+
+int main() { return hido::Main(); }

@@ -1,0 +1,177 @@
+// Reproduces Figure 1's claim experimentally: anomalies visible in specific
+// low-dimensional views are found by the subspace-projection method but are
+// progressively missed by full-dimensional proximity methods (kNN-distance
+// [25], DB(k,lambda) [22], LOF [10]) as dimensionality grows.
+//
+// Workload: N=800 points, d sweeps over {10, 20, 40, 80, 160}; d/4
+// correlated attribute pairs, 8 planted anomalies each taking a
+// marginally-common but jointly-unseen combination in one pair. Every
+// method flags its top-|planted| candidates (DB-outliers: lambda tuned to
+// flag approximately that many); we report recall of the planted rows.
+//
+// Expected shape: the projection method stays near recall 1.0 across the
+// sweep; the full-dimensional baselines decay toward chance as the 2
+// deviating coordinates drown in d-2 ordinary ones.
+//
+// A second section prints the paper's Figure 1 picture as numbers for one
+// planted anomaly at d=40: the occupancy of its cell in the deviating view
+// vs. two random views.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "baselines/db_outlier.h"
+#include "baselines/knn_outlier.h"
+#include "baselines/lof.h"
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "data/generators/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "grid/cube_counter.h"
+
+namespace hido {
+namespace {
+
+SubspaceOutlierConfig MakeConfig(size_t d) {
+  SubspaceOutlierConfig config;
+  config.num_points = 800;
+  config.num_dims = d;
+  config.num_groups = d / 4;
+  config.group_dims = 2;
+  config.modes_per_group = 5;
+  config.num_outliers = 8;
+  config.outlier_subspace_dims = 2;
+  config.seed = 100 + d;
+  return config;
+}
+
+std::vector<size_t> DetectorTopRows(const GeneratedDataset& g, size_t n) {
+  DetectorConfig dconfig;
+  dconfig.phi = 5;
+  dconfig.target_dim = 2;
+  dconfig.num_projections = 3 * n;
+  dconfig.evolution.population_size = 100;
+  dconfig.evolution.max_generations = 50;
+  // Scale restarts with the search-space size (C(d,2) grows quadratically).
+  dconfig.evolution.restarts = 4 + g.data.num_cols() / 4;
+  dconfig.evolution.mutation.p1 = 0.5;
+  dconfig.evolution.mutation.p2 = 0.5;
+  dconfig.seed = 17;
+  const DetectionResult result = OutlierDetector(dconfig).Detect(g.data);
+  std::vector<size_t> rows;
+  for (const OutlierRecord& o : result.report.outliers) {
+    if (rows.size() == n) break;
+    rows.push_back(o.row);
+  }
+  return rows;
+}
+
+// Picks lambda so the DB-outlier definition flags roughly `target` rows:
+// bisection over the distance quantile.
+std::vector<size_t> DbOutlierTopRows(const DistanceMetric& metric,
+                                     size_t target) {
+  Rng rng(5);
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<size_t> best;
+  for (int iter = 0; iter < 12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    DbOutlierOptions options;
+    options.lambda =
+        std::max(1e-9, EstimateLambda(metric, mid, 4000, rng));
+    options.max_neighbors = 5;
+    const std::vector<size_t> flagged = DbOutliers(metric, options);
+    if (best.empty() ||
+        std::llabs(static_cast<long long>(flagged.size()) -
+                   static_cast<long long>(target)) <
+            std::llabs(static_cast<long long>(best.size()) -
+                       static_cast<long long>(target))) {
+      best = flagged;
+    }
+    if (flagged.size() > target) {
+      lo = mid;  // too many outliers: grow lambda
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+int Main() {
+  std::printf("=== Figure 1: subspace views vs full-dimensional distance ===\n");
+  std::printf("N=800, 8 planted subspace anomalies, recall of planted rows\n"
+              "when each method flags its top-16 candidates (2x planted)\n\n");
+
+  TablePrinter table({"d", "Projections", "kNN [25]", "LOF [10]",
+                      "DB(k,lambda) [22] (flagged)"});
+  for (size_t d : {10u, 20u, 40u, 80u, 160u}) {
+    const GeneratedDataset g = GenerateSubspaceOutliers(MakeConfig(d));
+    const size_t n = 2 * g.outlier_rows.size();  // recall at 2x planted
+
+    const std::vector<size_t> ours = DetectorTopRows(g, n);
+    const double ours_recall = RecallOfPlanted(ours, g.outlier_rows);
+
+    const DistanceMetric metric(g.data);
+    KnnOutlierOptions kopts;
+    kopts.k = 5;
+    kopts.num_outliers = n;
+    std::vector<size_t> knn_rows;
+    for (const KnnOutlier& o : TopNKnnOutliers(metric, kopts)) {
+      knn_rows.push_back(o.row);
+    }
+    const double knn_recall = RecallOfPlanted(knn_rows, g.outlier_rows);
+
+    LofOptions lofopts;
+    lofopts.min_pts = 10;
+    const std::vector<double> lof_scores = ComputeLof(metric, lofopts);
+    const double lof_recall =
+        RecallOfPlanted(TopNByScore(lof_scores, n), g.outlier_rows);
+
+    const std::vector<size_t> db_rows = DbOutlierTopRows(metric, n);
+    const double db_recall = RecallOfPlanted(db_rows, g.outlier_rows);
+
+    table.AddRow({StrFormat("%zu", d), StrFormat("%.2f", ours_recall),
+                  StrFormat("%.2f", knn_recall),
+                  StrFormat("%.2f", lof_recall),
+                  StrFormat("%.2f (%zu)", db_recall, db_rows.size())});
+  }
+  table.Print();
+
+  // --- The Figure 1 picture in numbers ------------------------------------
+  std::printf("\n=== One anomaly, different 2-d views (d=40) ===\n");
+  const GeneratedDataset g = GenerateSubspaceOutliers(MakeConfig(40));
+  GridModel::Options gopts;
+  gopts.phi = 5;
+  const GridModel grid = GridModel::Build(g.data, gopts);
+  CubeCounter counter(grid);
+  const SparsityModel model(grid.num_points(), grid.phi());
+
+  const size_t row = g.outlier_rows.front();
+  const std::vector<size_t>& expose = g.outlier_dims.front();
+  auto view_stats = [&](size_t a, size_t b, const char* name) {
+    const std::vector<DimRange> cube = {
+        {static_cast<uint32_t>(a), grid.Cell(row, a)},
+        {static_cast<uint32_t>(b), grid.Cell(row, b)}};
+    const size_t count = counter.Count(cube);
+    std::printf("  view (%zu,%zu) %-28s n(D)=%-4zu S(D)=%+.2f\n", a, b, name,
+                count, model.Coefficient(count, 2));
+  };
+  std::printf("anomaly at row %zu; expected cell count %.0f\n", row,
+              model.ExpectedCount(2));
+  // Two ordinary views: dims outside the exposing pair.
+  std::vector<size_t> others;
+  for (size_t d = 0; d < 40 && others.size() < 4; ++d) {
+    if (d != expose[0] && d != expose[1]) others.push_back(d);
+  }
+  view_stats(expose[0], expose[1], "<- the exposing view (fig 1/4)");
+  view_stats(others[0], others[1], "random view (fig 2/3)");
+  view_stats(others[2], others[3], "random view (fig 2/3)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hido
+
+int main() { return hido::Main(); }

@@ -1,0 +1,105 @@
+// Micro-benchmarks for the baseline substrate (google-benchmark): pairwise
+// distances, VP-tree construction and queries vs brute-force kNN, and the
+// full baseline algorithms at small scale. Documents where the VP-tree
+// helps (low d) and where concentration erodes its pruning (high d) — the
+// paper's curse-of-dimensionality, visible in an index's running time.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/db_outlier.h"
+#include "baselines/knn_outlier.h"
+#include "baselines/lof.h"
+#include "baselines/vptree.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+void BM_Distance(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateUniform(1000, d, 3);
+  const DistanceMetric metric(data);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric.Distance(i % 1000, (i * 7 + 13) % 1000));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Distance)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_VpTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateUniform(n, 8, 5);
+  const DistanceMetric metric(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VpTree(metric));
+  }
+}
+BENCHMARK(BM_VpTreeBuild)->Arg(500)->Arg(2000);
+
+void BM_VpTreeQuery(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateUniform(2000, d, 7);
+  const DistanceMetric metric(data);
+  const VpTree tree(metric);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Nearest(q++ % 2000, 5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+// Pruning works at d=4; at d=64 concentration forces near-linear scans.
+BENCHMARK(BM_VpTreeQuery)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BruteKnnQuery(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateUniform(2000, d, 7);
+  const DistanceMetric metric(data);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceNearest(metric, q++ % 2000, 5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BruteKnnQuery)->Arg(4)->Arg(64);
+
+void BM_TopNKnnOutliers(benchmark::State& state) {
+  const Dataset data = GenerateUniform(1000, 16, 9);
+  const DistanceMetric metric(data);
+  KnnOutlierOptions opts;
+  opts.k = 5;
+  opts.num_outliers = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopNKnnOutliers(metric, opts));
+  }
+}
+BENCHMARK(BM_TopNKnnOutliers);
+
+void BM_Lof(benchmark::State& state) {
+  const Dataset data = GenerateUniform(500, 16, 11);
+  const DistanceMetric metric(data);
+  LofOptions opts;
+  opts.min_pts = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeLof(metric, opts));
+  }
+}
+BENCHMARK(BM_Lof);
+
+void BM_DbOutliers(benchmark::State& state) {
+  const Dataset data = GenerateUniform(1000, 16, 13);
+  const DistanceMetric metric(data);
+  DbOutlierOptions opts;
+  opts.lambda = 0.9;
+  opts.max_neighbors = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DbOutliers(metric, opts));
+  }
+}
+BENCHMARK(BM_DbOutliers);
+
+}  // namespace
+}  // namespace hido
+
+BENCHMARK_MAIN();

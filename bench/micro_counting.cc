@@ -1,0 +1,114 @@
+// Micro-benchmarks for the cube-counting substrate (google-benchmark):
+// bitset AND+popcount vs posting-list intersection vs naive scan, the
+// effect of the memoization cache, and grid construction cost. This is the
+// design-choice ablation behind CubeCounter's kAuto strategy.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/generators/synthetic.h"
+#include "grid/cube_counter.h"
+
+namespace hido {
+namespace {
+
+struct BenchFixture {
+  BenchFixture(size_t n, size_t d, size_t phi)
+      : data(GenerateUniform(n, d, 42)),
+        grid(GridModel::Build(data,
+                              [&] {
+                                GridModel::Options o;
+                                o.phi = phi;
+                                return o;
+                              }())) {}
+  Dataset data;
+  GridModel grid;
+};
+
+std::vector<std::vector<DimRange>> MakeQueries(const GridModel& grid,
+                                               size_t k, size_t count) {
+  Rng rng(7);
+  std::vector<std::vector<DimRange>> queries;
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    std::vector<DimRange> conditions;
+    for (size_t d : rng.SampleWithoutReplacement(grid.num_dims(), k)) {
+      conditions.push_back(
+          {static_cast<uint32_t>(d),
+           static_cast<uint32_t>(rng.UniformIndex(grid.phi()))});
+    }
+    queries.push_back(std::move(conditions));
+  }
+  return queries;
+}
+
+void BM_CountStrategy(benchmark::State& state, CountingStrategy strategy,
+                      size_t n) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  BenchFixture fixture(n, 32, 10);
+  CubeCounter::Options options;
+  options.cache_capacity = 0;
+  CubeCounter counter(fixture.grid, options);
+  const auto queries = MakeQueries(fixture.grid, k, 256);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        counter.CountUncached(queries[i++ & 255], strategy));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_CountBitset1k(benchmark::State& state) {
+  BM_CountStrategy(state, CountingStrategy::kBitset, 1000);
+}
+void BM_CountPostings1k(benchmark::State& state) {
+  BM_CountStrategy(state, CountingStrategy::kPostingList, 1000);
+}
+void BM_CountNaive1k(benchmark::State& state) {
+  BM_CountStrategy(state, CountingStrategy::kNaive, 1000);
+}
+void BM_CountBitset100k(benchmark::State& state) {
+  BM_CountStrategy(state, CountingStrategy::kBitset, 100000);
+}
+void BM_CountPostings100k(benchmark::State& state) {
+  BM_CountStrategy(state, CountingStrategy::kPostingList, 100000);
+}
+void BM_CountAuto100k(benchmark::State& state) {
+  BM_CountStrategy(state, CountingStrategy::kAuto, 100000);
+}
+BENCHMARK(BM_CountBitset1k)->Arg(2)->Arg(4);
+BENCHMARK(BM_CountPostings1k)->Arg(2)->Arg(4);
+BENCHMARK(BM_CountNaive1k)->Arg(2)->Arg(4);
+BENCHMARK(BM_CountBitset100k)->Arg(2)->Arg(4);
+BENCHMARK(BM_CountPostings100k)->Arg(2)->Arg(4);
+BENCHMARK(BM_CountAuto100k)->Arg(2)->Arg(4);
+
+void BM_CountCached(benchmark::State& state) {
+  BenchFixture fixture(10000, 32, 10);
+  CubeCounter counter(fixture.grid);  // cache on
+  const auto queries = MakeQueries(fixture.grid, 3, 64);  // small working set
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter.Count(queries[i++ & 63]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountCached);
+
+void BM_GridBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateUniform(n, 32, 11);
+  GridModel::Options options;
+  options.phi = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GridModel::Build(data, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GridBuild)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace hido
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Micro-benchmarks for the genetic operators (google-benchmark): rank
+// selection, both crossover operators, mutation, and a full generation.
+// Quantifies the optimized crossover's extra objective evaluations — the
+// cost it pays for dimensionality-preserving, fitness-seeking offspring.
+
+#include <benchmark/benchmark.h>
+
+#include "core/evolutionary_search.h"
+#include "core/genetic/convergence.h"
+#include "core/genetic/selection.h"
+#include "data/generators/synthetic.h"
+#include "grid/cube_counter.h"
+
+namespace hido {
+namespace {
+
+struct GaFixture {
+  GaFixture()
+      : data(GenerateUniform(2000, 32, 5)),
+        grid(GridModel::Build(data,
+                              [&] {
+                                GridModel::Options o;
+                                o.phi = 10;
+                                return o;
+                              }())),
+        counter(grid),
+        objective(counter) {}
+
+  std::vector<Individual> MakePopulation(size_t p, size_t k, Rng& rng) {
+    std::vector<Individual> population(p);
+    for (Individual& ind : population) {
+      ind.projection = Projection::Random(grid.num_dims(), k, grid.phi(), rng);
+      EvaluateIndividual(ind, k, objective);
+    }
+    return population;
+  }
+
+  Dataset data;
+  GridModel grid;
+  CubeCounter counter;
+  SparsityObjective objective;
+};
+
+void BM_RankSelection(benchmark::State& state) {
+  GaFixture fixture;
+  Rng rng(1);
+  auto population = fixture.MakePopulation(100, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RankRouletteSelection(population, rng));
+  }
+}
+BENCHMARK(BM_RankSelection);
+
+void BM_TwoPointCrossover(benchmark::State& state) {
+  GaFixture fixture;
+  Rng rng(2);
+  const Projection a = Projection::Random(32, 4, 10, rng);
+  const Projection b = Projection::Random(32, 4, 10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoPointCrossover(a, b, rng));
+  }
+}
+BENCHMARK(BM_TwoPointCrossover);
+
+void BM_OptimizedCrossover(benchmark::State& state) {
+  GaFixture fixture;
+  Rng rng(3);
+  const size_t k = static_cast<size_t>(state.range(0));
+  const Projection a = Projection::Random(32, k, 10, rng);
+  const Projection b = Projection::Random(32, k, 10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OptimizedCrossover(a, b, k, fixture.objective));
+  }
+}
+BENCHMARK(BM_OptimizedCrossover)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Mutation(benchmark::State& state) {
+  GaFixture fixture;
+  Rng rng(4);
+  Projection p = Projection::Random(32, 4, 10, rng);
+  MutationOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MutateProjection(p, 10, options, rng));
+  }
+}
+BENCHMARK(BM_Mutation);
+
+void BM_ConvergenceCheck(benchmark::State& state) {
+  GaFixture fixture;
+  Rng rng(5);
+  const auto population = fixture.MakePopulation(100, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PopulationConverged(population));
+  }
+}
+BENCHMARK(BM_ConvergenceCheck);
+
+void BM_FullGeneration(benchmark::State& state) {
+  GaFixture fixture;
+  Rng rng(6);
+  auto population = fixture.MakePopulation(100, 4, rng);
+  MutationOptions mutation;
+  for (auto _ : state) {
+    population = RankRouletteSelection(population, rng);
+    CrossoverPopulation(population, CrossoverKind::kOptimized, 4,
+                        fixture.objective, rng);
+    MutatePopulation(population, 4, mutation, fixture.objective, rng);
+    benchmark::DoNotOptimize(population);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_FullGeneration);
+
+}  // namespace
+}  // namespace hido
+
+BENCHMARK_MAIN();

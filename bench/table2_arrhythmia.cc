@@ -1,0 +1,136 @@
+// Reproduces Table 2 and the §3.1 arrhythmia experiment.
+//
+// Section 1 prints the class distribution of the arrhythmia stand-in
+// (452 x 279, 13 classes; rare = classes under 5% of instances), matching
+// Table 2's 85.4% / 14.6% split.
+//
+// Section 2 runs the §3.1 protocol: find all sparse projections with
+// sparsity coefficient <= -3, take the points covered by them, and measure
+// how many carry a rare class label. The paper reports 43 rare of 85
+// flagged points for the projection method vs. 28 of 85 for the
+// kNN-distance outliers of Ramaswamy et al. [25] — the expectation here is
+// the same ordering (projection precision > kNN precision > base rate) and
+// a clearly positive lift.
+//
+// Section 3 checks the paper's anecdote: planted gross recording errors
+// (the 780cm/6kg person) surface among the flagged points.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "baselines/knn_outlier.h"
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "data/generators/arrhythmia_like.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace hido {
+namespace {
+
+int Main() {
+  const ArrhythmiaLikeDataset g = GenerateArrhythmiaLike();
+  const std::set<int32_t> rare(g.rare_classes.begin(), g.rare_classes.end());
+
+  // --- Section 1: Table 2 ------------------------------------------------
+  std::printf("=== Table 2: class distribution of arrhythmia data set ===\n");
+  std::map<int32_t, size_t> per_class;
+  for (size_t r = 0; r < g.data.num_rows(); ++r) {
+    per_class[g.data.Label(r)] += 1;
+  }
+  size_t rare_count = 0;
+  std::string common_codes;
+  std::string rare_codes;
+  for (const auto& [code, count] : per_class) {
+    if (rare.contains(code)) {
+      rare_count += count;
+      rare_codes += StrFormat("%s%02d", rare_codes.empty() ? "" : ", ", code);
+    } else {
+      common_codes +=
+          StrFormat("%s%02d", common_codes.empty() ? "" : ", ", code);
+    }
+  }
+  const double rare_pct =
+      100.0 * static_cast<double>(rare_count) /
+      static_cast<double>(g.data.num_rows());
+  TablePrinter table2({"Case", "Class Codes", "Pct of Instances"});
+  table2.AddRow({"Commonly Occurring Classes (>= 5%)", common_codes,
+                 StrFormat("%.1f%%", 100.0 - rare_pct)});
+  table2.AddRow({"Rare Classes (< 5%)", rare_codes,
+                 StrFormat("%.1f%%", rare_pct)});
+  table2.Print();
+
+  // --- Section 2: rare-class recovery, projections vs kNN [25] -----------
+  std::printf("\n=== Section 3.1: rare classes among flagged outliers ===\n");
+  DetectorConfig dconfig;
+  dconfig.phi = 4;         // matches the generator's 4 joint modes
+  dconfig.target_dim = 2;  // k* at phi=4, s=-3 for N=452
+  dconfig.num_projections = 60;
+  dconfig.evolution.population_size = 100;
+  dconfig.evolution.max_generations = 40;
+  dconfig.evolution.restarts = 32;
+  dconfig.evolution.mutation.p1 = 0.5;
+  dconfig.evolution.mutation.p2 = 0.5;
+  dconfig.seed = 31;
+  const DetectionResult detection = OutlierDetector(dconfig).Detect(g.data);
+
+  // Keep points covered by projections with S <= -3 (the paper's cutoff).
+  std::set<size_t> flagged_set;
+  for (const OutlierRecord& record : detection.report.outliers) {
+    if (record.best_sparsity <= -3.0) flagged_set.insert(record.row);
+  }
+  const std::vector<size_t> flagged(flagged_set.begin(), flagged_set.end());
+  const RareClassStats ours =
+      EvaluateRareClasses(flagged, g.data.labels(), g.rare_classes);
+
+  TablePrinter comparison({"Method", "Flagged", "Rare", "Precision", "Lift"});
+  comparison.AddRow({"Sparse subspace projections (this paper)",
+                     StrFormat("%zu", ours.flagged),
+                     StrFormat("%zu", ours.rare_flagged),
+                     StrFormat("%.2f", ours.precision),
+                     StrFormat("%.2f", ours.lift)});
+
+  const DistanceMetric metric(g.data);
+  for (size_t knn_k : {1u, 5u}) {
+    KnnOutlierOptions kopts;
+    kopts.k = knn_k;
+    kopts.num_outliers = std::max<size_t>(1, flagged.size());
+    std::vector<size_t> knn_rows;
+    for (const KnnOutlier& o : TopNKnnOutliers(metric, kopts)) {
+      knn_rows.push_back(o.row);
+    }
+    const RareClassStats theirs =
+        EvaluateRareClasses(knn_rows, g.data.labels(), g.rare_classes);
+    comparison.AddRow({StrFormat("kNN-distance outliers [25], k=%zu", knn_k),
+                       StrFormat("%zu", theirs.flagged),
+                       StrFormat("%zu", theirs.rare_flagged),
+                       StrFormat("%.2f", theirs.precision),
+                       StrFormat("%.2f", theirs.lift)});
+  }
+  comparison.AddRow({"Base rate (random flagging)", "-", "-",
+                     StrFormat("%.2f", rare_pct / 100.0), "1.00"});
+  comparison.Print();
+  std::printf(
+      "\nPaper: 43 of 85 flagged points were rare-class for the projection\n"
+      "method vs 28 of 85 for [25]; expect the same ordering above.\n");
+
+  // --- Section 3: recording errors ----------------------------------------
+  std::printf("\n=== Recording errors (the 780cm / 6kg person) ===\n");
+  size_t errors_found = 0;
+  for (size_t row : g.recording_error_rows) {
+    const bool found = flagged_set.contains(row);
+    errors_found += found ? 1 : 0;
+    std::printf("planted recording error at row %zu: %s\n", row,
+                found ? "FLAGGED" : "missed");
+  }
+  std::printf("%zu of %zu planted recording errors flagged\n", errors_found,
+              g.recording_error_rows.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hido
+
+int main() { return hido::Main(); }

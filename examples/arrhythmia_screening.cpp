@@ -1,0 +1,76 @@
+// Medical screening on the arrhythmia-like dataset (§3.1 of the paper):
+// 452 patients x 279 measurements, 13 diagnosis classes. The detector does
+// not see the class labels; it flags patients whose measurements form
+// abnormally sparse low-dimensional combinations. Rare diagnoses should be
+// strongly over-represented among the flagged patients, and gross
+// data-entry errors (the paper's 780 cm / 6 kg person) surface as well.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/detector.h"
+#include "core/postprocess.h"
+#include "data/generators/arrhythmia_like.h"
+#include "eval/metrics.h"
+
+int main() {
+  const hido::ArrhythmiaLikeDataset patients =
+      hido::GenerateArrhythmiaLike();
+  std::printf("dataset: %zu patients x %zu measurements, %zu with rare "
+              "diagnoses, %zu recording errors\n\n",
+              patients.data.num_rows(), patients.data.num_cols(),
+              patients.rare_rows.size(),
+              patients.recording_error_rows.size());
+
+  hido::DetectorConfig config;
+  config.phi = 4;
+  config.target_dim = 2;
+  config.num_projections = 60;
+  config.evolution.population_size = 100;
+  config.evolution.max_generations = 40;
+  config.evolution.restarts = 32;
+  config.evolution.mutation.p1 = 0.5;
+  config.evolution.mutation.p2 = 0.5;
+  config.seed = 3;
+  const hido::DetectionResult result =
+      hido::OutlierDetector(config).Detect(patients.data);
+
+  // Keep patients covered by projections at the paper's -3 significance.
+  std::vector<size_t> flagged;
+  for (const hido::OutlierRecord& o : result.report.outliers) {
+    if (o.best_sparsity <= -3.0) flagged.push_back(o.row);
+  }
+  const hido::RareClassStats stats = hido::EvaluateRareClasses(
+      flagged, patients.data.labels(), patients.rare_classes);
+  std::printf("flagged %zu patients; %zu carry a rare diagnosis "
+              "(precision %.2f, lift %.1fx over the %.1f%% base rate)\n\n",
+              stats.flagged, stats.rare_flagged, stats.precision,
+              stats.lift, 100.0 * stats.precision / std::max(stats.lift, 1e-9));
+
+  const std::set<size_t> errors(patients.recording_error_rows.begin(),
+                                patients.recording_error_rows.end());
+  const std::set<size_t> flagged_set(flagged.begin(), flagged.end());
+  for (size_t row : patients.recording_error_rows) {
+    std::printf("recording error at patient %zu: %s\n", row,
+                flagged_set.contains(row) ? "flagged" : "missed");
+  }
+
+  // Show the strongest three cases with their explaining measurements.
+  std::printf("\nstrongest flagged patients:\n");
+  const size_t show = std::min<size_t>(3, result.report.outliers.size());
+  for (size_t i = 0; i < show; ++i) {
+    const hido::OutlierRecord& o = result.report.outliers[i];
+    std::printf("%s  diagnosis class: %d%s%s\n\n",
+                ExplainOutlier(result.report, i, result.grid, patients.data)
+                    .c_str(),
+                patients.data.Label(o.row),
+                errors.contains(o.row) ? " (planted recording error)" : "",
+                std::set<int32_t>(patients.rare_classes.begin(),
+                                  patients.rare_classes.end())
+                        .contains(patients.data.Label(o.row))
+                    ? " (rare)"
+                    : "");
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Credit-card fraud screening — the application the paper's introduction
+// motivates. Fraudulent activity affects only a few attributes at a time
+// ("only the subset of the attributes which are actually affected by the
+// abnormality ... are likely to be useful"), so the fraud signal lives in
+// low-dimensional attribute combinations that are individually ordinary.
+//
+// This example builds a synthetic transaction log from three behavioural
+// segments, plants four frauds that are unremarkable in every single
+// attribute, runs the detector, and prints the flagged transactions with
+// their explaining projections. A kNN-distance baseline is run on the same
+// data to show why full-dimensional proximity misses such cases.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "baselines/knn_outlier.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/postprocess.h"
+#include "data/dataset.h"
+
+namespace {
+
+using hido::Dataset;
+using hido::Rng;
+
+constexpr size_t kAmount = 0;
+constexpr size_t kHour = 1;
+constexpr size_t kCategory = 2;
+constexpr size_t kDistance = 3;
+constexpr size_t kTxnPerDay = 4;
+constexpr size_t kOnlineShare = 5;
+// Plus kNoiseDims additional profile attributes (device scores, bureau
+// features, engagement metrics, ...) that are irrelevant to these fraud
+// patterns — the "noise effects of the other dimensions" that defeat
+// full-dimensional distances in real feature stores.
+constexpr size_t kNoiseDims = 26;
+constexpr size_t kTotalDims = 6 + kNoiseDims;
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+// One behavioural segment: correlated (amount, hour, category, distance).
+struct Segment {
+  double amount_mu, amount_sigma;
+  double hour_mu, hour_sigma;
+  double category_mu;  // merchant category code, 0..9
+  double distance_mu, distance_sigma;
+};
+
+std::vector<double> SampleTransaction(const Segment& s, Rng& rng) {
+  std::vector<double> t(kTotalDims);
+  t[kAmount] = Clamp(rng.Normal(s.amount_mu, s.amount_sigma), 1.0, 5000.0);
+  t[kHour] = Clamp(rng.Normal(s.hour_mu, s.hour_sigma), 0.0, 23.99);
+  t[kCategory] = Clamp(rng.Normal(s.category_mu, 0.4), 0.0, 9.0);
+  t[kDistance] = Clamp(rng.Normal(s.distance_mu, s.distance_sigma), 0.0,
+                       9000.0);
+  t[kTxnPerDay] = Clamp(rng.Normal(2.0, 0.8), 0.1, 40.0);
+  t[kOnlineShare] = rng.UniformDouble();
+  for (size_t f = 6; f < kTotalDims; ++f) {
+    t[f] = rng.UniformDouble();
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(20010521);
+  std::vector<std::string> columns = {"amount",      "hour",
+                                      "category",    "distance_km",
+                                      "txn_per_day", "online_share"};
+  for (size_t f = 6; f < kTotalDims; ++f) {
+    columns.push_back("profile_f" + std::to_string(f));
+  }
+  Dataset log(columns);
+
+  // Background: commuters (small/morning/transport/near), families
+  // (medium/evening/groceries/near), travellers (large/midday/hotels/far).
+  const Segment commuter = {12.0, 4.0, 8.0, 1.0, 1.0, 5.0, 3.0};
+  const Segment family = {85.0, 20.0, 18.5, 1.0, 4.0, 8.0, 4.0};
+  const Segment traveller = {420.0, 100.0, 13.0, 2.0, 8.0, 2500.0, 800.0};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.UniformDouble();
+    const Segment& s = u < 0.45 ? commuter : (u < 0.85 ? family : traveller);
+    log.AppendRow(SampleTransaction(s, rng));
+  }
+
+  // Planted frauds: every attribute value is common *on its own* (it sits
+  // in the dense range of some segment) so no full-dimensional distance is
+  // unusual — only the combination never occurs in legitimate traffic.
+  std::vector<size_t> fraud_rows;
+  auto plant = [&](std::vector<double> t) {
+    fraud_rows.push_back(log.num_rows());
+    log.AppendRow(t);
+  };
+  {
+    // Card testing: commuter-sized amount at traveller distance.
+    std::vector<double> t = SampleTransaction(commuter, rng);
+    t[kAmount] = 9.5;        // common among commuters
+    t[kDistance] = 2600.0;   // common among travellers
+    plant(t);
+  }
+  {
+    // Cash-out: traveller-sized amount in the grocery category.
+    std::vector<double> t = SampleTransaction(family, rng);
+    t[kAmount] = 510.0;      // common among travellers
+    t[kCategory] = 4.1;      // common among families
+    plant(t);
+  }
+  {
+    // Skimmed card: family-sized amount in the hotel category.
+    std::vector<double> t = SampleTransaction(traveller, rng);
+    t[kAmount] = 90.0;       // common among families
+    t[kCategory] = 8.1;      // common among travellers
+    plant(t);
+  }
+  {
+    // Stolen card on a trip: traveller distance at family dinner time.
+    std::vector<double> t = SampleTransaction(family, rng);
+    t[kHour] = 18.4;         // common among families
+    t[kDistance] = 2400.0;   // common among travellers
+    plant(t);
+  }
+
+  // Detect with 2-dimensional projections.
+  hido::DetectorConfig config;
+  config.phi = 8;
+  config.target_dim = 2;
+  config.num_projections = 12;
+  config.evolution.restarts = 8;
+  config.evolution.mutation.p1 = 0.5;
+  config.evolution.mutation.p2 = 0.5;
+  config.seed = 4;
+  const hido::DetectionResult result =
+      hido::OutlierDetector(config).Detect(log);
+
+  const std::set<size_t> planted(fraud_rows.begin(), fraud_rows.end());
+  std::printf("=== subspace projections: top flagged transactions ===\n");
+  size_t shown = 0;
+  size_t found = 0;
+  for (size_t i = 0; i < result.report.outliers.size() && shown < 8; ++i) {
+    const hido::OutlierRecord& o = result.report.outliers[i];
+    const bool is_fraud = planted.contains(o.row);
+    found += is_fraud ? 1 : 0;
+    ++shown;
+    std::printf("%s%s\n",
+                ExplainOutlier(result.report, i, result.grid, log).c_str(),
+                is_fraud ? "  <== planted fraud\n" : "");
+  }
+  std::printf("planted frauds among all flagged rows: ");
+  size_t total_found = 0;
+  for (const hido::OutlierRecord& o : result.report.outliers) {
+    total_found += planted.contains(o.row) ? 1 : 0;
+  }
+  std::printf("%zu of %zu\n\n", total_found, fraud_rows.size());
+
+  // Full-dimensional baseline on the same data.
+  const hido::DistanceMetric metric(log);
+  hido::KnnOutlierOptions kopts;
+  kopts.k = 5;
+  kopts.num_outliers = result.report.outliers.size() > 0
+                           ? result.report.outliers.size()
+                           : 8;
+  size_t knn_found = 0;
+  for (const hido::KnnOutlier& o : TopNKnnOutliers(metric, kopts)) {
+    knn_found += planted.contains(o.row) ? 1 : 0;
+  }
+  std::printf("=== kNN-distance baseline [25], same flag budget ===\n");
+  std::printf("planted frauds found: %zu of %zu — the averaging effect of\n"
+              "the unaffected attributes hides combination-fraud from\n"
+              "full-dimensional distances.\n",
+              knn_found, fraud_rows.size());
+  return 0;
+}

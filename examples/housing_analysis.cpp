@@ -1,0 +1,57 @@
+// Qualitative analysis on the Boston-housing-like dataset (§3.1): find
+// interesting 2- and 3-dimensional projections and read the stories they
+// tell. The paper's examples — a high-crime, high-pupil-teacher locality
+// close to the employment centers; low NOx despite old houses and highway
+// access; a cheap house in a low-crime area — are planted as contrarian
+// records and should surface with interpretable explanations.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/detector.h"
+#include "core/postprocess.h"
+#include "data/generators/housing_like.h"
+
+int main() {
+  const hido::HousingLikeDataset housing = hido::GenerateHousingLike();
+  std::printf("dataset: %zu suburbs x %zu attributes\n\n",
+              housing.data.num_rows(), housing.data.num_cols());
+
+  const std::set<size_t> contrarians(housing.contrarian_rows.begin(),
+                                     housing.contrarian_rows.end());
+
+  for (size_t k : {2u, 3u}) {
+    hido::DetectorConfig config;
+    config.phi = 5;
+    config.target_dim = k;
+    config.num_projections = 10;
+    config.evolution.population_size = 100;
+    config.evolution.max_generations = 60;
+    config.evolution.restarts = 8;
+    config.seed = 13;
+    const hido::DetectionResult result =
+        hido::OutlierDetector(config).Detect(housing.data);
+
+    std::printf("=== %zu-dimensional projections ===\n", k);
+    const size_t show = std::min<size_t>(4, result.report.outliers.size());
+    size_t contrarian_hits = 0;
+    for (const hido::OutlierRecord& o : result.report.outliers) {
+      contrarian_hits += contrarians.contains(o.row) ? 1 : 0;
+    }
+    for (size_t i = 0; i < show; ++i) {
+      const hido::OutlierRecord& o = result.report.outliers[i];
+      std::printf("%s%s\n",
+                  ExplainOutlier(result.report, i, result.grid,
+                                 housing.data)
+                      .c_str(),
+                  contrarians.contains(o.row)
+                      ? "  <== one of the paper's contrarian records\n"
+                      : "");
+    }
+    std::printf("planted contrarian records among all flagged rows: "
+                "%zu of %zu\n\n",
+                contrarian_hits, housing.contrarian_rows.size());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the 60-second tour of the public API.
+//
+//   1. Build (or load) a dataset.
+//   2. Run the OutlierDetector with default (paper §2.4) parameters.
+//   3. Read the report: abnormal projections and the outliers they expose.
+//
+// Here the data is synthetic with planted ground truth so you can see the
+// detector find exactly what was hidden. Swap in your own data with
+// hido::ReadCsv — everything else stays the same.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/detector.h"
+#include "core/postprocess.h"
+#include "data/generators/synthetic.h"
+
+int main() {
+  // 1. A 500 x 16 dataset: correlated attribute pairs plus 4 hidden
+  //    anomalies, each ordinary in every attribute but taking a
+  //    jointly-impossible value combination in one attribute pair.
+  hido::SubspaceOutlierConfig gen;
+  gen.num_points = 500;
+  gen.num_dims = 16;
+  gen.num_groups = 4;
+  gen.num_outliers = 4;
+  gen.seed = 7;
+  const hido::GeneratedDataset generated =
+      hido::GenerateSubspaceOutliers(gen);
+
+  // 2. Detect. phi/k default to the paper's recommendation for N and d;
+  //    we pin phi to the generator's mode count for a crisp demo.
+  hido::DetectorConfig config;
+  config.phi = 5;
+  config.target_dim = 2;
+  config.num_projections = 10;
+  config.evolution.restarts = 6;
+  config.seed = 1;
+  const hido::OutlierDetector detector(config);
+  const hido::DetectionResult result = detector.Detect(generated.data);
+
+  // 3. Report.
+  std::printf("grid: phi=%zu, k=%zu; %zu abnormal projections, "
+              "%zu outliers, %.3fs\n\n",
+              result.phi, result.target_dim,
+              result.report.projections.size(),
+              result.report.outliers.size(), result.seconds);
+
+  const std::set<size_t> planted(generated.outlier_rows.begin(),
+                                 generated.outlier_rows.end());
+  std::printf("top outliers (planted rows marked <== planted):\n");
+  const size_t show =
+      std::min<size_t>(8, result.report.outliers.size());
+  for (size_t i = 0; i < show; ++i) {
+    const hido::OutlierRecord& record = result.report.outliers[i];
+    std::printf("%s%s\n",
+                ExplainOutlier(result.report, i, result.grid,
+                               generated.data)
+                    .c_str(),
+                planted.contains(record.row) ? "  <== planted\n" : "");
+  }
+  return 0;
+}

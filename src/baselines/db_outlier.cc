@@ -1,0 +1,62 @@
+#include "baselines/db_outlier.h"
+
+#include <algorithm>
+
+#include "baselines/vptree.h"
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace hido {
+
+std::vector<size_t> DbOutliers(const DistanceMetric& metric,
+                               const DbOutlierOptions& options) {
+  HIDO_CHECK(options.lambda > 0.0);
+  const size_t n = metric.num_points();
+  std::vector<size_t> outliers;
+
+  if (options.use_vptree) {
+    const VpTree tree(metric);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t neighbors =
+          tree.CountWithin(i, options.lambda, options.max_neighbors);
+      if (neighbors <= options.max_neighbors) outliers.push_back(i);
+    }
+    return outliers;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    size_t neighbors = 0;
+    bool is_outlier = true;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (metric.Distance(i, j) <= options.lambda) {
+        if (++neighbors > options.max_neighbors) {
+          is_outlier = false;  // too many close points: not an outlier
+          break;
+        }
+      }
+    }
+    if (is_outlier) outliers.push_back(i);
+  }
+  return outliers;
+}
+
+double EstimateLambda(const DistanceMetric& metric, double quantile,
+                      size_t sample_pairs, Rng& rng) {
+  HIDO_CHECK(quantile >= 0.0 && quantile <= 1.0);
+  HIDO_CHECK(sample_pairs >= 1);
+  const size_t n = metric.num_points();
+  HIDO_CHECK(n >= 2);
+  std::vector<double> distances;
+  distances.reserve(sample_pairs);
+  for (size_t s = 0; s < sample_pairs; ++s) {
+    const size_t a = rng.UniformIndex(n);
+    size_t b = rng.UniformIndex(n);
+    while (b == a) b = rng.UniformIndex(n);
+    distances.push_back(metric.Distance(a, b));
+  }
+  std::sort(distances.begin(), distances.end());
+  return QuantileSorted(distances, quantile);
+}
+
+}  // namespace hido

@@ -1,0 +1,39 @@
+#ifndef HIDO_BASELINES_DB_OUTLIER_H_
+#define HIDO_BASELINES_DB_OUTLIER_H_
+
+// Distance-based DB(k, lambda) outliers of Knorr & Ng (VLDB 1998) —
+// reference [22]: a point p is an outlier when no more than k points lie
+// within distance lambda of p. The paper's introduction criticizes the
+// sensitivity of lambda in high dimensionality (slightly too small: all
+// points are outliers; slightly too large: none are); EstimateLambda and
+// the sweep bench make that criticism measurable.
+
+#include <vector>
+
+#include "baselines/distance.h"
+#include "common/rng.h"
+
+namespace hido {
+
+/// Options for DbOutliers.
+struct DbOutlierOptions {
+  double lambda = 0.5;      ///< neighbourhood radius
+  size_t max_neighbors = 5; ///< k: tolerated neighbours within lambda
+  bool use_vptree = false;  ///< count neighbours through a VP-tree
+};
+
+/// Rows that are DB(k, lambda) outliers, ascending. The nested loop
+/// abandons a point as soon as its neighbour count exceeds k.
+std::vector<size_t> DbOutliers(const DistanceMetric& metric,
+                               const DbOutlierOptions& options);
+
+/// Estimates lambda as the given quantile (in [0,1]) of the pairwise
+/// distance distribution, from `sample_pairs` sampled pairs. This is the
+/// a-priori guess a practitioner would make — and the quantity whose
+/// usable window collapses as dimensionality grows.
+double EstimateLambda(const DistanceMetric& metric, double quantile,
+                      size_t sample_pairs, Rng& rng);
+
+}  // namespace hido
+
+#endif  // HIDO_BASELINES_DB_OUTLIER_H_

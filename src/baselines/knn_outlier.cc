@@ -1,0 +1,102 @@
+#include "baselines/knn_outlier.h"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+#include "baselines/vptree.h"
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace hido {
+
+std::vector<double> AllKthNeighborDistances(const DistanceMetric& metric,
+                                            size_t k) {
+  const size_t n = metric.num_points();
+  HIDO_CHECK(k >= 1 && k < n);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<Neighbor> nn = BruteForceNearest(metric, i, k);
+    out[i] = nn.back().distance;
+  }
+  return out;
+}
+
+std::vector<KnnOutlier> TopNKnnOutliers(const DistanceMetric& metric,
+                                        const KnnOutlierOptions& options) {
+  const size_t n = metric.num_points();
+  HIDO_CHECK(options.k >= 1);
+  HIDO_CHECK_MSG(options.k < n, "k must be < number of points");
+  HIDO_CHECK(options.num_outliers >= 1);
+  const size_t top_n = std::min(options.num_outliers, n);
+
+  // Min-heap over scores of the current top-n (weakest on top).
+  struct ByScoreAsc {
+    bool operator()(const KnnOutlier& a, const KnnOutlier& b) const {
+      return a.kth_distance != b.kth_distance
+                 ? a.kth_distance > b.kth_distance
+                 : a.row > b.row;
+    }
+  };
+  std::priority_queue<KnnOutlier, std::vector<KnnOutlier>, ByScoreAsc> best;
+  double cutoff = 0.0;  // n-th largest k-NN distance so far
+
+  std::vector<size_t> scan_order(n);
+  for (size_t i = 0; i < n; ++i) scan_order[i] = i;
+  if (options.shuffle_seed != 0) {
+    Rng rng(options.shuffle_seed);
+    rng.Shuffle(scan_order);
+  }
+
+  std::optional<VpTree> tree;
+  if (options.use_vptree) tree.emplace(metric);
+
+  for (size_t i = 0; i < n; ++i) {
+    double kth = 0.0;
+    if (tree.has_value()) {
+      const std::vector<Neighbor> nn = tree->Nearest(i, options.k);
+      kth = nn.back().distance;
+    } else {
+      // Running k smallest distances with early abandonment: once the
+      // current upper bound drops below the global cutoff, this point can
+      // no longer enter the top n.
+      std::priority_queue<double> ksmallest;  // max-heap of k best
+      bool abandoned = false;
+      for (size_t j : scan_order) {
+        if (j == i) continue;
+        const double d = metric.Distance(i, j);
+        if (ksmallest.size() < options.k) {
+          ksmallest.push(d);
+        } else if (d < ksmallest.top()) {
+          ksmallest.pop();
+          ksmallest.push(d);
+        }
+        if (ksmallest.size() == options.k && best.size() == top_n &&
+            ksmallest.top() < cutoff) {
+          abandoned = true;
+          break;
+        }
+      }
+      if (abandoned) continue;
+      kth = ksmallest.top();
+    }
+    if (best.size() < top_n) {
+      best.push({i, kth});
+    } else if (kth > best.top().kth_distance) {
+      best.pop();
+      best.push({i, kth});
+    }
+    if (best.size() == top_n) cutoff = best.top().kth_distance;
+  }
+
+  std::vector<KnnOutlier> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // strongest first
+  return out;
+}
+
+}  // namespace hido

@@ -1,0 +1,48 @@
+#ifndef HIDO_BASELINES_KNN_OUTLIER_H_
+#define HIDO_BASELINES_KNN_OUTLIER_H_
+
+// The kNN-distance outlier definition of Ramaswamy, Rastogi & Shim
+// (SIGMOD 2000) — reference [25], the comparator of the paper's §3.1
+// arrhythmia experiment: given k and n, report the n points whose distance
+// to their k-th nearest neighbour is largest.
+//
+// Implementation: nested loop with the classic running-cutoff optimization
+// — once a point's upper bound on its k-th-NN distance falls below the
+// current n-th largest score, the point is abandoned. An exact VP-tree path
+// is available for comparison.
+
+#include <vector>
+
+#include "baselines/distance.h"
+
+namespace hido {
+
+/// Options for TopNKnnOutliers.
+struct KnnOutlierOptions {
+  size_t k = 1;            ///< which nearest neighbour defines the score
+  size_t num_outliers = 20;  ///< n: points to report
+  bool use_vptree = false; ///< answer kNN queries through a VP-tree
+  /// Shuffle the inner scan order (improves early abandonment); 0 keeps
+  /// the natural order, any other value seeds the shuffle.
+  uint64_t shuffle_seed = 1;
+};
+
+/// One reported outlier.
+struct KnnOutlier {
+  size_t row;
+  double kth_distance;  ///< distance to the k-th nearest neighbour
+};
+
+/// Computes the top-n kNN-distance outliers, strongest (largest distance)
+/// first. Preconditions: k >= 1, k < num_points, num_outliers >= 1.
+std::vector<KnnOutlier> TopNKnnOutliers(const DistanceMetric& metric,
+                                        const KnnOutlierOptions& options);
+
+/// Exact k-th-NN distance of every point (no pruning) — the reference
+/// implementation used in tests.
+std::vector<double> AllKthNeighborDistances(const DistanceMetric& metric,
+                                            size_t k);
+
+}  // namespace hido
+
+#endif  // HIDO_BASELINES_KNN_OUTLIER_H_

@@ -1,0 +1,88 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "baselines/vptree.h"
+#include "common/macros.h"
+
+namespace hido {
+
+std::vector<double> ComputeLof(const DistanceMetric& metric,
+                               const LofOptions& options) {
+  const size_t n = metric.num_points();
+  HIDO_CHECK(options.min_pts >= 1);
+  HIDO_CHECK_MSG(options.min_pts < n, "min_pts must be < number of points");
+  const size_t k = options.min_pts;
+
+  // Step 1: k-distance and k-distance neighbourhood (with ties) per point.
+  std::vector<double> k_distance(n);
+  std::vector<std::vector<Neighbor>> neighborhood(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Over-fetch to capture ties at the k-distance.
+    std::vector<Neighbor> nn =
+        BruteForceNearest(metric, i, std::min(n - 1, k + 8));
+    k_distance[i] = nn[k - 1].distance;
+    size_t keep = nn.size();
+    // Extend through exact ties; if the over-fetch was insufficient, fall
+    // back to a full scan (rare: >8-way tie).
+    if (nn.back().distance <= k_distance[i] && nn.size() == k + 8 &&
+        k + 8 < n - 1) {
+      nn = BruteForceNearest(metric, i, n - 1);
+    }
+    keep = 0;
+    while (keep < nn.size() && nn[keep].distance <= k_distance[i]) ++keep;
+    nn.resize(keep);
+    neighborhood[i] = std::move(nn);
+  }
+
+  // Step 2: local reachability density
+  //   lrd(p) = 1 / mean_{o in N(p)} reach-dist_k(p, o),
+  //   reach-dist_k(p, o) = max(k-distance(o), d(p, o)).
+  std::vector<double> lrd(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (const Neighbor& o : neighborhood[i]) {
+      sum += std::max(k_distance[o.index], o.distance);
+    }
+    const double mean = sum / static_cast<double>(neighborhood[i].size());
+    // Duplicate-heavy data can give mean 0 (all reach-dists 0): such a
+    // point sits inside an infinitely dense clump.
+    lrd[i] = mean > 0.0 ? 1.0 / mean
+                        : std::numeric_limits<double>::infinity();
+  }
+
+  // Step 3: LOF(p) = mean_{o in N(p)} lrd(o) / lrd(p).
+  std::vector<double> lof(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (const Neighbor& o : neighborhood[i]) {
+      if (std::isinf(lrd[o.index]) && std::isinf(lrd[i])) {
+        sum += 1.0;  // equally infinite densities cancel
+      } else {
+        sum += lrd[o.index] / lrd[i];
+      }
+    }
+    lof[i] = sum / static_cast<double>(neighborhood[i].size());
+  }
+  return lof;
+}
+
+std::vector<size_t> TopNByScore(const std::vector<double>& scores,
+                                size_t n) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  n = std::min(n, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(n),
+                    order.end(), [&](size_t a, size_t b) {
+                      return scores[a] != scores[b] ? scores[a] > scores[b]
+                                                    : a < b;
+                    });
+  order.resize(n);
+  return order;
+}
+
+}  // namespace hido

@@ -1,0 +1,32 @@
+#ifndef HIDO_BASELINES_LOF_H_
+#define HIDO_BASELINES_LOF_H_
+
+// Local Outlier Factor of Breunig, Kriegel, Ng & Sander (SIGMOD 2000) —
+// reference [10]. LOF scores a point by the ratio of its neighbours' local
+// reachability densities to its own; scores near 1 are inliers, larger is
+// more outlying. The paper argues this local-density machinery also
+// degrades in high dimensionality because "locality" itself loses meaning.
+
+#include <vector>
+
+#include "baselines/distance.h"
+
+namespace hido {
+
+/// Options for ComputeLof.
+struct LofOptions {
+  size_t min_pts = 10;  ///< MinPts: neighbourhood size
+};
+
+/// LOF score per point. Neighbourhoods include every point within the
+/// MinPts-distance (ties included, per the original definition).
+/// Preconditions: 1 <= min_pts < num_points.
+std::vector<double> ComputeLof(const DistanceMetric& metric,
+                               const LofOptions& options);
+
+/// Indices of the `n` points with the largest LOF scores, strongest first.
+std::vector<size_t> TopNByScore(const std::vector<double>& scores, size_t n);
+
+}  // namespace hido
+
+#endif  // HIDO_BASELINES_LOF_H_

@@ -1,0 +1,82 @@
+#include "common/bitset.h"
+
+#include <bit>
+
+namespace hido {
+
+DynamicBitset::DynamicBitset(size_t size)
+    : size_(size), words_(WordCount(size), 0) {}
+
+void DynamicBitset::Set(size_t i) {
+  HIDO_DCHECK(i < size_);
+  words_[i / kBitsPerWord] |= uint64_t{1} << (i % kBitsPerWord);
+}
+
+void DynamicBitset::Clear(size_t i) {
+  HIDO_DCHECK(i < size_);
+  words_[i / kBitsPerWord] &= ~(uint64_t{1} << (i % kBitsPerWord));
+}
+
+bool DynamicBitset::Test(size_t i) const {
+  HIDO_DCHECK(i < size_);
+  return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u;
+}
+
+void DynamicBitset::SetAll() {
+  for (uint64_t& w : words_) w = ~uint64_t{0};
+  MaskTail();
+}
+
+void DynamicBitset::ClearAll() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+void DynamicBitset::MaskTail() {
+  const size_t rem = size_ % kBitsPerWord;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+void DynamicBitset::AndWith(const DynamicBitset& other) {
+  HIDO_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+size_t DynamicBitset::AndCount(const DynamicBitset& other) const {
+  HIDO_CHECK(size_ == other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+void DynamicBitset::AppendSetBits(std::vector<uint32_t>& out) const {
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<uint32_t>(wi * kBitsPerWord +
+                                          static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+}
+
+std::vector<uint32_t> DynamicBitset::ToIndices() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  AppendSetBits(out);
+  return out;
+}
+
+}  // namespace hido

@@ -1,0 +1,41 @@
+#ifndef HIDO_COMMON_LOGGING_H_
+#define HIDO_COMMON_LOGGING_H_
+
+// Minimal leveled logging for long-running searches. Off by default above
+// kWarning so library users are not spammed; benches raise the level.
+
+#include <string>
+
+#include "common/string_util.h"
+
+namespace hido {
+
+/// Log severity, ascending.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is printed (process-wide).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr if `level` >= the configured minimum.
+void LogMessage(LogLevel level, const std::string& message);
+
+}  // namespace hido
+
+// Convenience macros; arguments are printf-style via StrFormat.
+#define HIDO_LOG(level, ...)                                        \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::hido::GetLogLevel())) {                  \
+      ::hido::LogMessage(level, ::hido::StrFormat(__VA_ARGS__));    \
+    }                                                               \
+  } while (0)
+
+#define HIDO_LOG_DEBUG(...) HIDO_LOG(::hido::LogLevel::kDebug, __VA_ARGS__)
+#define HIDO_LOG_INFO(...) HIDO_LOG(::hido::LogLevel::kInfo, __VA_ARGS__)
+#define HIDO_LOG_WARNING(...) HIDO_LOG(::hido::LogLevel::kWarning, __VA_ARGS__)
+#define HIDO_LOG_ERROR(...) HIDO_LOG(::hido::LogLevel::kError, __VA_ARGS__)
+
+#endif  // HIDO_COMMON_LOGGING_H_

@@ -1,0 +1,50 @@
+#ifndef HIDO_COMMON_MACROS_H_
+#define HIDO_COMMON_MACROS_H_
+
+// Assertion macros used across the library.
+//
+// Per the project style (Google C++ Style Guide) the library does not use
+// exceptions. Programmer errors — violated preconditions, broken invariants —
+// abort the process with a diagnostic. Recoverable errors (I/O, parsing) are
+// reported through hido::Status / hido::Result instead; see common/status.h.
+
+#include <cstdio>
+#include <cstdlib>
+
+// HIDO_CHECK(cond): aborts with a message when `cond` is false. Always on.
+#define HIDO_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::fprintf(stderr, "HIDO_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                     __LINE__, #cond);                                        \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+// HIDO_CHECK_MSG(cond, fmt, ...): like HIDO_CHECK with a printf-style note.
+#define HIDO_CHECK_MSG(cond, ...)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::fprintf(stderr, "HIDO_CHECK failed at %s:%d: %s: ", __FILE__,    \
+                     __LINE__, #cond);                                        \
+      ::std::fprintf(stderr, __VA_ARGS__);                                    \
+      ::std::fprintf(stderr, "\n");                                           \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+// HIDO_DCHECK(cond): debug-only check, compiled out in NDEBUG builds. Use on
+// hot paths where the condition is an internal invariant rather than a
+// user-facing precondition.
+#ifdef NDEBUG
+#define HIDO_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define HIDO_DCHECK(cond) HIDO_CHECK(cond)
+#endif
+
+// Marks intentionally unused values (e.g., Status results in tests).
+#define HIDO_UNUSED(x) (void)(x)
+
+#endif  // HIDO_COMMON_MACROS_H_

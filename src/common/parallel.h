@@ -1,0 +1,27 @@
+#ifndef HIDO_COMMON_PARALLEL_H_
+#define HIDO_COMMON_PARALLEL_H_
+
+// Minimal data parallelism for the search algorithms: a dynamic-scheduling
+// parallel-for over an index range. No global thread pool, no dependencies —
+// workers are spawned per call, which is appropriate for the coarse-grained
+// work items here (whole search subtrees).
+
+#include <cstddef>
+#include <functional>
+
+namespace hido {
+
+/// A sensible default worker count: hardware concurrency, at least 1.
+size_t HardwareThreads();
+
+/// Runs `work(task_index, worker_index)` for every task in [0, num_tasks),
+/// on up to `num_threads` workers (clamped to [1, num_tasks]). Tasks are
+/// claimed dynamically (atomic counter), so uneven task costs balance.
+/// With num_threads <= 1 everything runs inline on the calling thread.
+/// `work` must be thread-safe across distinct worker indices.
+void ParallelFor(size_t num_tasks, size_t num_threads,
+                 const std::function<void(size_t task, size_t worker)>& work);
+
+}  // namespace hido
+
+#endif  // HIDO_COMMON_PARALLEL_H_

@@ -1,0 +1,96 @@
+#ifndef HIDO_COMMON_RNG_H_
+#define HIDO_COMMON_RNG_H_
+
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the library (data generators, the
+// evolutionary search, baselines that sample) takes an explicit Rng so that
+// experiments are reproducible bit-for-bit from a seed. The generator is
+// xoshiro256**, seeded through SplitMix64; it is small, fast, and has no
+// global state.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hido {
+
+/// xoshiro256** PRNG with convenience sampling methods.
+///
+/// Not thread-safe; give each thread (or each experiment) its own instance.
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator. Any seed (including 0) yields a good state.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  uint64_t operator()() { return Next64(); }
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform size_t index in [0, n). Precondition: n > 0.
+  size_t UniformIndex(size_t n) { return static_cast<size_t>(UniformU64(n)); }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi). Precondition: lo < hi.
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal variate (Marsaglia polar method, cached spare).
+  double Normal();
+
+  /// Normal variate with the given mean and standard deviation (sigma >= 0).
+  double Normal(double mean, double sigma);
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n), in increasing order.
+  /// Precondition: count <= n. O(n) when count is large, reservoir-free
+  /// partial Fisher-Yates otherwise.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Preconditions: weights non-empty, all weights >= 0, and
+  /// the total weight > 0. This is the "roulette wheel" used by the paper's
+  /// rank-selection operator.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (for splitting experiment seeds
+  /// into per-component streams without correlation).
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace hido
+
+#endif  // HIDO_COMMON_RNG_H_

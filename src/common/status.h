@@ -1,0 +1,157 @@
+#ifndef HIDO_COMMON_STATUS_H_
+#define HIDO_COMMON_STATUS_H_
+
+// Exception-free error handling, modelled on absl::Status / arrow::Status.
+//
+// Functions that can fail for reasons outside the programmer's control
+// (file I/O, malformed input) return hido::Status or hido::Result<T>.
+// Precondition violations use HIDO_CHECK (common/macros.h) instead.
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace hido {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+/// Returns a short stable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that may fail: an (code, message) pair, where
+/// kOk means success and carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers for the common codes.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or a non-OK Status explaining its absence.
+/// Mirrors absl::StatusOr<T>. Accessing the value of a failed Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit so `return status;` works).
+  /// `status` must not be OK — an OK status carries no value.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    HIDO_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                   "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the carried status; OK when a value is present.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(payload_);
+  }
+
+  /// Returns the value. Precondition: ok().
+  const T& value() const& {
+    HIDO_CHECK_MSG(ok(), "Result::value() on error: %s",
+                   std::get<Status>(payload_).ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    HIDO_CHECK_MSG(ok(), "Result::value() on error: %s",
+                   std::get<Status>(payload_).ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    HIDO_CHECK_MSG(ok(), "Result::value() on error: %s",
+                   std::get<Status>(payload_).ToString().c_str());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates a non-OK status to the caller: `HIDO_RETURN_IF_ERROR(DoIo());`.
+#define HIDO_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::hido::Status hido_status_tmp_ = (expr);   \
+    if (!hido_status_tmp_.ok()) {               \
+      return hido_status_tmp_;                  \
+    }                                           \
+  } while (0)
+
+}  // namespace hido
+
+#endif  // HIDO_COMMON_STATUS_H_

@@ -1,0 +1,106 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hido {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::ParseError("empty string is not a number");
+  }
+  const std::string buf(trimmed);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("not a number: '" + buf + "'");
+  }
+  if (!std::isfinite(value)) {
+    return Status::ParseError("non-finite number: '" + buf + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(std::string_view text) {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::ParseError("empty string is not an integer");
+  }
+  const std::string buf(trimmed);
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("not an integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+bool IsMissingToken(std::string_view text) {
+  const std::string_view t = Trim(text);
+  if (t.empty() || t == "?") return true;
+  std::string lower;
+  lower.reserve(t.size());
+  for (char c : t) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower == "na" || lower == "nan" || lower == "null";
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  HIDO_CHECK(needed >= 0);
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace hido

@@ -1,0 +1,40 @@
+#ifndef HIDO_COMMON_STRING_UTIL_H_
+#define HIDO_COMMON_STRING_UTIL_H_
+
+// Small string helpers shared by the CSV reader and the table printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hido {
+
+/// Splits `text` on `delim`. Adjacent delimiters yield empty fields; an
+/// empty input yields a single empty field (CSV semantics).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parses a finite double from the whole of `text` (after trimming).
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses an integer from the whole of `text` (after trimming).
+Result<int64_t> ParseInt(std::string_view text);
+
+/// True if `text` equals "" / "?" / "na" / "nan" / "null" case-insensitively
+/// — the missing-value spellings accepted by the CSV reader.
+bool IsMissingToken(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hido
+
+#endif  // HIDO_COMMON_STRING_UTIL_H_

@@ -1,0 +1,86 @@
+#ifndef HIDO_COMMON_TOP_K_H_
+#define HIDO_COMMON_TOP_K_H_
+
+// Bounded best-k tracker used wherever the library keeps "the m best
+// solutions seen so far" (the paper's BestSet, the kNN baseline's candidate
+// heap, ...).
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hido {
+
+/// Keeps the `capacity` smallest items according to `Compare` (a strict weak
+/// order; std::less keeps the smallest values). Insertion is O(log capacity)
+/// via a max-heap of the current survivors.
+template <typename T, typename Compare = std::less<T>>
+class TopK {
+ public:
+  /// Creates a tracker that retains at most `capacity` items (capacity > 0).
+  explicit TopK(size_t capacity, Compare cmp = Compare())
+      : capacity_(capacity), cmp_(std::move(cmp)) {
+    HIDO_CHECK(capacity_ > 0);
+  }
+
+  /// Offers an item; returns true if it was retained.
+  bool Offer(T item) {
+    if (heap_.size() < capacity_) {
+      heap_.push_back(std::move(item));
+      std::push_heap(heap_.begin(), heap_.end(), cmp_);
+      return true;
+    }
+    // heap_.front() is the *worst* retained item under cmp_.
+    if (cmp_(item, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp_);
+      heap_.back() = std::move(item);
+      std::push_heap(heap_.begin(), heap_.end(), cmp_);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when `item` would be retained if offered now. Useful for skipping
+  /// expensive candidate construction.
+  bool WouldAccept(const T& item) const {
+    return heap_.size() < capacity_ || cmp_(item, heap_.front());
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  /// The worst retained item. Precondition: !empty().
+  const T& Worst() const {
+    HIDO_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Returns the retained items sorted best-first and resets the tracker.
+  std::vector<T> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end(), cmp_);
+    // sort_heap leaves ascending order under cmp_, i.e. best first.
+    std::vector<T> out = std::move(heap_);
+    heap_.clear();
+    return out;
+  }
+
+  /// Returns a sorted copy (best first) without consuming the tracker.
+  std::vector<T> SortedCopy() const {
+    std::vector<T> out = heap_;
+    std::sort(out.begin(), out.end(), cmp_);
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  Compare cmp_;
+  std::vector<T> heap_;  // max-heap under cmp_ (front = worst survivor)
+};
+
+}  // namespace hido
+
+#endif  // HIDO_COMMON_TOP_K_H_

@@ -1,0 +1,61 @@
+#include "core/best_set.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace hido {
+
+BestSet::BestSet(size_t capacity, bool require_non_empty)
+    : capacity_(capacity), require_non_empty_(require_non_empty) {
+  HIDO_CHECK(capacity_ > 0);
+}
+
+size_t BestSet::KeyHash::operator()(const std::vector<uint64_t>& key) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint64_t v : key) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+bool BestSet::WouldAccept(double sparsity) const {
+  return entries_.size() < capacity_ || sparsity < entries_.back().sparsity;
+}
+
+bool BestSet::Offer(const ScoredProjection& candidate) {
+  if (require_non_empty_ && candidate.count == 0) return false;
+  if (!WouldAccept(candidate.sparsity)) return false;
+  std::vector<uint64_t> key = candidate.projection.PackedKey();
+  if (keys_.contains(key)) return false;
+
+  // Insert in ascending-sparsity position.
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), candidate.sparsity,
+      [](double s, const ScoredProjection& e) { return s < e.sparsity; });
+  entries_.insert(pos, candidate);
+  keys_.insert(std::move(key));
+  if (entries_.size() > capacity_) {
+    keys_.erase(entries_.back().projection.PackedKey());
+    entries_.pop_back();
+  }
+  return true;
+}
+
+double BestSet::WorstRetainedSparsity() const {
+  if (entries_.size() < capacity_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return entries_.back().sparsity;
+}
+
+double BestSet::MeanSparsity() const {
+  if (entries_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ScoredProjection& e : entries_) sum += e.sparsity;
+  return sum / static_cast<double>(entries_.size());
+}
+
+}  // namespace hido

@@ -1,0 +1,63 @@
+#ifndef HIDO_CORE_BEST_SET_H_
+#define HIDO_CORE_BEST_SET_H_
+
+// The paper's BestSet: the m projections with the most negative sparsity
+// coefficients seen so far, deduplicated. Both search algorithms funnel
+// every evaluated cube through one of these.
+//
+// Empty cubes: an empty cube has the most negative coefficient possible at
+// its dimensionality but covers no points, so it can never produce an
+// outlier. Table 1 accordingly reports the best *non-empty* projections;
+// `require_non_empty` (default on) implements that filter.
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "core/objective.h"
+
+namespace hido {
+
+/// Bounded, deduplicated set of the best (most negative sparsity)
+/// projections.
+class BestSet {
+ public:
+  /// Keeps at most `capacity` projections (the paper's m). capacity > 0.
+  explicit BestSet(size_t capacity, bool require_non_empty = true);
+
+  /// Offers a scored projection; returns true if it was retained.
+  bool Offer(const ScoredProjection& candidate);
+
+  /// True when `sparsity` could enter the set (ignoring deduplication).
+  /// Callers use this to skip constructing hopeless candidates.
+  bool WouldAccept(double sparsity) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Retained projections, most negative sparsity first.
+  const std::vector<ScoredProjection>& Sorted() const { return entries_; }
+
+  /// Sparsity of the worst retained projection (+inf when not yet full).
+  double WorstRetainedSparsity() const;
+
+  /// Mean sparsity of the retained projections — Table 1's "quality"
+  /// metric. 0 when empty.
+  double MeanSparsity() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<uint64_t>& key) const;
+  };
+
+  size_t capacity_;
+  bool require_non_empty_;
+  // Ascending by sparsity (index 0 = most negative = best).
+  std::vector<ScoredProjection> entries_;
+  std::unordered_set<std::vector<uint64_t>, KeyHash> keys_;
+};
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_BEST_SET_H_

@@ -1,0 +1,68 @@
+#include "core/detector.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/parameter_advisor.h"
+#include "grid/cube_counter.h"
+
+namespace hido {
+
+OutlierDetector::OutlierDetector() : config_() {}
+
+OutlierDetector::OutlierDetector(const DetectorConfig& config)
+    : config_(config) {
+  HIDO_CHECK(config_.sparsity_target < 0.0 || config_.target_dim != 0);
+  HIDO_CHECK(config_.num_projections >= 1);
+}
+
+DetectionResult OutlierDetector::Detect(const Dataset& data) const {
+  HIDO_CHECK(data.num_rows() >= 1);
+  HIDO_CHECK(data.num_cols() >= 1);
+
+  StopWatch watch;
+  DetectionResult result;
+  result.algorithm = config_.algorithm;
+
+  // Resolve phi and k per §2.4 when left automatic.
+  const ParameterAdvice advice = AdviseParameters(
+      data.num_rows(), data.num_cols(), config_.sparsity_target,
+      config_.phi);
+  result.phi = advice.phi;
+  result.target_dim = config_.target_dim != 0
+                          ? std::min(config_.target_dim, data.num_cols())
+                          : advice.k;
+
+  GridModel::Options gopts;
+  gopts.phi = result.phi;
+  gopts.mode = config_.binning;
+  result.grid = GridModel::Build(data, gopts);
+
+  CubeCounter counter(result.grid);
+  SparsityObjective objective(counter, config_.expectation);
+
+  std::vector<ScoredProjection> best;
+  if (config_.algorithm == SearchAlgorithm::kEvolutionary) {
+    EvolutionaryOptions eopts = config_.evolution;
+    eopts.target_dim = result.target_dim;
+    eopts.num_projections = config_.num_projections;
+    eopts.seed = config_.seed;
+    EvolutionResult search = EvolutionarySearch(objective, eopts);
+    result.evolution_stats = search.stats;
+    best = std::move(search.best);
+  } else {
+    BruteForceOptions bopts = config_.brute_force;
+    bopts.target_dim = result.target_dim;
+    bopts.num_projections = config_.num_projections;
+    BruteForceResult search = BruteForceSearch(objective, bopts);
+    result.brute_force_stats = search.stats;
+    best = std::move(search.best);
+  }
+
+  result.report = ExtractOutliers(result.grid, std::move(best));
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace hido

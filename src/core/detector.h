@@ -1,0 +1,80 @@
+#ifndef HIDO_CORE_DETECTOR_H_
+#define HIDO_CORE_DETECTOR_H_
+
+// High-level facade: dataset in, outlier report out. Wires together grid
+// construction, parameter choice (§2.4), the chosen search algorithm, and
+// postprocessing. This is the entry point most applications should use; the
+// lower-level pieces stay public for benchmarking and research.
+//
+//   hido::OutlierDetector detector;                 // paper defaults
+//   hido::DetectionResult result = detector.Detect(data);
+//   for (const auto& o : result.report.outliers) { ... }
+
+#include <cstdint>
+
+#include "core/brute_force.h"
+#include "core/evolutionary_search.h"
+#include "core/postprocess.h"
+#include "data/dataset.h"
+
+namespace hido {
+
+/// Which search explores the projection space.
+enum class SearchAlgorithm {
+  kEvolutionary,  ///< Figure 3 (default; scales to high dimensionality)
+  kBruteForce,    ///< Figure 2 (exact; exponential in k)
+};
+
+/// Detector configuration. Zeros mean "choose automatically per §2.4".
+struct DetectorConfig {
+  /// Ranges per attribute; 0 = heuristic from N (<= 10).
+  size_t phi = 0;
+  /// Projection dimensionality k; 0 = k* from the sparsity target.
+  size_t target_dim = 0;
+  /// Target sparsity level s used when target_dim is 0 (must be < 0).
+  double sparsity_target = -3.0;
+  /// Number of abnormal projections to report (the paper's m).
+  size_t num_projections = 20;
+  SearchAlgorithm algorithm = SearchAlgorithm::kEvolutionary;
+  BinningMode binning = BinningMode::kEquiDepth;
+  ExpectationModel expectation = ExpectationModel::kUniform;
+  /// Evolutionary knobs; target_dim/num_projections/seed are overridden
+  /// from the fields above.
+  EvolutionaryOptions evolution;
+  /// Brute-force knobs; target_dim/num_projections are overridden.
+  BruteForceOptions brute_force;
+  uint64_t seed = 42;
+};
+
+/// Everything produced by one detection run.
+struct DetectionResult {
+  OutlierReport report;
+  /// The fitted grid (kept so outliers can be explained against the data).
+  GridModel grid;
+  size_t phi = 0;          ///< parameters actually used
+  size_t target_dim = 0;
+  SearchAlgorithm algorithm = SearchAlgorithm::kEvolutionary;
+  double seconds = 0.0;    ///< total wall-clock of Detect
+  EvolutionStats evolution_stats;    ///< valid for kEvolutionary
+  BruteForceStats brute_force_stats; ///< valid for kBruteForce
+};
+
+/// Reusable, configured detector. Thread-compatible: one Detect call at a
+/// time per instance; distinct instances are independent.
+class OutlierDetector {
+ public:
+  OutlierDetector();
+  explicit OutlierDetector(const DetectorConfig& config);
+
+  /// Runs detection on `data` (num_rows >= 1, num_cols >= 1).
+  DetectionResult Detect(const Dataset& data) const;
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+};
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_DETECTOR_H_

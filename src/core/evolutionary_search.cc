@@ -1,0 +1,148 @@
+#include "core/evolutionary_search.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/genetic/convergence.h"
+#include "core/genetic/selection.h"
+
+namespace hido {
+
+namespace {
+
+// Offers every feasible individual to the best set; returns true when the
+// set improved.
+bool OfferPopulation(const std::vector<Individual>& population,
+                     BestSet& best) {
+  bool improved = false;
+  for (const Individual& individual : population) {
+    if (!individual.feasible) continue;
+    if (!best.WouldAccept(individual.sparsity)) continue;
+    ScoredProjection scored;
+    scored.projection = individual.projection;
+    scored.count = individual.count;
+    scored.sparsity = individual.sparsity;
+    improved |= best.Offer(scored);
+  }
+  return improved;
+}
+
+}  // namespace
+
+EvolutionResult EvolutionarySearch(SparsityObjective& objective,
+                                   const EvolutionaryOptions& options,
+                                   const GenerationCallback& on_generation) {
+  const GridModel& grid = objective.grid();
+  HIDO_CHECK(options.target_dim >= 1);
+  HIDO_CHECK_MSG(options.target_dim <= grid.num_dims(),
+                 "target_dim %zu exceeds dimensionality %zu",
+                 options.target_dim, grid.num_dims());
+  HIDO_CHECK_MSG(options.population_size >= 2,
+                 "population must hold at least 2 strings");
+  HIDO_CHECK(options.num_projections >= 1);
+  HIDO_CHECK_MSG(options.elitism < options.population_size,
+                 "elitism must leave room for offspring");
+
+  StopWatch watch;
+  Rng rng(options.seed);
+  const uint64_t evaluations_before = objective.num_evaluations();
+  const size_t restarts = std::max<size_t>(1, options.restarts);
+
+  EvolutionResult result;
+  BestSet best(options.num_projections, options.require_non_empty);
+
+  size_t total_generations = 0;
+  StopReason stop_reason = StopReason::kMaxGenerations;
+  bool out_of_time = false;
+  for (size_t run = 0; run < restarts && !out_of_time; ++run) {
+    // Initial seed population of p random k-dimensional strings.
+    std::vector<Individual> population(options.population_size);
+    for (Individual& individual : population) {
+      individual.projection = Projection::Random(
+          grid.num_dims(), options.target_dim, grid.phi(), rng);
+      EvaluateIndividual(individual, options.target_dim, objective);
+    }
+    OfferPopulation(population, best);
+
+    size_t stagnant_generations = 0;
+    stop_reason = StopReason::kMaxGenerations;
+    size_t generation = 0;
+    for (; generation < options.max_generations; ++generation) {
+      if (options.time_budget_seconds > 0.0 &&
+          watch.ElapsedSeconds() > options.time_budget_seconds) {
+        stop_reason = StopReason::kTimeBudget;
+        out_of_time = true;
+        break;
+      }
+
+      // Optional elitism: remember the e fittest before breeding.
+      std::vector<Individual> elites;
+      if (options.elitism > 0) {
+        elites = population;
+        std::partial_sort(
+            elites.begin(),
+            elites.begin() + static_cast<ptrdiff_t>(options.elitism),
+            elites.end(), [](const Individual& a, const Individual& b) {
+              return a.sparsity < b.sparsity;
+            });
+        elites.resize(options.elitism);
+      }
+
+      population = RankRouletteSelection(population, rng);
+      CrossoverPopulation(population, options.crossover, options.target_dim,
+                          objective, rng);
+      bool improved = OfferPopulation(population, best);
+      MutatePopulation(population, options.target_dim, options.mutation,
+                       objective, rng);
+      improved |= OfferPopulation(population, best);
+
+      if (options.elitism > 0) {
+        // Replace the worst offspring with the saved elites.
+        std::partial_sort(
+            population.begin(),
+            population.begin() +
+                static_cast<ptrdiff_t>(population.size() - options.elitism),
+            population.end(), [](const Individual& a, const Individual& b) {
+              return a.sparsity < b.sparsity;
+            });
+        std::copy(elites.begin(), elites.end(),
+                  population.end() - static_cast<ptrdiff_t>(options.elitism));
+      }
+
+      if (on_generation) on_generation(total_generations + generation,
+                                       population, best);
+
+      if (improved) {
+        stagnant_generations = 0;
+      } else if (options.stagnation_generations > 0 &&
+                 ++stagnant_generations >= options.stagnation_generations) {
+        stop_reason = StopReason::kStagnation;
+        ++generation;
+        break;
+      }
+      if (PopulationConverged(population, options.convergence_threshold)) {
+        stop_reason = StopReason::kConverged;
+        ++generation;
+        break;
+      }
+    }
+    total_generations += generation;
+  }
+
+  result.best = best.Sorted();
+  result.stats.generations = total_generations;
+  result.stats.stop_reason = stop_reason;
+  result.stats.seconds = watch.ElapsedSeconds();
+  result.stats.evaluations =
+      objective.num_evaluations() - evaluations_before;
+  HIDO_LOG_DEBUG("evolutionary search: %zu generations, %zu projections, "
+                 "best %.3f",
+                 total_generations, result.best.size(),
+                 result.best.empty() ? 0.0 : result.best.front().sparsity);
+  return result;
+}
+
+}  // namespace hido

@@ -1,0 +1,86 @@
+#ifndef HIDO_CORE_EVOLUTIONARY_SEARCH_H_
+#define HIDO_CORE_EVOLUTIONARY_SEARCH_H_
+
+// The evolutionary outlier-search algorithm (Figure 3): a population of
+// projection strings is refined by rank-roulette selection, crossover
+// (two-point or optimized), and dimensionality-preserving mutation, while a
+// BestSet tracks the m most abnormally sparse cubes ever encountered. The
+// run terminates on De Jong convergence, generation/time budgets, or
+// stagnation of the best set.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/best_set.h"
+#include "core/genetic/crossover.h"
+#include "core/genetic/individual.h"
+#include "core/genetic/mutation.h"
+#include "core/objective.h"
+
+namespace hido {
+
+/// Options for EvolutionarySearch.
+struct EvolutionaryOptions {
+  size_t target_dim = 3;        ///< k
+  size_t num_projections = 20;  ///< m
+  size_t population_size = 100; ///< p
+  CrossoverKind crossover = CrossoverKind::kOptimized;
+  MutationOptions mutation;     ///< p1 = p2 per the paper
+  /// De Jong gene-convergence threshold (0.95 in the original).
+  double convergence_threshold = 0.95;
+  size_t max_generations = 200;
+  /// Stop when the best set has not improved for this many generations
+  /// (0 disables).
+  size_t stagnation_generations = 30;
+  /// Independent GA runs sharing one best set. The paper runs the GA once;
+  /// restarts are an engineering extension that recovers coverage when the
+  /// population converges onto a single sparse region while several
+  /// unrelated regions exist (common once m is large). Each restart reseeds
+  /// the population; budgets below apply to the whole batch.
+  size_t restarts = 1;
+  /// Elitism (engineering extension, 0 = off = paper-faithful): the e best
+  /// individuals of each generation survive into the next unchanged,
+  /// replacing its worst members — selection/crossover/mutation can then
+  /// never lose the current best string. Must be < population_size.
+  size_t elitism = 0;
+  /// Abort after this many seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+  bool require_non_empty = true;
+  uint64_t seed = 42;
+};
+
+/// Why the run stopped.
+enum class StopReason {
+  kConverged,
+  kMaxGenerations,
+  kStagnation,
+  kTimeBudget,
+};
+
+/// Outcome counters.
+struct EvolutionStats {
+  size_t generations = 0;
+  StopReason stop_reason = StopReason::kMaxGenerations;
+  double seconds = 0.0;
+  uint64_t evaluations = 0;  ///< objective evaluations consumed by this run
+};
+
+/// Result of an evolutionary run.
+struct EvolutionResult {
+  std::vector<ScoredProjection> best;  ///< most negative sparsity first
+  EvolutionStats stats;
+};
+
+/// Per-generation observer (for traces/tests): generation index, current
+/// population, best set so far.
+using GenerationCallback = std::function<void(
+    size_t, const std::vector<Individual>&, const BestSet&)>;
+
+/// Runs the evolutionary search against `objective`.
+EvolutionResult EvolutionarySearch(
+    SparsityObjective& objective, const EvolutionaryOptions& options,
+    const GenerationCallback& on_generation = nullptr);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_EVOLUTIONARY_SEARCH_H_

@@ -1,0 +1,50 @@
+#include "core/genetic/convergence.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace hido {
+
+double GeneAgreement(const std::vector<Individual>& population, size_t pos) {
+  HIDO_CHECK(!population.empty());
+  std::unordered_map<uint32_t, size_t> counts;
+  for (const Individual& individual : population) {
+    const uint32_t allele = individual.projection.IsSpecified(pos)
+                                ? individual.projection.CellAt(pos)
+                                : 0xFFFFFFFFu;
+    ++counts[allele];
+  }
+  size_t best = 0;
+  for (const auto& [allele, count] : counts) {
+    HIDO_UNUSED(allele);
+    if (count > best) best = count;
+  }
+  return static_cast<double>(best) / static_cast<double>(population.size());
+}
+
+bool PopulationConverged(const std::vector<Individual>& population,
+                         double threshold) {
+  HIDO_CHECK(!population.empty());
+
+  struct KeyHash {
+    size_t operator()(const std::vector<uint64_t>& key) const {
+      uint64_t h = 1469598103934665603ULL;
+      for (uint64_t v : key) {
+        h ^= v;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<uint64_t>, size_t, KeyHash> counts;
+  size_t modal = 0;
+  for (const Individual& individual : population) {
+    const size_t count = ++counts[individual.projection.PackedKey()];
+    if (count > modal) modal = count;
+  }
+  return static_cast<double>(modal) >=
+         threshold * static_cast<double>(population.size());
+}
+
+}  // namespace hido

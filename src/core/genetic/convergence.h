@@ -1,0 +1,35 @@
+#ifndef HIDO_CORE_GENETIC_CONVERGENCE_H_
+#define HIDO_CORE_GENETIC_CONVERGENCE_H_
+
+// Population-convergence criterion.
+//
+// The paper cites De Jong's criterion: a gene has converged when >= 95% of
+// the population carries the same allele, and the population has converged
+// when every gene has. Applied literally to this problem's encoding that
+// criterion is vacuous: a k-dimensional projection string over d dimensions
+// holds d-k don't-cares, so for d >> k*p every gene is dominated by "*"
+// from generation zero and the run would stop immediately (at d=279, k=2,
+// any population size: ~99% of every gene is "*"). We therefore use the
+// natural adaptation — the population has converged when >= 95% of the
+// strings are *identical* — which coincides with De Jong's criterion
+// whenever it is meaningful and remains non-trivial under don't-cares.
+// GeneAgreement exposes the literal per-gene statistic for diagnostics.
+
+#include <vector>
+
+#include "core/genetic/individual.h"
+
+namespace hido {
+
+/// Fraction of the population sharing the most common allele at `pos`
+/// ("*" counts as an allele) — De Jong's literal per-gene statistic.
+double GeneAgreement(const std::vector<Individual>& population, size_t pos);
+
+/// True when at least `threshold` of the population consists of copies of
+/// one identical string. Precondition: population non-empty.
+bool PopulationConverged(const std::vector<Individual>& population,
+                         double threshold = 0.95);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_GENETIC_CONVERGENCE_H_

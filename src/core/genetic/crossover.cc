@@ -1,0 +1,212 @@
+#include "core/genetic/crossover.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace hido {
+
+namespace {
+
+// Sparsity of the cube given by `conditions`, or +infinity for an empty
+// condition list (an unconstrained "cube" is not meaningfully sparse).
+double PartialSparsity(const std::vector<DimRange>& conditions,
+                       SparsityObjective& objective) {
+  if (conditions.empty()) return std::numeric_limits<double>::infinity();
+  return objective.EvaluateConditions(conditions).sparsity;
+}
+
+}  // namespace
+
+std::pair<Projection, Projection> TwoPointCrossover(const Projection& s1,
+                                                    const Projection& s2,
+                                                    Rng& rng) {
+  const size_t d = s1.num_dims();
+  HIDO_CHECK(d == s2.num_dims());
+  HIDO_CHECK(d >= 2);
+  // Segments to the right of `cut` are exchanged; cut in [1, d-1] so both
+  // segments are non-empty.
+  const size_t cut = static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(d) - 1));
+  Projection c1(d);
+  Projection c2(d);
+  for (size_t pos = 0; pos < d; ++pos) {
+    const Projection& left = (pos < cut) ? s1 : s2;
+    const Projection& right = (pos < cut) ? s2 : s1;
+    if (left.IsSpecified(pos)) c1.Specify(pos, left.CellAt(pos));
+    if (right.IsSpecified(pos)) c2.Specify(pos, right.CellAt(pos));
+  }
+  return {std::move(c1), std::move(c2)};
+}
+
+std::pair<Projection, Projection> OptimizedCrossover(
+    const Projection& s1, const Projection& s2, size_t target_k,
+    SparsityObjective& objective,
+    const OptimizedCrossoverOptions& options) {
+  const size_t d = s1.num_dims();
+  HIDO_CHECK(d == s2.num_dims());
+  HIDO_CHECK(target_k >= 1);
+  HIDO_CHECK_MSG(s1.Dimensionality() == target_k &&
+                     s2.Dimensionality() == target_k,
+                 "optimized crossover needs two k-dimensional parents");
+
+  // Position classification (specific to this parent pair).
+  std::vector<size_t> type2_agree;     // neither *, same cell
+  std::vector<size_t> type2_disagree;  // neither *, different cells
+  struct Type3Candidate {
+    size_t pos;
+    uint32_t cell;   // value of the single non-* parent
+    bool from_s1;    // which parent supplies the value
+  };
+  std::vector<Type3Candidate> type3;
+  for (size_t pos = 0; pos < d; ++pos) {
+    const bool a = s1.IsSpecified(pos);
+    const bool b = s2.IsSpecified(pos);
+    if (a && b) {
+      if (s1.CellAt(pos) == s2.CellAt(pos)) {
+        type2_agree.push_back(pos);
+      } else {
+        type2_disagree.push_back(pos);
+      }
+    } else if (a) {
+      type3.push_back({pos, s1.CellAt(pos), true});
+    } else if (b) {
+      type3.push_back({pos, s2.CellAt(pos), false});
+    }
+    // Type I (both *): both children keep *.
+  }
+
+  // --- Type II: best of the 2^k' recombinations -------------------------
+  // Agreeing positions are forced; only disagreements are choice bits.
+  Projection child(d);
+  for (size_t pos : type2_agree) child.Specify(pos, s1.CellAt(pos));
+
+  // from_s1_choice[i]: child takes s1's value at type2_disagree[i].
+  std::vector<bool> from_s1_choice(type2_disagree.size(), true);
+  if (!type2_disagree.empty()) {
+    std::vector<DimRange> base;
+    base.reserve(type2_agree.size() + type2_disagree.size());
+    for (size_t pos : type2_agree) {
+      base.push_back({static_cast<uint32_t>(pos), s1.CellAt(pos)});
+    }
+    if (type2_disagree.size() <= options.max_enumeration_bits) {
+      // Exhaustive search over the 2^|disagree| assignments.
+      double best_sparsity = std::numeric_limits<double>::infinity();
+      uint64_t best_mask = 0;
+      const uint64_t limit = uint64_t{1} << type2_disagree.size();
+      std::vector<DimRange> conditions;
+      for (uint64_t mask = 0; mask < limit; ++mask) {
+        conditions = base;
+        for (size_t i = 0; i < type2_disagree.size(); ++i) {
+          const size_t pos = type2_disagree[i];
+          const uint32_t cell =
+              (mask >> i) & 1 ? s2.CellAt(pos) : s1.CellAt(pos);
+          conditions.push_back({static_cast<uint32_t>(pos), cell});
+        }
+        const double sparsity = PartialSparsity(conditions, objective);
+        if (sparsity < best_sparsity) {
+          best_sparsity = sparsity;
+          best_mask = mask;
+        }
+      }
+      for (size_t i = 0; i < type2_disagree.size(); ++i) {
+        from_s1_choice[i] = ((best_mask >> i) & 1) == 0;
+      }
+    } else {
+      // Greedy fallback: fix each disagreeing position in turn to whichever
+      // parent's value leaves the partial cube sparser.
+      std::vector<DimRange> conditions = base;
+      for (size_t i = 0; i < type2_disagree.size(); ++i) {
+        const size_t pos = type2_disagree[i];
+        conditions.push_back({static_cast<uint32_t>(pos), s1.CellAt(pos)});
+        const double with_s1 = PartialSparsity(conditions, objective);
+        conditions.back().cell = s2.CellAt(pos);
+        const double with_s2 = PartialSparsity(conditions, objective);
+        from_s1_choice[i] = with_s1 <= with_s2;
+        if (from_s1_choice[i]) conditions.back().cell = s1.CellAt(pos);
+      }
+    }
+    for (size_t i = 0; i < type2_disagree.size(); ++i) {
+      const size_t pos = type2_disagree[i];
+      child.Specify(pos, from_s1_choice[i] ? s1.CellAt(pos)
+                                           : s2.CellAt(pos));
+    }
+  }
+
+  // --- Type III: greedy extension to k positions ------------------------
+  std::vector<bool> type3_taken(type3.size(), false);
+  std::vector<DimRange> conditions = child.Conditions();
+  while (child.Dimensionality() < target_k) {
+    HIDO_CHECK_MSG(
+        std::any_of(type3_taken.begin(), type3_taken.end(),
+                    [](bool taken) { return !taken; }),
+        "ran out of Type III candidates before reaching dimensionality k");
+    double best_sparsity = std::numeric_limits<double>::infinity();
+    size_t best_idx = type3.size();
+    for (size_t i = 0; i < type3.size(); ++i) {
+      if (type3_taken[i]) continue;
+      conditions.push_back(
+          {static_cast<uint32_t>(type3[i].pos), type3[i].cell});
+      const double sparsity = PartialSparsity(conditions, objective);
+      conditions.pop_back();
+      if (sparsity < best_sparsity) {
+        best_sparsity = sparsity;
+        best_idx = i;
+      }
+    }
+    HIDO_CHECK(best_idx < type3.size());
+    type3_taken[best_idx] = true;
+    child.Specify(type3[best_idx].pos, type3[best_idx].cell);
+    conditions.push_back({static_cast<uint32_t>(type3[best_idx].pos),
+                          type3[best_idx].cell});
+  }
+
+  // --- Complementary child ----------------------------------------------
+  // Every position derives from the opposite parent of `child`.
+  Projection complement(d);
+  for (size_t pos : type2_agree) complement.Specify(pos, s1.CellAt(pos));
+  for (size_t i = 0; i < type2_disagree.size(); ++i) {
+    const size_t pos = type2_disagree[i];
+    complement.Specify(pos,
+                       from_s1_choice[i] ? s2.CellAt(pos) : s1.CellAt(pos));
+  }
+  for (size_t i = 0; i < type3.size(); ++i) {
+    // `child` took the value => complement takes the other parent's *,
+    // i.e. stays unspecified; `child` left it * => complement takes the
+    // value.
+    if (!type3_taken[i]) {
+      complement.Specify(type3[i].pos, type3[i].cell);
+    }
+  }
+  return {std::move(child), std::move(complement)};
+}
+
+void CrossoverPopulation(std::vector<Individual>& population,
+                         CrossoverKind kind, size_t target_k,
+                         SparsityObjective& objective, Rng& rng) {
+  const size_t p = population.size();
+  if (p < 2) return;
+  std::vector<size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  for (size_t i = 0; i + 1 < p; i += 2) {
+    Individual& first = population[order[i]];
+    Individual& second = population[order[i + 1]];
+    std::pair<Projection, Projection> children = [&] {
+      if (kind == CrossoverKind::kOptimized && first.feasible &&
+          second.feasible) {
+        return OptimizedCrossover(first.projection, second.projection,
+                                  target_k, objective);
+      }
+      return TwoPointCrossover(first.projection, second.projection, rng);
+    }();
+    first.projection = std::move(children.first);
+    second.projection = std::move(children.second);
+    EvaluateIndividual(first, target_k, objective);
+    EvaluateIndividual(second, target_k, objective);
+  }
+}
+
+}  // namespace hido

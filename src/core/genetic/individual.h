@@ -1,0 +1,48 @@
+#ifndef HIDO_CORE_GENETIC_INDIVIDUAL_H_
+#define HIDO_CORE_GENETIC_INDIVIDUAL_H_
+
+// One member of the evolutionary population: a projection string plus its
+// cached evaluation. Infeasible strings (wrong dimensionality, produced by
+// the unbiased two-point crossover) carry +infinity sparsity so selection
+// ranks them last — the paper's "assigned very low fitness values".
+
+#include <limits>
+
+#include "core/objective.h"
+#include "core/projection.h"
+
+namespace hido {
+
+/// A candidate solution with cached fitness.
+struct Individual {
+  Projection projection;
+  /// S(D) of the cube; +infinity for infeasible or unevaluated strings.
+  double sparsity = std::numeric_limits<double>::infinity();
+  size_t count = 0;
+  bool feasible = false;
+
+  /// Lower sparsity coefficient = fitter.
+  friend bool FitterThan(const Individual& a, const Individual& b) {
+    return a.sparsity < b.sparsity;
+  }
+};
+
+/// Evaluates `individual` in place: feasibility (dimensionality == target_k)
+/// plus count and sparsity when feasible.
+inline void EvaluateIndividual(Individual& individual, size_t target_k,
+                               SparsityObjective& objective) {
+  individual.feasible =
+      individual.projection.Dimensionality() == target_k && target_k >= 1;
+  if (!individual.feasible) {
+    individual.sparsity = std::numeric_limits<double>::infinity();
+    individual.count = 0;
+    return;
+  }
+  const CubeEvaluation eval = objective.Evaluate(individual.projection);
+  individual.sparsity = eval.sparsity;
+  individual.count = eval.count;
+}
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_GENETIC_INDIVIDUAL_H_

@@ -1,0 +1,52 @@
+#include "core/genetic/mutation.h"
+
+#include "common/macros.h"
+
+namespace hido {
+
+bool MutateProjection(Projection& projection, size_t phi,
+                      const MutationOptions& options, Rng& rng) {
+  HIDO_CHECK(phi >= 1);
+  bool changed = false;
+  std::vector<size_t> stars;
+  std::vector<size_t> specified;
+  for (size_t pos = 0; pos < projection.num_dims(); ++pos) {
+    (projection.IsSpecified(pos) ? specified : stars).push_back(pos);
+  }
+
+  // Type I: exchange a * position with a specified one (needs one of each).
+  if (!stars.empty() && !specified.empty() && rng.Bernoulli(options.p1)) {
+    const size_t star_pick = stars[rng.UniformIndex(stars.size())];
+    const size_t spec_pick = specified[rng.UniformIndex(specified.size())];
+    projection.Specify(star_pick,
+                       static_cast<uint32_t>(rng.UniformIndex(phi)));
+    projection.Unspecify(spec_pick);
+    changed = true;
+    // Keep the position lists coherent for the Type II step below.
+    for (size_t& pos : specified) {
+      if (pos == spec_pick) pos = star_pick;
+    }
+  }
+
+  // Type II: re-randomize the range of one specified position.
+  if (!specified.empty() && rng.Bernoulli(options.p2)) {
+    const size_t pick = specified[rng.UniformIndex(specified.size())];
+    const uint32_t new_cell = static_cast<uint32_t>(rng.UniformIndex(phi));
+    if (new_cell != projection.CellAt(pick)) changed = true;
+    projection.Specify(pick, new_cell);
+  }
+  return changed;
+}
+
+void MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                      const MutationOptions& options,
+                      SparsityObjective& objective, Rng& rng) {
+  const size_t phi = objective.grid().phi();
+  for (Individual& individual : population) {
+    if (MutateProjection(individual.projection, phi, options, rng)) {
+      EvaluateIndividual(individual, target_k, objective);
+    }
+  }
+}
+
+}  // namespace hido

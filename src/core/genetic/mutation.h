@@ -1,0 +1,42 @@
+#ifndef HIDO_CORE_GENETIC_MUTATION_H_
+#define HIDO_CORE_GENETIC_MUTATION_H_
+
+// Mutation (Figure 6). Two kinds:
+//
+// * Type I (probability p1): swap a "*" position with a specified one — a
+//   random * position receives a random range and a random specified
+//   position becomes * — so the string's dimensionality is preserved while
+//   the set of chosen dimensions drifts.
+// * Type II (probability p2): re-randomize the range of one specified
+//   position (the dimension set is unchanged).
+//
+// The paper uses p1 = p2.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/genetic/individual.h"
+#include "core/projection.h"
+
+namespace hido {
+
+/// Mutation probabilities.
+struct MutationOptions {
+  double p1 = 0.3;  ///< Type I (dimension-swap) probability per string
+  double p2 = 0.3;  ///< Type II (range-flip) probability per string
+};
+
+/// Mutates one projection string in place. `phi` is the ranges-per-attribute
+/// count. Returns true when the string changed (callers re-evaluate).
+bool MutateProjection(Projection& projection, size_t phi,
+                      const MutationOptions& options, Rng& rng);
+
+/// Applies MutateProjection to every individual, re-evaluating the changed
+/// ones against `objective`.
+void MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                      const MutationOptions& options,
+                      SparsityObjective& objective, Rng& rng);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_GENETIC_MUTATION_H_

@@ -1,0 +1,41 @@
+#include "core/genetic/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace hido {
+
+std::vector<double> RankSelectionWeights(size_t population_size) {
+  std::vector<double> weights(population_size);
+  for (size_t r = 1; r <= population_size; ++r) {
+    weights[r - 1] = static_cast<double>(population_size - r);
+  }
+  return weights;
+}
+
+std::vector<Individual> RankRouletteSelection(
+    const std::vector<Individual>& population, Rng& rng) {
+  const size_t p = population.size();
+  HIDO_CHECK_MSG(p >= 2, "rank selection needs a population of >= 2");
+
+  // Rank by sparsity, most negative first; ties broken by original index
+  // for determinism.
+  std::vector<size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return population[a].sparsity < population[b].sparsity;
+  });
+
+  const std::vector<double> weights = RankSelectionWeights(p);
+  std::vector<Individual> selected;
+  selected.reserve(p);
+  for (size_t i = 0; i < p; ++i) {
+    const size_t rank_idx = rng.WeightedIndex(weights);
+    selected.push_back(population[order[rank_idx]]);
+  }
+  return selected;
+}
+
+}  // namespace hido

@@ -1,0 +1,178 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace hido {
+
+namespace {
+
+// Shared run state: evaluates candidates, feeds the best set, and enforces
+// the evaluation budget.
+class Driver {
+ public:
+  Driver(SparsityObjective& objective, const LocalSearchOptions& options,
+         BestSet& best)
+      : objective_(objective), options_(options), best_(best) {}
+
+  bool BudgetLeft() const {
+    return stats_.evaluations < options_.max_evaluations;
+  }
+
+  // Evaluates `candidate` (must be k-dimensional), offers it to the best
+  // set, and returns its sparsity.
+  double Evaluate(const Projection& candidate) {
+    HIDO_DCHECK(candidate.Dimensionality() == options_.target_dim);
+    const CubeEvaluation eval = objective_.Evaluate(candidate);
+    ++stats_.evaluations;
+    if ((eval.count > 0 || !options_.require_non_empty) &&
+        best_.WouldAccept(eval.sparsity)) {
+      ScoredProjection scored;
+      scored.projection = candidate;
+      scored.count = eval.count;
+      scored.sparsity = eval.sparsity;
+      best_.Offer(scored);
+    }
+    return eval.sparsity;
+  }
+
+  // A uniformly random neighbour: Type II (re-randomize one range) or, when
+  // possible, Type I (move one position to a fresh dimension) with equal
+  // probability. Mirrors the GA's mutation moves.
+  Projection RandomNeighbor(const Projection& current, Rng& rng) {
+    const GridModel& grid = objective_.grid();
+    Projection next = current;
+    const std::vector<size_t> specified = next.SpecifiedDims();
+    const bool can_move = next.Dimensionality() < next.num_dims();
+    if (can_move && rng.Bernoulli(0.5)) {
+      // Type I: relocate one condition to an unused dimension.
+      size_t new_dim = rng.UniformIndex(next.num_dims());
+      while (next.IsSpecified(new_dim)) {
+        new_dim = rng.UniformIndex(next.num_dims());
+      }
+      const size_t old_dim = specified[rng.UniformIndex(specified.size())];
+      next.Unspecify(old_dim);
+      next.Specify(new_dim,
+                   static_cast<uint32_t>(rng.UniformIndex(grid.phi())));
+    } else {
+      // Type II: flip one range.
+      const size_t dim = specified[rng.UniformIndex(specified.size())];
+      next.Specify(dim, static_cast<uint32_t>(rng.UniformIndex(grid.phi())));
+    }
+    return next;
+  }
+
+  Projection RandomSolution(Rng& rng) {
+    return Projection::Random(objective_.grid().num_dims(),
+                              options_.target_dim, objective_.grid().phi(),
+                              rng);
+  }
+
+  LocalSearchStats& stats() { return stats_; }
+
+ private:
+  SparsityObjective& objective_;
+  const LocalSearchOptions& options_;
+  BestSet& best_;
+  LocalSearchStats stats_;
+};
+
+void RunRandomSearch(Driver& driver, Rng& rng) {
+  while (driver.BudgetLeft()) {
+    driver.Evaluate(driver.RandomSolution(rng));
+  }
+}
+
+void RunHillClimbing(Driver& driver, const LocalSearchOptions& options,
+                     Rng& rng) {
+  while (driver.BudgetLeft()) {
+    Projection current = driver.RandomSolution(rng);
+    double current_sparsity = driver.Evaluate(current);
+    size_t stall = 0;
+    while (driver.BudgetLeft() && stall < options.stall_limit) {
+      const Projection neighbor = driver.RandomNeighbor(current, rng);
+      const double sparsity = driver.Evaluate(neighbor);
+      if (sparsity < current_sparsity) {
+        current = neighbor;
+        current_sparsity = sparsity;
+        stall = 0;
+        ++driver.stats().accepted_moves;
+      } else {
+        ++stall;
+      }
+    }
+    ++driver.stats().restarts;
+  }
+}
+
+void RunSimulatedAnnealing(Driver& driver,
+                           const LocalSearchOptions& options, Rng& rng) {
+  Projection current = driver.RandomSolution(rng);
+  double current_sparsity = driver.Evaluate(current);
+  double temperature = options.initial_temperature;
+  while (driver.BudgetLeft()) {
+    const Projection neighbor = driver.RandomNeighbor(current, rng);
+    const double sparsity = driver.Evaluate(neighbor);
+    const double delta = sparsity - current_sparsity;  // < 0 is better
+    bool accept = delta <= 0.0;
+    if (!accept && temperature > 1e-9) {
+      accept = rng.Bernoulli(std::exp(-delta / temperature));
+    }
+    if (accept) {
+      current = neighbor;
+      current_sparsity = sparsity;
+      ++driver.stats().accepted_moves;
+    }
+    temperature *= options.cooling;
+    // Re-heat when frozen so long budgets are not wasted in place.
+    if (temperature < 1e-6) {
+      temperature = options.initial_temperature;
+      current = driver.RandomSolution(rng);
+      if (driver.BudgetLeft()) {
+        current_sparsity = driver.Evaluate(current);
+      }
+      ++driver.stats().restarts;
+    }
+  }
+}
+
+}  // namespace
+
+LocalSearchResult LocalSearch(SparsityObjective& objective,
+                              const LocalSearchOptions& options) {
+  HIDO_CHECK(options.target_dim >= 1);
+  HIDO_CHECK_MSG(options.target_dim <= objective.grid().num_dims(),
+                 "target_dim %zu exceeds dimensionality %zu",
+                 options.target_dim, objective.grid().num_dims());
+  HIDO_CHECK(options.num_projections >= 1);
+  HIDO_CHECK(options.max_evaluations >= 1);
+  HIDO_CHECK(options.cooling > 0.0 && options.cooling < 1.0);
+
+  StopWatch watch;
+  BestSet best(options.num_projections, options.require_non_empty);
+  Driver driver(objective, options, best);
+  Rng rng(options.seed);
+
+  switch (options.method) {
+    case LocalSearchMethod::kRandomSearch:
+      RunRandomSearch(driver, rng);
+      break;
+    case LocalSearchMethod::kHillClimbing:
+      RunHillClimbing(driver, options, rng);
+      break;
+    case LocalSearchMethod::kSimulatedAnnealing:
+      RunSimulatedAnnealing(driver, options, rng);
+      break;
+  }
+
+  LocalSearchResult result;
+  result.best = best.Sorted();
+  result.stats = driver.stats();
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace hido

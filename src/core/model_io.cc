@@ -1,0 +1,245 @@
+#include "core/model_io.h"
+
+#include <cmath>
+#include <limits>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/detector.h"
+
+namespace hido {
+
+namespace {
+
+constexpr char kMagic[] = "hido-model";
+constexpr char kVersion[] = "v1";
+
+std::string EscapeName(const std::string& name) {
+  // Column names are stored space-separated; encode spaces.
+  std::string out;
+  for (char c : name) {
+    out += (c == ' ') ? '\x01' : c;
+  }
+  return out;
+}
+
+std::string UnescapeName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (c == '\x01') ? ' ' : c;
+  }
+  return out;
+}
+
+}  // namespace
+
+PointScore SparseModel::Score(const std::vector<double>& values) const {
+  HIDO_CHECK_MSG(values.size() == quantizer.num_cols(),
+                 "point has %zu coordinates, model expects %zu",
+                 values.size(), quantizer.num_cols());
+  PointScore score;
+  score.row = std::numeric_limits<size_t>::max();
+  for (const ScoredProjection& scored : projections) {
+    bool covered = scored.projection.Dimensionality() > 0;
+    for (const DimRange& cond : scored.projection.Conditions()) {
+      const double v = values[cond.dim];
+      if (std::isnan(v) ||
+          quantizer.CellOf(cond.dim, v) != cond.cell) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) continue;
+    if (score.covering_projections == 0 ||
+        scored.sparsity < score.sparsity_score) {
+      score.sparsity_score = scored.sparsity;
+    }
+    ++score.covering_projections;
+  }
+  return score;
+}
+
+SparseModel MakeModel(const DetectionResult& result, const Dataset& data) {
+  SparseModel model;
+  model.quantizer = result.grid.quantizer();
+  model.num_points = result.grid.num_points();
+  model.projections = result.report.projections;
+  model.column_names.reserve(data.num_cols());
+  for (size_t c = 0; c < data.num_cols(); ++c) {
+    model.column_names.push_back(data.ColumnName(c));
+  }
+  return model;
+}
+
+std::string SerializeModel(const SparseModel& model) {
+  const size_t d = model.quantizer.num_cols();
+  const size_t phi = model.quantizer.num_ranges();
+  std::string out = StrFormat("%s %s\n", kMagic, kVersion);
+  out += StrFormat("num_points %zu\n", model.num_points);
+  out += StrFormat("phi %zu\n", phi);
+  out += StrFormat("num_dims %zu\n", d);
+  out += StrFormat(
+      "mode %s\n", model.quantizer.mode() == BinningMode::kEquiDepth
+                       ? "equi-depth"
+                       : "equi-width");
+  for (size_t c = 0; c < d; ++c) {
+    const auto [lo, unused_hi] = model.quantizer.CellBounds(c, 0);
+    HIDO_UNUSED(unused_hi);
+    const auto [unused_lo, hi] =
+        model.quantizer.CellBounds(c, static_cast<uint32_t>(phi - 1));
+    HIDO_UNUSED(unused_lo);
+    out += StrFormat("column %zu %s %.17g %.17g", c,
+                     c < model.column_names.size()
+                         ? EscapeName(model.column_names[c]).c_str()
+                         : StrFormat("c%zu", c).c_str(),
+                     lo, hi);
+    for (double cut : model.quantizer.Cuts(c)) {
+      out += StrFormat(" %.17g", cut);
+    }
+    out += "\n";
+  }
+  out += StrFormat("num_projections %zu\n", model.projections.size());
+  for (const ScoredProjection& s : model.projections) {
+    out += StrFormat("projection %zu %.17g", s.count, s.sparsity);
+    for (const DimRange& cond : s.projection.Conditions()) {
+      out += StrFormat(" %u:%u", cond.dim, cond.cell);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<SparseModel> ParseModel(const std::string& text) {
+  std::istringstream in(text);
+  std::string token;
+
+  auto fail = [](const std::string& what) -> Status {
+    return Status::ParseError("model: " + what);
+  };
+  auto expect_key = [&](const char* key) -> Status {
+    if (!(in >> token) || token != key) {
+      return fail(StrFormat("expected '%s'", key));
+    }
+    return Status::Ok();
+  };
+
+  if (!(in >> token) || token != kMagic) return fail("bad magic");
+  if (!(in >> token) || token != kVersion) return fail("bad version");
+
+  SparseModel model;
+  size_t phi = 0;
+  size_t d = 0;
+  HIDO_RETURN_IF_ERROR(expect_key("num_points"));
+  if (!(in >> model.num_points)) return fail("bad num_points");
+  HIDO_RETURN_IF_ERROR(expect_key("phi"));
+  if (!(in >> phi) || phi < 2) return fail("bad phi");
+  HIDO_RETURN_IF_ERROR(expect_key("num_dims"));
+  if (!(in >> d) || d == 0) return fail("bad num_dims");
+  HIDO_RETURN_IF_ERROR(expect_key("mode"));
+  Quantizer::Options qopts;
+  qopts.num_ranges = phi;
+  if (!(in >> token)) return fail("bad mode");
+  if (token == "equi-depth") {
+    qopts.mode = BinningMode::kEquiDepth;
+  } else if (token == "equi-width") {
+    qopts.mode = BinningMode::kEquiWidth;
+  } else {
+    return fail("unknown mode '" + token + "'");
+  }
+
+  std::vector<std::vector<double>> cuts(d);
+  std::vector<double> mins(d);
+  std::vector<double> maxs(d);
+  model.column_names.resize(d);
+  for (size_t c = 0; c < d; ++c) {
+    HIDO_RETURN_IF_ERROR(expect_key("column"));
+    size_t index = 0;
+    if (!(in >> index) || index != c) return fail("bad column index");
+    if (!(in >> token)) return fail("bad column name");
+    model.column_names[c] = UnescapeName(token);
+    if (!(in >> mins[c] >> maxs[c])) return fail("bad column bounds");
+    cuts[c].resize(phi - 1);
+    for (double& cut : cuts[c]) {
+      if (!(in >> cut)) return fail("bad cut value");
+    }
+    for (size_t i = 1; i < cuts[c].size(); ++i) {
+      if (cuts[c][i - 1] > cuts[c][i]) return fail("cuts not sorted");
+    }
+  }
+  model.quantizer = Quantizer::FromCuts(qopts, std::move(cuts),
+                                        std::move(mins), std::move(maxs));
+
+  HIDO_RETURN_IF_ERROR(expect_key("num_projections"));
+  size_t num_projections = 0;
+  if (!(in >> num_projections)) return fail("bad num_projections");
+  std::string line;
+  std::getline(in, line);  // consume rest of count line
+  for (size_t p = 0; p < num_projections; ++p) {
+    if (!std::getline(in, line)) return fail("missing projection line");
+    const std::vector<std::string> fields =
+        Split(std::string(Trim(line)), ' ');
+    if (fields.size() < 4 || fields[0] != "projection") {
+      return fail("bad projection line");
+    }
+    ScoredProjection scored;
+    const Result<int64_t> count = ParseInt(fields[1]);
+    const Result<double> sparsity = ParseDouble(fields[2]);
+    if (!count.ok() || count.value() < 0 || !sparsity.ok()) {
+      return fail("bad projection stats");
+    }
+    scored.count = static_cast<size_t>(count.value());
+    scored.sparsity = sparsity.value();
+    scored.projection = Projection(d);
+    for (size_t f = 3; f < fields.size(); ++f) {
+      const std::vector<std::string> pair = Split(fields[f], ':');
+      if (pair.size() != 2) return fail("bad condition '" + fields[f] + "'");
+      const Result<int64_t> dim = ParseInt(pair[0]);
+      const Result<int64_t> cell = ParseInt(pair[1]);
+      if (!dim.ok() || !cell.ok() || dim.value() < 0 ||
+          static_cast<size_t>(dim.value()) >= d || cell.value() < 0 ||
+          static_cast<size_t>(cell.value()) >= phi) {
+        return fail("condition out of range '" + fields[f] + "'");
+      }
+      if (scored.projection.IsSpecified(
+              static_cast<size_t>(dim.value()))) {
+        return fail("duplicate dimension in projection");
+      }
+      scored.projection.Specify(static_cast<size_t>(dim.value()),
+                                static_cast<uint32_t>(cell.value()));
+    }
+    if (scored.projection.Dimensionality() == 0) {
+      return fail("projection without conditions");
+    }
+    model.projections.push_back(std::move(scored));
+  }
+  return model;
+}
+
+Status SaveModel(const SparseModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << SerializeModel(model);
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failure: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<SparseModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failure: " + path);
+  }
+  return ParseModel(buffer.str());
+}
+
+}  // namespace hido

@@ -1,0 +1,56 @@
+#ifndef HIDO_CORE_MODEL_IO_H_
+#define HIDO_CORE_MODEL_IO_H_
+
+// Persistable detection models: everything needed to score *new* points —
+// the fitted quantizer (range boundaries per attribute) plus the reported
+// abnormal projections — without retaining the training data. Enables the
+// train-once / score-live workflow across process boundaries
+// (`hido detect --save-model m.hido` tonight, `hido score --model m.hido`
+// against tomorrow's events).
+//
+// Format: a small versioned text format (one `key value...` line per item),
+// stable across platforms (%.17g round-trips doubles exactly).
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/objective.h"
+#include "core/scoring.h"
+#include "grid/quantizer.h"
+
+namespace hido {
+
+struct DetectionResult;  // core/detector.h
+
+/// A self-contained, serializable detection model.
+struct SparseModel {
+  Quantizer quantizer;
+  /// Training-set size (kept for interpreting the sparsity coefficients).
+  size_t num_points = 0;
+  /// Column names, parallel to the quantizer's columns ("c<i>" default).
+  std::vector<std::string> column_names;
+  std::vector<ScoredProjection> projections;
+
+  /// Scores a point against the model (same semantics as ScoreNewPoint:
+  /// NaN coordinates never match). `values` must have one entry per column.
+  PointScore Score(const std::vector<double>& values) const;
+};
+
+/// Extracts the persistable model from a detection run. `data` supplies the
+/// column names and must be the dataset that was detected on.
+SparseModel MakeModel(const DetectionResult& result, const Dataset& data);
+
+/// Serializes to the text format.
+std::string SerializeModel(const SparseModel& model);
+
+/// Parses the text format (returns ParseError on any malformed content).
+Result<SparseModel> ParseModel(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveModel(const SparseModel& model, const std::string& path);
+Result<SparseModel> LoadModel(const std::string& path);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_MODEL_IO_H_

@@ -1,0 +1,50 @@
+#include "core/objective.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace hido {
+
+SparsityObjective::SparsityObjective(CubeCounter& counter,
+                                     ExpectationModel model)
+    : counter_(&counter),
+      model_(counter.grid().num_points(), counter.grid().phi()),
+      expectation_(model) {}
+
+CubeEvaluation SparsityObjective::Evaluate(const Projection& projection) {
+  HIDO_CHECK_MSG(projection.Dimensionality() >= 1,
+                 "cannot evaluate the empty projection");
+  return EvaluateConditions(projection.Conditions());
+}
+
+CubeEvaluation SparsityObjective::EvaluateConditions(
+    const std::vector<DimRange>& conditions) {
+  ++num_evaluations_;
+  CubeEvaluation eval;
+  eval.count = counter_->Count(conditions);
+  if (expectation_ == ExpectationModel::kUniform) {
+    eval.sparsity = model_.Coefficient(eval.count, conditions.size());
+  } else {
+    double probability = 1.0;
+    for (const DimRange& c : conditions) {
+      probability *= counter_->grid().RangeFraction(c.dim, c.cell);
+    }
+    // Degenerate ranges (probability 0 or 1) fall outside the binomial
+    // model; clamp into the open interval.
+    probability = std::min(1.0 - 1e-12, std::max(1e-12, probability));
+    eval.sparsity = model_.CoefficientWithProbability(eval.count, probability);
+  }
+  return eval;
+}
+
+ScoredProjection SparsityObjective::Score(Projection projection) {
+  const CubeEvaluation eval = Evaluate(projection);
+  ScoredProjection scored;
+  scored.projection = std::move(projection);
+  scored.count = eval.count;
+  scored.sparsity = eval.sparsity;
+  return scored;
+}
+
+}  // namespace hido

@@ -1,0 +1,36 @@
+#include "core/parameter_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "grid/sparsity.h"
+
+namespace hido {
+
+ParameterAdvice AdviseParameters(size_t num_points, size_t num_dims,
+                                 double s, size_t phi) {
+  HIDO_CHECK(num_points >= 1);
+  HIDO_CHECK(num_dims >= 1);
+  HIDO_CHECK_MSG(s < 0.0, "s must be negative (paper reference point: -3)");
+
+  ParameterAdvice advice;
+  if (phi == 0) {
+    // Heuristic: a range should hold enough points to be a meaningful
+    // locality (>= ~50), capped at the paper's working value of 10 and
+    // floored at 3 so "locality" keeps any meaning at all.
+    advice.phi = std::clamp<size_t>(num_points / 50, 3, 10);
+  } else {
+    HIDO_CHECK(phi >= 2);
+    advice.phi = phi;
+  }
+
+  advice.k = std::clamp<size_t>(
+      RecommendProjectionDim(num_points, advice.phi, s), 1, num_dims);
+  const SparsityModel model(num_points, advice.phi);
+  advice.empty_cube_sparsity = model.EmptyCubeCoefficient(advice.k);
+  advice.expected_points_per_cube = model.ExpectedCount(advice.k);
+  return advice;
+}
+
+}  // namespace hido

@@ -1,0 +1,40 @@
+#ifndef HIDO_CORE_PARAMETER_ADVISOR_H_
+#define HIDO_CORE_PARAMETER_ADVISOR_H_
+
+// Choice of projection parameters (§2.4). Given N and a target sparsity
+// level s (typically -3, i.e. a 99.9% one-sided significance under the
+// normal approximation), the paper picks the projection dimensionality
+//
+//   k* = floor(log_phi(N / s^2 + 1))
+//
+// — the largest k at which even an *empty* cube is no sparser than s, so
+// that abnormally sparse non-empty cubes are still distinguishable from the
+// emptiness that high dimensionality forces by default. phi itself must be
+// small enough that cubes can hold points, yet large enough that a range is
+// a meaningful locality.
+
+#include <cstddef>
+
+namespace hido {
+
+/// Recommended grid parameters for a dataset of a given size.
+struct ParameterAdvice {
+  size_t phi = 0;  ///< ranges per attribute
+  size_t k = 0;    ///< projection dimensionality k*
+  /// Sparsity coefficient of an empty k-cube at these parameters (always
+  /// <= s after the floor; "slightly more negative than chosen").
+  double empty_cube_sparsity = 0.0;
+  /// Expected points per k-cube, N / phi^k.
+  double expected_points_per_cube = 0.0;
+};
+
+/// Computes the §2.4 recommendation. When `phi` is 0 a heuristic picks it
+/// from N (10 for comfortably large datasets, fewer ranges for small ones so
+/// that N/phi stays a meaningful locality, never below 3). `s` must be
+/// negative. The returned k is clamped to [1, num_dims].
+ParameterAdvice AdviseParameters(size_t num_points, size_t num_dims,
+                                 double s = -3.0, size_t phi = 0);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_PARAMETER_ADVISOR_H_

@@ -1,0 +1,47 @@
+#ifndef HIDO_CORE_POSTPROCESS_H_
+#define HIDO_CORE_POSTPROCESS_H_
+
+// Postprocessing (§2.3): the points covered by the reported abnormal
+// projections are the outliers — a point covers a projection when its
+// discretized coordinates match every specified range. Each outlier is
+// returned with the projections that implicate it, which is the paper's
+// interpretability story ("the reasoning which creates the abnormality").
+
+#include <string>
+#include <vector>
+
+#include "core/objective.h"
+#include "data/dataset.h"
+#include "grid/grid_model.h"
+
+namespace hido {
+
+/// One detected outlier.
+struct OutlierRecord {
+  size_t row = 0;
+  /// Indices into OutlierReport::projections of the cubes covering the row.
+  std::vector<size_t> projection_ids;
+  /// Most negative sparsity among those cubes (the outlier's strength).
+  double best_sparsity = 0.0;
+};
+
+/// Projections plus the outliers they cover.
+struct OutlierReport {
+  std::vector<ScoredProjection> projections;
+  /// Sorted ascending by best_sparsity (strongest outliers first).
+  std::vector<OutlierRecord> outliers;
+};
+
+/// Builds the outlier report for `projections` over `grid`.
+OutlierReport ExtractOutliers(const GridModel& grid,
+                              std::vector<ScoredProjection> projections);
+
+/// Renders a human-readable explanation of one outlier: for every covering
+/// projection, each condition as "column in [lo, hi)" with the original
+/// attribute values. `data` must be the dataset the grid was built from.
+std::string ExplainOutlier(const OutlierReport& report, size_t outlier_index,
+                           const GridModel& grid, const Dataset& data);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_POSTPROCESS_H_

@@ -1,0 +1,64 @@
+#include "core/report_io.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace hido {
+
+std::string ProjectionsToCsv(const OutlierReport& report) {
+  std::string out =
+      "index,projection,dimensionality,count,sparsity,conditions\n";
+  for (size_t i = 0; i < report.projections.size(); ++i) {
+    const ScoredProjection& s = report.projections[i];
+    std::string conditions;
+    for (const DimRange& c : s.projection.Conditions()) {
+      conditions += StrFormat("%s%u:%u", conditions.empty() ? "" : " ",
+                              c.dim, c.cell + 1);
+    }
+    out += StrFormat("%zu,%s,%zu,%zu,%.6f,%s\n", i,
+                     s.projection.ToString().c_str(),
+                     s.projection.Dimensionality(), s.count, s.sparsity,
+                     conditions.c_str());
+  }
+  return out;
+}
+
+std::string OutliersToCsv(const OutlierReport& report) {
+  std::string out = "row,best_sparsity,num_projections,projection_ids\n";
+  for (const OutlierRecord& record : report.outliers) {
+    std::string ids;
+    for (size_t pid : record.projection_ids) {
+      ids += StrFormat("%s%zu", ids.empty() ? "" : " ", pid);
+    }
+    out += StrFormat("%zu,%.6f,%zu,%s\n", record.row, record.best_sparsity,
+                     record.projection_ids.size(), ids.c_str());
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << contents;
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failure: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteReport(const OutlierReport& report,
+                   const std::string& path_prefix) {
+  HIDO_RETURN_IF_ERROR(
+      WriteFile(path_prefix + ".projections.csv", ProjectionsToCsv(report)));
+  return WriteFile(path_prefix + ".outliers.csv", OutliersToCsv(report));
+}
+
+}  // namespace hido

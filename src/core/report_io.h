@@ -1,0 +1,35 @@
+#ifndef HIDO_CORE_REPORT_IO_H_
+#define HIDO_CORE_REPORT_IO_H_
+
+// Serialization of detection results for downstream consumption (pipelines,
+// spreadsheets, notebooks): the projection list and the outlier list, each
+// as a small CSV.
+
+#include <string>
+
+#include "common/status.h"
+#include "core/postprocess.h"
+#include "grid/grid_model.h"
+
+namespace hido {
+
+/// Renders the report's projections as CSV text with columns
+///   index, projection, dimensionality, count, sparsity, conditions
+/// where `projection` is the paper-style string and `conditions` is a
+/// "dim:cell" list using 1-based cells (e.g. "2:3 4:9" for *3*9).
+std::string ProjectionsToCsv(const OutlierReport& report);
+
+/// Renders the report's outliers as CSV text with columns
+///   row, best_sparsity, num_projections, projection_ids
+/// where `projection_ids` is a space-separated index list into the
+/// projection CSV above.
+std::string OutliersToCsv(const OutlierReport& report);
+
+/// Writes both CSVs: `<path_prefix>.projections.csv` and
+/// `<path_prefix>.outliers.csv`.
+Status WriteReport(const OutlierReport& report,
+                   const std::string& path_prefix);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_REPORT_IO_H_

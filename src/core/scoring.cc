@@ -1,0 +1,86 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "grid/cube_counter.h"
+
+namespace hido {
+
+std::vector<PointScore> ScoreAllPoints(
+    const GridModel& grid,
+    const std::vector<ScoredProjection>& projections) {
+  std::vector<PointScore> scores(grid.num_points());
+  for (size_t row = 0; row < scores.size(); ++row) {
+    scores[row].row = row;
+  }
+
+  CubeCounter::Options copts;
+  copts.cache_capacity = 0;
+  CubeCounter counter(grid, copts);
+  for (const ScoredProjection& scored : projections) {
+    if (scored.projection.Dimensionality() == 0) continue;
+    for (uint32_t row :
+         counter.CoveredPoints(scored.projection.Conditions())) {
+      PointScore& score = scores[row];
+      if (score.covering_projections == 0 ||
+          scored.sparsity < score.sparsity_score) {
+        score.sparsity_score = scored.sparsity;
+      }
+      ++score.covering_projections;
+    }
+  }
+  return scores;
+}
+
+PointScore ScoreNewPoint(const GridModel& grid,
+                         const std::vector<ScoredProjection>& projections,
+                         const std::vector<double>& values) {
+  HIDO_CHECK_MSG(values.size() == grid.num_dims(),
+                 "point has %zu coordinates, grid expects %zu",
+                 values.size(), grid.num_dims());
+  PointScore score;
+  score.row = std::numeric_limits<size_t>::max();
+  for (const ScoredProjection& scored : projections) {
+    bool covered = scored.projection.Dimensionality() > 0;
+    for (const DimRange& cond : scored.projection.Conditions()) {
+      const double v = values[cond.dim];
+      if (std::isnan(v) ||
+          grid.quantizer().CellOf(cond.dim, v) != cond.cell) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) continue;
+    if (score.covering_projections == 0 ||
+        scored.sparsity < score.sparsity_score) {
+      score.sparsity_score = scored.sparsity;
+    }
+    ++score.covering_projections;
+  }
+  return score;
+}
+
+std::vector<size_t> RankRows(const std::vector<PointScore>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const PointScore& sa = scores[a];
+    const PointScore& sb = scores[b];
+    const bool a_covered = sa.covering_projections > 0;
+    const bool b_covered = sb.covering_projections > 0;
+    if (a_covered != b_covered) return a_covered;
+    if (sa.sparsity_score != sb.sparsity_score) {
+      return sa.sparsity_score < sb.sparsity_score;
+    }
+    if (sa.covering_projections != sb.covering_projections) {
+      return sa.covering_projections > sb.covering_projections;
+    }
+    return sa.row < sb.row;
+  });
+  return order;
+}
+
+}  // namespace hido

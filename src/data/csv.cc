@@ -1,0 +1,191 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hido {
+
+namespace {
+
+// Splits `text` into lines, tolerating both \n and \r\n endings.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+  }
+  // A trailing newline produces one empty final element; drop it.
+  if (!lines.empty() && lines.back().empty()) {
+    lines.pop_back();
+  }
+  return lines;
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsvString(const std::string& text,
+                              const CsvReadOptions& options) {
+  const std::vector<std::string> lines = SplitLines(text);
+  size_t line_idx = 0;
+
+  std::vector<std::string> header;
+  if (options.has_header) {
+    while (line_idx < lines.size() && options.skip_blank_lines &&
+           Trim(lines[line_idx]).empty()) {
+      ++line_idx;
+    }
+    if (line_idx >= lines.size()) {
+      return Status::ParseError("csv: missing header line");
+    }
+    header = Split(lines[line_idx], options.delimiter);
+    for (std::string& name : header) {
+      name = std::string(Trim(name));
+    }
+    ++line_idx;
+  }
+
+  size_t width = header.size();  // 0 when no header: inferred from row 1
+  int label_col = options.label_column;
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int32_t> labels;
+  for (; line_idx < lines.size(); ++line_idx) {
+    const std::string& line = lines[line_idx];
+    if (Trim(line).empty()) {
+      if (options.skip_blank_lines) continue;
+      return Status::ParseError(
+          StrFormat("csv: blank line %zu", line_idx + 1));
+    }
+    const std::vector<std::string> fields = Split(line, options.delimiter);
+    if (width == 0) {
+      width = fields.size();
+      if (label_col >= 0 && static_cast<size_t>(label_col) >= width) {
+        return Status::InvalidArgument(
+            StrFormat("csv: label_column %d out of range (width %zu)",
+                      label_col, width));
+      }
+    }
+    if (fields.size() != width) {
+      return Status::ParseError(
+          StrFormat("csv: line %zu has %zu fields, expected %zu",
+                    line_idx + 1, fields.size(), width));
+    }
+    std::vector<double> row;
+    row.reserve(width - (label_col >= 0 ? 1 : 0));
+    for (size_t c = 0; c < fields.size(); ++c) {
+      if (label_col >= 0 && c == static_cast<size_t>(label_col)) {
+        Result<int64_t> lab = ParseInt(fields[c]);
+        if (!lab.ok()) {
+          return Status::ParseError(
+              StrFormat("csv: line %zu: bad label '%s'", line_idx + 1,
+                        fields[c].c_str()));
+        }
+        labels.push_back(static_cast<int32_t>(lab.value()));
+        continue;
+      }
+      if (options.allow_missing && IsMissingToken(fields[c])) {
+        row.push_back(std::numeric_limits<double>::quiet_NaN());
+        continue;
+      }
+      Result<double> value = ParseDouble(fields[c]);
+      if (!value.ok()) {
+        return Status::ParseError(
+            StrFormat("csv: line %zu column %zu: %s", line_idx + 1, c + 1,
+                      value.status().message().c_str()));
+      }
+      row.push_back(value.value());
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (label_col >= 0 && width > 0 &&
+      static_cast<size_t>(label_col) >= width) {
+    return Status::InvalidArgument("csv: label_column out of range");
+  }
+
+  // Assemble column names, dropping the label column's name.
+  std::vector<std::string> names;
+  if (!header.empty()) {
+    if (label_col >= 0 && static_cast<size_t>(label_col) >= header.size()) {
+      return Status::InvalidArgument("csv: label_column out of range");
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (label_col >= 0 && c == static_cast<size_t>(label_col)) continue;
+      names.push_back(header[c]);
+    }
+  }
+
+  Dataset ds = Dataset::FromRows(rows, std::move(names));
+  if (label_col >= 0) {
+    ds.SetLabels(std::move(labels));
+  }
+  return ds;
+}
+
+Result<Dataset> ReadCsv(const std::string& path,
+                        const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failure: " + path);
+  }
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Dataset& data,
+                           const CsvWriteOptions& options) {
+  std::string out;
+  const bool labels = options.write_labels && data.has_labels();
+  if (options.write_header) {
+    for (size_t c = 0; c < data.num_cols(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += data.ColumnName(c);
+    }
+    if (labels) {
+      if (data.num_cols() > 0) out.push_back(options.delimiter);
+      out += "label";
+    }
+    out.push_back('\n');
+  }
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t c = 0; c < data.num_cols(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      if (data.IsMissing(r, c)) {
+        out += options.missing_token;
+      } else {
+        out += StrFormat("%.17g", data.Get(r, c));
+      }
+    }
+    if (labels) {
+      if (data.num_cols() > 0) out.push_back(options.delimiter);
+      out += StrFormat("%d", data.Label(r));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsv(const Dataset& data, const std::string& path,
+                const CsvWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << WriteCsvString(data, options);
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failure: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hido

@@ -1,0 +1,57 @@
+#ifndef HIDO_DATA_CSV_H_
+#define HIDO_DATA_CSV_H_
+
+// CSV input/output so real datasets (e.g. the UCI files the paper used) can
+// be dropped into the benchmarks in place of the bundled synthetic stand-ins.
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace hido {
+
+/// Options for ReadCsv.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// Treat the first line as column names.
+  bool has_header = true;
+  /// Column index holding the class label, or -1 for none. The label column
+  /// is removed from the numeric data and installed via Dataset::SetLabels.
+  int label_column = -1;
+  /// Accept "", "?", "na", "nan", "null" as missing values.
+  bool allow_missing = true;
+  /// Skip blank lines instead of failing on them.
+  bool skip_blank_lines = true;
+};
+
+/// Options for WriteCsv.
+struct CsvWriteOptions {
+  char delimiter = ',';
+  bool write_header = true;
+  /// Spelling used for missing cells.
+  std::string missing_token = "?";
+  /// Append the label column (named "label") when the dataset has labels.
+  bool write_labels = true;
+};
+
+/// Parses `path` into a Dataset. Fails (no partial result) on ragged rows,
+/// non-numeric fields (other than missing tokens), or unreadable files.
+Result<Dataset> ReadCsv(const std::string& path,
+                        const CsvReadOptions& options = {});
+
+/// Parses CSV text directly (same semantics as ReadCsv).
+Result<Dataset> ReadCsvString(const std::string& text,
+                              const CsvReadOptions& options = {});
+
+/// Writes `data` to `path`.
+Status WriteCsv(const Dataset& data, const std::string& path,
+                const CsvWriteOptions& options = {});
+
+/// Serializes `data` to CSV text.
+std::string WriteCsvString(const Dataset& data,
+                           const CsvWriteOptions& options = {});
+
+}  // namespace hido
+
+#endif  // HIDO_DATA_CSV_H_

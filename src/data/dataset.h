@@ -1,0 +1,139 @@
+#ifndef HIDO_DATA_DATASET_H_
+#define HIDO_DATA_DATASET_H_
+
+// In-memory numeric dataset.
+//
+// Column-major storage (the grid model consumes whole columns when computing
+// equi-depth breakpoints), with an optional missing-value mask per column and
+// optional integer class labels (used only for evaluation, never by the
+// detection algorithms themselves).
+//
+// Missing values: the paper notes that sparse low-dimensional projections
+// can be mined even when records have missing attributes. A missing cell is
+// represented by NaN in the value slot plus a bit in the column's mask; the
+// mask is authoritative.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hido {
+
+/// A fixed-width table of doubles with optional missing cells and labels.
+class Dataset {
+ public:
+  /// Creates an empty dataset with `num_cols` columns and no rows.
+  explicit Dataset(size_t num_cols = 0);
+
+  /// Creates a dataset with the given column names (width = names.size()).
+  explicit Dataset(std::vector<std::string> column_names);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Builds a dataset from row-major data. All rows must have equal width.
+  static Dataset FromRows(const std::vector<std::vector<double>>& rows,
+                          std::vector<std::string> column_names = {});
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return columns_.size(); }
+
+  /// Cell value. Precondition: in range and not missing.
+  double Get(size_t row, size_t col) const {
+    HIDO_DCHECK(row < num_rows_ && col < columns_.size());
+    HIDO_DCHECK(!IsMissing(row, col));
+    return columns_[col][row];
+  }
+
+  /// Cell value, or `fallback` when the cell is missing.
+  double GetOr(size_t row, size_t col, double fallback) const {
+    return IsMissing(row, col) ? fallback : columns_[col][row];
+  }
+
+  /// Overwrites a cell (also clears its missing flag).
+  void Set(size_t row, size_t col, double value);
+
+  /// Marks a cell missing.
+  void SetMissing(size_t row, size_t col);
+
+  bool IsMissing(size_t row, size_t col) const {
+    HIDO_DCHECK(row < num_rows_ && col < columns_.size());
+    return !missing_[col].empty() && missing_[col][row] != 0;
+  }
+
+  /// True when any cell of the dataset is missing.
+  bool HasMissing() const;
+
+  /// Number of non-missing cells in column `col`.
+  size_t PresentCount(size_t col) const;
+
+  /// Read-only access to a full column (missing cells hold NaN).
+  const std::vector<double>& Column(size_t col) const {
+    HIDO_CHECK(col < columns_.size());
+    return columns_[col];
+  }
+
+  /// Copies one row (missing cells hold NaN).
+  std::vector<double> Row(size_t row) const;
+
+  /// Appends a row; `values.size()` must equal num_cols(). NaN entries are
+  /// recorded as missing.
+  void AppendRow(const std::vector<double>& values);
+
+  /// Appends `count` zero-filled rows and returns the index of the first.
+  size_t AppendZeroRows(size_t count);
+
+  // --- Column names ------------------------------------------------------
+
+  /// Name of column `col` ("c<col>" when never set).
+  const std::string& ColumnName(size_t col) const;
+
+  void SetColumnName(size_t col, std::string name);
+
+  /// Index of the column named `name`, or num_cols() when absent.
+  size_t FindColumn(const std::string& name) const;
+
+  // --- Labels (evaluation only) ------------------------------------------
+
+  bool has_labels() const { return !labels_.empty(); }
+
+  /// Class label of `row`. Precondition: has_labels().
+  int32_t Label(size_t row) const {
+    HIDO_CHECK(has_labels());
+    HIDO_DCHECK(row < num_rows_);
+    return labels_[row];
+  }
+
+  /// Installs labels; size must equal num_rows().
+  void SetLabels(std::vector<int32_t> labels);
+
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  // --- Projections of the table ------------------------------------------
+
+  /// Dataset restricted to the given columns (labels and names carried over).
+  Dataset SelectColumns(const std::vector<size_t>& cols) const;
+
+  /// Dataset restricted to the given rows (labels and names carried over).
+  Dataset SelectRows(const std::vector<size_t>& rows) const;
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<std::vector<double>> columns_;
+  // Per column: empty vector when no cell of that column is missing,
+  // otherwise one byte per row (1 = missing).
+  std::vector<std::vector<uint8_t>> missing_;
+  std::vector<std::string> column_names_;
+  std::vector<int32_t> labels_;
+
+  void EnsureMissingMask(size_t col);
+};
+
+}  // namespace hido
+
+#endif  // HIDO_DATA_DATASET_H_

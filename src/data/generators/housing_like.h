@@ -1,0 +1,41 @@
+#ifndef HIDO_DATA_GENERATORS_HOUSING_LIKE_H_
+#define HIDO_DATA_GENERATORS_HOUSING_LIKE_H_
+
+// Stand-in for the Boston housing dataset used qualitatively in §3.1.
+//
+// 506 rows x 13 numeric attributes (the paper drops the single binary
+// attribute of the original 14). The background encodes the correlations the
+// paper narrates: high crime co-occurs with high highway accessibility and
+// high pupil-teacher ratio and low distance to employment centers; old
+// housing stock and highway access co-occur with high NOx; low crime and
+// modest business acreage co-occur with high prices. Three contrarian
+// records matching the paper's reported outliers are planted:
+//   1. high crime + high pupil-teacher ratio, yet *low* employment distance;
+//   2. low NOx despite old housing stock + high highway access;
+//   3. low price despite low crime + modest business acreage.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hido {
+
+/// Generated housing-like data with ground truth.
+struct HousingLikeDataset {
+  Dataset data;                        ///< 506 x 13, named columns
+  std::vector<size_t> contrarian_rows; ///< the three planted records
+  /// For each contrarian row, the columns in which it defies the trend.
+  std::vector<std::vector<size_t>> contrarian_cols;
+};
+
+/// Generates the housing stand-in. Column order:
+/// crime_rate, business_acres, nox, rooms, age_pre1940, dist_employment,
+/// highway_access, tax_rate, pupil_teacher, lower_status, river_proximity,
+/// zoning, median_price.
+HousingLikeDataset GenerateHousingLike(uint64_t seed = 1978,
+                                       size_t num_rows = 506);
+
+}  // namespace hido
+
+#endif  // HIDO_DATA_GENERATORS_HOUSING_LIKE_H_

@@ -1,0 +1,61 @@
+#include "data/transforms.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "data/column_stats.h"
+
+namespace hido {
+
+void MinMaxNormalize(Dataset& data) {
+  for (size_t c = 0; c < data.num_cols(); ++c) {
+    const ColumnStats stats = ComputeColumnStats(data, c);
+    if (stats.count == 0) continue;
+    const double span = stats.max - stats.min;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      if (data.IsMissing(r, c)) continue;
+      const double v = data.Get(r, c);
+      data.Set(r, c, span > 0.0 ? (v - stats.min) / span : 0.0);
+    }
+  }
+}
+
+void ZScoreNormalize(Dataset& data) {
+  for (size_t c = 0; c < data.num_cols(); ++c) {
+    const ColumnStats stats = ComputeColumnStats(data, c);
+    if (stats.count == 0) continue;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      if (data.IsMissing(r, c)) continue;
+      const double v = data.Get(r, c);
+      data.Set(r, c,
+               stats.stddev > 0.0 ? (v - stats.mean) / stats.stddev : 0.0);
+    }
+  }
+}
+
+void Jitter(Dataset& data, double amplitude, uint64_t seed) {
+  HIDO_CHECK(amplitude >= 0.0);
+  if (amplitude == 0.0) return;
+  Rng rng(seed);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t c = 0; c < data.num_cols(); ++c) {
+      if (data.IsMissing(r, c)) continue;
+      data.Set(r, c,
+               data.Get(r, c) + rng.UniformDouble(-amplitude, amplitude));
+    }
+  }
+}
+
+std::pair<Dataset, Dataset> SplitRows(const Dataset& data,
+                                      double first_fraction, uint64_t seed) {
+  HIDO_CHECK(first_fraction >= 0.0 && first_fraction <= 1.0);
+  Rng rng(seed);
+  std::vector<size_t> first;
+  std::vector<size_t> second;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    (rng.Bernoulli(first_fraction) ? first : second).push_back(r);
+  }
+  return {data.SelectRows(first), data.SelectRows(second)};
+}
+
+}  // namespace hido

@@ -1,0 +1,40 @@
+#ifndef HIDO_DATA_TRANSFORMS_H_
+#define HIDO_DATA_TRANSFORMS_H_
+
+// Dataset preprocessing utilities. The subspace method itself is invariant
+// to monotone per-column transforms (equi-depth ranges depend only on
+// ranks), so these exist for the distance baselines, for interop, and for
+// tie-breaking heavily discretized columns.
+
+#include <cstdint>
+#include <utility>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace hido {
+
+/// Min-max normalizes every column to [0, 1] in place (constant columns
+/// become all-0). Missing cells stay missing.
+void MinMaxNormalize(Dataset& data);
+
+/// Z-score standardizes every column in place ((x - mean) / stddev;
+/// constant columns become all-0). Missing cells stay missing.
+void ZScoreNormalize(Dataset& data);
+
+/// Adds uniform noise in [-amplitude, +amplitude] to every present cell —
+/// the standard tie-breaking jitter for integer-coded data whose duplicate
+/// values would otherwise collapse equi-depth ranges. Deterministic in
+/// `seed`. Precondition: amplitude >= 0. A good amplitude is well below the
+/// smallest gap between distinct values (e.g. 1e-6 for integer codes).
+void Jitter(Dataset& data, double amplitude, uint64_t seed);
+
+/// Splits rows into two datasets by a Bernoulli(first_fraction) coin per
+/// row (deterministic in `seed`). Labels and names carry over.
+/// Precondition: 0 <= first_fraction <= 1.
+std::pair<Dataset, Dataset> SplitRows(const Dataset& data,
+                                      double first_fraction, uint64_t seed);
+
+}  // namespace hido
+
+#endif  // HIDO_DATA_TRANSFORMS_H_

@@ -1,0 +1,65 @@
+#include "eval/curves.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+
+namespace hido {
+
+std::vector<CurvePoint> TopNCurve(const std::vector<size_t>& ranking,
+                                  const std::vector<size_t>& positives,
+                                  const std::vector<size_t>& budgets) {
+  const std::set<size_t> positive_set(positives.begin(), positives.end());
+#ifndef NDEBUG
+  {
+    std::set<size_t> seen;
+    for (size_t row : ranking) {
+      HIDO_CHECK_MSG(seen.insert(row).second, "duplicate row %zu in ranking",
+                     row);
+    }
+  }
+#endif
+
+  // Prefix counts of positives.
+  std::vector<size_t> hits_at(ranking.size() + 1, 0);
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    hits_at[i + 1] =
+        hits_at[i] + (positive_set.contains(ranking[i]) ? 1 : 0);
+  }
+
+  std::vector<CurvePoint> curve;
+  curve.reserve(budgets.size());
+  for (size_t budget : budgets) {
+    CurvePoint point;
+    point.n = std::min(budget, ranking.size());
+    const size_t hits = hits_at[point.n];
+    point.precision = point.n == 0
+                          ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(point.n);
+    point.recall = positive_set.empty()
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(positive_set.size());
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double AveragePrecision(const std::vector<size_t>& ranking,
+                        const std::vector<size_t>& positives) {
+  const std::set<size_t> positive_set(positives.begin(), positives.end());
+  if (positive_set.empty()) return 0.0;
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (positive_set.contains(ranking[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(positive_set.size());
+}
+
+}  // namespace hido

@@ -1,0 +1,36 @@
+#ifndef HIDO_EVAL_CURVES_H_
+#define HIDO_EVAL_CURVES_H_
+
+// Ranking-quality curves for comparing detectors that output ordered row
+// lists: recall@n over n, precision@n, and average precision (area under
+// the precision-recall staircase at the positive positions).
+
+#include <cstddef>
+#include <vector>
+
+namespace hido {
+
+/// One point of a top-n sweep.
+struct CurvePoint {
+  size_t n = 0;          ///< flag budget
+  double precision = 0;  ///< positives among top n / n
+  double recall = 0;     ///< positives among top n / total positives
+};
+
+/// Computes precision/recall at each n in `budgets` for a ranking
+/// (strongest candidate first) against the positive row set.
+/// Budgets larger than the ranking are clamped. Duplicate rows in
+/// `ranking` are a programmer error (checked).
+std::vector<CurvePoint> TopNCurve(const std::vector<size_t>& ranking,
+                                  const std::vector<size_t>& positives,
+                                  const std::vector<size_t>& budgets);
+
+/// Average precision of the full ranking: mean of precision@rank over the
+/// ranks where a positive appears; positives absent from the ranking
+/// contribute 0. Returns 0 when there are no positives.
+double AveragePrecision(const std::vector<size_t>& ranking,
+                        const std::vector<size_t>& positives);
+
+}  // namespace hido
+
+#endif  // HIDO_EVAL_CURVES_H_

@@ -1,0 +1,89 @@
+#include "eval/experiment.h"
+
+#include "common/stats.h"
+#include "core/postprocess.h"
+#include "grid/cube_counter.h"
+
+namespace hido {
+
+namespace {
+
+GridModel BuildGrid(const Dataset& data, size_t phi) {
+  GridModel::Options options;
+  options.phi = phi;
+  return GridModel::Build(data, options);
+}
+
+double MeanSparsity(const std::vector<ScoredProjection>& best) {
+  if (best.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ScoredProjection& s : best) sum += s.sparsity;
+  return sum / static_cast<double>(best.size());
+}
+
+}  // namespace
+
+SearchRun RunBruteForceExperiment(const Dataset& data,
+                                  const ExperimentParams& params) {
+  const GridModel grid = BuildGrid(data, params.phi);
+  CubeCounter counter(grid);
+  SparsityObjective objective(counter);
+
+  BruteForceOptions options;
+  options.target_dim = params.target_dim;
+  options.num_projections = params.num_projections;
+  options.time_budget_seconds = params.brute_force_budget_seconds;
+  options.num_threads = params.brute_force_threads;
+  const BruteForceResult result = BruteForceSearch(objective, options);
+
+  SearchRun run;
+  run.seconds = result.stats.seconds;
+  run.mean_quality = MeanSparsity(result.best);
+  run.best_quality = result.best.empty() ? 0.0 : result.best.front().sparsity;
+  run.cubes_examined = result.stats.cubes_evaluated;
+  run.completed = result.stats.completed;
+  run.best = result.best;
+  return run;
+}
+
+SearchRun RunEvolutionaryExperiment(const Dataset& data,
+                                    const ExperimentParams& params,
+                                    CrossoverKind crossover) {
+  const GridModel grid = BuildGrid(data, params.phi);
+  CubeCounter counter(grid);
+  SparsityObjective objective(counter);
+
+  EvolutionaryOptions options;
+  options.target_dim = params.target_dim;
+  options.num_projections = params.num_projections;
+  options.population_size = params.population_size;
+  options.max_generations = params.max_generations;
+  options.restarts = params.restarts;
+  options.crossover = crossover;
+  options.seed = params.seed;
+  const EvolutionResult result = EvolutionarySearch(objective, options);
+
+  SearchRun run;
+  run.seconds = result.stats.seconds;
+  run.mean_quality = MeanSparsity(result.best);
+  run.best_quality = result.best.empty() ? 0.0 : result.best.front().sparsity;
+  run.cubes_examined = result.stats.evaluations;
+  run.completed = true;
+  run.best = result.best;
+  return run;
+}
+
+std::vector<size_t> CoveredRows(
+    const Dataset& data, size_t phi,
+    const std::vector<ScoredProjection>& projections) {
+  const GridModel grid = BuildGrid(data, phi);
+  const OutlierReport report = ExtractOutliers(grid, projections);
+  std::vector<size_t> rows;
+  rows.reserve(report.outliers.size());
+  for (const OutlierRecord& record : report.outliers) {
+    rows.push_back(record.row);
+  }
+  return rows;
+}
+
+}  // namespace hido

@@ -1,0 +1,67 @@
+#ifndef HIDO_EVAL_EXPERIMENT_H_
+#define HIDO_EVAL_EXPERIMENT_H_
+
+// Shared harness plumbing for the benchmark binaries: run one search
+// algorithm over a dataset at given grid parameters and collect the
+// quantities the paper's tables report (wall-clock, mean sparsity of the
+// best m non-empty projections, work counters).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/evolutionary_search.h"
+#include "data/dataset.h"
+#include "grid/grid_model.h"
+
+namespace hido {
+
+/// Outcome of one search run, normalized across algorithms.
+struct SearchRun {
+  double seconds = 0.0;
+  /// Mean sparsity coefficient of the returned projections — the paper's
+  /// Table 1 "quality" (best 20 non-empty cubes).
+  double mean_quality = 0.0;
+  /// Sparsity of the single best projection.
+  double best_quality = 0.0;
+  /// Cubes scored: exhaustive leaves for brute force, objective evaluations
+  /// for the evolutionary algorithm.
+  uint64_t cubes_examined = 0;
+  /// False when a time/work budget expired first (brute force on musk).
+  bool completed = true;
+  std::vector<ScoredProjection> best;
+};
+
+/// Common parameters of a search experiment.
+struct ExperimentParams {
+  size_t phi = 5;
+  size_t target_dim = 3;
+  size_t num_projections = 20;  ///< m
+  /// Brute-force wall-clock budget in seconds (0 = unlimited).
+  double brute_force_budget_seconds = 60.0;
+  /// Brute-force worker threads.
+  size_t brute_force_threads = 1;
+  /// Evolutionary knobs.
+  size_t population_size = 100;
+  size_t max_generations = 150;
+  size_t restarts = 1;
+  uint64_t seed = 42;
+};
+
+/// Runs the exhaustive search (Figure 2) over `data`.
+SearchRun RunBruteForceExperiment(const Dataset& data,
+                                  const ExperimentParams& params);
+
+/// Runs the evolutionary search (Figure 3) with the given crossover.
+SearchRun RunEvolutionaryExperiment(const Dataset& data,
+                                    const ExperimentParams& params,
+                                    CrossoverKind crossover);
+
+/// Rows covered by `projections` on a grid built from `data` at phi
+/// (detector postprocessing, §2.3), ascending row ids.
+std::vector<size_t> CoveredRows(const Dataset& data, size_t phi,
+                                const std::vector<ScoredProjection>& projections);
+
+}  // namespace hido
+
+#endif  // HIDO_EVAL_EXPERIMENT_H_

@@ -1,0 +1,86 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace hido {
+
+namespace {
+const char kSeparatorSentinel[] = "\x01";
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HIDO_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  HIDO_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has %zu cells, table has %zu columns", cells.size(),
+                 headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back({kSeparatorSentinel});
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_separator = [&]() {
+    std::string line = "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      line.append(widths[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_separator();
+  out += render_line(headers_);
+  out += render_separator();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      out += render_separator();
+    } else {
+      out += render_line(row);
+    }
+  }
+  out += render_separator();
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+std::string FormatCell(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+}  // namespace hido

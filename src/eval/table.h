@@ -1,0 +1,41 @@
+#ifndef HIDO_EVAL_TABLE_H_
+#define HIDO_EVAL_TABLE_H_
+
+// ASCII table formatter used by the benchmark harnesses to print
+// paper-style tables (Table 1, Table 2, the figure series).
+
+#include <string>
+#include <vector>
+
+namespace hido {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Column headers define the table width.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// Renders the table (trailing newline included).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // A row with the sentinel single cell "\x01" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shorthand for formatting a double with fixed precision.
+std::string FormatCell(double value, int precision = 2);
+
+}  // namespace hido
+
+#endif  // HIDO_EVAL_TABLE_H_

@@ -1,0 +1,191 @@
+#include "grid/cube_counter.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace hido {
+
+namespace {
+
+// Debug-mode validation of a condition list.
+void ValidateConditions(const GridModel& grid,
+                        const std::vector<DimRange>& conditions) {
+  HIDO_CHECK(!conditions.empty());
+#ifndef NDEBUG
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    HIDO_CHECK(conditions[i].dim < grid.num_dims());
+    HIDO_CHECK(conditions[i].cell < grid.phi());
+    for (size_t j = i + 1; j < conditions.size(); ++j) {
+      HIDO_CHECK_MSG(conditions[i].dim != conditions[j].dim,
+                     "duplicate dimension %u in cube", conditions[i].dim);
+    }
+  }
+#else
+  HIDO_UNUSED(grid);
+#endif
+}
+
+}  // namespace
+
+CubeCounter::CubeCounter(const GridModel& grid)
+    : CubeCounter(grid, Options()) {}
+
+CubeCounter::CubeCounter(const GridModel& grid, const Options& options)
+    : grid_(&grid), options_(options), scratch_(grid.num_points()) {}
+
+size_t CubeCounter::KeyHash::operator()(
+    const std::vector<uint64_t>& key) const {
+  // FNV-1a over the packed conditions.
+  uint64_t h = 1469598103934665603ULL;
+  for (uint64_t v : key) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+std::vector<uint64_t> CubeCounter::CacheKey(
+    const std::vector<DimRange>& conditions) {
+  std::vector<uint64_t> key;
+  key.reserve(conditions.size());
+  for (const DimRange& c : conditions) {
+    key.push_back((static_cast<uint64_t>(c.dim) << 32) | c.cell);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+size_t CubeCounter::Count(const std::vector<DimRange>& conditions) {
+  ValidateConditions(*grid_, conditions);
+  ++stats_.queries;
+  if (options_.cache_capacity == 0) {
+    return CountUncached(conditions, options_.strategy);
+  }
+  std::vector<uint64_t> key = CacheKey(conditions);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const size_t count = CountUncached(conditions, options_.strategy);
+  if (cache_.size() >= options_.cache_capacity) {
+    cache_.clear();  // wholesale eviction keeps bookkeeping O(1)
+  }
+  cache_.emplace(std::move(key), count);
+  return count;
+}
+
+size_t CubeCounter::CountUncached(const std::vector<DimRange>& conditions,
+                                  CountingStrategy strategy) {
+  ValidateConditions(*grid_, conditions);
+  if (strategy == CountingStrategy::kAuto) {
+    strategy = Choose(conditions);
+  }
+  switch (strategy) {
+    case CountingStrategy::kBitset:
+      ++stats_.bitset_counts;
+      return CountBitset(conditions);
+    case CountingStrategy::kPostingList:
+      ++stats_.posting_counts;
+      return CountPostings(conditions);
+    case CountingStrategy::kNaive:
+      ++stats_.naive_counts;
+      return CountNaive(conditions);
+    case CountingStrategy::kAuto:
+      break;
+  }
+  HIDO_CHECK_MSG(false, "unreachable counting strategy");
+  return 0;
+}
+
+CountingStrategy CubeCounter::Choose(
+    const std::vector<DimRange>& conditions) const {
+  if (conditions.size() == 1) return CountingStrategy::kPostingList;
+  // Posting intersection touches ~sum of list lengths; the bitset path
+  // touches k * N/64 words regardless of selectivity. Prefer postings when
+  // the smallest list is already tiny.
+  size_t smallest = grid_->num_points();
+  for (const DimRange& c : conditions) {
+    smallest = std::min(smallest, grid_->PostingList(c.dim, c.cell).size());
+  }
+  const size_t words = grid_->num_points() / 64 + 1;
+  return (smallest * 4 < words) ? CountingStrategy::kPostingList
+                                : CountingStrategy::kBitset;
+}
+
+size_t CubeCounter::CountBitset(const std::vector<DimRange>& conditions) {
+  if (conditions.size() == 1) {
+    return grid_->PostingList(conditions[0].dim, conditions[0].cell).size();
+  }
+  if (conditions.size() == 2) {
+    return grid_->Members(conditions[0].dim, conditions[0].cell)
+        .AndCount(grid_->Members(conditions[1].dim, conditions[1].cell));
+  }
+  scratch_ = grid_->Members(conditions[0].dim, conditions[0].cell);
+  for (size_t i = 1; i + 1 < conditions.size(); ++i) {
+    scratch_.AndWith(grid_->Members(conditions[i].dim, conditions[i].cell));
+  }
+  const DimRange& last = conditions.back();
+  return scratch_.AndCount(grid_->Members(last.dim, last.cell));
+}
+
+size_t CubeCounter::CountPostings(
+    const std::vector<DimRange>& conditions) const {
+  // Intersect starting from the shortest list.
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(conditions.size());
+  for (const DimRange& c : conditions) {
+    lists.push_back(&grid_->PostingList(c.dim, c.cell));
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  if (lists.front()->empty()) return 0;
+  if (lists.size() == 1) return lists.front()->size();
+
+  std::vector<uint32_t> current = *lists.front();
+  std::vector<uint32_t> next;
+  for (size_t i = 1; i < lists.size() && !current.empty(); ++i) {
+    const std::vector<uint32_t>& other = *lists[i];
+    next.clear();
+    next.reserve(current.size());
+    std::set_intersection(current.begin(), current.end(), other.begin(),
+                          other.end(), std::back_inserter(next));
+    current.swap(next);
+  }
+  return current.size();
+}
+
+size_t CubeCounter::CountNaive(
+    const std::vector<DimRange>& conditions) const {
+  size_t count = 0;
+  for (size_t row = 0; row < grid_->num_points(); ++row) {
+    count += grid_->Covers(row, conditions) ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<uint32_t> CubeCounter::CoveredPoints(
+    const std::vector<DimRange>& conditions) const {
+  ValidateConditions(*grid_, conditions);
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(conditions.size());
+  for (const DimRange& c : conditions) {
+    lists.push_back(&grid_->PostingList(c.dim, c.cell));
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> current = *lists.front();
+  std::vector<uint32_t> next;
+  for (size_t i = 1; i < lists.size() && !current.empty(); ++i) {
+    next.clear();
+    std::set_intersection(current.begin(), current.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    current.swap(next);
+  }
+  return current;
+}
+
+void CubeCounter::ClearCache() { cache_.clear(); }
+
+}  // namespace hido

@@ -1,0 +1,92 @@
+#ifndef HIDO_GRID_CUBE_COUNTER_H_
+#define HIDO_GRID_CUBE_COUNTER_H_
+
+// Counting the points inside a k-dimensional cube — the fitness evaluation
+// at the heart of both search algorithms. Three interchangeable strategies
+// (bitset AND+popcount, posting-list intersection, naive row scan) plus a
+// memoizing cache, since the evolutionary search re-evaluates recurring
+// sub-combinations constantly.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "grid/grid_model.h"
+
+namespace hido {
+
+/// How CubeCounter intersects range memberships.
+enum class CountingStrategy {
+  kAuto,         ///< pick per query from selectivity (default)
+  kBitset,       ///< AND of membership bitsets, popcount
+  kPostingList,  ///< k-way sorted-list intersection
+  kNaive,        ///< scan every row, test all conditions
+};
+
+/// Counts points covered by conjunctions of grid conditions.
+///
+/// Not thread-safe (the cache and scratch buffers are mutable); use one
+/// counter per thread.
+class CubeCounter {
+ public:
+  struct Options {
+    CountingStrategy strategy = CountingStrategy::kAuto;
+    /// Maximum cached cubes; the cache is wholesale-cleared when full
+    /// (0 disables caching).
+    size_t cache_capacity = 1u << 18;
+  };
+
+  /// Counters for introspection and the micro benchmarks.
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t cache_hits = 0;
+    uint64_t bitset_counts = 0;
+    uint64_t posting_counts = 0;
+    uint64_t naive_counts = 0;
+  };
+
+  /// `grid` must outlive the counter. Default options: kAuto + caching.
+  explicit CubeCounter(const GridModel& grid);
+  CubeCounter(const GridModel& grid, const Options& options);
+
+  /// Number of points satisfying all `conditions`.
+  /// Preconditions: conditions non-empty, dims pairwise distinct, every
+  /// cell < phi.
+  size_t Count(const std::vector<DimRange>& conditions);
+
+  /// As Count, bypassing the cache (used by the cache's own tests).
+  size_t CountUncached(const std::vector<DimRange>& conditions,
+                       CountingStrategy strategy);
+
+  /// Sorted ids of the points satisfying all `conditions` (uncached).
+  std::vector<uint32_t> CoveredPoints(
+      const std::vector<DimRange>& conditions) const;
+
+  const Stats& stats() const { return stats_; }
+  void ClearCache();
+
+  const GridModel& grid() const { return *grid_; }
+
+ private:
+  size_t CountBitset(const std::vector<DimRange>& conditions);
+  size_t CountPostings(const std::vector<DimRange>& conditions) const;
+  size_t CountNaive(const std::vector<DimRange>& conditions) const;
+  CountingStrategy Choose(const std::vector<DimRange>& conditions) const;
+  static std::vector<uint64_t> CacheKey(
+      const std::vector<DimRange>& conditions);
+
+  struct KeyHash {
+    size_t operator()(const std::vector<uint64_t>& key) const;
+  };
+
+  const GridModel* grid_;
+  Options options_;
+  Stats stats_;
+  DynamicBitset scratch_;
+  std::unordered_map<std::vector<uint64_t>, size_t, KeyHash> cache_;
+};
+
+}  // namespace hido
+
+#endif  // HIDO_GRID_CUBE_COUNTER_H_

@@ -1,0 +1,69 @@
+#include "grid/grid_model.h"
+
+#include "common/macros.h"
+
+namespace hido {
+
+GridModel GridModel::Build(const Dataset& data, const Options& options) {
+  Quantizer::Options qopts;
+  qopts.num_ranges = options.phi;
+  qopts.mode = options.mode;
+
+  GridModel model;
+  model.num_points_ = data.num_rows();
+  model.quantizer_ = Quantizer::Fit(data, qopts);
+
+  const size_t d = data.num_cols();
+  const size_t phi = options.phi;
+  model.cells_.assign(d, std::vector<uint32_t>(data.num_rows()));
+  model.members_.assign(d * phi, DynamicBitset(data.num_rows()));
+  model.postings_.assign(d * phi, {});
+
+  for (size_t dim = 0; dim < d; ++dim) {
+    for (size_t row = 0; row < data.num_rows(); ++row) {
+      if (data.IsMissing(row, dim)) {
+        model.cells_[dim][row] = kMissingCell;
+        continue;
+      }
+      const uint32_t cell = model.quantizer_.CellOf(dim, data.Get(row, dim));
+      model.cells_[dim][row] = cell;
+      const size_t idx = dim * phi + cell;
+      model.members_[idx].Set(row);
+      model.postings_[idx].push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return model;
+}
+
+size_t GridModel::IndexOf(size_t dim, uint32_t cell) const {
+  HIDO_CHECK(dim < cells_.size());
+  HIDO_CHECK(cell < phi());
+  return dim * phi() + cell;
+}
+
+const DynamicBitset& GridModel::Members(size_t dim, uint32_t cell) const {
+  return members_[IndexOf(dim, cell)];
+}
+
+const std::vector<uint32_t>& GridModel::PostingList(size_t dim,
+                                                    uint32_t cell) const {
+  return postings_[IndexOf(dim, cell)];
+}
+
+double GridModel::RangeFraction(size_t dim, uint32_t cell) const {
+  if (num_points_ == 0) return 0.0;
+  return static_cast<double>(postings_[IndexOf(dim, cell)].size()) /
+         static_cast<double>(num_points_);
+}
+
+bool GridModel::Covers(size_t row,
+                       const std::vector<DimRange>& conditions) const {
+  HIDO_CHECK(row < num_points_);
+  for (const DimRange& cond : conditions) {
+    HIDO_DCHECK(cond.dim < cells_.size());
+    if (cells_[cond.dim][row] != cond.cell) return false;
+  }
+  return true;
+}
+
+}  // namespace hido

@@ -1,0 +1,93 @@
+#ifndef HIDO_GRID_GRID_MODEL_H_
+#define HIDO_GRID_GRID_MODEL_H_
+
+// The discretized view of a dataset plus the per-range membership indexes
+// that make cube counting fast.
+//
+// For every (dimension, range) pair the model stores both a bitset over the
+// points and a sorted posting list of point ids. Counting the points inside
+// a k-dimensional cube is then the popcount of the AND of k bitsets (or an
+// intersection of k posting lists) — the single hot operation of both the
+// brute-force and the evolutionary search.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bitset.h"
+#include "data/dataset.h"
+#include "grid/quantizer.h"
+
+namespace hido {
+
+/// One grid condition: "dimension `dim` falls in range `cell`".
+struct DimRange {
+  uint32_t dim;
+  uint32_t cell;
+
+  friend bool operator==(const DimRange& a, const DimRange& b) {
+    return a.dim == b.dim && a.cell == b.cell;
+  }
+  friend bool operator<(const DimRange& a, const DimRange& b) {
+    return a.dim != b.dim ? a.dim < b.dim : a.cell < b.cell;
+  }
+};
+
+/// Immutable discretized dataset with membership indexes.
+class GridModel {
+ public:
+  /// Cell id assigned to missing values; never matches any condition.
+  static constexpr uint32_t kMissingCell =
+      std::numeric_limits<uint32_t>::max();
+
+  struct Options {
+    size_t phi = 10;                           ///< ranges per attribute
+    BinningMode mode = BinningMode::kEquiDepth;
+  };
+
+  /// Creates an empty model; use Build to obtain a usable one.
+  GridModel() = default;
+
+  /// Discretizes `data` and builds the indexes. The dataset is not retained.
+  static GridModel Build(const Dataset& data, const Options& options);
+
+  size_t num_points() const { return num_points_; }
+  size_t num_dims() const { return cells_.size(); }
+  size_t phi() const { return quantizer_.num_ranges(); }
+
+  /// Discretized cell of a point (kMissingCell when the value is missing).
+  uint32_t Cell(size_t row, size_t dim) const {
+    HIDO_DCHECK(dim < cells_.size() && row < num_points_);
+    return cells_[dim][row];
+  }
+
+  /// Bitset of the points whose `dim` coordinate lies in `cell`.
+  const DynamicBitset& Members(size_t dim, uint32_t cell) const;
+
+  /// Sorted point ids whose `dim` coordinate lies in `cell`.
+  const std::vector<uint32_t>& PostingList(size_t dim, uint32_t cell) const;
+
+  /// Empirical fraction of points in (dim, cell) — ~1/phi under equi-depth,
+  /// skewed under ties. Used by the empirical expectation model.
+  double RangeFraction(size_t dim, uint32_t cell) const;
+
+  /// True when a point satisfies all conditions (missing never matches).
+  bool Covers(size_t row, const std::vector<DimRange>& conditions) const;
+
+  const Quantizer& quantizer() const { return quantizer_; }
+
+ private:
+  size_t num_points_ = 0;
+  Quantizer quantizer_;
+  // cells_[dim][row]: discretized coordinate (kMissingCell when missing).
+  std::vector<std::vector<uint32_t>> cells_;
+  // members_[dim * phi + cell], postings_[dim * phi + cell].
+  std::vector<DynamicBitset> members_;
+  std::vector<std::vector<uint32_t>> postings_;
+
+  size_t IndexOf(size_t dim, uint32_t cell) const;
+};
+
+}  // namespace hido
+
+#endif  // HIDO_GRID_GRID_MODEL_H_

@@ -1,0 +1,115 @@
+#include "grid/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace hido {
+
+Quantizer Quantizer::Fit(const Dataset& data, const Options& options) {
+  HIDO_CHECK_MSG(options.num_ranges >= 2, "phi must be >= 2 (got %zu)",
+                 options.num_ranges);
+  HIDO_CHECK(data.num_rows() >= 1);
+
+  Quantizer q;
+  q.num_ranges_ = options.num_ranges;
+  q.mode_ = options.mode;
+  q.cuts_.resize(data.num_cols());
+  q.col_min_.resize(data.num_cols());
+  q.col_max_.resize(data.num_cols());
+
+  const size_t phi = options.num_ranges;
+  for (size_t c = 0; c < data.num_cols(); ++c) {
+    std::vector<double> present;
+    present.reserve(data.num_rows());
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      if (!data.IsMissing(r, c)) {
+        present.push_back(data.Get(r, c));
+      }
+    }
+    HIDO_CHECK_MSG(!present.empty(), "column %zu has no present values", c);
+    std::sort(present.begin(), present.end());
+    q.col_min_[c] = present.front();
+    q.col_max_[c] = present.back();
+
+    std::vector<double>& cuts = q.cuts_[c];
+    cuts.reserve(phi - 1);
+    if (options.mode == BinningMode::kEquiDepth) {
+      for (size_t i = 1; i < phi; ++i) {
+        cuts.push_back(QuantileSorted(
+            present, static_cast<double>(i) / static_cast<double>(phi)));
+      }
+    } else {
+      const double lo = q.col_min_[c];
+      const double span = q.col_max_[c] - q.col_min_[c];
+      for (size_t i = 1; i < phi; ++i) {
+        cuts.push_back(lo + span * static_cast<double>(i) /
+                                static_cast<double>(phi));
+      }
+    }
+    // Breakpoints are non-decreasing by construction; enforce exactly so
+    // CellOf's binary search is well-defined under floating-point noise.
+    for (size_t i = 1; i < cuts.size(); ++i) {
+      if (cuts[i] < cuts[i - 1]) cuts[i] = cuts[i - 1];
+    }
+  }
+  return q;
+}
+
+Quantizer Quantizer::FromCuts(const Options& options,
+                              std::vector<std::vector<double>> cuts,
+                              std::vector<double> col_min,
+                              std::vector<double> col_max) {
+  HIDO_CHECK(options.num_ranges >= 2);
+  HIDO_CHECK(cuts.size() == col_min.size() &&
+             cuts.size() == col_max.size());
+  for (const std::vector<double>& column_cuts : cuts) {
+    HIDO_CHECK_MSG(column_cuts.size() == options.num_ranges - 1,
+                   "expected %zu cuts per column, got %zu",
+                   options.num_ranges - 1, column_cuts.size());
+    for (size_t i = 1; i < column_cuts.size(); ++i) {
+      HIDO_CHECK_MSG(column_cuts[i - 1] <= column_cuts[i],
+                     "cuts must be non-decreasing");
+    }
+  }
+  Quantizer q;
+  q.num_ranges_ = options.num_ranges;
+  q.mode_ = options.mode;
+  q.cuts_ = std::move(cuts);
+  q.col_min_ = std::move(col_min);
+  q.col_max_ = std::move(col_max);
+  return q;
+}
+
+uint32_t Quantizer::CellOf(size_t col, double value) const {
+  HIDO_CHECK(col < cuts_.size());
+  const std::vector<double>& cuts = cuts_[col];
+  // Cell = number of breakpoints <= value; ties go to the higher cell so a
+  // breakpoint value is the *inclusive lower* bound of its cell.
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), value);
+  size_t cell = static_cast<size_t>(it - cuts.begin());
+  // upper_bound returns the first cut > value, i.e. the count of cuts <=
+  // value, which is already the cell index in [0, phi-1].
+  if (cell >= num_ranges_) cell = num_ranges_ - 1;
+  return static_cast<uint32_t>(cell);
+}
+
+std::pair<double, double> Quantizer::CellBounds(size_t col,
+                                                uint32_t cell) const {
+  HIDO_CHECK(col < cuts_.size());
+  HIDO_CHECK(cell < num_ranges_);
+  const std::vector<double>& cuts = cuts_[col];
+  const double lo = (cell == 0) ? col_min_[col] : cuts[cell - 1];
+  const double hi =
+      (cell + 1 == num_ranges_) ? col_max_[col] : cuts[cell];
+  return {lo, hi};
+}
+
+const std::vector<double>& Quantizer::Cuts(size_t col) const {
+  HIDO_CHECK(col < cuts_.size());
+  return cuts_[col];
+}
+
+}  // namespace hido

@@ -1,0 +1,113 @@
+#include "baselines/knn_outlier.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+TEST(KnnOutlierTest, FindsTheObviousGlobalOutlier) {
+  Dataset ds(2);
+  for (int i = 0; i < 50; ++i) {
+    ds.AppendRow({0.5 + 0.001 * i, 0.5 - 0.001 * i});
+  }
+  ds.AppendRow({10.0, 10.0});  // row 50, far away
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 1;
+  opts.num_outliers = 1;
+  const std::vector<KnnOutlier> out = TopNKnnOutliers(metric, opts);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row, 50u);
+}
+
+TEST(KnnOutlierTest, MatchesReferenceImplementation) {
+  const Dataset ds = GenerateUniform(150, 4, 1);
+  const DistanceMetric metric(ds);
+  for (size_t k : {1u, 3u, 5u}) {
+    KnnOutlierOptions opts;
+    opts.k = k;
+    opts.num_outliers = 10;
+    const std::vector<KnnOutlier> got = TopNKnnOutliers(metric, opts);
+    ASSERT_EQ(got.size(), 10u);
+
+    const std::vector<double> all = AllKthNeighborDistances(metric, k);
+    std::vector<double> sorted = all;
+    std::sort(sorted.rbegin(), sorted.rend());
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_DOUBLE_EQ(got[i].kth_distance, sorted[i]) << "k=" << k;
+      EXPECT_DOUBLE_EQ(got[i].kth_distance, all[got[i].row]);
+    }
+  }
+}
+
+TEST(KnnOutlierTest, VpTreePathAgreesWithNestedLoop) {
+  const Dataset ds = GenerateUniform(120, 3, 2);
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 2;
+  opts.num_outliers = 8;
+  const std::vector<KnnOutlier> loop = TopNKnnOutliers(metric, opts);
+  opts.use_vptree = true;
+  const std::vector<KnnOutlier> tree = TopNKnnOutliers(metric, opts);
+  ASSERT_EQ(loop.size(), tree.size());
+  for (size_t i = 0; i < loop.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loop[i].kth_distance, tree[i].kth_distance);
+  }
+}
+
+TEST(KnnOutlierTest, ResultsSortedStrongestFirst) {
+  const Dataset ds = GenerateUniform(100, 3, 3);
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 2;
+  opts.num_outliers = 15;
+  const std::vector<KnnOutlier> out = TopNKnnOutliers(metric, opts);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].kth_distance, out[i].kth_distance);
+  }
+}
+
+TEST(KnnOutlierTest, NumOutliersLargerThanNClamps) {
+  const Dataset ds = GenerateUniform(10, 2, 4);
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 1;
+  opts.num_outliers = 50;
+  const std::vector<KnnOutlier> out = TopNKnnOutliers(metric, opts);
+  EXPECT_EQ(out.size(), 10u);
+  std::set<size_t> rows;
+  for (const KnnOutlier& o : out) rows.insert(o.row);
+  EXPECT_EQ(rows.size(), 10u);  // every point reported once
+}
+
+TEST(KnnOutlierTest, NoShuffleStillExact) {
+  const Dataset ds = GenerateUniform(80, 3, 5);
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 3;
+  opts.num_outliers = 5;
+  opts.shuffle_seed = 0;  // natural order
+  const std::vector<KnnOutlier> got = TopNKnnOutliers(metric, opts);
+  const std::vector<double> all = AllKthNeighborDistances(metric, 3);
+  std::vector<double> sorted = all;
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].kth_distance, sorted[i]);
+  }
+}
+
+TEST(KnnOutlierDeathTest, InvalidK) {
+  const Dataset ds = GenerateUniform(10, 2, 6);
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 10;  // == n
+  EXPECT_DEATH(TopNKnnOutliers(metric, opts), "k must be");
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,108 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+TEST(LofTest, UniformClusterScoresNearOne) {
+  const Dataset ds = GenerateUniform(300, 2, 1);
+  const DistanceMetric metric(ds);
+  LofOptions opts;
+  opts.min_pts = 10;
+  const std::vector<double> scores = ComputeLof(metric, opts);
+  ASSERT_EQ(scores.size(), 300u);
+  size_t near_one = 0;
+  for (double s : scores) {
+    near_one += (s > 0.7 && s < 1.6) ? 1 : 0;
+  }
+  EXPECT_GT(near_one, 270u);  // bulk of uniform data is unremarkable
+}
+
+TEST(LofTest, IsolatedPointGetsHighestScore) {
+  Dataset ds(2);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    ds.AppendRow({0.5 + 0.05 * rng.Normal(), 0.5 + 0.05 * rng.Normal()});
+  }
+  ds.AppendRow({5.0, 5.0});  // row 100
+  DistanceMetric::Options mopts;
+  mopts.normalize = false;
+  const DistanceMetric metric(ds, mopts);
+  LofOptions opts;
+  opts.min_pts = 10;
+  const std::vector<double> scores = ComputeLof(metric, opts);
+  const std::vector<size_t> top = TopNByScore(scores, 1);
+  EXPECT_EQ(top[0], 100u);
+  EXPECT_GT(scores[100], 5.0);
+}
+
+TEST(LofTest, LocalDensityAwareness) {
+  // LOF's selling point: a point at the edge of a sparse cluster is NOT an
+  // outlier, but a point between a dense cluster and it is. Construct the
+  // classic two-cluster scenario.
+  Dataset ds(2);
+  Rng rng(3);
+  // Dense cluster around (0, 0).
+  for (int i = 0; i < 100; ++i) {
+    ds.AppendRow({0.01 * rng.Normal(), 0.01 * rng.Normal()});
+  }
+  // Sparse cluster around (2, 2).
+  for (int i = 0; i < 100; ++i) {
+    ds.AppendRow({2.0 + 0.3 * rng.Normal(), 2.0 + 0.3 * rng.Normal()});
+  }
+  // A point just outside the dense cluster (outlier w.r.t. local density).
+  ds.AppendRow({0.1, 0.1});  // row 200
+  DistanceMetric::Options mopts;
+  mopts.normalize = false;
+  const DistanceMetric metric(ds, mopts);
+  LofOptions opts;
+  opts.min_pts = 10;
+  const std::vector<double> scores = ComputeLof(metric, opts);
+  // Row 200 scores clearly above the sparse cluster's members.
+  double max_sparse_cluster = 0.0;
+  for (size_t i = 100; i < 200; ++i) {
+    max_sparse_cluster = std::max(max_sparse_cluster, scores[i]);
+  }
+  EXPECT_GT(scores[200], max_sparse_cluster);
+}
+
+TEST(LofTest, DuplicatePointsDontCrash) {
+  Dataset ds(2);
+  for (int i = 0; i < 30; ++i) ds.AppendRow({0.5, 0.5});
+  ds.AppendRow({0.9, 0.9});
+  const DistanceMetric metric(ds);
+  LofOptions opts;
+  opts.min_pts = 5;
+  const std::vector<double> scores = ComputeLof(metric, opts);
+  ASSERT_EQ(scores.size(), 31u);
+  for (double s : scores) {
+    EXPECT_FALSE(std::isnan(s));
+  }
+}
+
+TEST(TopNByScoreTest, OrdersByScoreThenIndex) {
+  const std::vector<double> scores = {1.0, 5.0, 3.0, 5.0};
+  const std::vector<size_t> top = TopNByScore(scores, 3);
+  EXPECT_EQ(top, (std::vector<size_t>{1, 3, 2}));
+}
+
+TEST(TopNByScoreTest, NLargerThanSizeClamps) {
+  const std::vector<double> scores = {1.0, 2.0};
+  EXPECT_EQ(TopNByScore(scores, 10).size(), 2u);
+}
+
+TEST(LofDeathTest, InvalidMinPts) {
+  const Dataset ds = GenerateUniform(10, 2, 4);
+  const DistanceMetric metric(ds);
+  LofOptions opts;
+  opts.min_pts = 10;  // == n
+  EXPECT_DEATH(ComputeLof(metric, opts), "min_pts");
+}
+
+}  // namespace
+}  // namespace hido

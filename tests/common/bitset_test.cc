@@ -1,0 +1,117 @@
+#include "common/bitset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hido {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(DynamicBitsetTest, SetClearTest) {
+  DynamicBitset b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, SetAllRespectsSize) {
+  for (size_t size : {1u, 63u, 64u, 65u, 128u, 130u}) {
+    DynamicBitset b(size);
+    b.SetAll();
+    EXPECT_EQ(b.Count(), size) << "size " << size;
+    b.ClearAll();
+    EXPECT_EQ(b.Count(), 0u);
+  }
+}
+
+TEST(DynamicBitsetTest, AndWith) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  for (size_t i = 0; i < 100; i += 2) a.Set(i);   // evens
+  for (size_t i = 0; i < 100; i += 3) b.Set(i);   // multiples of 3
+  a.AndWith(b);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Test(i), i % 6 == 0) << i;
+  }
+}
+
+TEST(DynamicBitsetTest, AndCountMatchesAndWith) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t size = 1 + rng.UniformIndex(300);
+    DynamicBitset a(size);
+    DynamicBitset b(size);
+    for (size_t i = 0; i < size; ++i) {
+      if (rng.Bernoulli(0.4)) a.Set(i);
+      if (rng.Bernoulli(0.4)) b.Set(i);
+    }
+    DynamicBitset anded = a;
+    anded.AndWith(b);
+    EXPECT_EQ(a.AndCount(b), anded.Count());
+    EXPECT_EQ(b.AndCount(a), anded.Count());  // symmetric
+  }
+}
+
+TEST(DynamicBitsetTest, ToIndicesRoundTrip) {
+  DynamicBitset b(200);
+  const std::vector<uint32_t> expected = {0, 5, 63, 64, 65, 128, 199};
+  for (uint32_t i : expected) b.Set(i);
+  EXPECT_EQ(b.ToIndices(), expected);
+}
+
+TEST(DynamicBitsetTest, EqualityAndCopy) {
+  DynamicBitset a(50);
+  a.Set(10);
+  DynamicBitset b = a;
+  EXPECT_EQ(a, b);
+  b.Set(20);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicBitsetTest, EmptyBitset) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.ToIndices().empty());
+}
+
+// Property sweep over sizes around word boundaries.
+class BitsetBoundary : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitsetBoundary, LastBitWorks) {
+  const size_t size = GetParam();
+  DynamicBitset b(size);
+  b.Set(size - 1);
+  EXPECT_TRUE(b.Test(size - 1));
+  EXPECT_EQ(b.Count(), 1u);
+  ASSERT_EQ(b.ToIndices().size(), 1u);
+  EXPECT_EQ(b.ToIndices()[0], size - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BitsetBoundary,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129,
+                                           1000));
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,136 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("tool", "test tool");
+  parser.AddString("name", "default", "a string");
+  parser.AddInt("count", 5, "an int");
+  parser.AddDouble("ratio", 0.5, "a double");
+  parser.AddBool("verbose", false, "a bool");
+  return parser;
+}
+
+TEST(FlagParserTest, DefaultsWithoutArgs) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({}).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_FALSE(parser.WasSet("name"));
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(
+      parser.Parse({"--name=x", "--count=9", "--ratio=0.25"}).ok());
+  EXPECT_EQ(parser.GetString("name"), "x");
+  EXPECT_EQ(parser.GetInt("count"), 9);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.25);
+  EXPECT_TRUE(parser.WasSet("count"));
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--name", "y", "--count", "-3"}).ok());
+  EXPECT_EQ(parser.GetString("name"), "y");
+  EXPECT_EQ(parser.GetInt("count"), -3);
+}
+
+TEST(FlagParserTest, BoolForms) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+
+  FlagParser parser2 = MakeParser();
+  ASSERT_TRUE(parser2.Parse({"--verbose=false"}).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+
+  FlagParser parser3 = MakeParser();
+  ASSERT_TRUE(parser3.Parse({"--verbose", "false"}).ok());
+  EXPECT_FALSE(parser3.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"detect", "--count=2", "file.csv"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"detect", "file.csv"}));
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser parser = MakeParser();
+  const Status s = parser.Parse({"--nope=1"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+}
+
+TEST(FlagParserTest, BadIntFails) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(parser.Parse({"--count=abc"}).ok());
+  EXPECT_FALSE(parser.Parse({"--count=1.5"}).ok());
+}
+
+TEST(FlagParserTest, BadBoolFails) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(parser.Parse({"--verbose=maybe"}).ok());
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(parser.Parse({"--name"}).ok());
+}
+
+TEST(FlagParserTest, RequiredFlagEnforced) {
+  FlagParser parser("tool", "t");
+  parser.AddString("input", "", "input file", /*required=*/true);
+  EXPECT_FALSE(parser.Parse({}).ok());
+  EXPECT_TRUE(parser.Parse({"--input=a.csv"}).ok());
+}
+
+TEST(FlagParserTest, HelpListsFlagsAndDefaults) {
+  FlagParser parser = MakeParser();
+  const std::string help = parser.Help();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("a double"), std::string::npos);
+  EXPECT_NE(help.find("0.5"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpMarksRequiredFlags) {
+  FlagParser parser("tool", "t");
+  parser.AddString("input", "", "input file", /*required=*/true);
+  parser.AddInt("m", 20, "count");
+  const std::string help = parser.Help();
+  EXPECT_NE(help.find("required"), std::string::npos);
+}
+
+TEST(FlagParserTest, ReparseOverwrites) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--count=7"}).ok());
+  ASSERT_TRUE(parser.Parse({"--count=9", "pos"}).ok());
+  EXPECT_EQ(parser.GetInt("count"), 9);
+  EXPECT_EQ(parser.positional(), (std::vector<std::string>{"pos"}));
+}
+
+TEST(FlagParserTest, DoubleDashAloneIsPositional) {
+  // "--" (length 2) does not start a flag body and passes through.
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--"}).ok());
+  EXPECT_EQ(parser.positional(), (std::vector<std::string>{"--"}));
+}
+
+TEST(FlagParserDeathTest, ProgrammerErrors) {
+  FlagParser parser = MakeParser();
+  EXPECT_DEATH(parser.AddInt("count", 1, "dup"), "duplicate");
+  HIDO_UNUSED(parser.Parse({}));
+  EXPECT_DEATH(parser.GetInt("name"), "wrong type");
+  EXPECT_DEATH(parser.GetString("ghost"), "undeclared");
+}
+
+}  // namespace
+}  // namespace hido

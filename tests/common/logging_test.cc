@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  // The library must not spam stderr below warnings by default.
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kWarning));
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(static_cast<int>(GetLogLevel()),
+            static_cast<int>(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, SuppressedMessageProducesNoOutput) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  HIDO_LOG_INFO("should not appear %d", 42);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, EmittedMessageContainsLevelAndText) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  HIDO_LOG_WARNING("cube %d is sparse", 7);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("cube 7 is sparse"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MacroArgumentsNotEvaluatedWhenSuppressed) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  HIDO_LOG_DEBUG("%d", expensive());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace hido

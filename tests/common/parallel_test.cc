@@ -1,0 +1,74 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> visits(500);
+  for (auto& v : visits) v.store(0);
+  ParallelFor(500, 4, [&](size_t task, size_t) {
+    visits[task].fetch_add(1);
+  });
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  std::vector<size_t> order;
+  ParallelFor(10, 1, [&](size_t task, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(task);  // safe: inline execution
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, ZeroTasksIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, WorkerIndicesWithinRange) {
+  std::mutex mu;
+  std::set<size_t> workers;
+  ParallelFor(200, 3, [&](size_t, size_t worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    workers.insert(worker);
+  });
+  for (size_t w : workers) EXPECT_LT(w, 3u);
+}
+
+TEST(ParallelForTest, ThreadsClampedToTasks) {
+  // 2 tasks, 16 threads: worker indices must stay below the task count.
+  std::mutex mu;
+  std::set<size_t> workers;
+  ParallelFor(2, 16, [&](size_t, size_t worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    workers.insert(worker);
+  });
+  for (size_t w : workers) EXPECT_LT(w, 2u);
+}
+
+TEST(ParallelForTest, SumAcrossThreadsMatches) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(1000, 8, [&](size_t task, size_t) {
+    sum.fetch_add(static_cast<int64_t>(task));
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(HardwareThreadsTest, AtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,42 @@
+#include "common/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(StopWatchTest, ElapsedIsNonNegativeAndMonotone) {
+  StopWatch watch;
+  const double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(StopWatchTest, MeasuresSleep) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous ceiling for loaded CI machines
+}
+
+TEST(StopWatchTest, ResetRestartsTheClock) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.015);
+}
+
+TEST(StopWatchTest, MillisMatchesSeconds) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  EXPECT_NEAR(millis, seconds * 1e3, 5.0);
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,84 @@
+#include "common/top_k.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hido {
+namespace {
+
+TEST(TopKTest, KeepsSmallest) {
+  TopK<int> top(3);
+  for (int v : {5, 1, 9, 3, 7, 2}) top.Offer(v);
+  EXPECT_EQ(top.SortedCopy(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TopKTest, UnderCapacityKeepsAll) {
+  TopK<int> top(10);
+  top.Offer(4);
+  top.Offer(2);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_EQ(top.SortedCopy(), (std::vector<int>{2, 4}));
+}
+
+TEST(TopKTest, OfferReportsRetention) {
+  TopK<int> top(2);
+  EXPECT_TRUE(top.Offer(5));
+  EXPECT_TRUE(top.Offer(3));
+  EXPECT_FALSE(top.Offer(9));  // worse than both
+  EXPECT_TRUE(top.Offer(1));   // displaces 5
+  EXPECT_EQ(top.SortedCopy(), (std::vector<int>{1, 3}));
+}
+
+TEST(TopKTest, WouldAcceptMatchesOffer) {
+  TopK<int> top(2);
+  top.Offer(10);
+  top.Offer(20);
+  EXPECT_TRUE(top.WouldAccept(5));
+  EXPECT_FALSE(top.WouldAccept(20));  // equal to worst: not strictly better
+  EXPECT_FALSE(top.WouldAccept(25));
+}
+
+TEST(TopKTest, WorstIsHeapFront) {
+  TopK<int> top(3);
+  for (int v : {4, 8, 1}) top.Offer(v);
+  EXPECT_EQ(top.Worst(), 8);
+  top.Offer(2);
+  EXPECT_EQ(top.Worst(), 4);
+}
+
+TEST(TopKTest, TakeSortedConsumes) {
+  TopK<int> top(3);
+  for (int v : {4, 8, 1}) top.Offer(v);
+  EXPECT_EQ(top.TakeSorted(), (std::vector<int>{1, 4, 8}));
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(TopKTest, CustomComparatorKeepsLargest) {
+  TopK<int, std::greater<int>> top(2);
+  for (int v : {5, 1, 9, 3}) top.Offer(v);
+  EXPECT_EQ(top.SortedCopy(), (std::vector<int>{9, 5}));
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomData) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t capacity = 1 + rng.UniformIndex(20);
+    std::vector<int> values;
+    TopK<int> top(capacity);
+    for (int i = 0; i < 500; ++i) {
+      const int v = static_cast<int>(rng.UniformIndex(1000));
+      values.push_back(v);
+      top.Offer(v);
+    }
+    std::sort(values.begin(), values.end());
+    values.resize(std::min(values.size(), capacity));
+    EXPECT_EQ(top.SortedCopy(), values);
+  }
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,105 @@
+#include "core/best_set.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+ScoredProjection Make(size_t dim, uint32_t cell, double sparsity,
+                      size_t count = 1) {
+  ScoredProjection s;
+  s.projection = Projection(8);
+  s.projection.Specify(dim, cell);
+  s.count = count;
+  s.sparsity = sparsity;
+  return s;
+}
+
+TEST(BestSetTest, KeepsMostNegative) {
+  BestSet best(2);
+  EXPECT_TRUE(best.Offer(Make(0, 0, -1.0)));
+  EXPECT_TRUE(best.Offer(Make(1, 0, -3.0)));
+  EXPECT_TRUE(best.Offer(Make(2, 0, -2.0)));  // evicts -1.0
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_DOUBLE_EQ(best.Sorted()[0].sparsity, -3.0);
+  EXPECT_DOUBLE_EQ(best.Sorted()[1].sparsity, -2.0);
+}
+
+TEST(BestSetTest, RejectsWorseWhenFull) {
+  BestSet best(1);
+  best.Offer(Make(0, 0, -5.0));
+  EXPECT_FALSE(best.Offer(Make(1, 0, -4.0)));
+  EXPECT_DOUBLE_EQ(best.Sorted()[0].sparsity, -5.0);
+}
+
+TEST(BestSetTest, DeduplicatesByProjection) {
+  BestSet best(5);
+  EXPECT_TRUE(best.Offer(Make(0, 3, -2.0)));
+  EXPECT_FALSE(best.Offer(Make(0, 3, -2.0)));  // identical projection
+  EXPECT_TRUE(best.Offer(Make(0, 4, -2.0)));   // different cell: kept
+  EXPECT_EQ(best.size(), 2u);
+}
+
+TEST(BestSetTest, EvictedKeyCanReenter) {
+  BestSet best(1);
+  best.Offer(Make(0, 0, -1.0));
+  best.Offer(Make(1, 0, -2.0));  // evicts the first
+  EXPECT_TRUE(best.Offer(Make(0, 0, -3.0)));  // same projection, better run
+  EXPECT_DOUBLE_EQ(best.Sorted()[0].sparsity, -3.0);
+}
+
+TEST(BestSetTest, NonEmptyFilterDropsEmptyCubes) {
+  BestSet best(3, /*require_non_empty=*/true);
+  EXPECT_FALSE(best.Offer(Make(0, 0, -10.0, /*count=*/0)));
+  EXPECT_TRUE(best.Offer(Make(1, 0, -1.0, /*count=*/2)));
+  EXPECT_EQ(best.size(), 1u);
+}
+
+TEST(BestSetTest, EmptyCubesAllowedWhenDisabled) {
+  BestSet best(3, /*require_non_empty=*/false);
+  EXPECT_TRUE(best.Offer(Make(0, 0, -10.0, /*count=*/0)));
+}
+
+TEST(BestSetTest, WorstRetainedSparsity) {
+  BestSet best(2);
+  EXPECT_TRUE(std::isinf(best.WorstRetainedSparsity()));
+  best.Offer(Make(0, 0, -2.0));
+  EXPECT_TRUE(std::isinf(best.WorstRetainedSparsity()));  // not full yet
+  best.Offer(Make(1, 0, -4.0));
+  EXPECT_DOUBLE_EQ(best.WorstRetainedSparsity(), -2.0);
+}
+
+TEST(BestSetTest, WouldAcceptConsistentWithOffer) {
+  BestSet best(1);
+  best.Offer(Make(0, 0, -3.0));
+  EXPECT_FALSE(best.WouldAccept(-3.0));  // ties rejected
+  EXPECT_TRUE(best.WouldAccept(-3.5));
+}
+
+TEST(BestSetTest, MeanSparsityIsTable1Quality) {
+  BestSet best(3);
+  best.Offer(Make(0, 0, -1.0));
+  best.Offer(Make(1, 0, -2.0));
+  best.Offer(Make(2, 0, -3.0));
+  EXPECT_DOUBLE_EQ(best.MeanSparsity(), -2.0);
+}
+
+TEST(BestSetTest, SortedIsStableAscending) {
+  BestSet best(10);
+  for (int i = 0; i < 8; ++i) {
+    best.Offer(Make(static_cast<size_t>(i), 0, -static_cast<double>(i)));
+  }
+  const auto& sorted = best.Sorted();
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].sparsity, sorted[i].sparsity);
+  }
+}
+
+TEST(BestSetDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(BestSet(0), "capacity");
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,218 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+struct Fixture {
+  Fixture(size_t n, size_t d, size_t phi, uint64_t seed)
+      : grid(GridModel::Build(GenerateUniform(n, d, seed),
+                              [&] {
+                                GridModel::Options o;
+                                o.phi = phi;
+                                return o;
+                              }())),
+        counter(grid),
+        objective(counter) {}
+  GridModel grid;
+  CubeCounter counter;
+  SparsityObjective objective;
+};
+
+// Reference: enumerate every k-cube by recursion over sorted dim choices.
+void EnumerateAll(const GridModel& grid, size_t k, size_t start,
+                  std::vector<DimRange>& prefix,
+                  std::vector<std::vector<DimRange>>& out) {
+  if (prefix.size() == k) {
+    out.push_back(prefix);
+    return;
+  }
+  for (size_t d = start; d < grid.num_dims(); ++d) {
+    for (uint32_t cell = 0; cell < grid.phi(); ++cell) {
+      prefix.push_back({static_cast<uint32_t>(d), cell});
+      EnumerateAll(grid, k, d + 1, prefix, out);
+      prefix.pop_back();
+    }
+  }
+}
+
+TEST(BruteForceTest, MatchesNaiveEnumerationOptimum) {
+  Fixture f(300, 5, 3, 1);
+  BruteForceOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 5;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  ASSERT_EQ(result.best.size(), 5u);
+  EXPECT_TRUE(result.stats.completed);
+
+  // Reference computation.
+  std::vector<std::vector<DimRange>> cubes;
+  std::vector<DimRange> prefix;
+  EnumerateAll(f.grid, 2, 0, prefix, cubes);
+  EXPECT_EQ(cubes.size(),
+            static_cast<size_t>(BruteForceSearchSpace(5, 2, 3)));
+  std::vector<double> sparsities;
+  for (const auto& cube : cubes) {
+    const CubeEvaluation eval = f.objective.EvaluateConditions(cube);
+    if (eval.count > 0) sparsities.push_back(eval.sparsity);
+  }
+  std::sort(sparsities.begin(), sparsities.end());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(result.best[i].sparsity, sparsities[i], 1e-12) << i;
+  }
+}
+
+TEST(BruteForceTest, ResultsSortedBestFirstAndNonEmpty) {
+  Fixture f(400, 6, 4, 2);
+  BruteForceOptions opts;
+  opts.target_dim = 3;
+  opts.num_projections = 10;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  for (size_t i = 0; i < result.best.size(); ++i) {
+    EXPECT_GE(result.best[i].count, 1u);
+    EXPECT_EQ(result.best[i].projection.Dimensionality(), 3u);
+    if (i > 0) {
+      EXPECT_LE(result.best[i - 1].sparsity, result.best[i].sparsity);
+    }
+  }
+}
+
+TEST(BruteForceTest, PruningDoesNotChangeResults) {
+  Fixture f(40, 5, 4, 3);  // sparse enough that empty partial cubes exist
+  BruteForceOptions opts;
+  opts.target_dim = 3;
+  opts.num_projections = 8;
+
+  opts.prune_empty_subtrees = true;
+  const BruteForceResult pruned = BruteForceSearch(f.objective, opts);
+  opts.prune_empty_subtrees = false;
+  const BruteForceResult full = BruteForceSearch(f.objective, opts);
+
+  EXPECT_GT(pruned.stats.subtrees_pruned, 0u);
+  EXPECT_LT(pruned.stats.cubes_evaluated, full.stats.cubes_evaluated);
+  ASSERT_EQ(pruned.best.size(), full.best.size());
+  for (size_t i = 0; i < pruned.best.size(); ++i) {
+    EXPECT_NEAR(pruned.best[i].sparsity, full.best[i].sparsity, 1e-12);
+  }
+}
+
+TEST(BruteForceTest, CubesEvaluatedMatchesSearchSpaceWithoutPruning) {
+  Fixture f(100, 4, 3, 4);
+  BruteForceOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 3;
+  opts.prune_empty_subtrees = false;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  EXPECT_EQ(static_cast<double>(result.stats.cubes_evaluated),
+            BruteForceSearchSpace(4, 2, 3));
+}
+
+TEST(BruteForceTest, EmptyCubesReportedWhenAllowed) {
+  // 20 points in a phi=4 grid: most 3-cubes are empty.
+  Fixture f(20, 5, 4, 5);
+  BruteForceOptions opts;
+  opts.target_dim = 3;
+  opts.num_projections = 5;
+  opts.require_non_empty = false;
+  opts.prune_empty_subtrees = false;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  ASSERT_FALSE(result.best.empty());
+  // The most negative cubes are the empty ones.
+  EXPECT_EQ(result.best[0].count, 0u);
+  EXPECT_NEAR(result.best[0].sparsity,
+              f.objective.model().EmptyCubeCoefficient(3), 1e-12);
+}
+
+TEST(BruteForceTest, MaxCubesBudgetStopsEarly) {
+  Fixture f(200, 8, 5, 6);
+  BruteForceOptions opts;
+  opts.target_dim = 3;
+  opts.num_projections = 5;
+  opts.max_cubes = 100;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_LE(result.stats.cubes_evaluated, 100u);
+}
+
+TEST(BruteForceTest, KEqualsOneScansSingleRanges) {
+  Fixture f(100, 3, 4, 7);
+  BruteForceOptions opts;
+  opts.target_dim = 1;
+  opts.num_projections = 12;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  EXPECT_EQ(static_cast<double>(result.stats.cubes_evaluated), 12.0);
+  EXPECT_EQ(result.best.size(), 12u);
+}
+
+TEST(BruteForceTest, KEqualsDimensionality) {
+  Fixture f(50, 3, 2, 8);
+  BruteForceOptions opts;
+  opts.target_dim = 3;  // == d: exactly phi^d cubes
+  opts.num_projections = 4;
+  opts.prune_empty_subtrees = false;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  EXPECT_EQ(static_cast<double>(result.stats.cubes_evaluated), 8.0);
+}
+
+TEST(BruteForceTest, ParallelMatchesSerial) {
+  Fixture f(500, 10, 4, 21);
+  BruteForceOptions opts;
+  opts.target_dim = 3;
+  opts.num_projections = 8;
+
+  opts.num_threads = 1;
+  const BruteForceResult serial = BruteForceSearch(f.objective, opts);
+  opts.num_threads = 4;
+  const BruteForceResult parallel = BruteForceSearch(f.objective, opts);
+
+  EXPECT_TRUE(parallel.stats.completed);
+  EXPECT_EQ(parallel.stats.cubes_evaluated, serial.stats.cubes_evaluated);
+  ASSERT_EQ(parallel.best.size(), serial.best.size());
+  for (size_t i = 0; i < serial.best.size(); ++i) {
+    EXPECT_NEAR(parallel.best[i].sparsity, serial.best[i].sparsity, 1e-12);
+    EXPECT_EQ(parallel.best[i].count, serial.best[i].count);
+  }
+}
+
+TEST(BruteForceTest, ParallelRespectsTimeBudget) {
+  Fixture f(2000, 24, 8, 22);
+  BruteForceOptions opts;
+  opts.target_dim = 4;
+  opts.num_projections = 5;
+  opts.num_threads = 4;
+  opts.time_budget_seconds = 0.05;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_LT(result.stats.seconds, 5.0);
+}
+
+TEST(BruteForceSearchSpaceTest, PaperExample) {
+  // Section 3: d=20, k=4, phi=10 gives ~7 * 10^7 possibilities.
+  const double space = BruteForceSearchSpace(20, 4, 10);
+  EXPECT_NEAR(space, 4845.0 * 1e4, 1e-6);
+  EXPECT_GT(space, 4.0e7);
+  EXPECT_LT(space, 8.0e7);
+}
+
+TEST(BruteForceSearchSpaceTest, SmallCases) {
+  EXPECT_DOUBLE_EQ(BruteForceSearchSpace(3, 1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(BruteForceSearchSpace(3, 2, 2), 12.0);
+  EXPECT_DOUBLE_EQ(BruteForceSearchSpace(4, 4, 3), 81.0);
+}
+
+TEST(BruteForceDeathTest, BadTargetDim) {
+  Fixture f(10, 2, 2, 9);
+  BruteForceOptions opts;
+  opts.target_dim = 3;  // > d
+  EXPECT_DEATH(BruteForceSearch(f.objective, opts), "target_dim");
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,88 @@
+#include "core/genetic/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+Individual Make(const std::vector<int>& cells) {
+  Individual ind;
+  ind.projection = Projection(cells.size());
+  for (size_t pos = 0; pos < cells.size(); ++pos) {
+    if (cells[pos] >= 0) {
+      ind.projection.Specify(pos, static_cast<uint32_t>(cells[pos]));
+    }
+  }
+  return ind;
+}
+
+TEST(ConvergenceTest, IdenticalPopulationConverged) {
+  std::vector<Individual> population(10, Make({1, -1, 3}));
+  EXPECT_TRUE(PopulationConverged(population));
+  EXPECT_DOUBLE_EQ(GeneAgreement(population, 0), 1.0);
+  EXPECT_DOUBLE_EQ(GeneAgreement(population, 1), 1.0);
+}
+
+TEST(ConvergenceTest, DivergentGeneBlocksConvergence) {
+  std::vector<Individual> population;
+  for (int i = 0; i < 5; ++i) population.push_back(Make({1, -1}));
+  for (int i = 0; i < 5; ++i) population.push_back(Make({2, -1}));
+  EXPECT_DOUBLE_EQ(GeneAgreement(population, 0), 0.5);
+  EXPECT_DOUBLE_EQ(GeneAgreement(population, 1), 1.0);
+  EXPECT_FALSE(PopulationConverged(population));
+}
+
+TEST(ConvergenceTest, DontCareIsAnAllele) {
+  // A gene where 95% have * and 5% have a value counts as converged.
+  std::vector<Individual> population;
+  for (int i = 0; i < 19; ++i) population.push_back(Make({-1}));
+  population.push_back(Make({3}));
+  EXPECT_DOUBLE_EQ(GeneAgreement(population, 0), 0.95);
+  EXPECT_TRUE(PopulationConverged(population, 0.95));
+  EXPECT_FALSE(PopulationConverged(population, 0.96));
+}
+
+TEST(ConvergenceTest, DontCareDiffersFromCellZero)
+{
+  std::vector<Individual> population;
+  for (int i = 0; i < 5; ++i) population.push_back(Make({-1}));
+  for (int i = 0; i < 5; ++i) population.push_back(Make({0}));
+  EXPECT_DOUBLE_EQ(GeneAgreement(population, 0), 0.5);
+}
+
+TEST(ConvergenceTest, ThresholdBoundary) {
+  // De Jong's 95% criterion: exactly 95% agreement converges.
+  std::vector<Individual> population;
+  for (int i = 0; i < 95; ++i) population.push_back(Make({2, 7}));
+  for (int i = 0; i < 5; ++i) population.push_back(Make({3, 7}));
+  EXPECT_TRUE(PopulationConverged(population, 0.95));
+  EXPECT_FALSE(PopulationConverged(population, 0.951));
+}
+
+TEST(ConvergenceTest, DontCareDominatedPopulationIsNotConverged) {
+  // Regression for the subtle failure mode of the literal De Jong
+  // criterion: with d >> k, every gene is dominated by "*" from generation
+  // zero (here each of 50 genes is >= 96% "*"), yet the population below
+  // holds 25 pairwise-distinct strings and must not count as converged.
+  std::vector<Individual> population;
+  for (int i = 0; i < 25; ++i) {
+    std::vector<int> cells(50, -1);
+    cells[2 * i] = i % 3;
+    cells[2 * i + 1] = 1;
+    population.push_back(Make(cells));
+  }
+  // The literal per-gene statistic is high everywhere ("*" dominates)...
+  for (size_t pos = 0; pos < 50; ++pos) {
+    EXPECT_GE(GeneAgreement(population, pos), 0.9);
+  }
+  // ...but the population is maximally diverse.
+  EXPECT_FALSE(PopulationConverged(population));
+}
+
+TEST(ConvergenceDeathTest, EmptyPopulationAborts) {
+  std::vector<Individual> population;
+  EXPECT_DEATH(PopulationConverged(population), "empty");
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,152 @@
+#include "core/model_io.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+DetectionResult DetectOnPlantedData(const GeneratedDataset& g) {
+  DetectorConfig config;
+  config.phi = 5;
+  config.target_dim = 2;
+  config.num_projections = 10;
+  config.evolution.restarts = 6;
+  config.seed = 3;
+  return OutlierDetector(config).Detect(g.data);
+}
+
+GeneratedDataset MakeData() {
+  SubspaceOutlierConfig config;
+  config.num_points = 400;
+  config.num_dims = 12;
+  config.num_groups = 3;
+  config.num_outliers = 4;
+  config.seed = 6;
+  return GenerateSubspaceOutliers(config);
+}
+
+TEST(ModelIoTest, SerializeParseRoundTrip) {
+  const GeneratedDataset g = MakeData();
+  const DetectionResult result = DetectOnPlantedData(g);
+  const SparseModel model = MakeModel(result, g.data);
+
+  const Result<SparseModel> restored =
+      ParseModel(SerializeModel(model));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const SparseModel& back = restored.value();
+
+  EXPECT_EQ(back.num_points, model.num_points);
+  EXPECT_EQ(back.quantizer.num_cols(), model.quantizer.num_cols());
+  EXPECT_EQ(back.quantizer.num_ranges(), model.quantizer.num_ranges());
+  EXPECT_EQ(back.column_names, model.column_names);
+  ASSERT_EQ(back.projections.size(), model.projections.size());
+  for (size_t i = 0; i < model.projections.size(); ++i) {
+    EXPECT_EQ(back.projections[i].projection,
+              model.projections[i].projection);
+    EXPECT_EQ(back.projections[i].count, model.projections[i].count);
+    EXPECT_DOUBLE_EQ(back.projections[i].sparsity,
+                     model.projections[i].sparsity);
+  }
+  // Cuts round-trip exactly (%.17g).
+  for (size_t c = 0; c < model.quantizer.num_cols(); ++c) {
+    EXPECT_EQ(back.quantizer.Cuts(c), model.quantizer.Cuts(c)) << c;
+  }
+}
+
+TEST(ModelIoTest, RestoredModelScoresIdentically) {
+  const GeneratedDataset g = MakeData();
+  const DetectionResult result = DetectOnPlantedData(g);
+  const SparseModel model = MakeModel(result, g.data);
+  const Result<SparseModel> restored = ParseModel(SerializeModel(model));
+  ASSERT_TRUE(restored.ok());
+
+  for (size_t row = 0; row < g.data.num_rows(); row += 13) {
+    const std::vector<double> values = g.data.Row(row);
+    const PointScore a = model.Score(values);
+    const PointScore b = restored.value().Score(values);
+    EXPECT_DOUBLE_EQ(a.sparsity_score, b.sparsity_score) << row;
+    EXPECT_EQ(a.covering_projections, b.covering_projections) << row;
+    // And both agree with the in-grid scorer.
+    const PointScore c =
+        ScoreNewPoint(result.grid, result.report.projections, values);
+    EXPECT_DOUBLE_EQ(a.sparsity_score, c.sparsity_score) << row;
+    EXPECT_EQ(a.covering_projections, c.covering_projections) << row;
+  }
+}
+
+TEST(ModelIoTest, PlantedAnomalyStillAlertsAfterReload) {
+  const GeneratedDataset g = MakeData();
+  const DetectionResult result = DetectOnPlantedData(g);
+  const Result<SparseModel> model =
+      ParseModel(SerializeModel(MakeModel(result, g.data)));
+  ASSERT_TRUE(model.ok());
+  size_t alerts = 0;
+  for (size_t row : g.outlier_rows) {
+    alerts +=
+        model.value().Score(g.data.Row(row)).covering_projections > 0 ? 1
+                                                                      : 0;
+  }
+  EXPECT_GT(alerts, 0u);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const GeneratedDataset g = MakeData();
+  const DetectionResult result = DetectOnPlantedData(g);
+  const SparseModel model = MakeModel(result, g.data);
+  const std::string path = ::testing::TempDir() + "/hido_model_test.hido";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  const Result<SparseModel> loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().projections.size(), model.projections.size());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ColumnNamesWithSpacesSurvive) {
+  const GeneratedDataset g = MakeData();
+  Dataset named = g.data;
+  named.SetColumnName(0, "pupil teacher ratio");
+  const DetectionResult result = DetectOnPlantedData(g);
+  const Result<SparseModel> restored =
+      ParseModel(SerializeModel(MakeModel(result, named)));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().column_names[0], "pupil teacher ratio");
+}
+
+TEST(ModelIoTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseModel("").ok());
+  EXPECT_FALSE(ParseModel("garbage v1").ok());
+  EXPECT_FALSE(ParseModel("hido-model v999").ok());
+
+  const GeneratedDataset g = MakeData();
+  const DetectionResult result = DetectOnPlantedData(g);
+  std::string text = SerializeModel(MakeModel(result, g.data));
+  // Corrupt a projection condition to an out-of-range cell.
+  const size_t pos = text.find("projection ");
+  ASSERT_NE(pos, std::string::npos);
+  std::string corrupted = text;
+  corrupted.replace(pos, 11, "projection x");
+  EXPECT_FALSE(ParseModel(corrupted).ok());
+
+  // Truncate mid-file.
+  EXPECT_FALSE(ParseModel(text.substr(0, text.size() / 2)).ok());
+}
+
+TEST(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadModel("/no/such/model.hido").ok());
+}
+
+TEST(ModelIoDeathTest, WrongWidthScoreAborts) {
+  const GeneratedDataset g = MakeData();
+  const DetectionResult result = DetectOnPlantedData(g);
+  const SparseModel model = MakeModel(result, g.data);
+  EXPECT_DEATH(model.Score({1.0}), "coordinates");
+}
+
+}  // namespace
+}  // namespace hido

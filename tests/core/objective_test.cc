@@ -1,0 +1,102 @@
+#include "core/objective.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+struct Fixture {
+  explicit Fixture(size_t n = 500, size_t d = 4, size_t phi = 5,
+                   uint64_t seed = 1)
+      : grid(GridModel::Build(GenerateUniform(n, d, seed),
+                              [&] {
+                                GridModel::Options o;
+                                o.phi = phi;
+                                return o;
+                              }())),
+        counter(grid) {}
+  GridModel grid;
+  CubeCounter counter;
+};
+
+TEST(SparsityObjectiveTest, EvaluateMatchesManualComputation) {
+  Fixture f;
+  SparsityObjective objective(f.counter);
+  Projection p(4);
+  p.Specify(0, 1);
+  p.Specify(2, 3);
+  const CubeEvaluation eval = objective.Evaluate(p);
+  const size_t count = f.counter.Count(p.Conditions());
+  EXPECT_EQ(eval.count, count);
+  EXPECT_NEAR(eval.sparsity, objective.model().Coefficient(count, 2), 1e-12);
+}
+
+TEST(SparsityObjectiveTest, ScoreWrapsEvaluate) {
+  Fixture f;
+  SparsityObjective objective(f.counter);
+  Projection p(4);
+  p.Specify(1, 0);
+  const ScoredProjection scored = objective.Score(p);
+  EXPECT_EQ(scored.projection, p);
+  EXPECT_EQ(scored.count, f.counter.Count(p.Conditions()));
+}
+
+TEST(SparsityObjectiveTest, CountsEvaluations) {
+  Fixture f;
+  SparsityObjective objective(f.counter);
+  Projection p(4);
+  p.Specify(0, 0);
+  EXPECT_EQ(objective.num_evaluations(), 0u);
+  objective.Evaluate(p);
+  objective.Evaluate(p);
+  EXPECT_EQ(objective.num_evaluations(), 2u);
+}
+
+TEST(SparsityObjectiveTest, UniformModeOnEquiDepthDataNearZeroFor1D) {
+  // Equi-depth 1-dimensional ranges hold ~N/phi points, so each 1-cube's
+  // sparsity coefficient is ~0 under the uniform model.
+  Fixture f(2000, 3, 10, 3);
+  SparsityObjective objective(f.counter);
+  for (uint32_t cell = 0; cell < 10; ++cell) {
+    Projection p(3);
+    p.Specify(0, cell);
+    EXPECT_NEAR(objective.Evaluate(p).sparsity, 0.0, 0.5) << "cell " << cell;
+  }
+}
+
+TEST(SparsityObjectiveTest, EmpiricalModeCorrectsSkewedMarginals) {
+  // A column where 80% of values are identical: equi-depth degenerates, the
+  // big cell holds far more than N/phi. Uniform mode calls the big cell
+  // dense and the dead cells empty; empirical mode scores every cell ~0
+  // because it uses actual marginals.
+  Dataset ds(1);
+  for (int i = 0; i < 800; ++i) ds.AppendRow({1.0});
+  for (int i = 0; i < 200; ++i) {
+    ds.AppendRow({2.0 + static_cast<double>(i) / 200.0});
+  }
+  GridModel::Options gopts;
+  gopts.phi = 5;
+  const GridModel grid = GridModel::Build(ds, gopts);
+  CubeCounter counter(grid);
+
+  SparsityObjective uniform(counter, ExpectationModel::kUniform);
+  SparsityObjective empirical(counter, ExpectationModel::kEmpiricalMarginals);
+
+  const uint32_t big_cell = grid.Cell(0, 0);  // the 80% clump
+  Projection p(1);
+  p.Specify(0, big_cell);
+  EXPECT_GT(uniform.Evaluate(p).sparsity, 3.0);      // "dense" artifact
+  EXPECT_NEAR(empirical.Evaluate(p).sparsity, 0.0, 1e-6);
+}
+
+TEST(SparsityObjectiveDeathTest, EmptyProjectionAborts) {
+  Fixture f;
+  SparsityObjective objective(f.counter);
+  const Projection p(4);
+  EXPECT_DEATH(objective.Evaluate(p), "empty");
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,62 @@
+#include "core/parameter_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "grid/sparsity.h"
+
+namespace hido {
+namespace {
+
+TEST(ParameterAdvisorTest, ExplicitPhiRespected) {
+  const ParameterAdvice advice = AdviseParameters(10000, 50, -3.0, 10);
+  EXPECT_EQ(advice.phi, 10u);
+  EXPECT_EQ(advice.k, 3u);  // log10(10000/9 + 1) = 3.04 -> 3
+}
+
+TEST(ParameterAdvisorTest, AutoPhiCapsAtTen) {
+  EXPECT_EQ(AdviseParameters(100000, 50).phi, 10u);
+}
+
+TEST(ParameterAdvisorTest, AutoPhiShrinksForSmallData) {
+  const ParameterAdvice advice = AdviseParameters(200, 50);
+  EXPECT_LT(advice.phi, 10u);
+  EXPECT_GE(advice.phi, 3u);
+}
+
+TEST(ParameterAdvisorTest, KClampedToDimensionality) {
+  const ParameterAdvice advice = AdviseParameters(1000000, 2, -3.0, 10);
+  EXPECT_EQ(advice.k, 2u);
+}
+
+TEST(ParameterAdvisorTest, KAtLeastOne) {
+  const ParameterAdvice advice = AdviseParameters(5, 10, -3.0, 10);
+  EXPECT_EQ(advice.k, 1u);
+}
+
+TEST(ParameterAdvisorTest, DerivedQuantitiesConsistent) {
+  const ParameterAdvice advice = AdviseParameters(10000, 50, -3.0, 10);
+  const SparsityModel model(10000, advice.phi);
+  EXPECT_DOUBLE_EQ(advice.empty_cube_sparsity,
+                   model.EmptyCubeCoefficient(advice.k));
+  EXPECT_DOUBLE_EQ(advice.expected_points_per_cube,
+                   model.ExpectedCount(advice.k));
+  // The defining property of k*: empty cubes at k* are at least as
+  // surprising as the target s.
+  EXPECT_LE(advice.empty_cube_sparsity, -3.0);
+}
+
+TEST(ParameterAdvisorTest, StricterTargetLowersK) {
+  const size_t k_loose = AdviseParameters(100000, 50, -2.0, 10).k;
+  const size_t k_strict = AdviseParameters(100000, 50, -5.0, 10).k;
+  EXPECT_GE(k_loose, k_strict);
+}
+
+TEST(ParameterAdvisorDeathTest, InvalidInputs) {
+  EXPECT_DEATH(AdviseParameters(0, 5), "num_points");
+  EXPECT_DEATH(AdviseParameters(10, 0), "num_dims");
+  EXPECT_DEATH(AdviseParameters(10, 5, 1.0), "negative");
+  EXPECT_DEATH(AdviseParameters(10, 5, -3.0, 1), "phi");
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,120 @@
+#include "core/projection.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(ProjectionTest, StartsAllDontCare) {
+  const Projection p(5);
+  EXPECT_EQ(p.num_dims(), 5u);
+  EXPECT_EQ(p.Dimensionality(), 0u);
+  for (size_t d = 0; d < 5; ++d) EXPECT_FALSE(p.IsSpecified(d));
+  EXPECT_TRUE(p.Conditions().empty());
+}
+
+TEST(ProjectionTest, SpecifyUnspecifyMaintainsDimensionality) {
+  Projection p(4);
+  p.Specify(1, 2);
+  p.Specify(3, 8);
+  EXPECT_EQ(p.Dimensionality(), 2u);
+  EXPECT_EQ(p.CellAt(1), 2u);
+  EXPECT_EQ(p.CellAt(3), 8u);
+  p.Specify(1, 5);  // overwrite does not change dimensionality
+  EXPECT_EQ(p.Dimensionality(), 2u);
+  EXPECT_EQ(p.CellAt(1), 5u);
+  p.Unspecify(1);
+  EXPECT_EQ(p.Dimensionality(), 1u);
+  p.Unspecify(1);  // idempotent
+  EXPECT_EQ(p.Dimensionality(), 1u);
+}
+
+TEST(ProjectionTest, ConditionsAscendingByDim) {
+  Projection p(6);
+  p.Specify(4, 1);
+  p.Specify(0, 3);
+  p.Specify(2, 0);
+  const std::vector<DimRange> conditions = p.Conditions();
+  ASSERT_EQ(conditions.size(), 3u);
+  EXPECT_EQ(conditions[0].dim, 0u);
+  EXPECT_EQ(conditions[0].cell, 3u);
+  EXPECT_EQ(conditions[1].dim, 2u);
+  EXPECT_EQ(conditions[2].dim, 4u);
+  EXPECT_EQ(p.SpecifiedDims(), (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(ProjectionTest, PaperStyleToString) {
+  // The paper's example: *3*9 (1-based cells) in 4 dimensions.
+  Projection p(4);
+  p.Specify(1, 2);  // 0-based cell 2 prints as 3
+  p.Specify(3, 8);  // prints as 9
+  EXPECT_EQ(p.ToString(), "*3*9");
+}
+
+TEST(ProjectionTest, ToStringMultiDigitCells) {
+  Projection p(3);
+  p.Specify(0, 11);  // prints as 12
+  EXPECT_EQ(p.ToString(), "12.*.*");
+}
+
+TEST(ProjectionTest, RandomHasExactDimensionality) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Projection p = Projection::Random(20, 4, 10, rng);
+    EXPECT_EQ(p.num_dims(), 20u);
+    EXPECT_EQ(p.Dimensionality(), 4u);
+    for (const DimRange& c : p.Conditions()) {
+      EXPECT_LT(c.cell, 10u);
+    }
+  }
+}
+
+TEST(ProjectionTest, RandomCoversAllDimensionsEventually) {
+  Rng rng(23);
+  std::set<size_t> seen;
+  for (int trial = 0; trial < 300; ++trial) {
+    for (size_t d : Projection::Random(8, 2, 5, rng).SpecifiedDims()) {
+      seen.insert(d);
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ProjectionTest, FromConditionsRoundTrip) {
+  const std::vector<DimRange> conditions = {{1, 4}, {5, 0}};
+  const Projection p = Projection::FromConditions(8, conditions);
+  EXPECT_EQ(p.Conditions(), conditions);
+}
+
+TEST(ProjectionTest, EqualityAndPackedKey) {
+  Projection a(5);
+  a.Specify(2, 3);
+  Projection b(5);
+  b.Specify(2, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.PackedKey(), b.PackedKey());
+  b.Specify(4, 0);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.PackedKey(), b.PackedKey());
+}
+
+TEST(ProjectionTest, PackedKeyDistinguishesCellAndDim) {
+  Projection a(4);
+  a.Specify(0, 1);
+  Projection b(4);
+  b.Specify(1, 0);
+  EXPECT_NE(a.PackedKey(), b.PackedKey());
+}
+
+TEST(ProjectionDeathTest, InvalidOperations) {
+  Projection p(3);
+  EXPECT_DEATH(p.Specify(3, 0), "dim");
+  EXPECT_DEATH(p.Specify(0, Projection::kDontCare), "cell");
+  const std::vector<DimRange> dup = {{1, 0}, {1, 2}};
+  EXPECT_DEATH(Projection::FromConditions(3, dup), "duplicate");
+}
+
+}  // namespace
+}  // namespace hido

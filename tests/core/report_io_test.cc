@@ -1,0 +1,82 @@
+#include "core/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace hido {
+namespace {
+
+OutlierReport MakeReport() {
+  OutlierReport report;
+  ScoredProjection a;
+  a.projection = Projection(4);
+  a.projection.Specify(1, 2);
+  a.projection.Specify(3, 8);
+  a.count = 1;
+  a.sparsity = -4.25;
+  report.projections.push_back(a);
+
+  ScoredProjection b;
+  b.projection = Projection(4);
+  b.projection.Specify(0, 0);
+  b.count = 3;
+  b.sparsity = -2.5;
+  report.projections.push_back(b);
+
+  OutlierRecord record;
+  record.row = 17;
+  record.projection_ids = {0, 1};
+  record.best_sparsity = -4.25;
+  report.outliers.push_back(record);
+  return report;
+}
+
+TEST(ReportIoTest, ProjectionsCsvFormat) {
+  const std::string csv = ProjectionsToCsv(MakeReport());
+  const std::vector<std::string> lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "index,projection,dimensionality,count,sparsity,conditions");
+  // The paper's *3*9 example with 1-based condition cells.
+  EXPECT_EQ(lines[1], "0,*3*9,2,1,-4.250000,1:3 3:9");
+  EXPECT_EQ(lines[2], "1,1***,1,3,-2.500000,0:1");
+}
+
+TEST(ReportIoTest, OutliersCsvFormat) {
+  const std::string csv = OutliersToCsv(MakeReport());
+  const std::vector<std::string> lines = Split(csv, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "row,best_sparsity,num_projections,projection_ids");
+  EXPECT_EQ(lines[1], "17,-4.250000,2,0 1");
+}
+
+TEST(ReportIoTest, EmptyReport) {
+  const OutlierReport report;
+  EXPECT_EQ(Split(ProjectionsToCsv(report), '\n').size(), 2u);  // header+""
+  EXPECT_EQ(Split(OutliersToCsv(report), '\n').size(), 2u);
+}
+
+TEST(ReportIoTest, WriteReportCreatesBothFiles) {
+  const std::string prefix = ::testing::TempDir() + "/hido_report";
+  ASSERT_TRUE(WriteReport(MakeReport(), prefix).ok());
+  for (const char* suffix : {".projections.csv", ".outliers.csv"}) {
+    std::ifstream in(prefix + suffix);
+    EXPECT_TRUE(in.good()) << suffix;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_FALSE(buffer.str().empty());
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(ReportIoTest, WriteReportFailsOnBadPath) {
+  EXPECT_FALSE(WriteReport(MakeReport(), "/nonexistent/dir/x").ok());
+}
+
+}  // namespace
+}  // namespace hido

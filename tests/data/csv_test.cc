@@ -1,0 +1,142 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(CsvReadTest, BasicWithHeader) {
+  const Result<Dataset> r = ReadCsvString("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Dataset& ds = r.value();
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.num_cols(), 2u);
+  EXPECT_EQ(ds.ColumnName(0), "a");
+  EXPECT_EQ(ds.Get(1, 1), 4.0);
+}
+
+TEST(CsvReadTest, NoHeader) {
+  CsvReadOptions opts;
+  opts.has_header = false;
+  const Result<Dataset> r = ReadCsvString("1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST(CsvReadTest, MissingTokens) {
+  const Result<Dataset> r = ReadCsvString("a,b\n1,?\n,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().IsMissing(0, 1));
+  EXPECT_TRUE(r.value().IsMissing(1, 0));
+  EXPECT_EQ(r.value().Get(1, 1), 2.0);
+}
+
+TEST(CsvReadTest, LabelColumnExtracted) {
+  CsvReadOptions opts;
+  opts.label_column = 1;
+  const Result<Dataset> r = ReadCsvString("x,class,y\n1,7,2\n3,8,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  const Dataset& ds = r.value();
+  EXPECT_EQ(ds.num_cols(), 2u);
+  EXPECT_EQ(ds.ColumnName(0), "x");
+  EXPECT_EQ(ds.ColumnName(1), "y");
+  ASSERT_TRUE(ds.has_labels());
+  EXPECT_EQ(ds.Label(0), 7);
+  EXPECT_EQ(ds.Label(1), 8);
+  EXPECT_EQ(ds.Get(1, 1), 4.0);
+}
+
+TEST(CsvReadTest, CrlfAndTrailingNewlineTolerated) {
+  const Result<Dataset> r = ReadCsvString("a\r\n1\r\n2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST(CsvReadTest, BlankLinesSkipped) {
+  const Result<Dataset> r = ReadCsvString("a\n1\n\n2\n\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvReadOptions opts;
+  opts.delimiter = ';';
+  const Result<Dataset> r = ReadCsvString("a;b\n1;2\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Get(0, 1), 2.0);
+}
+
+TEST(CsvReadTest, RaggedRowFails) {
+  const Result<Dataset> r = ReadCsvString("a,b\n1,2\n3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, NonNumericFieldFails) {
+  const Result<Dataset> r = ReadCsvString("a\nhello\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, BadLabelFails) {
+  CsvReadOptions opts;
+  opts.label_column = 0;
+  const Result<Dataset> r = ReadCsvString("class,x\nabc,1\n", opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvReadTest, LabelColumnOutOfRangeFails) {
+  CsvReadOptions opts;
+  opts.label_column = 5;
+  const Result<Dataset> r = ReadCsvString("a,b\n1,2\n", opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReadTest, MissingFileFails) {
+  const Result<Dataset> r = ReadCsv("/nonexistent/path/data.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesEverything) {
+  Dataset ds = Dataset::FromRows({{1.5, 2.0}, {3.25, 4.0}}, {"p", "q"});
+  ds.SetMissing(1, 0);
+  ds.SetLabels({3, 9});
+
+  CsvReadOptions ropts;
+  ropts.label_column = 2;  // label appended as last column
+  const Result<Dataset> r = ReadCsvString(WriteCsvString(ds), ropts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Dataset& back = r.value();
+  EXPECT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.num_cols(), 2u);
+  EXPECT_EQ(back.ColumnName(0), "p");
+  EXPECT_DOUBLE_EQ(back.Get(0, 0), 1.5);
+  EXPECT_TRUE(back.IsMissing(1, 0));
+  EXPECT_EQ(back.Label(0), 3);
+  EXPECT_EQ(back.Label(1), 9);
+}
+
+TEST(CsvRoundTripTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hido_csv_test.csv";
+  const Dataset ds = Dataset::FromRows({{1.0}, {2.0}}, {"v"});
+  ASSERT_TRUE(WriteCsv(ds, path).ok());
+  const Result<Dataset> r = ReadCsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriteTest, HeaderOptional) {
+  const Dataset ds = Dataset::FromRows({{1.0}});
+  CsvWriteOptions opts;
+  opts.write_header = false;
+  EXPECT_EQ(WriteCsvString(ds, opts), "1\n");
+}
+
+}  // namespace
+}  // namespace hido

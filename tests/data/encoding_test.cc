@@ -1,0 +1,110 @@
+#include "data/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(EncodingTest, NumericColumnsPassThrough) {
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("a,b\n1.5,2\n3,4\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().categorical.empty());
+  EXPECT_DOUBLE_EQ(r.value().data.Get(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(r.value().data.Get(1, 1), 4.0);
+}
+
+TEST(EncodingTest, CategoricalColumnOrdinalEncoded) {
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("color,x\nred,1\nblue,2\ngreen,3\nred,4\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const EncodedDataset& encoded = r.value();
+  ASSERT_EQ(encoded.categorical.size(), 1u);
+  EXPECT_EQ(encoded.categorical[0].column, 0u);
+  // Sorted distinct values: blue=0, green=1, red=2.
+  EXPECT_EQ(encoded.categorical[0].values,
+            (std::vector<std::string>{"blue", "green", "red"}));
+  EXPECT_DOUBLE_EQ(encoded.data.Get(0, 0), 2.0);  // red
+  EXPECT_DOUBLE_EQ(encoded.data.Get(1, 0), 0.0);  // blue
+  EXPECT_DOUBLE_EQ(encoded.data.Get(2, 0), 1.0);  // green
+  EXPECT_DOUBLE_EQ(encoded.data.Get(3, 0), 2.0);  // red
+}
+
+TEST(EncodingTest, DecodeRoundTrip) {
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("kind\ncat\ndog\ncat\n");
+  ASSERT_TRUE(r.ok());
+  const EncodedDataset& encoded = r.value();
+  EXPECT_EQ(encoded.Decode(0, encoded.data.Get(0, 0)), "cat");
+  EXPECT_EQ(encoded.Decode(0, encoded.data.Get(1, 0)), "dog");
+  EXPECT_EQ(encoded.Decode(0, 99.0), "");   // out of range
+  EXPECT_EQ(encoded.Decode(5, 0.0), "");    // not categorical
+}
+
+TEST(EncodingTest, MixedNumericLooking) {
+  // A column with one non-numeric value is entirely categorical.
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("v\n1\n2\nx\n1\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().categorical.size(), 1u);
+  // Sorted distinct: "1"=0, "2"=1, "x"=2.
+  EXPECT_DOUBLE_EQ(r.value().data.Get(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().data.Get(2, 0), 2.0);
+}
+
+TEST(EncodingTest, MissingStaysMissingInBothKinds) {
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("cat,num\nred,?\n?,2\nblue,3\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().data.IsMissing(0, 1));
+  EXPECT_TRUE(r.value().data.IsMissing(1, 0));
+  EXPECT_DOUBLE_EQ(r.value().data.Get(2, 1), 3.0);
+  // "?" is not a category value.
+  EXPECT_EQ(r.value().categorical[0].values,
+            (std::vector<std::string>{"blue", "red"}));
+}
+
+TEST(EncodingTest, LabelColumnExtracted) {
+  CsvReadOptions opts;
+  opts.label_column = 1;
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("kind,class,x\na,7,1\nb,8,2\n", opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const EncodedDataset& encoded = r.value();
+  EXPECT_EQ(encoded.data.num_cols(), 2u);
+  EXPECT_EQ(encoded.data.Label(0), 7);
+  // Mapping indices refer to the label-free dataset.
+  ASSERT_EQ(encoded.categorical.size(), 1u);
+  EXPECT_EQ(encoded.categorical[0].column, 0u);
+  EXPECT_EQ(encoded.data.ColumnName(1), "x");
+}
+
+TEST(EncodingTest, NonIntegerLabelFails) {
+  CsvReadOptions opts;
+  opts.label_column = 0;
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("class,x\nsick,1\n", opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EncodingTest, RaggedRowsFail) {
+  const Result<EncodedDataset> r = ReadCsvEncodedString("a,b\n1,2\n3\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EncodingTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvEncoded("/no/such/file.csv").ok());
+}
+
+TEST(EncodingTest, NoHeaderMode) {
+  CsvReadOptions opts;
+  opts.has_header = false;
+  const Result<EncodedDataset> r = ReadCsvEncodedString("x,1\ny,2\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().data.num_rows(), 2u);
+  EXPECT_EQ(r.value().data.ColumnName(0), "c0");
+  ASSERT_EQ(r.value().categorical.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hido

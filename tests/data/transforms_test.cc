@@ -1,0 +1,110 @@
+#include "data/transforms.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "data/column_stats.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  Dataset ds = Dataset::FromRows({{10.0, -1.0}, {20.0, 0.0}, {30.0, 3.0}});
+  MinMaxNormalize(ds);
+  EXPECT_DOUBLE_EQ(ds.Get(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.Get(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.Get(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds.Get(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ds.Get(2, 1), 1.0);
+}
+
+TEST(MinMaxNormalizeTest, ConstantColumnBecomesZero) {
+  Dataset ds = Dataset::FromRows({{7.0}, {7.0}});
+  MinMaxNormalize(ds);
+  EXPECT_DOUBLE_EQ(ds.Get(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.Get(1, 0), 0.0);
+}
+
+TEST(MinMaxNormalizeTest, MissingPreserved) {
+  Dataset ds(1);
+  ds.AppendRow({1.0});
+  ds.AppendRow({kNaN});
+  ds.AppendRow({3.0});
+  MinMaxNormalize(ds);
+  EXPECT_TRUE(ds.IsMissing(1, 0));
+  EXPECT_DOUBLE_EQ(ds.Get(2, 0), 1.0);
+}
+
+TEST(ZScoreNormalizeTest, ZeroMeanUnitVariance) {
+  Dataset ds = GenerateUniform(500, 3, 5);
+  ZScoreNormalize(ds);
+  for (size_t c = 0; c < 3; ++c) {
+    const ColumnStats stats = ComputeColumnStats(ds, c);
+    EXPECT_NEAR(stats.mean, 0.0, 1e-9);
+    EXPECT_NEAR(stats.stddev, 1.0, 1e-9);
+  }
+}
+
+TEST(JitterTest, BoundedAndDeterministic) {
+  Dataset a = Dataset::FromRows({{1.0, 2.0}, {1.0, 2.0}});
+  Dataset b = a;
+  Jitter(a, 0.01, 7);
+  Jitter(b, 0.01, 7);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(a.Get(r, c), b.Get(r, c));  // deterministic
+      EXPECT_NEAR(a.Get(r, c), c + 1.0, 0.01);
+    }
+  }
+  // Ties actually broken.
+  EXPECT_NE(a.Get(0, 0), a.Get(1, 0));
+}
+
+TEST(JitterTest, ZeroAmplitudeIsIdentity) {
+  Dataset ds = Dataset::FromRows({{5.0}});
+  Jitter(ds, 0.0, 1);
+  EXPECT_DOUBLE_EQ(ds.Get(0, 0), 5.0);
+}
+
+TEST(JitterTest, RescuesTiedColumnsForEquiDepth) {
+  // An integer-coded column with heavy ties collapses equi-depth ranges;
+  // jitter restores balanced ranges without changing the ordering of
+  // distinct values.
+  Dataset ds(1);
+  for (int v = 0; v < 4; ++v) {
+    for (int i = 0; i < 25; ++i) ds.AppendRow({static_cast<double>(v)});
+  }
+  Jitter(ds, 1e-6, 3);
+  GridModel::Options gopts;
+  gopts.phi = 4;
+  const GridModel grid = GridModel::Build(ds, gopts);
+  for (uint32_t cell = 0; cell < 4; ++cell) {
+    EXPECT_EQ(grid.PostingList(0, cell).size(), 25u) << cell;
+  }
+}
+
+TEST(SplitRowsTest, PartitionsRows) {
+  Dataset ds = GenerateUniform(400, 2, 9);
+  ds.SetLabels(std::vector<int32_t>(400, 1));
+  const auto [first, second] = SplitRows(ds, 0.7, 11);
+  EXPECT_EQ(first.num_rows() + second.num_rows(), 400u);
+  EXPECT_NEAR(static_cast<double>(first.num_rows()) / 400.0, 0.7, 0.07);
+  EXPECT_TRUE(first.has_labels());
+  EXPECT_TRUE(second.has_labels());
+}
+
+TEST(SplitRowsTest, ExtremeFractions) {
+  const Dataset ds = GenerateUniform(50, 2, 10);
+  const auto [all, none] = SplitRows(ds, 1.0, 1);
+  EXPECT_EQ(all.num_rows(), 50u);
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,65 @@
+#include "eval/curves.h"
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(TopNCurveTest, BasicPrecisionRecall) {
+  // Ranking: + - + - ; positives {10, 30}.
+  const std::vector<size_t> ranking = {10, 20, 30, 40};
+  const std::vector<size_t> positives = {10, 30};
+  const std::vector<CurvePoint> curve =
+      TopNCurve(ranking, positives, {1, 2, 3, 4});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve[2].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve[2].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[3].recall, 1.0);
+}
+
+TEST(TopNCurveTest, BudgetsClampToRankingLength) {
+  const std::vector<CurvePoint> curve =
+      TopNCurve({1, 2}, {2}, {10});
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].n, 2u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(TopNCurveTest, NoPositives) {
+  const std::vector<CurvePoint> curve = TopNCurve({1, 2}, {}, {2});
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.0);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 0.0);
+}
+
+TEST(TopNCurveTest, ZeroBudget) {
+  const std::vector<CurvePoint> curve = TopNCurve({1}, {1}, {0});
+  EXPECT_EQ(curve[0].n, 0u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({5, 6, 1, 2}, {5, 6}), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  // Positives at the end of a length-4 ranking: AP = (1/3 + 2/4) / 2.
+  EXPECT_NEAR(AveragePrecision({1, 2, 7, 8}, {7, 8}),
+              (1.0 / 3.0 + 2.0 / 4.0) / 2.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, MissingPositivesContributeZero) {
+  // Only one of two positives appears in the ranking.
+  EXPECT_NEAR(AveragePrecision({7, 1}, {7, 99}), (1.0 / 1.0) / 2.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoPositives) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 2}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace hido

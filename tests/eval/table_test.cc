@@ -1,0 +1,61 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a much longer name", "23456"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("a much longer name"), std::string::npos);
+  // All lines have the same width.
+  size_t width = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // Header top+bottom, mid separator, final: 4 separator lines.
+  size_t separators = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++separators;
+    pos += 2;
+  }
+  EXPECT_EQ(separators, 4u);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter table({"Col"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Col"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, WrongCellCountAborts) {
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "cells");
+}
+
+TEST(FormatCellTest, Precision) {
+  EXPECT_EQ(FormatCell(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatCell(-2.0, 1), "-2.0");
+  EXPECT_EQ(FormatCell(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace hido

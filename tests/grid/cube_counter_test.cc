@@ -1,0 +1,145 @@
+#include "grid/cube_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+GridModel MakeGrid(size_t n, size_t d, size_t phi, uint64_t seed) {
+  GridModel::Options opts;
+  opts.phi = phi;
+  return GridModel::Build(GenerateUniform(n, d, seed), opts);
+}
+
+std::vector<DimRange> RandomConditions(const GridModel& grid, size_t k,
+                                       Rng& rng) {
+  std::vector<DimRange> conditions;
+  const std::vector<size_t> dims =
+      rng.SampleWithoutReplacement(grid.num_dims(), k);
+  for (size_t d : dims) {
+    conditions.push_back({static_cast<uint32_t>(d),
+                          static_cast<uint32_t>(rng.UniformIndex(grid.phi()))});
+  }
+  return conditions;
+}
+
+TEST(CubeCounterTest, SingleConditionMatchesPostingList) {
+  const GridModel grid = MakeGrid(500, 3, 5, 1);
+  CubeCounter counter(grid);
+  for (uint32_t cell = 0; cell < 5; ++cell) {
+    EXPECT_EQ(counter.Count({{0, cell}}), grid.PostingList(0, cell).size());
+  }
+}
+
+TEST(CubeCounterTest, AllStrategiesAgree) {
+  const GridModel grid = MakeGrid(700, 6, 4, 2);
+  CubeCounter counter(grid);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t k = 1 + rng.UniformIndex(4);
+    const std::vector<DimRange> conditions = RandomConditions(grid, k, rng);
+    const size_t bitset =
+        counter.CountUncached(conditions, CountingStrategy::kBitset);
+    const size_t postings =
+        counter.CountUncached(conditions, CountingStrategy::kPostingList);
+    const size_t naive =
+        counter.CountUncached(conditions, CountingStrategy::kNaive);
+    EXPECT_EQ(bitset, postings);
+    EXPECT_EQ(bitset, naive);
+  }
+}
+
+TEST(CubeCounterTest, ConditionOrderDoesNotMatter) {
+  const GridModel grid = MakeGrid(400, 4, 3, 5);
+  CubeCounter counter(grid);
+  const std::vector<DimRange> a = {{0, 1}, {2, 0}, {3, 2}};
+  const std::vector<DimRange> b = {{3, 2}, {0, 1}, {2, 0}};
+  EXPECT_EQ(counter.Count(a), counter.Count(b));
+}
+
+TEST(CubeCounterTest, CacheHitsOnRepeatedQueries) {
+  const GridModel grid = MakeGrid(300, 4, 3, 7);
+  CubeCounter counter(grid);
+  const std::vector<DimRange> conditions = {{0, 0}, {1, 1}};
+  const size_t first = counter.Count(conditions);
+  const size_t again = counter.Count(conditions);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(counter.stats().queries, 2u);
+  EXPECT_EQ(counter.stats().cache_hits, 1u);
+  // Permuted conditions hit the same cache entry.
+  counter.Count({{1, 1}, {0, 0}});
+  EXPECT_EQ(counter.stats().cache_hits, 2u);
+}
+
+TEST(CubeCounterTest, CacheDisabled) {
+  const GridModel grid = MakeGrid(300, 4, 3, 7);
+  CubeCounter::Options opts;
+  opts.cache_capacity = 0;
+  CubeCounter counter(grid, opts);
+  counter.Count({{0, 0}});
+  counter.Count({{0, 0}});
+  EXPECT_EQ(counter.stats().cache_hits, 0u);
+}
+
+TEST(CubeCounterTest, ClearCacheForgets) {
+  const GridModel grid = MakeGrid(300, 4, 3, 7);
+  CubeCounter counter(grid);
+  counter.Count({{0, 0}});
+  counter.ClearCache();
+  counter.Count({{0, 0}});
+  EXPECT_EQ(counter.stats().cache_hits, 0u);
+}
+
+TEST(CubeCounterTest, CoveredPointsMatchCount) {
+  const GridModel grid = MakeGrid(600, 5, 4, 9);
+  CubeCounter counter(grid);
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<DimRange> conditions = RandomConditions(grid, 2, rng);
+    const std::vector<uint32_t> covered = counter.CoveredPoints(conditions);
+    EXPECT_EQ(covered.size(), counter.Count(conditions));
+    for (uint32_t row : covered) {
+      EXPECT_TRUE(grid.Covers(row, conditions));
+    }
+  }
+}
+
+TEST(CubeCounterTest, FullConjunctionOfOnePointCell) {
+  // A cube conditioned on every dimension of a single point contains
+  // at least that point.
+  const GridModel grid = MakeGrid(100, 3, 4, 13);
+  CubeCounter counter(grid);
+  std::vector<DimRange> conditions;
+  for (size_t d = 0; d < 3; ++d) {
+    conditions.push_back({static_cast<uint32_t>(d), grid.Cell(42, d)});
+  }
+  EXPECT_GE(counter.Count(conditions), 1u);
+  const std::vector<uint32_t> covered = counter.CoveredPoints(conditions);
+  EXPECT_NE(std::find(covered.begin(), covered.end(), 42u), covered.end());
+}
+
+TEST(CubeCounterDeathTest, EmptyConditionsAbort) {
+  const GridModel grid = MakeGrid(10, 2, 2, 15);
+  CubeCounter counter(grid);
+  EXPECT_DEATH(counter.Count({}), "empty");
+}
+
+// Property: counting distributes over the grid — per-dimension totals of
+// 2-cubes over all cells of the second dim equal the 1-cube count.
+TEST(CubeCounterTest, MarginalizationProperty) {
+  const GridModel grid = MakeGrid(800, 4, 5, 17);
+  CubeCounter counter(grid);
+  for (uint32_t c0 = 0; c0 < 5; ++c0) {
+    size_t total = 0;
+    for (uint32_t c1 = 0; c1 < 5; ++c1) {
+      total += counter.Count({{0, c0}, {1, c1}});
+    }
+    EXPECT_EQ(total, counter.Count({{0, c0}}));
+  }
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,123 @@
+#include "grid/grid_model.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+TEST(GridModelTest, BasicShape) {
+  const Dataset ds = GenerateUniform(200, 4, 3);
+  GridModel::Options opts;
+  opts.phi = 5;
+  const GridModel grid = GridModel::Build(ds, opts);
+  EXPECT_EQ(grid.num_points(), 200u);
+  EXPECT_EQ(grid.num_dims(), 4u);
+  EXPECT_EQ(grid.phi(), 5u);
+}
+
+TEST(GridModelTest, CellsMatchQuantizer) {
+  const Dataset ds = GenerateUniform(100, 2, 5);
+  GridModel::Options opts;
+  opts.phi = 4;
+  const GridModel grid = GridModel::Build(ds, opts);
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_EQ(grid.Cell(r, d),
+                grid.quantizer().CellOf(d, ds.Get(r, d)));
+    }
+  }
+}
+
+TEST(GridModelTest, MembershipsPartitionThePoints) {
+  const Dataset ds = GenerateUniform(333, 3, 7);
+  GridModel::Options opts;
+  opts.phi = 6;
+  const GridModel grid = GridModel::Build(ds, opts);
+  for (size_t d = 0; d < 3; ++d) {
+    size_t total = 0;
+    for (uint32_t cell = 0; cell < 6; ++cell) {
+      const DynamicBitset& members = grid.Members(d, cell);
+      EXPECT_EQ(members.Count(), grid.PostingList(d, cell).size());
+      total += members.Count();
+      // Posting list agrees with bitset contents.
+      for (uint32_t row : grid.PostingList(d, cell)) {
+        EXPECT_TRUE(members.Test(row));
+        EXPECT_EQ(grid.Cell(row, d), cell);
+      }
+    }
+    EXPECT_EQ(total, 333u);  // every point in exactly one range per dim
+  }
+}
+
+TEST(GridModelTest, RangeFractionsSumToOne) {
+  const Dataset ds = GenerateUniform(500, 2, 11);
+  GridModel::Options opts;
+  opts.phi = 10;
+  const GridModel grid = GridModel::Build(ds, opts);
+  for (size_t d = 0; d < 2; ++d) {
+    double sum = 0.0;
+    for (uint32_t cell = 0; cell < 10; ++cell) {
+      sum += grid.RangeFraction(d, cell);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(GridModelTest, MissingValuesGetMissingCell) {
+  Dataset ds(2);
+  ds.AppendRow({0.1, 0.5});
+  ds.AppendRow({std::numeric_limits<double>::quiet_NaN(), 0.7});
+  ds.AppendRow({0.9, 0.2});
+  GridModel::Options opts;
+  opts.phi = 2;
+  const GridModel grid = GridModel::Build(ds, opts);
+  EXPECT_EQ(grid.Cell(1, 0), GridModel::kMissingCell);
+  EXPECT_NE(grid.Cell(1, 1), GridModel::kMissingCell);
+  // Missing rows appear in no membership set of that dim.
+  size_t total = 0;
+  for (uint32_t cell = 0; cell < 2; ++cell) {
+    total += grid.Members(0, cell).Count();
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(GridModelTest, CoversChecksAllConditions) {
+  Dataset ds(2);
+  ds.AppendRow({0.1, 0.9});
+  ds.AppendRow({0.9, 0.9});
+  GridModel::Options opts;
+  opts.phi = 2;
+  const GridModel grid = GridModel::Build(ds, opts);
+  const uint32_t c00 = grid.Cell(0, 0);
+  const uint32_t c01 = grid.Cell(0, 1);
+  EXPECT_TRUE(grid.Covers(0, {{0, c00}, {1, c01}}));
+  EXPECT_FALSE(grid.Covers(1, {{0, c00}, {1, c01}}));
+  EXPECT_TRUE(grid.Covers(1, {{1, c01}}));
+}
+
+TEST(GridModelTest, CoversNeverMatchesMissing) {
+  Dataset ds(1);
+  ds.AppendRow({std::numeric_limits<double>::quiet_NaN()});
+  ds.AppendRow({0.5});
+  GridModel::Options opts;
+  opts.phi = 2;
+  const GridModel grid = GridModel::Build(ds, opts);
+  for (uint32_t cell = 0; cell < 2; ++cell) {
+    EXPECT_FALSE(grid.Covers(0, {{0, cell}}));
+  }
+}
+
+TEST(GridModelDeathTest, BadCellAborts) {
+  const Dataset ds = GenerateUniform(10, 1, 13);
+  GridModel::Options opts;
+  opts.phi = 2;
+  const GridModel grid = GridModel::Build(ds, opts);
+  EXPECT_DEATH(grid.Members(0, 5), "cell");
+}
+
+}  // namespace
+}  // namespace hido

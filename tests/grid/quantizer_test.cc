@@ -1,0 +1,216 @@
+#include "grid/quantizer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+Dataset SingleColumn(const std::vector<double>& values) {
+  Dataset ds(1);
+  for (double v : values) ds.AppendRow({v});
+  return ds;
+}
+
+TEST(QuantizerTest, EquiDepthBalancedOnContinuousData) {
+  const Dataset ds = GenerateUniform(1000, 3, 17);
+  Quantizer::Options opts;
+  opts.num_ranges = 10;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  EXPECT_EQ(q.num_ranges(), 10u);
+  EXPECT_EQ(q.num_cols(), 3u);
+
+  for (size_t c = 0; c < 3; ++c) {
+    std::vector<size_t> counts(10, 0);
+    for (size_t r = 0; r < ds.num_rows(); ++r) {
+      counts[q.CellOf(c, ds.Get(r, c))] += 1;
+    }
+    for (size_t cell = 0; cell < 10; ++cell) {
+      // Equi-depth: each range holds ~N/phi = 100 points.
+      EXPECT_NEAR(static_cast<double>(counts[cell]), 100.0, 3.0)
+          << "col " << c << " cell " << cell;
+    }
+  }
+}
+
+TEST(QuantizerTest, EquiWidthBoundaries) {
+  const Dataset ds = SingleColumn({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+                                   8.0, 10.0});
+  Quantizer::Options opts;
+  opts.num_ranges = 5;
+  opts.mode = BinningMode::kEquiWidth;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  // Width = 2: cells [0,2), [2,4), [4,6), [6,8), [8,10].
+  EXPECT_EQ(q.CellOf(0, 0.0), 0u);
+  EXPECT_EQ(q.CellOf(0, 1.9), 0u);
+  EXPECT_EQ(q.CellOf(0, 2.0), 1u);
+  EXPECT_EQ(q.CellOf(0, 9.9), 4u);
+  EXPECT_EQ(q.CellOf(0, 10.0), 4u);
+}
+
+TEST(QuantizerTest, OutOfRangeValuesClampToEndCells) {
+  const Dataset ds = SingleColumn({1.0, 2.0, 3.0, 4.0});
+  Quantizer::Options opts;
+  opts.num_ranges = 2;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  EXPECT_EQ(q.CellOf(0, -100.0), 0u);
+  EXPECT_EQ(q.CellOf(0, 100.0), 1u);
+}
+
+TEST(QuantizerTest, CellOfIsMonotoneInValue) {
+  const Dataset ds = GenerateUniform(500, 1, 23);
+  Quantizer::Options opts;
+  opts.num_ranges = 7;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  uint32_t prev = 0;
+  for (double v = -0.5; v <= 1.5; v += 0.001) {
+    const uint32_t cell = q.CellOf(0, v);
+    EXPECT_GE(cell, prev);
+    EXPECT_LT(cell, 7u);
+    prev = cell;
+  }
+}
+
+TEST(QuantizerTest, ConstantColumnCollapsesToOneCell) {
+  const Dataset ds = SingleColumn({5.0, 5.0, 5.0, 5.0});
+  Quantizer::Options opts;
+  opts.num_ranges = 4;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  for (double v : {4.0, 5.0, 6.0}) {
+    EXPECT_LT(q.CellOf(0, v), 4u);  // well-defined, no crash
+  }
+  // All data lands in one cell.
+  EXPECT_EQ(q.CellOf(0, 5.0), q.CellOf(0, 5.0));
+}
+
+TEST(QuantizerTest, MissingValuesIgnoredDuringFit) {
+  Dataset ds(1);
+  ds.AppendRow({1.0});
+  ds.AppendRow({std::numeric_limits<double>::quiet_NaN()});
+  ds.AppendRow({2.0});
+  ds.AppendRow({3.0});
+  ds.AppendRow({4.0});
+  Quantizer::Options opts;
+  opts.num_ranges = 2;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  EXPECT_EQ(q.CellOf(0, 1.0), 0u);
+  EXPECT_EQ(q.CellOf(0, 4.0), 1u);
+}
+
+TEST(QuantizerTest, CellBoundsCoverColumnRange) {
+  const Dataset ds = GenerateUniform(300, 1, 31);
+  Quantizer::Options opts;
+  opts.num_ranges = 5;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  double prev_hi = -1.0;
+  for (uint32_t cell = 0; cell < 5; ++cell) {
+    const auto [lo, hi] = q.CellBounds(0, cell);
+    EXPECT_LE(lo, hi);
+    if (cell > 0) {
+      EXPECT_EQ(lo, prev_hi);  // contiguous
+    }
+    prev_hi = hi;
+  }
+}
+
+TEST(QuantizerTest, CutsAreNonDecreasing) {
+  const Dataset ds = GenerateUniform(100, 2, 37);
+  Quantizer::Options opts;
+  opts.num_ranges = 10;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  for (size_t c = 0; c < 2; ++c) {
+    const std::vector<double>& cuts = q.Cuts(c);
+    ASSERT_EQ(cuts.size(), 9u);
+    for (size_t i = 1; i < cuts.size(); ++i) {
+      EXPECT_LE(cuts[i - 1], cuts[i]);
+    }
+  }
+}
+
+TEST(QuantizerTest, FromCutsReconstructsCellAssignment) {
+  // A quantizer rebuilt from its own fitted state (the model-loading path)
+  // must agree with the original on every value.
+  const Dataset ds = GenerateUniform(300, 3, 53);
+  Quantizer::Options opts;
+  opts.num_ranges = 7;
+  const Quantizer fitted = Quantizer::Fit(ds, opts);
+
+  std::vector<std::vector<double>> cuts;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+  for (size_t c = 0; c < 3; ++c) {
+    cuts.push_back(fitted.Cuts(c));
+    mins.push_back(fitted.CellBounds(c, 0).first);
+    maxs.push_back(fitted.CellBounds(c, 6).second);
+  }
+  const Quantizer rebuilt =
+      Quantizer::FromCuts(opts, cuts, mins, maxs);
+  for (size_t c = 0; c < 3; ++c) {
+    for (double v = -0.2; v <= 1.2; v += 0.013) {
+      EXPECT_EQ(rebuilt.CellOf(c, v), fitted.CellOf(c, v))
+          << "col " << c << " v " << v;
+    }
+    EXPECT_EQ(rebuilt.CellBounds(c, 3), fitted.CellBounds(c, 3));
+  }
+}
+
+TEST(QuantizerDeathTest, FromCutsValidatesShape) {
+  Quantizer::Options opts;
+  opts.num_ranges = 4;
+  // Wrong cut count per column.
+  EXPECT_DEATH(
+      Quantizer::FromCuts(opts, {{0.5}}, {0.0}, {1.0}), "cuts per column");
+  // Unsorted cuts.
+  EXPECT_DEATH(Quantizer::FromCuts(opts, {{0.7, 0.5, 0.9}}, {0.0}, {1.0}),
+               "non-decreasing");
+  // Mismatched bounds vectors.
+  EXPECT_DEATH(
+      Quantizer::FromCuts(opts, {{0.2, 0.5, 0.7}}, {0.0, 0.0}, {1.0}),
+      "");
+}
+
+TEST(QuantizerDeathTest, PhiOneAborts) {
+  const Dataset ds = SingleColumn({1.0});
+  Quantizer::Options opts;
+  opts.num_ranges = 1;
+  EXPECT_DEATH(Quantizer::Fit(ds, opts), "phi");
+}
+
+TEST(QuantizerDeathTest, AllMissingColumnAborts) {
+  Dataset ds(1);
+  ds.AppendRow({std::numeric_limits<double>::quiet_NaN()});
+  Quantizer::Options opts;
+  opts.num_ranges = 2;
+  EXPECT_DEATH(Quantizer::Fit(ds, opts), "present");
+}
+
+// Property sweep: equi-depth balance holds across phi values.
+class EquiDepthBalance : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EquiDepthBalance, RangesHoldRoughlyEqualCounts) {
+  const size_t phi = GetParam();
+  const size_t n = 997;  // deliberately not divisible by phi
+  const Dataset ds = GenerateUniform(n, 1, 41 + phi);
+  Quantizer::Options opts;
+  opts.num_ranges = phi;
+  const Quantizer q = Quantizer::Fit(ds, opts);
+  std::vector<size_t> counts(phi, 0);
+  for (size_t r = 0; r < n; ++r) {
+    counts[q.CellOf(0, ds.Get(r, 0))] += 1;
+  }
+  const double expected = static_cast<double>(n) / static_cast<double>(phi);
+  for (size_t cell = 0; cell < phi; ++cell) {
+    EXPECT_NEAR(static_cast<double>(counts[cell]), expected,
+                expected * 0.05 + 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PhiSweep, EquiDepthBalance,
+                         ::testing::Values(2, 3, 5, 10, 20));
+
+}  // namespace
+}  // namespace hido

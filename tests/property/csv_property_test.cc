@@ -1,0 +1,93 @@
+// Round-trip property: for randomized datasets (shape, missing cells,
+// labels), Write -> Read reproduces the dataset exactly (values via %.17g,
+// masks, names, labels).
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+// (rows, cols, missing_permille, with_labels, seed)
+using CsvCase = std::tuple<size_t, size_t, size_t, bool, uint64_t>;
+
+class CsvRoundTripProperty : public ::testing::TestWithParam<CsvCase> {};
+
+TEST_P(CsvRoundTripProperty, WriteReadIsIdentity) {
+  const auto [rows, cols, missing_permille, with_labels, seed] = GetParam();
+  Rng rng(seed);
+  Dataset original(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    original.SetColumnName(c, "col_" + std::to_string(c));
+  }
+  std::vector<double> row(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      // Adversarial values: scales, negatives, many digits.
+      const double magnitude = std::pow(10.0, rng.UniformInt(-8, 8));
+      row[c] = (rng.Bernoulli(0.5) ? 1 : -1) * rng.UniformDouble() *
+               magnitude;
+      if (rng.Bernoulli(static_cast<double>(missing_permille) / 1000.0)) {
+        row[c] = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    original.AppendRow(row);
+  }
+  if (with_labels) {
+    std::vector<int32_t> labels(rows);
+    for (int32_t& label : labels) {
+      label = static_cast<int32_t>(rng.UniformInt(-5, 20));
+    }
+    original.SetLabels(std::move(labels));
+  }
+
+  CsvReadOptions ropts;
+  if (with_labels) ropts.label_column = static_cast<int>(cols);
+  const Result<Dataset> restored =
+      ReadCsvString(WriteCsvString(original), ropts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Dataset& back = restored.value();
+
+  ASSERT_EQ(back.num_rows(), rows);
+  ASSERT_EQ(back.num_cols(), cols);
+  for (size_t c = 0; c < cols; ++c) {
+    EXPECT_EQ(back.ColumnName(c), original.ColumnName(c));
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      ASSERT_EQ(back.IsMissing(r, c), original.IsMissing(r, c))
+          << r << "," << c;
+      if (!original.IsMissing(r, c)) {
+        EXPECT_EQ(back.Get(r, c), original.Get(r, c)) << r << "," << c;
+      }
+    }
+    if (with_labels) {
+      EXPECT_EQ(back.Label(r), original.Label(r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatasets, CsvRoundTripProperty,
+    ::testing::Values(CsvCase{1, 1, 0, false, 1},
+                      CsvCase{50, 3, 0, false, 2},
+                      CsvCase{30, 5, 100, false, 3},
+                      CsvCase{40, 2, 300, true, 4},
+                      CsvCase{100, 8, 50, true, 5},
+                      CsvCase{7, 12, 0, true, 6}),
+    [](const ::testing::TestParamInfo<CsvCase>& info) {
+      return "r" + std::to_string(std::get<0>(info.param)) + "_c" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "_lab" : "_nolab") + "_s" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,97 @@
+// End-to-end configuration sweep for the detector facade: every
+// combination of algorithm, binning mode, expectation model, and crossover
+// must run to completion and uphold the report's invariants.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace {
+
+// (algorithm, binning, expectation, crossover)
+using Combo = std::tuple<SearchAlgorithm, BinningMode, ExpectationModel,
+                         CrossoverKind>;
+
+class DetectorCombos : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(DetectorCombos, RunsAndUpholdsInvariants) {
+  SubspaceOutlierConfig gen;
+  gen.num_points = 300;
+  gen.num_dims = 10;
+  gen.num_groups = 2;
+  gen.num_outliers = 4;
+  gen.seed = 5;
+  const GeneratedDataset g = GenerateSubspaceOutliers(gen);
+
+  DetectorConfig config;
+  config.algorithm = std::get<0>(GetParam());
+  config.binning = std::get<1>(GetParam());
+  config.expectation = std::get<2>(GetParam());
+  config.evolution.crossover = std::get<3>(GetParam());
+  config.phi = 5;
+  config.target_dim = 2;
+  config.num_projections = 8;
+  config.evolution.population_size = 40;
+  config.evolution.max_generations = 30;
+  config.evolution.restarts = 2;
+  config.seed = 7;
+
+  const DetectionResult result = OutlierDetector(config).Detect(g.data);
+
+  // Invariants that hold for every configuration.
+  EXPECT_EQ(result.phi, 5u);
+  EXPECT_EQ(result.target_dim, 2u);
+  EXPECT_LE(result.report.projections.size(), 8u);
+  EXPECT_FALSE(result.report.projections.empty());
+  for (size_t i = 0; i < result.report.projections.size(); ++i) {
+    const ScoredProjection& s = result.report.projections[i];
+    EXPECT_EQ(s.projection.Dimensionality(), 2u);
+    EXPECT_GE(s.count, 1u);  // non-empty filter
+    if (i > 0) {
+      EXPECT_LE(result.report.projections[i - 1].sparsity, s.sparsity);
+    }
+  }
+  for (const OutlierRecord& record : result.report.outliers) {
+    EXPECT_LT(record.row, g.data.num_rows());
+    EXPECT_FALSE(record.projection_ids.empty());
+    for (size_t pid : record.projection_ids) {
+      ASSERT_LT(pid, result.report.projections.size());
+      EXPECT_TRUE(result.grid.Covers(
+          record.row,
+          result.report.projections[pid].projection.Conditions()));
+    }
+  }
+}
+
+std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
+  std::string name;
+  name += std::get<0>(info.param) == SearchAlgorithm::kBruteForce ? "Brute"
+                                                                  : "Evo";
+  name += std::get<1>(info.param) == BinningMode::kEquiDepth ? "Depth"
+                                                             : "Width";
+  name += std::get<2>(info.param) == ExpectationModel::kUniform
+              ? "Uniform"
+              : "Empirical";
+  name += std::get<3>(info.param) == CrossoverKind::kOptimized ? "Opt"
+                                                               : "TwoPt";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, DetectorCombos,
+    ::testing::Combine(
+        ::testing::Values(SearchAlgorithm::kEvolutionary,
+                          SearchAlgorithm::kBruteForce),
+        ::testing::Values(BinningMode::kEquiDepth, BinningMode::kEquiWidth),
+        ::testing::Values(ExpectationModel::kUniform,
+                          ExpectationModel::kEmpiricalMarginals),
+        ::testing::Values(CrossoverKind::kOptimized,
+                          CrossoverKind::kTwoPoint)),
+    ComboName);
+
+}  // namespace
+}  // namespace hido

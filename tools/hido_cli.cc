@@ -1,0 +1,388 @@
+// hido — command-line outlier detection by sparse subspace projections.
+//
+// Subcommands:
+//   hido detect    --input data.csv [options]   run the detector
+//   hido advise    --rows N --dims D [options]  print §2.4 parameter advice
+//   hido baselines --input data.csv [options]   run kNN / LOF / DB(k,λ)
+//   hido describe  --input data.csv             dataset summary
+//
+// `detect` prints the abnormal projections and flagged rows, explains the
+// strongest ones, and optionally writes machine-readable CSVs via --output.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/db_outlier.h"
+#include "baselines/knn_outlier.h"
+#include "baselines/lof.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "core/model_io.h"
+#include "core/parameter_advisor.h"
+#include "core/report_io.h"
+#include "core/scoring.h"
+#include "data/column_stats.h"
+#include "data/csv.h"
+#include "data/encoding.h"
+#include "eval/table.h"
+
+namespace hido {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool WantsHelp(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg == "--help") return true;
+  }
+  return false;
+}
+
+// Parses flags; on --help prints usage (returns 0), on error prints the
+// problem plus usage (returns 1), otherwise returns -1 ("keep going").
+int ParseOrReport(FlagParser& flags, const std::vector<std::string>& args) {
+  if (WantsHelp(args)) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  const Status parsed = flags.Parse(args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+  return -1;
+}
+
+Result<Dataset> LoadInput(const FlagParser& flags) {
+  CsvReadOptions options;
+  options.has_header = flags.GetBool("header");
+  options.label_column = static_cast<int>(flags.GetInt("label-column"));
+  if (flags.GetBool("encode-categorical")) {
+    Result<EncodedDataset> encoded =
+        ReadCsvEncoded(flags.GetString("input"), options);
+    if (!encoded.ok()) return encoded.status();
+    for (const CategoricalMapping& mapping : encoded.value().categorical) {
+      std::fprintf(stderr,
+                   "note: column '%s' is categorical (%zu values, "
+                   "ordinal-encoded)\n",
+                   encoded.value().data.ColumnName(mapping.column).c_str(),
+                   mapping.values.size());
+    }
+    return std::move(encoded.value().data);
+  }
+  return ReadCsv(flags.GetString("input"), options);
+}
+
+void AddInputFlags(FlagParser& flags) {
+  flags.AddString("input", "", "input CSV path", /*required=*/true);
+  flags.AddBool("header", true, "first CSV line is a header");
+  flags.AddInt("label-column", -1,
+               "column index holding class labels (-1: none)");
+  flags.AddBool("encode-categorical", true,
+                "ordinal-encode non-numeric columns instead of failing");
+}
+
+// ---------------------------------------------------------------- detect --
+
+int RunDetect(const std::vector<std::string>& args) {
+  FlagParser flags("hido detect", "find outliers by sparse projections");
+  AddInputFlags(flags);
+  flags.AddInt("phi", 0, "ranges per attribute (0: auto per paper sec 2.4)");
+  flags.AddInt("k", 0, "projection dimensionality (0: k* rule)");
+  flags.AddDouble("s", -3.0, "target sparsity level for the k* rule");
+  flags.AddInt("m", 20, "number of abnormal projections to report");
+  flags.AddString("algorithm", "evolutionary", "evolutionary | brute-force");
+  flags.AddString("binning", "equi-depth", "equi-depth | equi-width");
+  flags.AddString("expectation", "uniform", "uniform | empirical");
+  flags.AddInt("population", 100, "GA population size");
+  flags.AddInt("generations", 100, "GA max generations per restart");
+  flags.AddInt("restarts", 4, "independent GA restarts");
+  flags.AddString("crossover", "optimized", "optimized | two-point");
+  flags.AddInt("seed", 42, "random seed");
+  flags.AddInt("explain", 3, "print explanations for the strongest N rows");
+  flags.AddInt("rank", 0,
+               "also print the top-N ranked rows by outlier score (0: off)");
+  flags.AddString("output", "",
+                  "prefix for <prefix>.projections.csv / .outliers.csv");
+  flags.AddString("save-model", "",
+                  "persist the fitted model for `hido score` (path)");
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+
+  Result<Dataset> data = LoadInput(flags);
+  if (!data.ok()) return Fail(data.status());
+
+  DetectorConfig config;
+  config.phi = static_cast<size_t>(flags.GetInt("phi"));
+  config.target_dim = static_cast<size_t>(flags.GetInt("k"));
+  config.sparsity_target = flags.GetDouble("s");
+  config.num_projections = static_cast<size_t>(flags.GetInt("m"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (flags.GetString("algorithm") == "brute-force") {
+    config.algorithm = SearchAlgorithm::kBruteForce;
+  } else if (flags.GetString("algorithm") != "evolutionary") {
+    return Fail(Status::InvalidArgument("unknown --algorithm"));
+  }
+  if (flags.GetString("binning") == "equi-width") {
+    config.binning = BinningMode::kEquiWidth;
+  } else if (flags.GetString("binning") != "equi-depth") {
+    return Fail(Status::InvalidArgument("unknown --binning"));
+  }
+  if (flags.GetString("expectation") == "empirical") {
+    config.expectation = ExpectationModel::kEmpiricalMarginals;
+  } else if (flags.GetString("expectation") != "uniform") {
+    return Fail(Status::InvalidArgument("unknown --expectation"));
+  }
+  config.evolution.population_size =
+      static_cast<size_t>(flags.GetInt("population"));
+  config.evolution.max_generations =
+      static_cast<size_t>(flags.GetInt("generations"));
+  config.evolution.restarts = static_cast<size_t>(flags.GetInt("restarts"));
+  if (flags.GetString("crossover") == "two-point") {
+    config.evolution.crossover = CrossoverKind::kTwoPoint;
+  } else if (flags.GetString("crossover") != "optimized") {
+    return Fail(Status::InvalidArgument("unknown --crossover"));
+  }
+
+  const OutlierDetector detector(config);
+  const DetectionResult result = detector.Detect(data.value());
+
+  std::printf("detected with phi=%zu, k=%zu (%s) in %.3fs: "
+              "%zu abnormal projections covering %zu rows\n\n",
+              result.phi, result.target_dim,
+              flags.GetString("algorithm").c_str(), result.seconds,
+              result.report.projections.size(),
+              result.report.outliers.size());
+
+  TablePrinter table({"#", "projection", "count", "sparsity"});
+  for (size_t i = 0; i < result.report.projections.size(); ++i) {
+    const ScoredProjection& s = result.report.projections[i];
+    std::string name = s.projection.ToString();
+    if (name.size() > 48) name = name.substr(0, 45) + "...";
+    table.AddRow({StrFormat("%zu", i), name, StrFormat("%zu", s.count),
+                  StrFormat("%.3f", s.sparsity)});
+  }
+  table.Print();
+
+  const size_t explain = std::min<size_t>(
+      static_cast<size_t>(flags.GetInt("explain")),
+      result.report.outliers.size());
+  if (explain > 0) std::printf("\nstrongest outliers:\n");
+  for (size_t i = 0; i < explain; ++i) {
+    std::printf("%s\n", ExplainOutlier(result.report, i, result.grid,
+                                       data.value())
+                            .c_str());
+  }
+
+  const size_t rank_n = static_cast<size_t>(flags.GetInt("rank"));
+  if (rank_n > 0) {
+    const std::vector<PointScore> scores =
+        ScoreAllPoints(result.grid, result.report.projections);
+    const std::vector<size_t> order = RankRows(scores);
+    std::printf("\ntop %zu rows by outlier score:\n",
+                std::min(rank_n, order.size()));
+    for (size_t i = 0; i < order.size() && i < rank_n; ++i) {
+      const PointScore& s = scores[order[i]];
+      std::printf("  row %-6zu score %-8.3f covering projections %zu\n",
+                  s.row, s.sparsity_score, s.covering_projections);
+    }
+  }
+
+  if (!flags.GetString("output").empty()) {
+    const Status written =
+        WriteReport(result.report, flags.GetString("output"));
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote %s.projections.csv and %s.outliers.csv\n",
+                flags.GetString("output").c_str(),
+                flags.GetString("output").c_str());
+  }
+  if (!flags.GetString("save-model").empty()) {
+    const Status saved = SaveModel(MakeModel(result, data.value()),
+                                   flags.GetString("save-model"));
+    if (!saved.ok()) return Fail(saved);
+    std::printf("wrote model to %s\n",
+                flags.GetString("save-model").c_str());
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- score --
+
+int RunScore(const std::vector<std::string>& args) {
+  FlagParser flags("hido score",
+                   "score new rows against a saved model (train once with "
+                   "`hido detect --save-model`)");
+  AddInputFlags(flags);
+  flags.AddString("model", "", "model file from detect --save-model",
+                  /*required=*/true);
+  flags.AddDouble("threshold", 0.0,
+                  "alert when score <= threshold (0: alert on any coverage)");
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+
+  Result<SparseModel> model = LoadModel(flags.GetString("model"));
+  if (!model.ok()) return Fail(model.status());
+  Result<Dataset> data = LoadInput(flags);
+  if (!data.ok()) return Fail(data.status());
+  if (data.value().num_cols() != model.value().quantizer.num_cols()) {
+    return Fail(Status::InvalidArgument(StrFormat(
+        "input has %zu columns, model expects %zu",
+        data.value().num_cols(), model.value().quantizer.num_cols())));
+  }
+
+  const double threshold = flags.GetDouble("threshold");
+  size_t alerts = 0;
+  for (size_t row = 0; row < data.value().num_rows(); ++row) {
+    const PointScore score = model.value().Score(data.value().Row(row));
+    const bool alert = score.covering_projections > 0 &&
+                       score.sparsity_score <= threshold;
+    if (alert) {
+      ++alerts;
+      std::printf("row %-6zu score %-8.3f covering projections %zu\n",
+                  row, score.sparsity_score, score.covering_projections);
+    }
+  }
+  std::printf("%zu of %zu rows alerted\n", alerts,
+              data.value().num_rows());
+  return 0;
+}
+
+// ---------------------------------------------------------------- advise --
+
+int RunAdvise(const std::vector<std::string>& args) {
+  FlagParser flags("hido advise", "print the paper's sec 2.4 parameters");
+  flags.AddInt("rows", 0, "number of data points N", /*required=*/true);
+  flags.AddInt("dims", 0, "number of attributes d", /*required=*/true);
+  flags.AddInt("phi", 0, "ranges per attribute (0: auto)");
+  flags.AddDouble("s", -3.0, "target sparsity level (negative)");
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+  const ParameterAdvice advice = AdviseParameters(
+      static_cast<size_t>(flags.GetInt("rows")),
+      static_cast<size_t>(flags.GetInt("dims")), flags.GetDouble("s"),
+      static_cast<size_t>(flags.GetInt("phi")));
+  std::printf("phi = %zu ranges per attribute\n", advice.phi);
+  std::printf("k*  = %zu (projection dimensionality)\n", advice.k);
+  std::printf("expected points per %zu-cube: %.3f\n", advice.k,
+              advice.expected_points_per_cube);
+  std::printf("empty-cube sparsity at k*: %.3f\n",
+              advice.empty_cube_sparsity);
+  return 0;
+}
+
+// ------------------------------------------------------------- baselines --
+
+int RunBaselines(const std::vector<std::string>& args) {
+  FlagParser flags("hido baselines",
+                   "full-dimensional comparators: kNN [25], LOF [10], "
+                   "DB(k,lambda) [22]");
+  AddInputFlags(flags);
+  flags.AddInt("top", 20, "rows to flag per method");
+  flags.AddInt("knn-k", 5, "k for the kNN-distance method");
+  flags.AddInt("lof-minpts", 10, "MinPts for LOF");
+  flags.AddDouble("db-lambda", 0.0,
+                  "lambda for DB outliers (0: the 5th-percentile distance)");
+  flags.AddInt("db-max-neighbors", 5, "k for DB(k,lambda)");
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+  Result<Dataset> data = LoadInput(flags);
+  if (!data.ok()) return Fail(data.status());
+  const DistanceMetric metric(data.value());
+  const size_t top = static_cast<size_t>(flags.GetInt("top"));
+
+  std::printf("== kNN-distance outliers (k=%lld), strongest first ==\n",
+              static_cast<long long>(flags.GetInt("knn-k")));
+  KnnOutlierOptions kopts;
+  kopts.k = static_cast<size_t>(flags.GetInt("knn-k"));
+  kopts.num_outliers = top;
+  for (const KnnOutlier& o : TopNKnnOutliers(metric, kopts)) {
+    std::printf("  row %zu  kth-NN distance %.4f\n", o.row, o.kth_distance);
+  }
+
+  std::printf("\n== LOF (MinPts=%lld), top scores ==\n",
+              static_cast<long long>(flags.GetInt("lof-minpts")));
+  LofOptions lofopts;
+  lofopts.min_pts = static_cast<size_t>(flags.GetInt("lof-minpts"));
+  const std::vector<double> scores = ComputeLof(metric, lofopts);
+  for (size_t row : TopNByScore(scores, top)) {
+    std::printf("  row %zu  LOF %.3f\n", row, scores[row]);
+  }
+
+  double lambda = flags.GetDouble("db-lambda");
+  if (lambda <= 0.0) {
+    Rng rng(1);
+    lambda = EstimateLambda(metric, 0.05, 5000, rng);
+  }
+  std::printf("\n== DB(k=%lld, lambda=%.4f) outliers ==\n",
+              static_cast<long long>(flags.GetInt("db-max-neighbors")),
+              lambda);
+  DbOutlierOptions dbopts;
+  dbopts.lambda = lambda;
+  dbopts.max_neighbors =
+      static_cast<size_t>(flags.GetInt("db-max-neighbors"));
+  const std::vector<size_t> db = DbOutliers(metric, dbopts);
+  std::printf("  %zu rows flagged", db.size());
+  for (size_t i = 0; i < db.size() && i < top; ++i) {
+    std::printf("%s%zu", i == 0 ? ": " : ", ", db[i]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+// -------------------------------------------------------------- describe --
+
+int RunDescribe(const std::vector<std::string>& args) {
+  FlagParser flags("hido describe", "dataset summary");
+  AddInputFlags(flags);
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+  Result<Dataset> data = LoadInput(flags);
+  if (!data.ok()) return Fail(data.status());
+  std::printf("%s", DescribeDataset(data.value(), 32).c_str());
+  const ParameterAdvice advice =
+      AdviseParameters(data.value().num_rows(), data.value().num_cols());
+  std::printf("suggested parameters (sec 2.4): phi=%zu, k=%zu\n", advice.phi,
+              advice.k);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hido <detect|score|advise|baselines|describe> [--flags]\n"
+      "  detect     find outliers by sparse subspace projections\n"
+      "  score      score new rows against a model saved by detect\n"
+      "  advise     print the paper's parameter recommendation\n"
+      "  baselines  run the kNN / LOF / DB(k,lambda) comparators\n"
+      "  describe   dataset summary\n"
+      "Run a subcommand with --help for its flags.\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+
+  if (command == "detect") return RunDetect(args);
+  if (command == "score") return RunScore(args);
+  if (command == "advise") return RunAdvise(args);
+  if (command == "baselines") return RunBaselines(args);
+  if (command == "describe") return RunDescribe(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hido
+
+int main(int argc, char** argv) { return hido::Main(argc, argv); }
