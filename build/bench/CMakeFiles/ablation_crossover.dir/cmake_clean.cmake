@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crossover.dir/ablation_crossover.cc.o"
+  "CMakeFiles/ablation_crossover.dir/ablation_crossover.cc.o.d"
+  "ablation_crossover"
+  "ablation_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

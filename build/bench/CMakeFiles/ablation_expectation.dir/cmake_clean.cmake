@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_expectation.dir/ablation_expectation.cc.o"
+  "CMakeFiles/ablation_expectation.dir/ablation_expectation.cc.o.d"
+  "ablation_expectation"
+  "ablation_expectation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_expectation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_missing.dir/ablation_missing.cc.o"
+  "CMakeFiles/ablation_missing.dir/ablation_missing.cc.o.d"
+  "ablation_missing"
+  "ablation_missing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_missing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

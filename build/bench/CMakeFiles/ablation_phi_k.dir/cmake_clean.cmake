@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phi_k.dir/ablation_phi_k.cc.o"
+  "CMakeFiles/ablation_phi_k.dir/ablation_phi_k.cc.o.d"
+  "ablation_phi_k"
+  "ablation_phi_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phi_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restarts.dir/ablation_restarts.cc.o"
+  "CMakeFiles/ablation_restarts.dir/ablation_restarts.cc.o.d"
+  "ablation_restarts"
+  "ablation_restarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_methods.dir/ablation_search_methods.cc.o"
+  "CMakeFiles/ablation_search_methods.dir/ablation_search_methods.cc.o.d"
+  "ablation_search_methods"
+  "ablation_search_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

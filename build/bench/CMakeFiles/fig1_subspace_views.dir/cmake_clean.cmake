@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_subspace_views.dir/fig1_subspace_views.cc.o"
+  "CMakeFiles/fig1_subspace_views.dir/fig1_subspace_views.cc.o.d"
+  "fig1_subspace_views"
+  "fig1_subspace_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_subspace_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

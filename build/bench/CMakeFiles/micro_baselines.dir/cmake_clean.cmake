@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_baselines.dir/micro_baselines.cc.o"
+  "CMakeFiles/micro_baselines.dir/micro_baselines.cc.o.d"
+  "micro_baselines"
+  "micro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_counting.dir/micro_counting.cc.o"
+  "CMakeFiles/micro_counting.dir/micro_counting.cc.o.d"
+  "micro_counting"
+  "micro_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

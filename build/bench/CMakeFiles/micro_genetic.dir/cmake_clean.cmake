@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_genetic.dir/micro_genetic.cc.o"
+  "CMakeFiles/micro_genetic.dir/micro_genetic.cc.o.d"
+  "micro_genetic"
+  "micro_genetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_genetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

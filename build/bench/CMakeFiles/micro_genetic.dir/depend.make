@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_genetic.
+# This may be replaced when dependencies are built.

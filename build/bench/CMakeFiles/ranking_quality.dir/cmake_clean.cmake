@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_quality.dir/ranking_quality.cc.o"
+  "CMakeFiles/ranking_quality.dir/ranking_quality.cc.o.d"
+  "ranking_quality"
+  "ranking_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

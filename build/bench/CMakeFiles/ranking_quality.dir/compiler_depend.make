@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ranking_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_bruteforce.dir/scaling_bruteforce.cc.o"
+  "CMakeFiles/scaling_bruteforce.dir/scaling_bruteforce.cc.o.d"
+  "scaling_bruteforce"
+  "scaling_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_performance.dir/table1_performance.cc.o"
+  "CMakeFiles/table1_performance.dir/table1_performance.cc.o.d"
+  "table1_performance"
+  "table1_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_arrhythmia.dir/table2_arrhythmia.cc.o"
+  "CMakeFiles/table2_arrhythmia.dir/table2_arrhythmia.cc.o.d"
+  "table2_arrhythmia"
+  "table2_arrhythmia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_arrhythmia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1_smoke "/root/repo/build/bench/fig1_subspace_views")
+set_tests_properties(bench_fig1_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_phi_k_smoke "/root/repo/build/bench/ablation_phi_k")
+set_tests_properties(bench_phi_k_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_restarts_smoke "/root/repo/build/bench/ablation_restarts")
+set_tests_properties(bench_restarts_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table1_smoke "/root/repo/build/bench/table1_performance")
+set_tests_properties(bench_table1_smoke PROPERTIES  ENVIRONMENT "HIDO_BRUTE_BUDGET=5" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table2_smoke "/root/repo/build/bench/table2_arrhythmia")
+set_tests_properties(bench_table2_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")

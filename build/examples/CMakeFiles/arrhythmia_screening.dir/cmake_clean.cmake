@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrhythmia_screening.dir/arrhythmia_screening.cpp.o"
+  "CMakeFiles/arrhythmia_screening.dir/arrhythmia_screening.cpp.o.d"
+  "arrhythmia_screening"
+  "arrhythmia_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrhythmia_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arrhythmia_screening.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fraud_detection.cpp" "examples/CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o" "gcc" "examples/CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/hido_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hido_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hido_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hido_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hido_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hido_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o"
+  "CMakeFiles/fraud_detection.dir/fraud_detection.cpp.o.d"
+  "fraud_detection"
+  "fraud_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/housing_analysis.dir/housing_analysis.cpp.o"
+  "CMakeFiles/housing_analysis.dir/housing_analysis.cpp.o.d"
+  "housing_analysis"
+  "housing_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/housing_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

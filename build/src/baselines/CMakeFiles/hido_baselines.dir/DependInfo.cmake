@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/db_outlier.cc" "src/baselines/CMakeFiles/hido_baselines.dir/db_outlier.cc.o" "gcc" "src/baselines/CMakeFiles/hido_baselines.dir/db_outlier.cc.o.d"
+  "/root/repo/src/baselines/distance.cc" "src/baselines/CMakeFiles/hido_baselines.dir/distance.cc.o" "gcc" "src/baselines/CMakeFiles/hido_baselines.dir/distance.cc.o.d"
+  "/root/repo/src/baselines/knn_outlier.cc" "src/baselines/CMakeFiles/hido_baselines.dir/knn_outlier.cc.o" "gcc" "src/baselines/CMakeFiles/hido_baselines.dir/knn_outlier.cc.o.d"
+  "/root/repo/src/baselines/lof.cc" "src/baselines/CMakeFiles/hido_baselines.dir/lof.cc.o" "gcc" "src/baselines/CMakeFiles/hido_baselines.dir/lof.cc.o.d"
+  "/root/repo/src/baselines/vptree.cc" "src/baselines/CMakeFiles/hido_baselines.dir/vptree.cc.o" "gcc" "src/baselines/CMakeFiles/hido_baselines.dir/vptree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hido_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hido_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

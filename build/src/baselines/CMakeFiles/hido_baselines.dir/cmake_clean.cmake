@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hido_baselines.dir/db_outlier.cc.o"
+  "CMakeFiles/hido_baselines.dir/db_outlier.cc.o.d"
+  "CMakeFiles/hido_baselines.dir/distance.cc.o"
+  "CMakeFiles/hido_baselines.dir/distance.cc.o.d"
+  "CMakeFiles/hido_baselines.dir/knn_outlier.cc.o"
+  "CMakeFiles/hido_baselines.dir/knn_outlier.cc.o.d"
+  "CMakeFiles/hido_baselines.dir/lof.cc.o"
+  "CMakeFiles/hido_baselines.dir/lof.cc.o.d"
+  "CMakeFiles/hido_baselines.dir/vptree.cc.o"
+  "CMakeFiles/hido_baselines.dir/vptree.cc.o.d"
+  "libhido_baselines.a"
+  "libhido_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hido_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

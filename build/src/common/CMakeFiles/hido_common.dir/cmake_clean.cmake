@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hido_common.dir/bitset.cc.o"
+  "CMakeFiles/hido_common.dir/bitset.cc.o.d"
+  "CMakeFiles/hido_common.dir/flags.cc.o"
+  "CMakeFiles/hido_common.dir/flags.cc.o.d"
+  "CMakeFiles/hido_common.dir/logging.cc.o"
+  "CMakeFiles/hido_common.dir/logging.cc.o.d"
+  "CMakeFiles/hido_common.dir/parallel.cc.o"
+  "CMakeFiles/hido_common.dir/parallel.cc.o.d"
+  "CMakeFiles/hido_common.dir/rng.cc.o"
+  "CMakeFiles/hido_common.dir/rng.cc.o.d"
+  "CMakeFiles/hido_common.dir/stats.cc.o"
+  "CMakeFiles/hido_common.dir/stats.cc.o.d"
+  "CMakeFiles/hido_common.dir/status.cc.o"
+  "CMakeFiles/hido_common.dir/status.cc.o.d"
+  "CMakeFiles/hido_common.dir/string_util.cc.o"
+  "CMakeFiles/hido_common.dir/string_util.cc.o.d"
+  "libhido_common.a"
+  "libhido_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hido_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_set.cc" "src/core/CMakeFiles/hido_core.dir/best_set.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/best_set.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/hido_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/candidate_search.cc" "src/core/CMakeFiles/hido_core.dir/candidate_search.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/candidate_search.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/hido_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/evolutionary_search.cc" "src/core/CMakeFiles/hido_core.dir/evolutionary_search.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/evolutionary_search.cc.o.d"
+  "/root/repo/src/core/genetic/convergence.cc" "src/core/CMakeFiles/hido_core.dir/genetic/convergence.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/genetic/convergence.cc.o.d"
+  "/root/repo/src/core/genetic/crossover.cc" "src/core/CMakeFiles/hido_core.dir/genetic/crossover.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/genetic/crossover.cc.o.d"
+  "/root/repo/src/core/genetic/mutation.cc" "src/core/CMakeFiles/hido_core.dir/genetic/mutation.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/genetic/mutation.cc.o.d"
+  "/root/repo/src/core/genetic/selection.cc" "src/core/CMakeFiles/hido_core.dir/genetic/selection.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/genetic/selection.cc.o.d"
+  "/root/repo/src/core/local_search.cc" "src/core/CMakeFiles/hido_core.dir/local_search.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/local_search.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/hido_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/objective.cc" "src/core/CMakeFiles/hido_core.dir/objective.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/objective.cc.o.d"
+  "/root/repo/src/core/parameter_advisor.cc" "src/core/CMakeFiles/hido_core.dir/parameter_advisor.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/parameter_advisor.cc.o.d"
+  "/root/repo/src/core/postprocess.cc" "src/core/CMakeFiles/hido_core.dir/postprocess.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/postprocess.cc.o.d"
+  "/root/repo/src/core/projection.cc" "src/core/CMakeFiles/hido_core.dir/projection.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/projection.cc.o.d"
+  "/root/repo/src/core/report_io.cc" "src/core/CMakeFiles/hido_core.dir/report_io.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/report_io.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/core/CMakeFiles/hido_core.dir/scoring.cc.o" "gcc" "src/core/CMakeFiles/hido_core.dir/scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hido_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hido_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hido_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhido_core.a"
+)

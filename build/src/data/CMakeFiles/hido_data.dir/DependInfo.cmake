@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/column_stats.cc" "src/data/CMakeFiles/hido_data.dir/column_stats.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/column_stats.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/hido_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/hido_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/encoding.cc" "src/data/CMakeFiles/hido_data.dir/encoding.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/encoding.cc.o.d"
+  "/root/repo/src/data/generators/arrhythmia_like.cc" "src/data/CMakeFiles/hido_data.dir/generators/arrhythmia_like.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/generators/arrhythmia_like.cc.o.d"
+  "/root/repo/src/data/generators/housing_like.cc" "src/data/CMakeFiles/hido_data.dir/generators/housing_like.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/generators/housing_like.cc.o.d"
+  "/root/repo/src/data/generators/synthetic.cc" "src/data/CMakeFiles/hido_data.dir/generators/synthetic.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/generators/synthetic.cc.o.d"
+  "/root/repo/src/data/generators/uci_like.cc" "src/data/CMakeFiles/hido_data.dir/generators/uci_like.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/generators/uci_like.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/data/CMakeFiles/hido_data.dir/transforms.cc.o" "gcc" "src/data/CMakeFiles/hido_data.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hido_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hido_data.dir/column_stats.cc.o"
+  "CMakeFiles/hido_data.dir/column_stats.cc.o.d"
+  "CMakeFiles/hido_data.dir/csv.cc.o"
+  "CMakeFiles/hido_data.dir/csv.cc.o.d"
+  "CMakeFiles/hido_data.dir/dataset.cc.o"
+  "CMakeFiles/hido_data.dir/dataset.cc.o.d"
+  "CMakeFiles/hido_data.dir/encoding.cc.o"
+  "CMakeFiles/hido_data.dir/encoding.cc.o.d"
+  "CMakeFiles/hido_data.dir/generators/arrhythmia_like.cc.o"
+  "CMakeFiles/hido_data.dir/generators/arrhythmia_like.cc.o.d"
+  "CMakeFiles/hido_data.dir/generators/housing_like.cc.o"
+  "CMakeFiles/hido_data.dir/generators/housing_like.cc.o.d"
+  "CMakeFiles/hido_data.dir/generators/synthetic.cc.o"
+  "CMakeFiles/hido_data.dir/generators/synthetic.cc.o.d"
+  "CMakeFiles/hido_data.dir/generators/uci_like.cc.o"
+  "CMakeFiles/hido_data.dir/generators/uci_like.cc.o.d"
+  "CMakeFiles/hido_data.dir/transforms.cc.o"
+  "CMakeFiles/hido_data.dir/transforms.cc.o.d"
+  "libhido_data.a"
+  "libhido_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hido_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

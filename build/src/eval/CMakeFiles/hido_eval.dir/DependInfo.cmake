@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/curves.cc" "src/eval/CMakeFiles/hido_eval.dir/curves.cc.o" "gcc" "src/eval/CMakeFiles/hido_eval.dir/curves.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/hido_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/hido_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/hido_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/hido_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/hido_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/hido_eval.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hido_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hido_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/hido_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hido_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hido_eval.dir/curves.cc.o"
+  "CMakeFiles/hido_eval.dir/curves.cc.o.d"
+  "CMakeFiles/hido_eval.dir/experiment.cc.o"
+  "CMakeFiles/hido_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/hido_eval.dir/metrics.cc.o"
+  "CMakeFiles/hido_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/hido_eval.dir/table.cc.o"
+  "CMakeFiles/hido_eval.dir/table.cc.o.d"
+  "libhido_eval.a"
+  "libhido_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hido_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

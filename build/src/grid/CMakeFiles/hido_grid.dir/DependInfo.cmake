@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/cube_counter.cc" "src/grid/CMakeFiles/hido_grid.dir/cube_counter.cc.o" "gcc" "src/grid/CMakeFiles/hido_grid.dir/cube_counter.cc.o.d"
+  "/root/repo/src/grid/grid_model.cc" "src/grid/CMakeFiles/hido_grid.dir/grid_model.cc.o" "gcc" "src/grid/CMakeFiles/hido_grid.dir/grid_model.cc.o.d"
+  "/root/repo/src/grid/quantizer.cc" "src/grid/CMakeFiles/hido_grid.dir/quantizer.cc.o" "gcc" "src/grid/CMakeFiles/hido_grid.dir/quantizer.cc.o.d"
+  "/root/repo/src/grid/sparsity.cc" "src/grid/CMakeFiles/hido_grid.dir/sparsity.cc.o" "gcc" "src/grid/CMakeFiles/hido_grid.dir/sparsity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hido_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hido_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

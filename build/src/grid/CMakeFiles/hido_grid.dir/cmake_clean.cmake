@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hido_grid.dir/cube_counter.cc.o"
+  "CMakeFiles/hido_grid.dir/cube_counter.cc.o.d"
+  "CMakeFiles/hido_grid.dir/grid_model.cc.o"
+  "CMakeFiles/hido_grid.dir/grid_model.cc.o.d"
+  "CMakeFiles/hido_grid.dir/quantizer.cc.o"
+  "CMakeFiles/hido_grid.dir/quantizer.cc.o.d"
+  "CMakeFiles/hido_grid.dir/sparsity.cc.o"
+  "CMakeFiles/hido_grid.dir/sparsity.cc.o.d"
+  "libhido_grid.a"
+  "libhido_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hido_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

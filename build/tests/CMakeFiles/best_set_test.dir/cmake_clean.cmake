@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_set_test.dir/core/best_set_test.cc.o"
+  "CMakeFiles/best_set_test.dir/core/best_set_test.cc.o.d"
+  "best_set_test"
+  "best_set_test.pdb"
+  "best_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_search_test.dir/core/candidate_search_test.cc.o"
+  "CMakeFiles/candidate_search_test.dir/core/candidate_search_test.cc.o.d"
+  "candidate_search_test"
+  "candidate_search_test.pdb"
+  "candidate_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_test.dir/core/convergence_test.cc.o"
+  "CMakeFiles/convergence_test.dir/core/convergence_test.cc.o.d"
+  "convergence_test"
+  "convergence_test.pdb"
+  "convergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_property_test.dir/property/crossover_property_test.cc.o"
+  "CMakeFiles/crossover_property_test.dir/property/crossover_property_test.cc.o.d"
+  "crossover_property_test"
+  "crossover_property_test.pdb"
+  "crossover_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

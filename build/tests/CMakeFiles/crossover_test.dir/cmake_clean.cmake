@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossover_test.dir/core/crossover_test.cc.o"
+  "CMakeFiles/crossover_test.dir/core/crossover_test.cc.o.d"
+  "crossover_test"
+  "crossover_test.pdb"
+  "crossover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

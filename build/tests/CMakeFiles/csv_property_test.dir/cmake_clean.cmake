@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_property_test.dir/property/csv_property_test.cc.o"
+  "CMakeFiles/csv_property_test.dir/property/csv_property_test.cc.o.d"
+  "csv_property_test"
+  "csv_property_test.pdb"
+  "csv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_counter_test.dir/grid/cube_counter_test.cc.o"
+  "CMakeFiles/cube_counter_test.dir/grid/cube_counter_test.cc.o.d"
+  "cube_counter_test"
+  "cube_counter_test.pdb"
+  "cube_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

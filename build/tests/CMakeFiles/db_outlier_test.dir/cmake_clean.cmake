@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_outlier_test.dir/baselines/db_outlier_test.cc.o"
+  "CMakeFiles/db_outlier_test.dir/baselines/db_outlier_test.cc.o.d"
+  "db_outlier_test"
+  "db_outlier_test.pdb"
+  "db_outlier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_outlier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_property_test.dir/property/detector_property_test.cc.o"
+  "CMakeFiles/detector_property_test.dir/property/detector_property_test.cc.o.d"
+  "detector_property_test"
+  "detector_property_test.pdb"
+  "detector_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

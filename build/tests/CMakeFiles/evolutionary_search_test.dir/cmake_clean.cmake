@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolutionary_search_test.dir/core/evolutionary_search_test.cc.o"
+  "CMakeFiles/evolutionary_search_test.dir/core/evolutionary_search_test.cc.o.d"
+  "evolutionary_search_test"
+  "evolutionary_search_test.pdb"
+  "evolutionary_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolutionary_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_test.dir/eval/experiment_test.cc.o"
+  "CMakeFiles/experiment_test.dir/eval/experiment_test.cc.o.d"
+  "experiment_test"
+  "experiment_test.pdb"
+  "experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_model_test.dir/grid/grid_model_test.cc.o"
+  "CMakeFiles/grid_model_test.dir/grid/grid_model_test.cc.o.d"
+  "grid_model_test"
+  "grid_model_test.pdb"
+  "grid_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_property_test.dir/property/grid_property_test.cc.o"
+  "CMakeFiles/grid_property_test.dir/property/grid_property_test.cc.o.d"
+  "grid_property_test"
+  "grid_property_test.pdb"
+  "grid_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_outlier_test.dir/baselines/knn_outlier_test.cc.o"
+  "CMakeFiles/knn_outlier_test.dir/baselines/knn_outlier_test.cc.o.d"
+  "knn_outlier_test"
+  "knn_outlier_test.pdb"
+  "knn_outlier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_outlier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lof_test.dir/baselines/lof_test.cc.o"
+  "CMakeFiles/lof_test.dir/baselines/lof_test.cc.o.d"
+  "lof_test"
+  "lof_test.pdb"
+  "lof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

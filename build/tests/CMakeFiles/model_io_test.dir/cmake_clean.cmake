@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_io_test.dir/core/model_io_test.cc.o"
+  "CMakeFiles/model_io_test.dir/core/model_io_test.cc.o.d"
+  "model_io_test"
+  "model_io_test.pdb"
+  "model_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

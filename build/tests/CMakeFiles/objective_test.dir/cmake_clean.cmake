@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objective_test.dir/core/objective_test.cc.o"
+  "CMakeFiles/objective_test.dir/core/objective_test.cc.o.d"
+  "objective_test"
+  "objective_test.pdb"
+  "objective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_advisor_test.dir/core/parameter_advisor_test.cc.o"
+  "CMakeFiles/parameter_advisor_test.dir/core/parameter_advisor_test.cc.o.d"
+  "parameter_advisor_test"
+  "parameter_advisor_test.pdb"
+  "parameter_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

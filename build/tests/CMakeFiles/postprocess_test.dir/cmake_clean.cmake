@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postprocess_test.dir/core/postprocess_test.cc.o"
+  "CMakeFiles/postprocess_test.dir/core/postprocess_test.cc.o.d"
+  "postprocess_test"
+  "postprocess_test.pdb"
+  "postprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

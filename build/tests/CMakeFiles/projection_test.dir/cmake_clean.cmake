@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_test.dir/core/projection_test.cc.o"
+  "CMakeFiles/projection_test.dir/core/projection_test.cc.o.d"
+  "projection_test"
+  "projection_test.pdb"
+  "projection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

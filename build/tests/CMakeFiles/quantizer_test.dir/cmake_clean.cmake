@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantizer_test.dir/grid/quantizer_test.cc.o"
+  "CMakeFiles/quantizer_test.dir/grid/quantizer_test.cc.o.d"
+  "quantizer_test"
+  "quantizer_test.pdb"
+  "quantizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoring_test.dir/core/scoring_test.cc.o"
+  "CMakeFiles/scoring_test.dir/core/scoring_test.cc.o.d"
+  "scoring_test"
+  "scoring_test.pdb"
+  "scoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

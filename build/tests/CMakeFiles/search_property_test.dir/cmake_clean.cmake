@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_property_test.dir/property/search_property_test.cc.o"
+  "CMakeFiles/search_property_test.dir/property/search_property_test.cc.o.d"
+  "search_property_test"
+  "search_property_test.pdb"
+  "search_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_test.dir/grid/sparsity_test.cc.o"
+  "CMakeFiles/sparsity_test.dir/grid/sparsity_test.cc.o.d"
+  "sparsity_test"
+  "sparsity_test.pdb"
+  "sparsity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

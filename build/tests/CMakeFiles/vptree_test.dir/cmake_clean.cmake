@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vptree_test.dir/baselines/vptree_test.cc.o"
+  "CMakeFiles/vptree_test.dir/baselines/vptree_test.cc.o.d"
+  "vptree_test"
+  "vptree_test.pdb"
+  "vptree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vptree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

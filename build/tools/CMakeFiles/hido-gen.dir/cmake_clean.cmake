@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hido-gen.dir/hido_gen.cc.o"
+  "CMakeFiles/hido-gen.dir/hido_gen.cc.o.d"
+  "hido-gen"
+  "hido-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hido-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hido.dir/hido_cli.cc.o"
+  "CMakeFiles/hido.dir/hido_cli.cc.o.d"
+  "hido"
+  "hido.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hido.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_advise "/root/repo/build/tools/hido" "advise" "--rows" "10000" "--dims" "50")
+set_tests_properties(cli_advise PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/hido")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_detect_help "/root/repo/build/tools/hido" "detect" "--help")
+set_tests_properties(cli_detect_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_score_help "/root/repo/build/tools/hido" "score" "--help")
+set_tests_properties(cli_score_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gen "/root/repo/build/tools/hido-gen" "subspace" "--rows" "400" "--dims" "16" "--outliers" "4" "--out" "/root/repo/build/cli_demo.csv")
+set_tests_properties(cli_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_detect_flow "/root/repo/build/tools/hido" "detect" "--input" "/root/repo/build/cli_demo.csv" "--phi" "5" "--k" "2" "--m" "8" "--restarts" "6" "--explain" "1" "--save-model" "/root/repo/build/cli_demo.hido")
+set_tests_properties(cli_detect_flow PROPERTIES  DEPENDS "cli_gen" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_score_flow "/root/repo/build/tools/hido" "score" "--input" "/root/repo/build/cli_demo.csv" "--model" "/root/repo/build/cli_demo.hido" "--threshold" "-3")
+set_tests_properties(cli_score_flow PROPERTIES  DEPENDS "cli_detect_flow" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
