@@ -96,6 +96,28 @@ void BM_ConvergenceCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvergenceCheck);
 
+// End-to-end GA throughput vs. thread count. Same seed at every arity, so
+// the runs do identical search work (determinism contract) and the timing
+// difference is pure parallel speedup. Speedup saturates at
+// min(threads, restarts, hardware cores); on a multicore box the 4-thread
+// run on this 4-restart workload should be >= 2x the 1-thread run.
+void BM_EvolutionarySearch(benchmark::State& state) {
+  GaFixture fixture;
+  EvolutionaryOptions options;
+  options.target_dim = 4;
+  options.num_projections = 20;
+  options.population_size = 60;
+  options.max_generations = 12;
+  options.stagnation_generations = 0;
+  options.restarts = 4;
+  options.seed = 7;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvolutionarySearch(fixture.objective, options));
+  }
+}
+BENCHMARK(BM_EvolutionarySearch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_FullGeneration(benchmark::State& state) {
   GaFixture fixture;
   Rng rng(6);

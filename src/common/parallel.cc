@@ -1,11 +1,8 @@
 #include "common/parallel.h"
 
-#include <algorithm>
-#include <atomic>
 #include <thread>
-#include <vector>
 
-#include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace hido {
 
@@ -16,35 +13,7 @@ size_t HardwareThreads() {
 
 void ParallelFor(size_t num_tasks, size_t num_threads,
                  const std::function<void(size_t, size_t)>& work) {
-  HIDO_CHECK(work != nullptr);
-  if (num_tasks == 0) return;
-  num_threads = std::max<size_t>(1, std::min(num_threads, num_tasks));
-
-  if (num_threads == 1) {
-    for (size_t task = 0; task < num_tasks; ++task) {
-      work(task, 0);
-    }
-    return;
-  }
-
-  std::atomic<size_t> next{0};
-  auto worker_loop = [&](size_t worker) {
-    while (true) {
-      const size_t task = next.fetch_add(1, std::memory_order_relaxed);
-      if (task >= num_tasks) break;
-      work(task, worker);
-    }
-  };
-
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads - 1);
-  for (size_t w = 1; w < num_threads; ++w) {
-    workers.emplace_back(worker_loop, w);
-  }
-  worker_loop(0);
-  for (std::thread& t : workers) {
-    t.join();
-  }
+  ThreadPool::Shared().ParallelFor(num_tasks, num_threads, work);
 }
 
 }  // namespace hido

@@ -2,9 +2,10 @@
 #define HIDO_COMMON_PARALLEL_H_
 
 // Minimal data parallelism for the search algorithms: a dynamic-scheduling
-// parallel-for over an index range. No global thread pool, no dependencies —
-// workers are spawned per call, which is appropriate for the coarse-grained
-// work items here (whole search subtrees).
+// parallel-for over an index range, running on the persistent process-wide
+// ThreadPool (common/thread_pool.h) so per-call thread spawn/join cost is
+// paid once per process, not once per loop. Nested calls are safe: a task
+// issued by ParallelFor may itself call ParallelFor.
 
 #include <cstddef>
 #include <functional>
@@ -15,10 +16,11 @@ namespace hido {
 size_t HardwareThreads();
 
 /// Runs `work(task_index, worker_index)` for every task in [0, num_tasks),
-/// on up to `num_threads` workers (clamped to [1, num_tasks]). Tasks are
-/// claimed dynamically (atomic counter), so uneven task costs balance.
-/// With num_threads <= 1 everything runs inline on the calling thread.
-/// `work` must be thread-safe across distinct worker indices.
+/// on up to `num_threads` workers (clamped to [1, min(num_tasks, pool
+/// parallelism)]). Tasks are claimed dynamically (atomic counter), so
+/// uneven task costs balance. With num_threads <= 1 everything runs inline
+/// on the calling thread. `work` must be thread-safe across distinct
+/// worker indices. Runs on ThreadPool::Shared(); see common/thread_pool.h.
 void ParallelFor(size_t num_tasks, size_t num_threads,
                  const std::function<void(size_t task, size_t worker)>& work);
 

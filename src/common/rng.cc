@@ -161,4 +161,11 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(Next64()); }
 
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  // Avalanche the stream id before folding it into the seed, so adjacent
+  // streams (0, 1, 2, ...) do not map to adjacent SplitMix64 chains.
+  uint64_t s = stream;
+  return Rng(seed ^ SplitMix64(s));
+}
+
 }  // namespace hido

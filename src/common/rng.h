@@ -85,6 +85,13 @@ class Rng {
   /// into per-component streams without correlation).
   Rng Split();
 
+  /// Deterministic per-stream generator: the same (seed, stream) pair always
+  /// yields the same generator, and distinct streams are decorrelated by a
+  /// SplitMix64 avalanche. Used to give each evolutionary restart its own
+  /// stream derived from the experiment seed, so results are bit-identical
+  /// no matter how restarts are scheduled across threads.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
  private:
   uint64_t state_[4];
   double spare_normal_ = 0.0;

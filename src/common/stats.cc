@@ -69,9 +69,16 @@ double NormalQuantile(double p) {
         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
   }
   // One step of Halley's method sharpens the approximation near the tails.
+  // Guard the refinement: for |x| ≳ 38.6, exp(0.5*x*x) overflows to inf,
+  // and when the residual e underflows to 0 the update would be 0 * inf =
+  // NaN. In either case the rational approximation is already the best we
+  // can do in double precision, so return it unrefined.
   const double e = NormalCdf(x) - p;
-  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
-  x = x - u / (1.0 + 0.5 * x * u);
+  const double ex = std::exp(0.5 * x * x);
+  if (e != 0.0 && std::isfinite(ex)) {
+    const double u = e * std::sqrt(2.0 * M_PI) * ex;
+    x = x - u / (1.0 + 0.5 * x * u);
+  }
   return x;
 }
 

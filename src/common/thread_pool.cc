@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/parallel.h"
+
+namespace hido {
+
+// State shared between the issuing thread and its helpers for one
+// ParallelFor. Kept alive by shared_ptr: helpers that drain from the queue
+// after the loop already finished must still be able to observe "nothing
+// left to do" safely.
+struct ThreadPool::ForJob {
+  ForJob(size_t tasks, size_t parallelism,
+         const std::function<void(size_t, size_t)>& w)
+      : num_tasks(tasks), max_workers(parallelism), work(&w) {}
+
+  const size_t num_tasks;
+  const size_t max_workers;
+  // Owned by the issuing ParallelFor frame; helpers may dereference it only
+  // while registered in `active` (the issuer waits for active == 0 before
+  // returning, which keeps the pointee alive for exactly that window).
+  const std::function<void(size_t, size_t)>* work;
+
+  std::atomic<size_t> next{0};   // next unclaimed task index
+  std::atomic<size_t> slots{1};  // participant slots handed out (0 = issuer)
+
+  std::mutex m;
+  std::condition_variable done;
+  size_t active = 0;  // helpers currently inside the claim loop
+
+  void RunClaimLoop(size_t worker) {
+    while (true) {
+      const size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= num_tasks) break;
+      (*work)(task, worker);
+    }
+  }
+
+  // Body of a queued helper entry.
+  void RunAsHelper() {
+    const size_t slot = slots.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= max_workers) return;  // loop already fully staffed
+    {
+      std::lock_guard<std::mutex> lock(m);
+      // All tasks claimed: the issuer may already be returning, so `work`
+      // must not be touched. Checked under the lock that the issuer's
+      // final wait holds, which makes the hand-off race-free.
+      if (next.load(std::memory_order_relaxed) >= num_tasks) return;
+      ++active;
+    }
+    RunClaimLoop(slot);
+    {
+      std::lock_guard<std::mutex> lock(m);
+      --active;
+    }
+    done.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  // Entries still queued are helper bodies for loops that have completed
+  // (or were never needed); dropping them is safe.
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t num_tasks, size_t max_parallelism,
+    const std::function<void(size_t, size_t)>& work) {
+  HIDO_CHECK(work != nullptr);
+  if (num_tasks == 0) return;
+  const size_t parallelism =
+      std::max<size_t>(1, std::min({max_parallelism, num_tasks,
+                                    num_workers() + 1}));
+  if (parallelism == 1) {
+    for (size_t task = 0; task < num_tasks; ++task) {
+      work(task, 0);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<ForJob>(num_tasks, parallelism, work);
+  for (size_t h = 0; h + 1 < parallelism; ++h) {
+    Enqueue([job] { job->RunAsHelper(); });
+  }
+  job->RunClaimLoop(0);
+  // Every task is claimed; wait for helpers still running claimed tasks.
+  std::unique_lock<std::mutex> lock(job->m);
+  job->done.wait(lock, [&job] { return job->active == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // At least one background worker even on a single-core host, so the
+  // threaded paths (and their tests) genuinely run concurrently everywhere.
+  static ThreadPool pool(std::max<size_t>(1, HardwareThreads() - 1));
+  return pool;
+}
+
+}  // namespace hido

@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace hido {
@@ -69,6 +70,11 @@ class Worker {
 
   BestSet& best() { return best_; }
   const BruteForceStats& stats() const { return stats_; }
+
+  // Publishes any leaves still unflushed when the worker stops — e.g. work
+  // done between the last periodic flush and an abort — so the shared
+  // budget counter agrees with the merged per-worker statistics.
+  void Finish() { FlushBudget(); }
 
  private:
   void ScoreLeaf(size_t count, double probability) {
@@ -190,7 +196,12 @@ BruteForceResult BruteForceSearch(SparsityObjective& objective,
   // that leave k-1 higher ones available.
   const size_t root_dims = grid.num_dims() - (options.target_dim - 1);
   const size_t num_roots = root_dims * phi;
-  const size_t num_threads = std::max<size_t>(1, options.num_threads);
+  // One Worker is allocated per thread, so clamp the request to what
+  // ParallelFor can actually deploy (guards against oversized values such
+  // as a -1 cast to size_t at a call site).
+  const size_t num_threads =
+      std::max<size_t>(1, std::min({options.num_threads, num_roots,
+                                    ThreadPool::Shared().num_workers() + 1}));
 
   Shared shared(options);
   std::vector<Worker> workers;
@@ -207,6 +218,7 @@ BruteForceResult BruteForceSearch(SparsityObjective& objective,
   BruteForceResult result;
   BestSet best(options.num_projections, options.require_non_empty);
   for (Worker& worker : workers) {
+    worker.Finish();
     for (const ScoredProjection& scored : worker.best().Sorted()) {
       best.Offer(scored);
     }
@@ -214,6 +226,8 @@ BruteForceResult BruteForceSearch(SparsityObjective& objective,
     result.stats.nodes_visited += worker.stats().nodes_visited;
     result.stats.subtrees_pruned += worker.stats().subtrees_pruned;
   }
+  result.stats.cubes_published =
+      shared.cubes.load(std::memory_order_relaxed);
   result.stats.completed = !shared.aborted.load(std::memory_order_relaxed);
   result.stats.seconds = shared.watch.ElapsedSeconds();
   result.best = best.Sorted();

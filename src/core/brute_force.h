@@ -48,6 +48,10 @@ struct BruteForceOptions {
 /// Outcome counters for the scaling study.
 struct BruteForceStats {
   uint64_t cubes_evaluated = 0;   ///< k-dimensional leaves scored
+  /// Leaves published into the shared cube budget. Workers publish lazily
+  /// while running, but every worker flushes its remainder before the
+  /// merge, so this always equals cubes_evaluated in the returned stats.
+  uint64_t cubes_published = 0;
   uint64_t nodes_visited = 0;     ///< partial cubes expanded
   uint64_t subtrees_pruned = 0;   ///< empty partial cubes not expanded
   bool completed = false;         ///< false when a budget expired

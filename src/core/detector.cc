@@ -48,6 +48,7 @@ DetectionResult OutlierDetector::Detect(const Dataset& data) const {
     eopts.target_dim = result.target_dim;
     eopts.num_projections = config_.num_projections;
     eopts.seed = config_.seed;
+    if (config_.num_threads != 0) eopts.num_threads = config_.num_threads;
     EvolutionResult search = EvolutionarySearch(objective, eopts);
     result.evolution_stats = search.stats;
     best = std::move(search.best);
@@ -55,6 +56,7 @@ DetectionResult OutlierDetector::Detect(const Dataset& data) const {
     BruteForceOptions bopts = config_.brute_force;
     bopts.target_dim = result.target_dim;
     bopts.num_projections = config_.num_projections;
+    if (config_.num_threads != 0) bopts.num_threads = config_.num_threads;
     BruteForceResult search = BruteForceSearch(objective, bopts);
     result.brute_force_stats = search.stats;
     best = std::move(search.best);

@@ -44,6 +44,11 @@ struct DetectorConfig {
   /// Brute-force knobs; target_dim/num_projections are overridden.
   BruteForceOptions brute_force;
   uint64_t seed = 42;
+  /// Worker threads for whichever search runs. 0 keeps the per-algorithm
+  /// settings in `evolution` / `brute_force` untouched; any other value
+  /// overrides both. The evolutionary determinism contract (same seed ⇒
+  /// same result for any thread count) applies — see EvolutionaryOptions.
+  size_t num_threads = 0;
 };
 
 /// Everything produced by one detection run.

@@ -1,13 +1,19 @@
 #include "core/evolutionary_search.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/genetic/convergence.h"
 #include "core/genetic/selection.h"
+#include "grid/cube_counter.h"
 
 namespace hido {
 
@@ -30,6 +36,174 @@ bool OfferPopulation(const std::vector<Individual>& population,
   return improved;
 }
 
+// Per-worker fitness-evaluation scratch for one restart: a private
+// CubeCounter (cache + bitset scratch are not thread-safe) and objective
+// per worker, all over the shared read-only grid. Worker 0 is the
+// restart's own base objective.
+class EvalScratch {
+ public:
+  EvalScratch(SparsityObjective& base, size_t workers) {
+    objectives_.push_back(&base);
+    for (size_t w = 1; w < workers; ++w) {
+      counters_.push_back(std::make_unique<CubeCounter>(
+          base.grid(), base.counter().options()));
+      owned_.push_back(std::make_unique<SparsityObjective>(
+          *counters_.back(), base.expectation()));
+      objectives_.push_back(owned_.back().get());
+    }
+  }
+
+  const std::vector<SparsityObjective*>& objectives() const {
+    return objectives_;
+  }
+
+  // Folds the private workers' evaluation counts and counter statistics
+  // into the base objective, so the restart's totals are truthful.
+  void AbsorbIntoBase() {
+    SparsityObjective& base = *objectives_.front();
+    for (const auto& objective : owned_) {
+      base.AddEvaluations(objective->num_evaluations());
+    }
+    for (const auto& counter : counters_) {
+      base.counter().AbsorbStats(counter->stats());
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<CubeCounter>> counters_;
+  std::vector<std::unique_ptr<SparsityObjective>> owned_;
+  std::vector<SparsityObjective*> objectives_;
+};
+
+// Everything one restart produces; merged by the caller in restart order.
+struct RestartOutcome {
+  std::vector<ScoredProjection> best;
+  size_t generations = 0;
+  StopReason stop_reason = StopReason::kMaxGenerations;
+  uint64_t evaluations = 0;
+  CubeCounter::Stats counter_stats;
+};
+
+// Context shared (read-only or atomically) by all restarts of one search.
+struct SearchContext {
+  const GridModel* grid;
+  const EvolutionaryOptions* options;
+  CubeCounter::Options counter_options;
+  ExpectationModel expectation;
+  size_t eval_threads;
+  const StopWatch* watch;
+  std::atomic<bool>* out_of_time;
+};
+
+// Runs restart `run` to completion. `on_generation` (nullable) receives
+// generation indices offset by `generation_base` — only meaningful when
+// restarts execute sequentially.
+RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
+                          const GenerationCallback& on_generation,
+                          size_t generation_base) {
+  const EvolutionaryOptions& options = *ctx.options;
+  RestartOutcome outcome;
+
+  // Private evaluation state: restarts may run concurrently, so none of
+  // them may touch the caller's counter. Results are unaffected — fitness
+  // evaluation is pure; caches only affect speed and statistics.
+  CubeCounter counter(*ctx.grid, ctx.counter_options);
+  SparsityObjective objective(counter, ctx.expectation);
+  EvalScratch scratch(objective, ctx.eval_threads);
+  const std::vector<SparsityObjective*>& evals = scratch.objectives();
+  const size_t eval_workers = evals.size();
+
+  // Per-restart RNG stream: bit-identical results no matter which thread
+  // runs this restart, or in what order restarts are scheduled.
+  Rng rng = Rng::ForStream(options.seed, run);
+  BestSet best(options.num_projections, options.require_non_empty);
+
+  // Initial seed population of p random k-dimensional strings. Projections
+  // are drawn serially (RNG order), evaluations fan out (pure).
+  std::vector<Individual> population(options.population_size);
+  for (Individual& individual : population) {
+    individual.projection = Projection::Random(
+        ctx.grid->num_dims(), options.target_dim, ctx.grid->phi(), rng);
+  }
+  ParallelFor(population.size(), eval_workers,
+              [&](size_t task, size_t worker) {
+                EvaluateIndividual(population[task], options.target_dim,
+                                   *evals[worker]);
+              });
+  OfferPopulation(population, best);
+
+  size_t stagnant_generations = 0;
+  outcome.stop_reason = StopReason::kMaxGenerations;
+  size_t generation = 0;
+  for (; generation < options.max_generations; ++generation) {
+    if (options.time_budget_seconds > 0.0 &&
+        (ctx.out_of_time->load(std::memory_order_relaxed) ||
+         ctx.watch->ElapsedSeconds() > options.time_budget_seconds)) {
+      outcome.stop_reason = StopReason::kTimeBudget;
+      ctx.out_of_time->store(true, std::memory_order_relaxed);
+      break;
+    }
+
+    // Optional elitism: remember the e fittest before breeding.
+    std::vector<Individual> elites;
+    if (options.elitism > 0) {
+      elites = population;
+      std::partial_sort(
+          elites.begin(),
+          elites.begin() + static_cast<ptrdiff_t>(options.elitism),
+          elites.end(), [](const Individual& a, const Individual& b) {
+            return a.sparsity < b.sparsity;
+          });
+      elites.resize(options.elitism);
+    }
+
+    population = RankRouletteSelection(population, rng);
+    CrossoverPopulation(population, options.crossover, options.target_dim,
+                        evals, rng);
+    bool improved = OfferPopulation(population, best);
+    MutatePopulation(population, options.target_dim, options.mutation,
+                     evals, rng);
+    improved |= OfferPopulation(population, best);
+
+    if (options.elitism > 0) {
+      // Replace the worst offspring with the saved elites.
+      std::partial_sort(
+          population.begin(),
+          population.begin() +
+              static_cast<ptrdiff_t>(population.size() - options.elitism),
+          population.end(), [](const Individual& a, const Individual& b) {
+            return a.sparsity < b.sparsity;
+          });
+      std::copy(elites.begin(), elites.end(),
+                population.end() - static_cast<ptrdiff_t>(options.elitism));
+    }
+
+    if (on_generation) on_generation(generation_base + generation,
+                                     population, best);
+
+    if (improved) {
+      stagnant_generations = 0;
+    } else if (options.stagnation_generations > 0 &&
+               ++stagnant_generations >= options.stagnation_generations) {
+      outcome.stop_reason = StopReason::kStagnation;
+      ++generation;
+      break;
+    }
+    if (PopulationConverged(population, options.convergence_threshold)) {
+      outcome.stop_reason = StopReason::kConverged;
+      ++generation;
+      break;
+    }
+  }
+
+  scratch.AbsorbIntoBase();
+  outcome.best = best.Sorted();
+  outcome.generations = generation;
+  outcome.evaluations = objective.num_evaluations();
+  outcome.counter_stats = counter.stats();
+  return outcome;
+}
+
 }  // namespace
 
 EvolutionResult EvolutionarySearch(SparsityObjective& objective,
@@ -47,100 +221,61 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
                  "elitism must leave room for offspring");
 
   StopWatch watch;
-  Rng rng(options.seed);
-  const uint64_t evaluations_before = objective.num_evaluations();
   const size_t restarts = std::max<size_t>(1, options.restarts);
+  const size_t threads =
+      options.num_threads == 0 ? HardwareThreads() : options.num_threads;
+  std::atomic<bool> out_of_time{false};
 
-  EvolutionResult result;
-  BestSet best(options.num_projections, options.require_non_empty);
+  SearchContext ctx;
+  ctx.grid = &grid;
+  ctx.options = &options;
+  ctx.counter_options = objective.counter().options();
+  ctx.expectation = objective.expectation();
+  // Scratch allocation must not exceed what ParallelFor can actually
+  // deploy — otherwise an oversized num_threads (e.g. a stray -1 cast to
+  // size_t at a call site) would allocate a counter per requested thread.
+  ctx.eval_threads =
+      std::min({threads, options.population_size,
+                ThreadPool::Shared().num_workers() + 1});
+  ctx.watch = &watch;
+  ctx.out_of_time = &out_of_time;
 
-  size_t total_generations = 0;
-  StopReason stop_reason = StopReason::kMaxGenerations;
-  bool out_of_time = false;
-  for (size_t run = 0; run < restarts && !out_of_time; ++run) {
-    // Initial seed population of p random k-dimensional strings.
-    std::vector<Individual> population(options.population_size);
-    for (Individual& individual : population) {
-      individual.projection = Projection::Random(
-          grid.num_dims(), options.target_dim, grid.phi(), rng);
-      EvaluateIndividual(individual, options.target_dim, objective);
+  std::vector<RestartOutcome> outcomes(restarts);
+  if (on_generation) {
+    // An observer needs one ordered generation stream: run restarts
+    // sequentially (the population evaluations inside still fan out).
+    size_t generation_base = 0;
+    for (size_t run = 0; run < restarts; ++run) {
+      outcomes[run] = RunRestart(ctx, run, on_generation, generation_base);
+      generation_base += outcomes[run].generations;
     }
-    OfferPopulation(population, best);
-
-    size_t stagnant_generations = 0;
-    stop_reason = StopReason::kMaxGenerations;
-    size_t generation = 0;
-    for (; generation < options.max_generations; ++generation) {
-      if (options.time_budget_seconds > 0.0 &&
-          watch.ElapsedSeconds() > options.time_budget_seconds) {
-        stop_reason = StopReason::kTimeBudget;
-        out_of_time = true;
-        break;
-      }
-
-      // Optional elitism: remember the e fittest before breeding.
-      std::vector<Individual> elites;
-      if (options.elitism > 0) {
-        elites = population;
-        std::partial_sort(
-            elites.begin(),
-            elites.begin() + static_cast<ptrdiff_t>(options.elitism),
-            elites.end(), [](const Individual& a, const Individual& b) {
-              return a.sparsity < b.sparsity;
-            });
-        elites.resize(options.elitism);
-      }
-
-      population = RankRouletteSelection(population, rng);
-      CrossoverPopulation(population, options.crossover, options.target_dim,
-                          objective, rng);
-      bool improved = OfferPopulation(population, best);
-      MutatePopulation(population, options.target_dim, options.mutation,
-                       objective, rng);
-      improved |= OfferPopulation(population, best);
-
-      if (options.elitism > 0) {
-        // Replace the worst offspring with the saved elites.
-        std::partial_sort(
-            population.begin(),
-            population.begin() +
-                static_cast<ptrdiff_t>(population.size() - options.elitism),
-            population.end(), [](const Individual& a, const Individual& b) {
-              return a.sparsity < b.sparsity;
-            });
-        std::copy(elites.begin(), elites.end(),
-                  population.end() - static_cast<ptrdiff_t>(options.elitism));
-      }
-
-      if (on_generation) on_generation(total_generations + generation,
-                                       population, best);
-
-      if (improved) {
-        stagnant_generations = 0;
-      } else if (options.stagnation_generations > 0 &&
-                 ++stagnant_generations >= options.stagnation_generations) {
-        stop_reason = StopReason::kStagnation;
-        ++generation;
-        break;
-      }
-      if (PopulationConverged(population, options.convergence_threshold)) {
-        stop_reason = StopReason::kConverged;
-        ++generation;
-        break;
-      }
-    }
-    total_generations += generation;
+  } else {
+    // Restarts are independent tasks; outcomes land in fixed slots, so
+    // scheduling order cannot affect the merged result.
+    ParallelFor(restarts, threads, [&](size_t run, size_t) {
+      outcomes[run] = RunRestart(ctx, run, nullptr, 0);
+    });
   }
 
+  // Merge in restart order (deterministic tie-breaking), and fold every
+  // restart's evaluation/counter totals back into the caller's objective.
+  EvolutionResult result;
+  BestSet best(options.num_projections, options.require_non_empty);
+  for (const RestartOutcome& outcome : outcomes) {
+    for (const ScoredProjection& scored : outcome.best) {
+      best.Offer(scored);
+    }
+    result.stats.generations += outcome.generations;
+    result.stats.evaluations += outcome.evaluations;
+    objective.AddEvaluations(outcome.evaluations);
+    objective.counter().AbsorbStats(outcome.counter_stats);
+  }
   result.best = best.Sorted();
-  result.stats.generations = total_generations;
-  result.stats.stop_reason = stop_reason;
+  result.stats.stop_reason = outcomes.back().stop_reason;
   result.stats.seconds = watch.ElapsedSeconds();
-  result.stats.evaluations =
-      objective.num_evaluations() - evaluations_before;
   HIDO_LOG_DEBUG("evolutionary search: %zu generations, %zu projections, "
                  "best %.3f",
-                 total_generations, result.best.size(),
+                 result.stats.generations, result.best.size(),
                  result.best.empty() ? 0.0 : result.best.front().sparsity);
   return result;
 }

@@ -47,6 +47,20 @@ struct EvolutionaryOptions {
   double time_budget_seconds = 0.0;
   bool require_non_empty = true;
   uint64_t seed = 42;
+  /// Worker threads (0 = hardware concurrency). Parallelism is exploited
+  /// along two axes on the shared ThreadPool: restarts run as independent
+  /// tasks, and within a restart the population's fitness evaluations fan
+  /// out with per-worker counter scratch.
+  ///
+  /// Determinism contract: with time_budget_seconds == 0, a fixed seed
+  /// yields a bit-identical `EvolutionResult::best` (projections, counts,
+  /// sparsity coefficients) for every value of num_threads. Each restart
+  /// draws from its own RNG stream (Rng::ForStream(seed, run)), owns its
+  /// BestSet, and the per-restart sets are merged in restart order; the
+  /// parallel fitness evaluations are pure, so scheduling cannot leak into
+  /// the result. A nonzero time budget is inherently wall-clock-dependent
+  /// and voids the contract.
+  size_t num_threads = 1;
 };
 
 /// Why the run stopped.
@@ -57,9 +71,11 @@ enum class StopReason {
   kTimeBudget,
 };
 
-/// Outcome counters.
+/// Outcome counters. Aggregated over every restart and every worker
+/// thread, so the numbers stay truthful under concurrency.
 struct EvolutionStats {
-  size_t generations = 0;
+  size_t generations = 0;  ///< summed across restarts
+  /// Stop reason of the last restart (restart index restarts-1).
   StopReason stop_reason = StopReason::kMaxGenerations;
   double seconds = 0.0;
   uint64_t evaluations = 0;  ///< objective evaluations consumed by this run
@@ -72,11 +88,15 @@ struct EvolutionResult {
 };
 
 /// Per-generation observer (for traces/tests): generation index, current
-/// population, best set so far.
+/// population, best set so far (the restart-local set). Providing an
+/// observer forces restarts to run sequentially so the callback sees one
+/// ordered generation stream; population evaluation still fans out.
 using GenerationCallback = std::function<void(
     size_t, const std::vector<Individual>&, const BestSet&)>;
 
-/// Runs the evolutionary search against `objective`.
+/// Runs the evolutionary search against `objective`. Evaluations performed
+/// on private per-restart/per-worker counters are folded back into
+/// `objective` (and its CubeCounter's stats) before returning.
 EvolutionResult EvolutionarySearch(
     SparsityObjective& objective, const EvolutionaryOptions& options,
     const GenerationCallback& on_generation = nullptr);

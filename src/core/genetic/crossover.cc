@@ -1,10 +1,12 @@
 #include "core/genetic/crossover.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/parallel.h"
 
 namespace hido {
 
@@ -24,11 +26,19 @@ std::pair<Projection, Projection> TwoPointCrossover(const Projection& s1,
                                                     const Projection& s2,
                                                     Rng& rng) {
   const size_t d = s1.num_dims();
-  HIDO_CHECK(d == s2.num_dims());
   HIDO_CHECK(d >= 2);
   // Segments to the right of `cut` are exchanged; cut in [1, d-1] so both
   // segments are non-empty.
   const size_t cut = static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(d) - 1));
+  return TwoPointCrossoverAt(s1, s2, cut);
+}
+
+std::pair<Projection, Projection> TwoPointCrossoverAt(const Projection& s1,
+                                                      const Projection& s2,
+                                                      size_t cut) {
+  const size_t d = s1.num_dims();
+  HIDO_CHECK(d == s2.num_dims());
+  HIDO_CHECK(cut >= 1 && cut < d);
   Projection c1(d);
   Projection c2(d);
   for (size_t pos = 0; pos < d; ++pos) {
@@ -185,28 +195,56 @@ std::pair<Projection, Projection> OptimizedCrossover(
 void CrossoverPopulation(std::vector<Individual>& population,
                          CrossoverKind kind, size_t target_k,
                          SparsityObjective& objective, Rng& rng) {
+  CrossoverPopulation(population, kind, target_k,
+                      std::vector<SparsityObjective*>{&objective}, rng);
+}
+
+void CrossoverPopulation(std::vector<Individual>& population,
+                         CrossoverKind kind, size_t target_k,
+                         const std::vector<SparsityObjective*>& objectives,
+                         Rng& rng) {
+  HIDO_CHECK(!objectives.empty());
   const size_t p = population.size();
   if (p < 2) return;
   std::vector<size_t> order(p);
   std::iota(order.begin(), order.end(), 0);
   rng.Shuffle(order);
 
-  for (size_t i = 0; i + 1 < p; i += 2) {
-    Individual& first = population[order[i]];
-    Individual& second = population[order[i + 1]];
-    std::pair<Projection, Projection> children = [&] {
-      if (kind == CrossoverKind::kOptimized && first.feasible &&
-          second.feasible) {
-        return OptimizedCrossover(first.projection, second.projection,
-                                  target_k, objective);
-      }
-      return TwoPointCrossover(first.projection, second.projection, rng);
-    }();
+  // Fix the whole random stream before fanning out: which pairs fall back
+  // to two-point is known from parent feasibility, and each such pair
+  // consumes exactly one cut draw, in pair order — the same consumption
+  // pattern as the serial loop.
+  const size_t num_pairs = p / 2;
+  std::vector<size_t> cuts(num_pairs, 0);
+  std::vector<uint8_t> two_point(num_pairs, 0);
+  for (size_t pair = 0; pair < num_pairs; ++pair) {
+    const Individual& first = population[order[2 * pair]];
+    const Individual& second = population[order[2 * pair + 1]];
+    if (kind != CrossoverKind::kOptimized || !first.feasible ||
+        !second.feasible) {
+      two_point[pair] = 1;
+      const size_t d = first.projection.num_dims();
+      HIDO_CHECK(d >= 2);
+      cuts[pair] =
+          static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(d) - 1));
+    }
+  }
+
+  ParallelFor(num_pairs, objectives.size(), [&](size_t pair, size_t worker) {
+    Individual& first = population[order[2 * pair]];
+    Individual& second = population[order[2 * pair + 1]];
+    SparsityObjective& objective = *objectives[worker];
+    std::pair<Projection, Projection> children =
+        two_point[pair]
+            ? TwoPointCrossoverAt(first.projection, second.projection,
+                                  cuts[pair])
+            : OptimizedCrossover(first.projection, second.projection,
+                                 target_k, objective);
     first.projection = std::move(children.first);
     second.projection = std::move(children.second);
     EvaluateIndividual(first, target_k, objective);
     EvaluateIndividual(second, target_k, objective);
-  }
+  });
 }
 
 }  // namespace hido

@@ -45,6 +45,14 @@ std::pair<Projection, Projection> TwoPointCrossover(const Projection& s1,
                                                     const Projection& s2,
                                                     Rng& rng);
 
+/// Deterministic core of TwoPointCrossover with an explicit cut in
+/// [1, d-1]. Exposed so a parallel caller can pre-draw all cut points from
+/// one RNG (fixing the random stream) and then recombine pairs on worker
+/// threads without touching the RNG.
+std::pair<Projection, Projection> TwoPointCrossoverAt(const Projection& s1,
+                                                      const Projection& s2,
+                                                      size_t cut);
+
 /// Tuning knobs for OptimizedCrossover.
 struct OptimizedCrossoverOptions {
   /// Exhaustive Type II enumeration is used while the number of
@@ -68,6 +76,17 @@ std::pair<Projection, Projection> OptimizedCrossover(
 void CrossoverPopulation(std::vector<Individual>& population,
                          CrossoverKind kind, size_t target_k,
                          SparsityObjective& objective, Rng& rng);
+
+/// Parallel CrossoverPopulation: pairs are recombined and evaluated on up
+/// to `objectives.size()` workers, worker w using `*objectives[w]` (one
+/// private objective per worker; objectives[0] may be the caller's own).
+/// All randomness (the shuffle and every two-point cut) is drawn from `rng`
+/// up front in pair order, so the result is bit-identical to the serial
+/// variant regardless of worker count or scheduling.
+void CrossoverPopulation(std::vector<Individual>& population,
+                         CrossoverKind kind, size_t target_k,
+                         const std::vector<SparsityObjective*>& objectives,
+                         Rng& rng);
 
 }  // namespace hido
 

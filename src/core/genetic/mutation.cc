@@ -1,6 +1,7 @@
 #include "core/genetic/mutation.h"
 
 #include "common/macros.h"
+#include "common/parallel.h"
 
 namespace hido {
 
@@ -41,12 +42,29 @@ bool MutateProjection(Projection& projection, size_t phi,
 void MutatePopulation(std::vector<Individual>& population, size_t target_k,
                       const MutationOptions& options,
                       SparsityObjective& objective, Rng& rng) {
-  const size_t phi = objective.grid().phi();
-  for (Individual& individual : population) {
-    if (MutateProjection(individual.projection, phi, options, rng)) {
-      EvaluateIndividual(individual, target_k, objective);
+  MutatePopulation(population, target_k, options,
+                   std::vector<SparsityObjective*>{&objective}, rng);
+}
+
+void MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                      const MutationOptions& options,
+                      const std::vector<SparsityObjective*>& objectives,
+                      Rng& rng) {
+  HIDO_CHECK(!objectives.empty());
+  const size_t phi = objectives.front()->grid().phi();
+  // Mutation only consumes randomness; evaluation only consumes cycles.
+  // Draw all mutations first, then fan the evaluations out.
+  std::vector<size_t> changed;
+  for (size_t i = 0; i < population.size(); ++i) {
+    if (MutateProjection(population[i].projection, phi, options, rng)) {
+      changed.push_back(i);
     }
   }
+  ParallelFor(changed.size(), objectives.size(),
+              [&](size_t task, size_t worker) {
+                EvaluateIndividual(population[changed[task]], target_k,
+                                   *objectives[worker]);
+              });
 }
 
 }  // namespace hido

@@ -37,6 +37,16 @@ void MutatePopulation(std::vector<Individual>& population, size_t target_k,
                       const MutationOptions& options,
                       SparsityObjective& objective, Rng& rng);
 
+/// Parallel MutatePopulation: mutations are drawn serially from `rng` (in
+/// population order, so the random stream is independent of worker count),
+/// then the changed individuals are re-evaluated on up to
+/// `objectives.size()` workers, worker w using `*objectives[w]`. Results
+/// are bit-identical to the serial variant.
+void MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                      const MutationOptions& options,
+                      const std::vector<SparsityObjective*>& objectives,
+                      Rng& rng);
+
 }  // namespace hido
 
 #endif  // HIDO_CORE_GENETIC_MUTATION_H_

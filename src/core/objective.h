@@ -61,6 +61,11 @@ class SparsityObjective {
   /// Total number of cube evaluations performed through this objective.
   uint64_t num_evaluations() const { return num_evaluations_; }
 
+  /// Folds evaluations performed on private per-thread objectives into this
+  /// one's total, so callers that account through a single objective see
+  /// truthful numbers after a parallel search.
+  void AddEvaluations(uint64_t n) { num_evaluations_ += n; }
+
  private:
   CubeCounter* counter_;
   SparsityModel model_;

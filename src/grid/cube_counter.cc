@@ -28,6 +28,15 @@ void ValidateConditions(const GridModel& grid,
 
 }  // namespace
 
+CubeCounter::Stats& CubeCounter::Stats::operator+=(const Stats& other) {
+  queries += other.queries;
+  cache_hits += other.cache_hits;
+  bitset_counts += other.bitset_counts;
+  posting_counts += other.posting_counts;
+  naive_counts += other.naive_counts;
+  return *this;
+}
+
 CubeCounter::CubeCounter(const GridModel& grid)
     : CubeCounter(grid, Options()) {}
 
@@ -60,7 +69,7 @@ size_t CubeCounter::Count(const std::vector<DimRange>& conditions) {
   ValidateConditions(*grid_, conditions);
   ++stats_.queries;
   if (options_.cache_capacity == 0) {
-    return CountUncached(conditions, options_.strategy);
+    return Dispatch(conditions, options_.strategy);
   }
   std::vector<uint64_t> key = CacheKey(conditions);
   const auto it = cache_.find(key);
@@ -68,7 +77,7 @@ size_t CubeCounter::Count(const std::vector<DimRange>& conditions) {
     ++stats_.cache_hits;
     return it->second;
   }
-  const size_t count = CountUncached(conditions, options_.strategy);
+  const size_t count = Dispatch(conditions, options_.strategy);
   if (cache_.size() >= options_.cache_capacity) {
     cache_.clear();  // wholesale eviction keeps bookkeeping O(1)
   }
@@ -79,6 +88,12 @@ size_t CubeCounter::Count(const std::vector<DimRange>& conditions) {
 size_t CubeCounter::CountUncached(const std::vector<DimRange>& conditions,
                                   CountingStrategy strategy) {
   ValidateConditions(*grid_, conditions);
+  ++stats_.queries;
+  return Dispatch(conditions, strategy);
+}
+
+size_t CubeCounter::Dispatch(const std::vector<DimRange>& conditions,
+                             CountingStrategy strategy) {
   if (strategy == CountingStrategy::kAuto) {
     strategy = Choose(conditions);
   }

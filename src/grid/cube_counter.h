@@ -37,13 +37,19 @@ class CubeCounter {
     size_t cache_capacity = 1u << 18;
   };
 
-  /// Counters for introspection and the micro benchmarks.
+  /// Counters for introspection and the micro benchmarks. Invariant:
+  /// queries == cache_hits + bitset_counts + posting_counts + naive_counts
+  /// (every query is either served from the cache or dispatched to exactly
+  /// one strategy — including queries made through CountUncached).
   struct Stats {
     uint64_t queries = 0;
     uint64_t cache_hits = 0;
     uint64_t bitset_counts = 0;
     uint64_t posting_counts = 0;
     uint64_t naive_counts = 0;
+
+    /// Element-wise accumulation (for merging per-thread counters).
+    Stats& operator+=(const Stats& other);
   };
 
   /// `grid` must outlive the counter. Default options: kAuto + caching.
@@ -64,11 +70,20 @@ class CubeCounter {
       const std::vector<DimRange>& conditions) const;
 
   const Stats& stats() const { return stats_; }
+
+  /// Folds another counter's statistics into this one. Used to aggregate
+  /// the private per-thread counters of a parallel search into the caller's
+  /// counter, so totals stay truthful under concurrency.
+  void AbsorbStats(const Stats& other) { stats_ += other; }
+
   void ClearCache();
 
   const GridModel& grid() const { return *grid_; }
+  const Options& options() const { return options_; }
 
  private:
+  size_t Dispatch(const std::vector<DimRange>& conditions,
+                  CountingStrategy strategy);
   size_t CountBitset(const std::vector<DimRange>& conditions);
   size_t CountPostings(const std::vector<DimRange>& conditions) const;
   size_t CountNaive(const std::vector<DimRange>& conditions) const;

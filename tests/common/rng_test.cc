@@ -177,6 +177,31 @@ TEST(RngTest, WeightedIndexProportions) {
   EXPECT_NEAR(static_cast<double>(first) / n, 0.25, 0.01);
 }
 
+TEST(RngTest, ForStreamIsDeterministicPerStream) {
+  Rng a = Rng::ForStream(42, 3);
+  Rng b = Rng::ForStream(42, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, ForStreamsDivergeAcrossStreamsAndSeeds) {
+  // Stream derivation goes through SplitMix64, so even adjacent stream ids
+  // (and stream ids equal to other seeds) give unrelated sequences.
+  Rng s0 = Rng::ForStream(42, 0);
+  Rng s1 = Rng::ForStream(42, 1);
+  Rng other_seed = Rng::ForStream(43, 0);
+  int equal01 = 0;
+  int equal0s = 0;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t v0 = s0.Next64();
+    equal01 += (v0 == s1.Next64()) ? 1 : 0;
+    equal0s += (v0 == other_seed.Next64()) ? 1 : 0;
+  }
+  EXPECT_LT(equal01, 4);
+  EXPECT_LT(equal0s, 4);
+}
+
 TEST(RngTest, SplitProducesIndependentStream) {
   Rng parent(61);
   Rng child = parent.Split();

@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -79,6 +80,40 @@ TEST(NormalQuantileTest, KnownValues) {
   EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
   EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
   EXPECT_NEAR(NormalQuantile(0.0013498980316301), -3.0, 1e-7);
+}
+
+TEST(NormalQuantileTest, ExtremeTailsAreFiniteNotNaN) {
+  // Regression: the Halley refinement computed exp(0.5*x*x), which
+  // overflows to inf for |x| ≳ 38; with the residual NormalCdf(x) - p
+  // underflowing to 0 the update became 0 * inf = NaN.
+  const double lo = NormalQuantile(1e-300);
+  EXPECT_FALSE(std::isnan(lo));
+  EXPECT_TRUE(std::isfinite(lo));
+  // z for p = 1e-300 is about -37.0471; Acklam alone is ~1e-9 relative.
+  EXPECT_NEAR(lo, -37.0471, 1e-2);
+
+  const double hi = NormalQuantile(1.0 - 1e-16);
+  EXPECT_FALSE(std::isnan(hi));
+  EXPECT_TRUE(std::isfinite(hi));
+  EXPECT_NEAR(hi, 8.2095, 1e-2);
+
+  // Denormal and near-1 extremes stay finite and ordered.
+  const double denormal = NormalQuantile(5e-324);
+  EXPECT_TRUE(std::isfinite(denormal));
+  EXPECT_LT(denormal, lo);
+  const double top = NormalQuantile(std::nextafter(1.0, 0.0));
+  EXPECT_TRUE(std::isfinite(top));
+  EXPECT_GT(top, 0.0);
+}
+
+TEST(NormalQuantileTest, MonotoneIntoTheTails) {
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double p = 1e-300; p < 0.5; p *= 1e10) {
+    const double x = NormalQuantile(p);
+    EXPECT_TRUE(std::isfinite(x)) << "p = " << p;
+    EXPECT_GT(x, prev) << "p = " << p;
+    prev = x;
+  }
 }
 
 TEST(BinomialMeanStddevTest, MatchesFormula) {

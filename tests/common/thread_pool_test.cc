@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace hido {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  const size_t kTasks = 10000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kTasks, 4,
+                   [&](size_t task, size_t) { hits[task].fetch_add(1); });
+  for (size_t task = 0; task < kTasks; ++task) {
+    EXPECT_EQ(hits[task].load(), 1) << "task " << task;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreWithinEffectiveParallelism) {
+  ThreadPool pool(3);
+  // Effective parallelism = min(max_parallelism=2, tasks, workers+1) = 2.
+  std::atomic<size_t> max_worker{0};
+  pool.ParallelFor(1000, 2, [&](size_t, size_t worker) {
+    size_t seen = max_worker.load();
+    while (worker > seen && !max_worker.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_LT(max_worker.load(), 2u);
+}
+
+TEST(ThreadPoolTest, ReusedAcrossManyCalls) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  for (int call = 0; call < 200; ++call) {
+    pool.ParallelFor(50, 3, [&](size_t, size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200u * 50u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInlineInOrder) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::vector<size_t> order;
+  pool.ParallelFor(8, 4, [&](size_t task, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(task);
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // A task running on the pool issues its own ParallelFor on the same pool.
+  // The caller-participation discipline guarantees progress even when every
+  // background worker is busy with outer tasks.
+  ThreadPool pool(2);
+  const size_t kOuter = 8;
+  const size_t kInner = 64;
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(kOuter, 3, [&](size_t, size_t) {
+    pool.ParallelFor(kInner, 3,
+                     [&](size_t, size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, UnevenTaskCostsAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, 4, [&](size_t task, size_t) {
+    // Task 0 is much heavier than the rest: dynamic claiming must let the
+    // other participants drain the remaining 99.
+    size_t spins = task == 0 ? 200000 : 10;
+    volatile size_t sink = 0;
+    for (size_t i = 0; i < spins; ++i) sink = sink + i;
+    sum.fetch_add(task);
+  });
+  EXPECT_EQ(sum.load(), 99u * 100u / 2u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingletonWithAWorker) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  // Guaranteed at least one background worker even on a 1-core host, so
+  // concurrency is genuinely exercised everywhere.
+  EXPECT_GE(ThreadPool::Shared().num_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, FreeParallelForRunsOnSharedPool) {
+  // The free function keeps its historical signature but is pool-backed.
+  std::atomic<size_t> total{0};
+  ParallelFor(100, HardwareThreads() + 1,
+              [&](size_t task, size_t) { total.fetch_add(task); });
+  EXPECT_EQ(total.load(), 99u * 100u / 2u);
+}
+
+}  // namespace
+}  // namespace hido

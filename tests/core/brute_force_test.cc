@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -139,6 +140,73 @@ TEST(BruteForceTest, MaxCubesBudgetStopsEarly) {
   const BruteForceResult result = BruteForceSearch(f.objective, opts);
   EXPECT_FALSE(result.stats.completed);
   EXPECT_LE(result.stats.cubes_evaluated, 100u);
+}
+
+TEST(BruteForceTest, PublishedBudgetMatchesEvaluatedCubes) {
+  // The shared budget counter the workers publish into must agree with the
+  // per-worker statistics merged into the result — every leaf is flushed
+  // before the merge, including work done between the last periodic flush
+  // and an abort.
+  Fixture f(400, 10, 4, 23);
+
+  // Run to completion, serial and parallel.
+  for (size_t threads : {1u, 4u}) {
+    BruteForceOptions opts;
+    opts.target_dim = 3;
+    opts.num_projections = 5;
+    opts.num_threads = threads;
+    const BruteForceResult result = BruteForceSearch(f.objective, opts);
+    EXPECT_TRUE(result.stats.completed);
+    EXPECT_EQ(result.stats.cubes_published, result.stats.cubes_evaluated)
+        << "threads=" << threads;
+  }
+
+  // Aborted mid-subtree by the cube budget, serial and parallel.
+  for (size_t threads : {1u, 4u}) {
+    BruteForceOptions opts;
+    opts.target_dim = 3;
+    opts.num_projections = 5;
+    opts.max_cubes = 50;
+    opts.num_threads = threads;
+    const BruteForceResult result = BruteForceSearch(f.objective, opts);
+    EXPECT_FALSE(result.stats.completed);
+    EXPECT_GT(result.stats.cubes_evaluated, 0u);
+    EXPECT_EQ(result.stats.cubes_published, result.stats.cubes_evaluated)
+        << "threads=" << threads;
+  }
+}
+
+TEST(BruteForceTest, OversizedThreadCountIsClampedNotAllocated) {
+  // One Worker (with its own scratch bitsets) is allocated per thread; an
+  // oversized request such as -1 cast to size_t must be clamped to usable
+  // parallelism, not allocated literally.
+  Fixture f(200, 6, 4, 25);
+  BruteForceOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 3;
+  opts.num_threads = std::numeric_limits<size_t>::max();
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  EXPECT_TRUE(result.stats.completed);
+  EXPECT_EQ(result.best.size(), 3u);
+}
+
+TEST(BruteForceTest, CounterStatsInvariantSurvivesCountUncached) {
+  // Every query through CubeCounter — cached Count or public CountUncached —
+  // must be either a cache hit or dispatched to exactly one strategy:
+  // queries == cache_hits + bitset + posting + naive. CountUncached
+  // historically forgot to bump `queries`, breaking the identity.
+  Fixture f(300, 6, 4, 24);
+  const std::vector<DimRange> cube = {{0, 1}, {2, 0}};
+  f.counter.Count(cube);                // miss: dispatched
+  f.counter.Count(cube);                // hit
+  f.counter.CountUncached(cube, CountingStrategy::kBitset);
+  f.counter.CountUncached(cube, CountingStrategy::kPostingList);
+  f.counter.CountUncached(cube, CountingStrategy::kNaive);
+  const CubeCounter::Stats stats = f.counter.stats();
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.queries, stats.cache_hits + stats.bitset_counts +
+                               stats.posting_counts + stats.naive_counts);
 }
 
 TEST(BruteForceTest, KEqualsOneScansSingleRanges) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "core/brute_force.h"
 #include "data/generators/synthetic.h"
 
@@ -64,6 +65,99 @@ TEST(EvolutionarySearchTest, DeterministicPerSeed) {
     EXPECT_EQ(a.best[i].count, b.best[i].count);
   }
   EXPECT_EQ(a.stats.generations, b.stats.generations);
+}
+
+TEST(EvolutionarySearchTest, BitIdenticalResultsForAnyThreadCount) {
+  // The determinism contract: with a fixed seed and no time budget, the
+  // returned best set is bit-identical (projections, counts, sparsity
+  // coefficients) for every thread count. Restarts exercise both parallel
+  // axes: restarts-as-tasks and per-generation evaluation fan-out.
+  SubspaceOutlierConfig config;
+  config.num_points = 400;
+  config.num_dims = 16;
+  config.num_groups = 4;
+  config.num_outliers = 6;
+  config.seed = 21;
+  const GeneratedDataset g = GenerateSubspaceOutliers(config);
+
+  EvolutionaryOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 12;
+  opts.population_size = 30;
+  opts.max_generations = 15;
+  opts.restarts = 3;
+  opts.seed = 77;
+
+  std::vector<size_t> thread_counts = {1, 2, HardwareThreads()};
+  std::vector<EvolutionResult> results;
+  for (size_t threads : thread_counts) {
+    Fixture f(g.data, 5);
+    opts.num_threads = threads;
+    results.push_back(EvolutionarySearch(f.objective, opts));
+  }
+  const EvolutionResult& serial = results.front();
+  ASSERT_FALSE(serial.best.empty());
+  for (size_t r = 1; r < results.size(); ++r) {
+    const EvolutionResult& threaded = results[r];
+    ASSERT_EQ(serial.best.size(), threaded.best.size())
+        << "num_threads=" << thread_counts[r];
+    for (size_t i = 0; i < serial.best.size(); ++i) {
+      EXPECT_EQ(serial.best[i].projection, threaded.best[i].projection);
+      EXPECT_EQ(serial.best[i].count, threaded.best[i].count);
+      // Bit-identical, not merely close.
+      EXPECT_EQ(serial.best[i].sparsity, threaded.best[i].sparsity);
+    }
+    EXPECT_EQ(serial.stats.generations, threaded.stats.generations);
+    EXPECT_EQ(serial.stats.evaluations, threaded.stats.evaluations);
+  }
+}
+
+TEST(EvolutionarySearchTest, StatsStayTruthfulUnderConcurrency) {
+  // Evaluations done on private per-restart/per-worker counters must be
+  // folded back into the caller's objective and its counter's statistics.
+  Fixture f(GenerateUniform(300, 10, 3), 5);
+  EvolutionaryOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 5;
+  opts.population_size = 20;
+  opts.max_generations = 10;
+  opts.restarts = 2;
+  opts.num_threads = 2;
+  opts.seed = 13;
+  const EvolutionResult result = EvolutionarySearch(f.objective, opts);
+  EXPECT_GT(result.stats.evaluations, 0u);
+  EXPECT_EQ(f.objective.num_evaluations(), result.stats.evaluations);
+  const CubeCounter::Stats stats = f.counter.stats();
+  EXPECT_GT(stats.queries, 0u);
+  EXPECT_EQ(stats.queries, stats.cache_hits + stats.bitset_counts +
+                               stats.posting_counts + stats.naive_counts);
+}
+
+TEST(EvolutionarySearchTest, OversizedThreadCountIsClampedNotAllocated) {
+  // A caller passing e.g. -1 cast to size_t must not make the search try
+  // to allocate one counter per requested thread; scratch is clamped to
+  // what the pool can actually deploy, and results match num_threads=1.
+  EvolutionaryOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 3;
+  opts.population_size = 16;
+  opts.max_generations = 6;
+  opts.restarts = 2;
+  opts.seed = 21;
+
+  Fixture serial_f(GenerateUniform(200, 8, 3), 4);
+  opts.num_threads = 1;
+  const EvolutionResult serial = EvolutionarySearch(serial_f.objective, opts);
+
+  Fixture huge_f(GenerateUniform(200, 8, 3), 4);
+  opts.num_threads = std::numeric_limits<size_t>::max();
+  const EvolutionResult huge = EvolutionarySearch(huge_f.objective, opts);
+
+  ASSERT_EQ(serial.best.size(), huge.best.size());
+  for (size_t i = 0; i < serial.best.size(); ++i) {
+    EXPECT_EQ(serial.best[i].projection, huge.best[i].projection);
+    EXPECT_EQ(serial.best[i].sparsity, huge.best[i].sparsity);
+  }
 }
 
 TEST(EvolutionarySearchTest, FindsPlantedSparseCombination) {

@@ -18,6 +18,7 @@
 #include "baselines/knn_outlier.h"
 #include "baselines/lof.h"
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/detector.h"
 #include "core/model_io.h"
@@ -105,6 +106,9 @@ int RunDetect(const std::vector<std::string>& args) {
   flags.AddInt("generations", 100, "GA max generations per restart");
   flags.AddInt("restarts", 4, "independent GA restarts");
   flags.AddString("crossover", "optimized", "optimized | two-point");
+  flags.AddInt("threads", 1,
+               "worker threads for the search (0: all hardware threads); "
+               "results are seed-deterministic for any value");
   flags.AddInt("seed", 42, "random seed");
   flags.AddInt("explain", 3, "print explanations for the strongest N rows");
   flags.AddInt("rank", 0,
@@ -125,6 +129,8 @@ int RunDetect(const std::vector<std::string>& args) {
   config.sparsity_target = flags.GetDouble("s");
   config.num_projections = static_cast<size_t>(flags.GetInt("m"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
+  config.num_threads = threads == 0 ? HardwareThreads() : threads;
   if (flags.GetString("algorithm") == "brute-force") {
     config.algorithm = SearchAlgorithm::kBruteForce;
   } else if (flags.GetString("algorithm") != "evolutionary") {
