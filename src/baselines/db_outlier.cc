@@ -1,43 +1,57 @@
 #include "baselines/db_outlier.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "baselines/vptree.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace hido {
 
 std::vector<size_t> DbOutliers(const DistanceMetric& metric,
-                               const DbOutlierOptions& options) {
+                               const DbOutlierOptions& options,
+                               RunStatus* status) {
   HIDO_CHECK(options.lambda > 0.0);
   const size_t n = metric.num_points();
-  std::vector<size_t> outliers;
+  const size_t num_threads =
+      options.num_threads == 0 ? HardwareThreads() : options.num_threads;
+  StopPoller poller(options.stop, nullptr, 0.0);
 
-  if (options.use_vptree) {
-    const VpTree tree(metric);
-    for (size_t i = 0; i < n; ++i) {
+  std::optional<VpTree> tree;
+  if (options.use_vptree) tree.emplace(metric);
+
+  // Per-point verdicts are independent, so workers fill a flag array and
+  // the ascending result order comes from the final collection pass — the
+  // output cannot depend on the thread count.
+  std::vector<char> is_outlier(n, 0);
+  ParallelFor(n, num_threads, [&](size_t i, size_t) {
+    if (poller.ShouldStop()) return;
+    if (tree.has_value()) {
       const size_t neighbors =
-          tree.CountWithin(i, options.lambda, options.max_neighbors);
-      if (neighbors <= options.max_neighbors) outliers.push_back(i);
+          tree->CountWithin(i, options.lambda, options.max_neighbors);
+      is_outlier[i] = neighbors <= options.max_neighbors ? 1 : 0;
+      return;
     }
-    return outliers;
-  }
-
-  for (size_t i = 0; i < n; ++i) {
     size_t neighbors = 0;
-    bool is_outlier = true;
+    is_outlier[i] = 1;
     for (size_t j = 0; j < n; ++j) {
       if (j == i) continue;
       if (metric.Distance(i, j) <= options.lambda) {
         if (++neighbors > options.max_neighbors) {
-          is_outlier = false;  // too many close points: not an outlier
+          is_outlier[i] = 0;  // too many close points: not an outlier
           break;
         }
       }
     }
-    if (is_outlier) outliers.push_back(i);
+  });
+
+  std::vector<size_t> outliers;
+  for (size_t i = 0; i < n; ++i) {
+    if (is_outlier[i]) outliers.push_back(i);
   }
+  if (status != nullptr) *status = poller.status();
   return outliers;
 }
 

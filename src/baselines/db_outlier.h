@@ -12,6 +12,7 @@
 
 #include "baselines/distance.h"
 #include "common/rng.h"
+#include "common/run_control.h"
 
 namespace hido {
 
@@ -20,12 +21,22 @@ struct DbOutlierOptions {
   double lambda = 0.5;      ///< neighbourhood radius
   size_t max_neighbors = 5; ///< k: tolerated neighbours within lambda
   bool use_vptree = false;  ///< count neighbours through a VP-tree
+  /// Worker threads (0 = hardware concurrency). The result does not depend
+  /// on the thread count.
+  size_t num_threads = 1;
+  /// Optional cooperative stop, polled once per point. After a fired token
+  /// only the points already judged are reported (`status->completed ==
+  /// false`); every reported row is a true outlier. Nullable; must outlive
+  /// the call.
+  const StopToken* stop = nullptr;
 };
 
 /// Rows that are DB(k, lambda) outliers, ascending. The nested loop
-/// abandons a point as soon as its neighbour count exceeds k.
+/// abandons a point as soon as its neighbour count exceeds k. `status`
+/// (nullable) receives whether every point was judged.
 std::vector<size_t> DbOutliers(const DistanceMetric& metric,
-                               const DbOutlierOptions& options);
+                               const DbOutlierOptions& options,
+                               RunStatus* status = nullptr);
 
 /// Estimates lambda as the given quantile (in [0,1]) of the pairwise
 /// distance distribution, from `sample_pairs` sampled pairs. This is the

@@ -1,11 +1,14 @@
 #include "baselines/knn_outlier.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <optional>
 #include <queue>
 
 #include "baselines/vptree.h"
 #include "common/macros.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace hido {
@@ -23,23 +26,15 @@ std::vector<double> AllKthNeighborDistances(const DistanceMetric& metric,
 }
 
 std::vector<KnnOutlier> TopNKnnOutliers(const DistanceMetric& metric,
-                                        const KnnOutlierOptions& options) {
+                                        const KnnOutlierOptions& options,
+                                        RunStatus* status) {
   const size_t n = metric.num_points();
   HIDO_CHECK(options.k >= 1);
   HIDO_CHECK_MSG(options.k < n, "k must be < number of points");
   HIDO_CHECK(options.num_outliers >= 1);
   const size_t top_n = std::min(options.num_outliers, n);
-
-  // Min-heap over scores of the current top-n (weakest on top).
-  struct ByScoreAsc {
-    bool operator()(const KnnOutlier& a, const KnnOutlier& b) const {
-      return a.kth_distance != b.kth_distance
-                 ? a.kth_distance > b.kth_distance
-                 : a.row > b.row;
-    }
-  };
-  std::priority_queue<KnnOutlier, std::vector<KnnOutlier>, ByScoreAsc> best;
-  double cutoff = 0.0;  // n-th largest k-NN distance so far
+  const size_t num_threads =
+      options.num_threads == 0 ? HardwareThreads() : options.num_threads;
 
   std::vector<size_t> scan_order(n);
   for (size_t i = 0; i < n; ++i) scan_order[i] = i;
@@ -51,51 +46,83 @@ std::vector<KnnOutlier> TopNKnnOutliers(const DistanceMetric& metric,
   std::optional<VpTree> tree;
   if (options.use_vptree) tree.emplace(metric);
 
-  for (size_t i = 0; i < n; ++i) {
+  StopPoller poller(options.stop, nullptr, 0.0);
+
+  // Shared abandonment cutoff. Any worker's local n-th largest score is a
+  // lower bound on the final n-th largest (it ranks a subset of the
+  // points), so a point whose k-NN upper bound drops strictly below it can
+  // never enter the final top n — regardless of which worker scored what.
+  // Workers only raise the cutoff (CAS max), so every prune is sound and
+  // the surviving set is a superset of the true top n at any thread count.
+  std::atomic<double> cutoff{-std::numeric_limits<double>::infinity()};
+
+  struct WorkerState {
+    // Min-heap of the worker's own top-n scores (weakest on top).
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        top;
+    std::vector<KnnOutlier> survivors;
+  };
+  std::vector<WorkerState> workers(std::max<size_t>(1, num_threads));
+
+  ParallelFor(n, num_threads, [&](size_t point, size_t worker) {
+    if (poller.ShouldStop()) return;
+    WorkerState& ws = workers[worker];
     double kth = 0.0;
     if (tree.has_value()) {
-      const std::vector<Neighbor> nn = tree->Nearest(i, options.k);
-      kth = nn.back().distance;
+      kth = tree->Nearest(point, options.k).back().distance;
     } else {
-      // Running k smallest distances with early abandonment: once the
-      // current upper bound drops below the global cutoff, this point can
-      // no longer enter the top n.
+      // Running k smallest distances with early abandonment: ksmallest.top()
+      // only shrinks as the scan proceeds, so it upper-bounds the point's
+      // true k-th-NN distance.
       std::priority_queue<double> ksmallest;  // max-heap of k best
-      bool abandoned = false;
       for (size_t j : scan_order) {
-        if (j == i) continue;
-        const double d = metric.Distance(i, j);
+        if (j == point) continue;
+        const double d = metric.Distance(point, j);
         if (ksmallest.size() < options.k) {
           ksmallest.push(d);
         } else if (d < ksmallest.top()) {
           ksmallest.pop();
           ksmallest.push(d);
         }
-        if (ksmallest.size() == options.k && best.size() == top_n &&
-            ksmallest.top() < cutoff) {
-          abandoned = true;
-          break;
+        if (ksmallest.size() == options.k &&
+            ksmallest.top() < cutoff.load(std::memory_order_relaxed)) {
+          return;  // provably outside the final top n
         }
       }
-      if (abandoned) continue;
       kth = ksmallest.top();
     }
-    if (best.size() < top_n) {
-      best.push({i, kth});
-    } else if (kth > best.top().kth_distance) {
-      best.pop();
-      best.push({i, kth});
+    ws.survivors.push_back({point, kth});
+    if (ws.top.size() < top_n) {
+      ws.top.push(kth);
+    } else if (kth > ws.top.top()) {
+      ws.top.pop();
+      ws.top.push(kth);
     }
-    if (best.size() == top_n) cutoff = best.top().kth_distance;
-  }
+    if (ws.top.size() == top_n) {
+      double local = ws.top.top();
+      double seen = cutoff.load(std::memory_order_relaxed);
+      while (local > seen &&
+             !cutoff.compare_exchange_weak(seen, local,
+                                           std::memory_order_relaxed)) {
+      }
+    }
+  });
 
+  // Survivors hold exact scores for every candidate that might rank; the
+  // final selection applies the (score desc, row asc) total order, so the
+  // output is independent of scan order, thread count, and prune timing.
   std::vector<KnnOutlier> out;
-  out.reserve(best.size());
-  while (!best.empty()) {
-    out.push_back(best.top());
-    best.pop();
+  for (WorkerState& ws : workers) {
+    out.insert(out.end(), ws.survivors.begin(), ws.survivors.end());
   }
-  std::reverse(out.begin(), out.end());  // strongest first
+  std::sort(out.begin(), out.end(),
+            [](const KnnOutlier& a, const KnnOutlier& b) {
+              return a.kth_distance != b.kth_distance
+                         ? a.kth_distance > b.kth_distance
+                         : a.row < b.row;
+            });
+  if (out.size() > top_n) out.resize(top_n);
+  if (status != nullptr) *status = poller.status();
   return out;
 }
 

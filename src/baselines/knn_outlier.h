@@ -9,11 +9,15 @@
 // Implementation: nested loop with the classic running-cutoff optimization
 // — once a point's upper bound on its k-th-NN distance falls below the
 // current n-th largest score, the point is abandoned. An exact VP-tree path
-// is available for comparison.
+// is available for comparison. Points parallelize over the shared pool; the
+// cutoff is shared across workers, and the final selection uses the
+// (score desc, row asc) total order, so the result is identical at any
+// thread count.
 
 #include <vector>
 
 #include "baselines/distance.h"
+#include "common/run_control.h"
 
 namespace hido {
 
@@ -25,6 +29,13 @@ struct KnnOutlierOptions {
   /// Shuffle the inner scan order (improves early abandonment); 0 keeps
   /// the natural order, any other value seeds the shuffle.
   uint64_t shuffle_seed = 1;
+  /// Worker threads (0 = hardware concurrency). The result does not depend
+  /// on the thread count.
+  size_t num_threads = 1;
+  /// Optional cooperative stop, polled once per point. A fired token skips
+  /// the remaining points and reports the top-n of the points scored so
+  /// far (`status->completed == false`). Nullable; must outlive the call.
+  const StopToken* stop = nullptr;
 };
 
 /// One reported outlier.
@@ -34,9 +45,12 @@ struct KnnOutlier {
 };
 
 /// Computes the top-n kNN-distance outliers, strongest (largest distance)
-/// first. Preconditions: k >= 1, k < num_points, num_outliers >= 1.
+/// first; exact score ties rank the smaller row first. `status` (nullable)
+/// receives whether the scan covered every point.
+/// Preconditions: k >= 1, k < num_points, num_outliers >= 1.
 std::vector<KnnOutlier> TopNKnnOutliers(const DistanceMetric& metric,
-                                        const KnnOutlierOptions& options);
+                                        const KnnOutlierOptions& options,
+                                        RunStatus* status = nullptr);
 
 /// Exact k-th-NN distance of every point (no pruning) — the reference
 /// implementation used in tests.

@@ -10,21 +10,34 @@
 #include <vector>
 
 #include "baselines/distance.h"
+#include "common/run_control.h"
 
 namespace hido {
 
 /// Options for ComputeLof.
 struct LofOptions {
   size_t min_pts = 10;  ///< MinPts: neighbourhood size
+  /// Worker threads per pass (0 = hardware concurrency). A completed run's
+  /// scores do not depend on the thread count.
+  size_t num_threads = 1;
+  /// Optional cooperative stop, polled once per point per pass. After a
+  /// fired token, points whose score (or any value it depends on) was not
+  /// yet computed come back NaN and `status->completed == false`; every
+  /// non-NaN score is exact. Nullable; must outlive the call.
+  const StopToken* stop = nullptr;
 };
 
 /// LOF score per point. Neighbourhoods include every point within the
-/// MinPts-distance (ties included, per the original definition).
+/// MinPts-distance (ties included, per the original definition). `status`
+/// (nullable) receives whether every score was computed.
 /// Preconditions: 1 <= min_pts < num_points.
 std::vector<double> ComputeLof(const DistanceMetric& metric,
-                               const LofOptions& options);
+                               const LofOptions& options,
+                               RunStatus* status = nullptr);
 
-/// Indices of the `n` points with the largest LOF scores, strongest first.
+/// Indices of the `n` points with the largest scores, strongest first (ties
+/// by ascending index). NaN scores (e.g. from a cancelled ComputeLof) are
+/// never selected.
 std::vector<size_t> TopNByScore(const std::vector<double>& scores, size_t n);
 
 }  // namespace hido

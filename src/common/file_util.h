@@ -1,0 +1,25 @@
+#ifndef HIDO_COMMON_FILE_UTIL_H_
+#define HIDO_COMMON_FILE_UTIL_H_
+
+// Small file helpers shared by the persistence layers (models,
+// checkpoints): whole-file reads and crash-tolerant atomic writes.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hido {
+
+/// Reads the entire file into a string (binary, no translation).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` via a temporary sibling file followed by a
+/// rename, so a crash mid-write can never leave a truncated or interleaved
+/// file at `path` — readers observe either the previous complete content or
+/// the new one. The temporary is `path` + ".tmp"; concurrent writers of the
+/// same path must be externally serialized.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace hido
+
+#endif  // HIDO_COMMON_FILE_UTIL_H_

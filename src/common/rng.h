@@ -16,6 +16,15 @@
 
 namespace hido {
 
+/// Complete serializable Rng state (xoshiro words plus the cached spare
+/// normal variate), for checkpoint/resume of randomized runs: restoring a
+/// saved state continues the exact variate stream of the original run.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double spare_normal = 0.0;
+  bool has_spare_normal = false;
+};
+
 /// xoshiro256** PRNG with convenience sampling methods.
 ///
 /// Not thread-safe; give each thread (or each experiment) its own instance.
@@ -91,6 +100,22 @@ class Rng {
   /// stream derived from the experiment seed, so results are bit-identical
   /// no matter how restarts are scheduled across threads.
   static Rng ForStream(uint64_t seed, uint64_t stream);
+
+  /// Snapshots the full generator state (for checkpointing).
+  RngState SaveState() const {
+    RngState state;
+    for (size_t i = 0; i < 4; ++i) state.s[i] = state_[i];
+    state.spare_normal = spare_normal_;
+    state.has_spare_normal = has_spare_normal_;
+    return state;
+  }
+
+  /// Restores a snapshot taken with SaveState.
+  void RestoreState(const RngState& state) {
+    for (size_t i = 0; i < 4; ++i) state_[i] = state.s[i];
+    spare_normal_ = state.spare_normal;
+    has_spare_normal_ = state.has_spare_normal;
+  }
 
  private:
   uint64_t state_[4];

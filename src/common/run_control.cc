@@ -1,0 +1,55 @@
+#include "common/run_control.h"
+
+#include <chrono>
+#include <csignal>
+
+namespace hido {
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  double NowSeconds() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+// The token the SIGINT handler cancels. A raw atomic pointer: signal
+// handlers may only touch lock-free atomics.
+std::atomic<StopToken*> g_sigint_token{nullptr};
+
+void SigintHandler(int /*signum*/) {
+  StopToken* token = g_sigint_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->RequestCancel(StopCause::kCancelled);
+}
+
+}  // namespace
+
+const char* StopCauseToString(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone:
+      return "none";
+    case StopCause::kDeadline:
+      return "deadline";
+    case StopCause::kCancelled:
+      return "cancelled";
+    case StopCause::kFailpoint:
+      return "failpoint";
+  }
+  return "unknown";
+}
+
+const Clock& Clock::Real() {
+  static const RealClock clock;
+  return clock;
+}
+
+void InstallSigintCancel(StopToken* token) {
+  static_assert(std::atomic<StopToken*>::is_always_lock_free,
+                "SIGINT handler requires a lock-free atomic pointer");
+  g_sigint_token.store(token, std::memory_order_release);
+  if (token != nullptr) std::signal(SIGINT, SigintHandler);
+}
+
+}  // namespace hido

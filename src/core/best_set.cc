@@ -22,7 +22,7 @@ size_t BestSet::KeyHash::operator()(const std::vector<uint64_t>& key) const {
 }
 
 bool BestSet::WouldAccept(double sparsity) const {
-  return entries_.size() < capacity_ || sparsity < entries_.back().sparsity;
+  return entries_.size() < capacity_ || sparsity <= entries_.back().sparsity;
 }
 
 bool BestSet::Offer(const ScoredProjection& candidate) {
@@ -30,11 +30,23 @@ bool BestSet::Offer(const ScoredProjection& candidate) {
   if (!WouldAccept(candidate.sparsity)) return false;
   std::vector<uint64_t> key = candidate.projection.PackedKey();
   if (keys_.contains(key)) return false;
+  if (entries_.size() == capacity_) {
+    // Exact sparsity tie with the worst retained entry: the smaller packed
+    // key wins, so the retained set does not depend on offer order.
+    const ScoredProjection& worst = entries_.back();
+    if (candidate.sparsity == worst.sparsity &&
+        !(key < worst.projection.PackedKey())) {
+      return false;
+    }
+  }
 
-  // Insert in ascending-sparsity position.
+  // Insert in ascending (sparsity, key) position.
   const auto pos = std::upper_bound(
-      entries_.begin(), entries_.end(), candidate.sparsity,
-      [](double s, const ScoredProjection& e) { return s < e.sparsity; });
+      entries_.begin(), entries_.end(), candidate,
+      [&key](const ScoredProjection& c, const ScoredProjection& e) {
+        if (c.sparsity != e.sparsity) return c.sparsity < e.sparsity;
+        return key < e.projection.PackedKey();
+      });
   entries_.insert(pos, candidate);
   keys_.insert(std::move(key));
   if (entries_.size() > capacity_) {

@@ -9,6 +9,13 @@
 // its dimensionality but covers no points, so it can never produce an
 // outlier. Table 1 accordingly reports the best *non-empty* projections;
 // `require_non_empty` (default on) implements that filter.
+//
+// Determinism: entries are totally ordered by (sparsity, PackedKey), with
+// the packed projection key breaking exact sparsity ties. Under that order
+// the retained set is a pure function of the *multiset* of offered
+// candidates — offer order, worker scheduling, and thread count cannot
+// change it — which is what makes the parallel searches bit-deterministic
+// and checkpoint/resume exact.
 
 #include <cstddef>
 #include <unordered_set>
@@ -29,14 +36,17 @@ class BestSet {
   bool Offer(const ScoredProjection& candidate);
 
   /// True when `sparsity` could enter the set (ignoring deduplication).
-  /// Callers use this to skip constructing hopeless candidates.
+  /// Callers use this to skip constructing hopeless candidates. Exact ties
+  /// with the worst retained entry pass this filter — whether a tied
+  /// candidate enters is decided by its projection key in Offer.
   bool WouldAccept(double sparsity) const;
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   size_t capacity() const { return capacity_; }
 
-  /// Retained projections, most negative sparsity first.
+  /// Retained projections, most negative sparsity first (exact ties in
+  /// ascending PackedKey order).
   const std::vector<ScoredProjection>& Sorted() const { return entries_; }
 
   /// Sparsity of the worst retained projection (+inf when not yet full).

@@ -17,8 +17,11 @@ namespace {
 
 // Budget state shared by all workers.
 struct Shared {
-  explicit Shared(const BruteForceOptions& opts) : options(opts) {}
+  explicit Shared(const BruteForceOptions& opts)
+      : options(opts),
+        poller(opts.stop, opts.clock, opts.time_budget_seconds) {}
   const BruteForceOptions& options;
+  StopPoller poller;
   std::atomic<uint64_t> cubes{0};
   std::atomic<bool> aborted{false};
   StopWatch watch;
@@ -46,6 +49,11 @@ class Worker {
 
   // Enumerates every cube whose lowest condition is (dim, cell).
   void ProcessRoot(size_t dim, uint32_t cell) {
+    // Root granularity: poll even when subtrees are smaller than the
+    // in-subtree polling stride.
+    if (shared_.poller.ShouldStop()) {
+      shared_.aborted.store(true, std::memory_order_relaxed);
+    }
     if (shared_.aborted.load(std::memory_order_relaxed)) return;
     const size_t k = shared_.options.target_dim;
     conditions_.push_back({static_cast<uint32_t>(dim), cell});
@@ -119,9 +127,7 @@ class Worker {
   bool ShouldStop() {
     if ((stats_.nodes_visited & 1023u) == 0) {
       FlushBudget();
-      if (shared_.options.time_budget_seconds > 0.0 &&
-          shared_.watch.ElapsedSeconds() >
-              shared_.options.time_budget_seconds) {
+      if (shared_.poller.ShouldStop()) {
         shared_.aborted.store(true, std::memory_order_relaxed);
       }
     }
@@ -229,6 +235,7 @@ BruteForceResult BruteForceSearch(SparsityObjective& objective,
   result.stats.cubes_published =
       shared.cubes.load(std::memory_order_relaxed);
   result.stats.completed = !shared.aborted.load(std::memory_order_relaxed);
+  result.stats.stop_cause = shared.poller.cause();
   result.stats.seconds = shared.watch.ElapsedSeconds();
   result.best = best.Sorted();
   return result;

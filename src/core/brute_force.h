@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/run_control.h"
 #include "core/best_set.h"
 #include "core/objective.h"
 
@@ -36,12 +37,20 @@ struct BruteForceOptions {
   double time_budget_seconds = 0.0;
   /// Abort after evaluating this many cubes (0 = unlimited).
   uint64_t max_cubes = 0;
+  /// Optional cooperative stop (deadline/SIGINT/failpoint), polled at root
+  /// granularity and every 1024 visited nodes within a subtree. Combined
+  /// with `time_budget_seconds` into one polling contract; whichever fires
+  /// first stops the run with a best-so-far result. Nullable; must outlive
+  /// the call.
+  const StopToken* stop = nullptr;
+  /// Time source for `time_budget_seconds` (null = real steady clock).
+  /// Injectable so expiry paths are testable without real sleeps.
+  const Clock* clock = nullptr;
   /// Worker threads. The enumeration partitions at the root level (lowest
   /// condition of each cube), which is embarrassingly parallel; workers
-  /// keep private best-sets that are merged at the end. With 1 thread the
-  /// result is fully deterministic; with more threads it is deterministic
-  /// up to tie-breaking among cubes with exactly equal sparsity at the
-  /// m-th place.
+  /// keep private best-sets that are merged at the end. Because BestSet
+  /// breaks exact sparsity ties on the packed projection key, a completed
+  /// run is bit-deterministic at any thread count.
   size_t num_threads = 1;
 };
 
@@ -55,6 +64,10 @@ struct BruteForceStats {
   uint64_t nodes_visited = 0;     ///< partial cubes expanded
   uint64_t subtrees_pruned = 0;   ///< empty partial cubes not expanded
   bool completed = false;         ///< false when a budget expired
+  /// Why the run stopped early: kDeadline for the time budget/deadline,
+  /// kCancelled/kFailpoint for an external stop. kNone with
+  /// completed == false means the cube budget (`max_cubes`) expired.
+  StopCause stop_cause = StopCause::kNone;
   double seconds = 0.0;
 };
 

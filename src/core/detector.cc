@@ -49,16 +49,22 @@ DetectionResult OutlierDetector::Detect(const Dataset& data) const {
     eopts.num_projections = config_.num_projections;
     eopts.seed = config_.seed;
     if (config_.num_threads != 0) eopts.num_threads = config_.num_threads;
+    if (config_.stop != nullptr) eopts.stop = config_.stop;
     EvolutionResult search = EvolutionarySearch(objective, eopts);
     result.evolution_stats = search.stats;
+    result.completed = search.stats.completed;
+    result.stop_cause = search.stats.stop_cause;
     best = std::move(search.best);
   } else {
     BruteForceOptions bopts = config_.brute_force;
     bopts.target_dim = result.target_dim;
     bopts.num_projections = config_.num_projections;
     if (config_.num_threads != 0) bopts.num_threads = config_.num_threads;
+    if (config_.stop != nullptr) bopts.stop = config_.stop;
     BruteForceResult search = BruteForceSearch(objective, bopts);
     result.brute_force_stats = search.stats;
+    result.completed = search.stats.completed;
+    result.stop_cause = search.stats.stop_cause;
     best = std::move(search.best);
   }
 

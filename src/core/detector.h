@@ -49,6 +49,12 @@ struct DetectorConfig {
   /// overrides both. The evolutionary determinism contract (same seed ⇒
   /// same result for any thread count) applies — see EvolutionaryOptions.
   size_t num_threads = 0;
+  /// Cooperative stop for whichever search runs (nullable; when set,
+  /// overrides the per-algorithm `stop` fields in `evolution` /
+  /// `brute_force`). A fired token degrades Detect to a valid best-so-far
+  /// report with `DetectionResult::completed == false`. Must outlive the
+  /// Detect call.
+  const StopToken* stop = nullptr;
 };
 
 /// Everything produced by one detection run.
@@ -60,6 +66,13 @@ struct DetectionResult {
   size_t target_dim = 0;
   SearchAlgorithm algorithm = SearchAlgorithm::kEvolutionary;
   double seconds = 0.0;    ///< total wall-clock of Detect
+  /// False when the search stopped early (deadline, cancel, or an
+  /// exhausted cube budget); the report then ranks everything found up to
+  /// that point and every listed projection/outlier is still valid.
+  bool completed = true;
+  /// Which stop source fired when completed == false (kNone for a plain
+  /// budget exhaustion).
+  StopCause stop_cause = StopCause::kNone;
   EvolutionStats evolution_stats;    ///< valid for kEvolutionary
   BruteForceStats brute_force_stats; ///< valid for kBruteForce
 };

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
@@ -13,11 +14,18 @@
 #include "common/timer.h"
 #include "core/genetic/convergence.h"
 #include "core/genetic/selection.h"
+#include "core/search_checkpoint.h"
 #include "grid/cube_counter.h"
 
 namespace hido {
 
 namespace {
+
+// The search-level stop reason reported when a StopPoller fires.
+StopReason ReasonFromCause(StopCause cause) {
+  return cause == StopCause::kDeadline ? StopReason::kTimeBudget
+                                       : StopReason::kCancelled;
+}
 
 // Offers every feasible individual to the best set; returns true when the
 // set improved.
@@ -57,6 +65,23 @@ class EvalScratch {
     return objectives_;
   }
 
+  // Evaluations performed so far across the base and every private worker
+  // (for snapshots taken before the final AbsorbIntoBase).
+  uint64_t TotalEvaluations() const {
+    uint64_t total = 0;
+    for (const SparsityObjective* objective : objectives_) {
+      total += objective->num_evaluations();
+    }
+    return total;
+  }
+
+  // Counter statistics so far across the base and every private worker.
+  CubeCounter::Stats CombinedCounterStats() const {
+    CubeCounter::Stats stats = objectives_.front()->counter().stats();
+    for (const auto& counter : counters_) stats += counter->stats();
+    return stats;
+  }
+
   // Folds the private workers' evaluation counts and counter statistics
   // into the base objective, so the restart's totals are truthful.
   void AbsorbIntoBase() {
@@ -75,34 +100,80 @@ class EvalScratch {
   std::vector<SparsityObjective*> objectives_;
 };
 
+// Serializes concurrent per-restart snapshot updates into whole-file
+// atomic rewrites. Checkpointing is best-effort: write failures are
+// logged, never fatal to the search.
+class CheckpointSink {
+ public:
+  CheckpointSink(EvolutionCheckpoint initial, std::string path)
+      : checkpoint_(std::move(initial)), path_(std::move(path)) {}
+
+  void Update(size_t run, RestartCheckpoint state) {
+    std::lock_guard<std::mutex> lock(mu_);
+    checkpoint_.runs[run] = std::move(state);
+    const Status status = SaveCheckpointAtomic(checkpoint_, path_);
+    if (!status.ok()) {
+      HIDO_LOG_WARNING("checkpoint write failed: %s",
+                       status.ToString().c_str());
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  EvolutionCheckpoint checkpoint_;
+  std::string path_;
+};
+
 // Everything one restart produces; merged by the caller in restart order.
 struct RestartOutcome {
   std::vector<ScoredProjection> best;
   size_t generations = 0;
   StopReason stop_reason = StopReason::kMaxGenerations;
+  bool interrupted = false;  ///< a deadline/cancel cut this restart short
   uint64_t evaluations = 0;
   CubeCounter::Stats counter_stats;
 };
 
-// Context shared (read-only or atomically) by all restarts of one search.
+// Context shared (read-only or thread-safe) by all restarts of one search.
 struct SearchContext {
   const GridModel* grid;
   const EvolutionaryOptions* options;
   CubeCounter::Options counter_options;
   ExpectationModel expectation;
   size_t eval_threads;
-  const StopWatch* watch;
-  std::atomic<bool>* out_of_time;
+  const StopPoller* poller;
+  CheckpointSink* sink;  ///< nullable
 };
 
-// Runs restart `run` to completion. `on_generation` (nullable) receives
-// generation indices offset by `generation_base` — only meaningful when
-// restarts execute sequentially.
+// Replays a finished restart from its snapshot (no recomputation).
+RestartOutcome OutcomeFromSnapshot(const RestartCheckpoint& snapshot) {
+  RestartOutcome outcome;
+  outcome.best = snapshot.best;
+  outcome.generations = snapshot.generation;
+  outcome.stop_reason = snapshot.stop_reason;
+  outcome.evaluations = snapshot.evaluations;
+  outcome.counter_stats = snapshot.counter_stats;
+  return outcome;
+}
+
+// Runs restart `run` to completion, resuming from `resume` when non-null
+// (a kPartial snapshot). `on_generation` (nullable) receives generation
+// indices offset by `generation_base` — only meaningful when restarts
+// execute sequentially.
 RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
+                          const RestartCheckpoint* resume,
                           const GenerationCallback& on_generation,
                           size_t generation_base) {
   const EvolutionaryOptions& options = *ctx.options;
   RestartOutcome outcome;
+
+  // Restart-entry granularity: a stop that fired while earlier restarts
+  // ran leaves this one untouched (the checkpoint keeps it unstarted).
+  if (ctx.poller->ShouldStop()) {
+    outcome.stop_reason = ReasonFromCause(ctx.poller->cause());
+    outcome.interrupted = true;
+    return outcome;
+  }
 
   // Private evaluation state: restarts may run concurrently, so none of
   // them may touch the caller's counter. Results are unaffected — fitness
@@ -117,30 +188,73 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
   // runs this restart, or in what order restarts are scheduled.
   Rng rng = Rng::ForStream(options.seed, run);
   BestSet best(options.num_projections, options.require_non_empty);
-
-  // Initial seed population of p random k-dimensional strings. Projections
-  // are drawn serially (RNG order), evaluations fan out (pure).
-  std::vector<Individual> population(options.population_size);
-  for (Individual& individual : population) {
-    individual.projection = Projection::Random(
-        ctx.grid->num_dims(), options.target_dim, ctx.grid->phi(), rng);
-  }
-  ParallelFor(population.size(), eval_workers,
-              [&](size_t task, size_t worker) {
-                EvaluateIndividual(population[task], options.target_dim,
-                                   *evals[worker]);
-              });
-  OfferPopulation(population, best);
-
+  std::vector<Individual> population;
+  size_t start_generation = 0;
   size_t stagnant_generations = 0;
+  // Work already accounted by the snapshot being resumed, folded back into
+  // the outcome so resumed totals match the uninterrupted run.
+  uint64_t base_evaluations = 0;
+  CubeCounter::Stats base_counter_stats;
+
+  if (resume != nullptr) {
+    // Continue the interrupted run: same RNG position, same population
+    // (fitness cached — no re-evaluation), same best set and stagnation.
+    rng.RestoreState(resume->rng);
+    population = resume->population;
+    for (const ScoredProjection& scored : resume->best) best.Offer(scored);
+    start_generation = resume->generation;
+    stagnant_generations = resume->stagnant_generations;
+    base_evaluations = resume->evaluations;
+    base_counter_stats = resume->counter_stats;
+  } else {
+    // Initial seed population of p random k-dimensional strings.
+    // Projections are drawn serially (RNG order), evaluations fan out
+    // (pure).
+    population.resize(options.population_size);
+    for (Individual& individual : population) {
+      individual.projection = Projection::Random(
+          ctx.grid->num_dims(), options.target_dim, ctx.grid->phi(), rng);
+    }
+    ParallelFor(population.size(), eval_workers,
+                [&](size_t task, size_t worker) {
+                  EvaluateIndividual(population[task], options.target_dim,
+                                     *evals[worker]);
+                });
+    OfferPopulation(population, best);
+  }
+
+  // Snapshot of the state entering `generation` — taken before any of that
+  // generation's RNG draws, so a resume replays the exact variate stream
+  // of the uninterrupted run.
+  auto partial_snapshot = [&](size_t generation) {
+    RestartCheckpoint snapshot;
+    snapshot.state = RestartCheckpoint::State::kPartial;
+    snapshot.generation = generation;
+    snapshot.stagnant_generations = stagnant_generations;
+    snapshot.rng = rng.SaveState();
+    snapshot.best = best.Sorted();
+    snapshot.population = population;
+    snapshot.evaluations = base_evaluations + scratch.TotalEvaluations();
+    snapshot.counter_stats = base_counter_stats;
+    snapshot.counter_stats += scratch.CombinedCounterStats();
+    return snapshot;
+  };
+
   outcome.stop_reason = StopReason::kMaxGenerations;
-  size_t generation = 0;
+  size_t generation = start_generation;
   for (; generation < options.max_generations; ++generation) {
-    if (options.time_budget_seconds > 0.0 &&
-        (ctx.out_of_time->load(std::memory_order_relaxed) ||
-         ctx.watch->ElapsedSeconds() > options.time_budget_seconds)) {
-      outcome.stop_reason = StopReason::kTimeBudget;
-      ctx.out_of_time->store(true, std::memory_order_relaxed);
+    if (ctx.sink != nullptr && generation > start_generation &&
+        options.checkpoint_every_generations > 0 &&
+        generation % options.checkpoint_every_generations == 0) {
+      ctx.sink->Update(run, partial_snapshot(generation));
+    }
+    // Generation granularity: the only in-restart poll point.
+    if (ctx.poller->ShouldStop()) {
+      outcome.stop_reason = ReasonFromCause(ctx.poller->cause());
+      outcome.interrupted = true;
+      if (ctx.sink != nullptr) {
+        ctx.sink->Update(run, partial_snapshot(generation));
+      }
       break;
     }
 
@@ -197,10 +311,22 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
   }
 
   scratch.AbsorbIntoBase();
+  counter.AbsorbStats(base_counter_stats);
   outcome.best = best.Sorted();
   outcome.generations = generation;
-  outcome.evaluations = objective.num_evaluations();
+  outcome.evaluations = base_evaluations + objective.num_evaluations();
   outcome.counter_stats = counter.stats();
+
+  if (ctx.sink != nullptr && !outcome.interrupted) {
+    RestartCheckpoint snapshot;
+    snapshot.state = RestartCheckpoint::State::kDone;
+    snapshot.generation = outcome.generations;
+    snapshot.stop_reason = outcome.stop_reason;
+    snapshot.best = outcome.best;
+    snapshot.evaluations = outcome.evaluations;
+    snapshot.counter_stats = outcome.counter_stats;
+    ctx.sink->Update(run, std::move(snapshot));
+  }
   return outcome;
 }
 
@@ -224,7 +350,28 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
   const size_t restarts = std::max<size_t>(1, options.restarts);
   const size_t threads =
       options.num_threads == 0 ? HardwareThreads() : options.num_threads;
-  std::atomic<bool> out_of_time{false};
+
+  // One polling contract for the whole batch: the caller's StopToken plus
+  // the options' time budget on the injectable clock, both sticky.
+  StopPoller poller(options.stop, options.clock,
+                    options.time_budget_seconds);
+
+  const EvolutionCheckpoint* resume = options.resume;
+  if (resume != nullptr) {
+    const Status valid =
+        ValidateCheckpoint(*resume, options, grid, objective.expectation());
+    HIDO_CHECK_MSG(valid.ok(), "resume checkpoint rejected: %s",
+                   valid.ToString().c_str());
+  }
+
+  std::unique_ptr<CheckpointSink> sink;
+  if (!options.checkpoint_path.empty()) {
+    sink = std::make_unique<CheckpointSink>(
+        resume != nullptr
+            ? *resume
+            : MakeCheckpointShell(options, grid, objective.expectation()),
+        options.checkpoint_path);
+  }
 
   SearchContext ctx;
   ctx.grid = &grid;
@@ -237,8 +384,21 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
   ctx.eval_threads =
       std::min({threads, options.population_size,
                 ThreadPool::Shared().num_workers() + 1});
-  ctx.watch = &watch;
-  ctx.out_of_time = &out_of_time;
+  ctx.poller = &poller;
+  ctx.sink = sink.get();
+
+  auto resume_for = [&](size_t run) -> const RestartCheckpoint* {
+    if (resume == nullptr) return nullptr;
+    const RestartCheckpoint& snapshot = resume->runs[run];
+    return snapshot.state == RestartCheckpoint::State::kPartial ? &snapshot
+                                                                : nullptr;
+  };
+  auto done_for = [&](size_t run) -> const RestartCheckpoint* {
+    if (resume == nullptr) return nullptr;
+    const RestartCheckpoint& snapshot = resume->runs[run];
+    return snapshot.state == RestartCheckpoint::State::kDone ? &snapshot
+                                                             : nullptr;
+  };
 
   std::vector<RestartOutcome> outcomes(restarts);
   if (on_generation) {
@@ -246,14 +406,23 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
     // sequentially (the population evaluations inside still fan out).
     size_t generation_base = 0;
     for (size_t run = 0; run < restarts; ++run) {
-      outcomes[run] = RunRestart(ctx, run, on_generation, generation_base);
+      if (const RestartCheckpoint* done = done_for(run)) {
+        outcomes[run] = OutcomeFromSnapshot(*done);
+      } else {
+        outcomes[run] = RunRestart(ctx, run, resume_for(run), on_generation,
+                                   generation_base);
+      }
       generation_base += outcomes[run].generations;
     }
   } else {
     // Restarts are independent tasks; outcomes land in fixed slots, so
     // scheduling order cannot affect the merged result.
     ParallelFor(restarts, threads, [&](size_t run, size_t) {
-      outcomes[run] = RunRestart(ctx, run, nullptr, 0);
+      if (const RestartCheckpoint* done = done_for(run)) {
+        outcomes[run] = OutcomeFromSnapshot(*done);
+      } else {
+        outcomes[run] = RunRestart(ctx, run, resume_for(run), nullptr, 0);
+      }
     });
   }
 
@@ -271,7 +440,11 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
     objective.counter().AbsorbStats(outcome.counter_stats);
   }
   result.best = best.Sorted();
-  result.stats.stop_reason = outcomes.back().stop_reason;
+  result.stats.completed = !poller.stopped();
+  result.stats.stop_cause = poller.cause();
+  result.stats.stop_reason = poller.stopped()
+                                 ? ReasonFromCause(poller.cause())
+                                 : outcomes.back().stop_reason;
   result.stats.seconds = watch.ElapsedSeconds();
   HIDO_LOG_DEBUG("evolutionary search: %zu generations, %zu projections, "
                  "best %.3f",

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
+#include "common/run_control.h"
 #include "core/best_set.h"
 #include "core/genetic/crossover.h"
 #include "core/genetic/individual.h"
@@ -18,6 +20,8 @@
 #include "core/objective.h"
 
 namespace hido {
+
+struct EvolutionCheckpoint;  // core/search_checkpoint.h
 
 /// Options for EvolutionarySearch.
 struct EvolutionaryOptions {
@@ -45,6 +49,31 @@ struct EvolutionaryOptions {
   size_t elitism = 0;
   /// Abort after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+  /// Optional cooperative stop (deadline/SIGINT/failpoint), polled at
+  /// restart entry and at every generation boundary. Combined with
+  /// `time_budget_seconds` into one polling contract; whichever fires first
+  /// stops the run with a best-so-far result (`stats.completed == false`).
+  /// Nullable; must outlive the call.
+  const StopToken* stop = nullptr;
+  /// Time source for `time_budget_seconds` (null = real steady clock).
+  /// Injectable so expiry paths are testable without real sleeps.
+  const Clock* clock = nullptr;
+  /// When non-empty, periodically writes a resumable snapshot of the whole
+  /// search (per-restart RNG states, populations, best sets, stats) to this
+  /// path with an atomic write-rename. Snapshots are taken at generation
+  /// boundaries, when a restart finishes, and when a stop fires. Write
+  /// failures are logged, never fatal.
+  std::string checkpoint_path;
+  /// Generation stride between periodic snapshots of a running restart.
+  size_t checkpoint_every_generations = 10;
+  /// Resume from a previously written checkpoint (nullable; must outlive
+  /// the call and validate against these options and the grid — see
+  /// ValidateCheckpoint). Finished restarts are replayed from the snapshot;
+  /// interrupted ones continue from their saved generation on the exact
+  /// RNG stream position, so the final result is bit-identical to the
+  /// uninterrupted run at any thread count. Counter cache-hit breakdowns
+  /// may differ (caches restart cold); results never depend on them.
+  const EvolutionCheckpoint* resume = nullptr;
   bool require_non_empty = true;
   uint64_t seed = 42;
   /// Worker threads (0 = hardware concurrency). Parallelism is exploited
@@ -69,14 +98,21 @@ enum class StopReason {
   kMaxGenerations,
   kStagnation,
   kTimeBudget,
+  kCancelled,  ///< external StopToken cancel (SIGINT, failpoint, caller)
 };
 
 /// Outcome counters. Aggregated over every restart and every worker
 /// thread, so the numbers stay truthful under concurrency.
 struct EvolutionStats {
   size_t generations = 0;  ///< summed across restarts
-  /// Stop reason of the last restart (restart index restarts-1).
+  /// Stop reason of the last restart (restart index restarts-1); when a
+  /// deadline or cancel interrupted the batch, the interruption's reason.
   StopReason stop_reason = StopReason::kMaxGenerations;
+  /// False when a deadline/cancel interrupted the batch before every
+  /// restart ran its course; `best` still holds everything found so far.
+  bool completed = true;
+  /// Which stop source fired when completed == false (kNone otherwise).
+  StopCause stop_cause = StopCause::kNone;
   double seconds = 0.0;
   uint64_t evaluations = 0;  ///< objective evaluations consumed by this run
 };

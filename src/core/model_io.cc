@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/detector.h"
 
@@ -217,16 +218,8 @@ Result<SparseModel> ParseModel(const std::string& text) {
 }
 
 Status SaveModel(const SparseModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out << SerializeModel(model);
-  out.flush();
-  if (!out) {
-    return Status::IoError("write failure: " + path);
-  }
-  return Status::Ok();
+  // Write-rename so an interrupted save never leaves a torn model file.
+  return WriteFileAtomic(path, SerializeModel(model));
 }
 
 Result<SparseModel> LoadModel(const std::string& path) {

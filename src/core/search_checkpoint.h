@@ -1,0 +1,117 @@
+#ifndef HIDO_CORE_SEARCH_CHECKPOINT_H_
+#define HIDO_CORE_SEARCH_CHECKPOINT_H_
+
+// Resumable snapshots of an evolutionary search: everything needed to
+// continue an interrupted batch bit-identically — per-restart RNG stream
+// positions, populations with cached fitness, restart-local best sets, and
+// evaluation/counter totals — plus a fingerprint of the configuration the
+// snapshot was taken under, so a checkpoint can never silently resume a
+// different experiment.
+//
+// Restart states:
+//   * done      — the restart ran to its natural stopping rule; its outcome
+//                 is replayed from the snapshot without recomputation.
+//   * partial   — interrupted mid-run; resumes at the saved generation from
+//                 the saved RNG position. Snapshots are taken at generation
+//                 boundaries (before any of that generation's RNG draws), so
+//                 the continued variate stream is exactly the uninterrupted
+//                 one.
+//   * unstarted — resumes from scratch on its own RNG stream.
+// Because each restart owns an independent RNG stream and restart-local
+// BestSet (merged in restart order under key-based tie-breaking), the
+// resumed batch's result is bit-identical to the uninterrupted run at any
+// thread count. The one documented exception: counter *cache-hit
+// breakdowns* may differ, since caches restart cold; results never depend
+// on them.
+//
+// Format: the model_io-style versioned text format (%.17g round-trips
+// doubles exactly); files are written with an atomic write-rename, so a
+// crash mid-write leaves the previous complete snapshot in place.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/evolutionary_search.h"
+#include "core/genetic/individual.h"
+#include "grid/cube_counter.h"
+
+namespace hido {
+
+/// Snapshot of one restart of the batch.
+struct RestartCheckpoint {
+  enum class State { kUnstarted, kPartial, kDone };
+  State state = State::kUnstarted;
+
+  // kPartial and kDone:
+  std::vector<ScoredProjection> best;  ///< restart-local best set, sorted
+  uint64_t evaluations = 0;            ///< objective evaluations so far
+  CubeCounter::Stats counter_stats;
+  /// kDone: generations the restart ran; kPartial: the generation index the
+  /// resumed run continues at (its draws have not happened yet).
+  size_t generation = 0;
+
+  // kDone only:
+  StopReason stop_reason = StopReason::kMaxGenerations;
+
+  // kPartial only:
+  size_t stagnant_generations = 0;
+  RngState rng;
+  /// The evaluated population entering `generation` (fitness cached, so
+  /// resume performs no extra evaluations).
+  std::vector<Individual> population;
+};
+
+/// A whole-search snapshot: configuration fingerprint + one entry per
+/// restart.
+struct EvolutionCheckpoint {
+  // Fingerprint of the options and grid the snapshot belongs to.
+  uint64_t seed = 0;
+  size_t restarts = 0;
+  size_t population_size = 0;
+  size_t max_generations = 0;
+  size_t stagnation_generations = 0;
+  double convergence_threshold = 0.0;
+  size_t elitism = 0;
+  int crossover = 0;
+  double mutation_p1 = 0.0;
+  double mutation_p2 = 0.0;
+  size_t target_dim = 0;
+  size_t num_projections = 0;
+  bool require_non_empty = true;
+  int expectation = 0;
+  size_t num_dims = 0;
+  size_t phi = 0;
+  size_t num_points = 0;
+
+  std::vector<RestartCheckpoint> runs;
+};
+
+/// An all-unstarted checkpoint fingerprinting `options` over `grid`.
+EvolutionCheckpoint MakeCheckpointShell(const EvolutionaryOptions& options,
+                                        const GridModel& grid,
+                                        ExpectationModel expectation);
+
+/// Serializes to the versioned text format.
+std::string SerializeCheckpoint(const EvolutionCheckpoint& checkpoint);
+
+/// Parses the text format (ParseError on any malformed content).
+Result<EvolutionCheckpoint> ParseCheckpoint(const std::string& text);
+
+/// Rejects a checkpoint whose fingerprint or structure does not match
+/// `options` + `grid` (so --resume cannot silently mix experiments).
+Status ValidateCheckpoint(const EvolutionCheckpoint& checkpoint,
+                          const EvolutionaryOptions& options,
+                          const GridModel& grid,
+                          ExpectationModel expectation);
+
+/// File wrappers. Saving uses an atomic write-rename.
+Status SaveCheckpointAtomic(const EvolutionCheckpoint& checkpoint,
+                            const std::string& path);
+Result<EvolutionCheckpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace hido
+
+#endif  // HIDO_CORE_SEARCH_CHECKPOINT_H_

@@ -28,6 +28,35 @@ std::vector<std::string> SplitLines(const std::string& text) {
 
 }  // namespace
 
+// Structural sanity for one split line (header or data): no embedded NUL
+// bytes, no fields past the byte cap, no rows past the column cap. These
+// are the signatures of binary garbage or a wrong delimiter, and catching
+// them here keeps the error message pointed at the exact line and column
+// instead of surfacing as a confusing numeric-parse failure downstream.
+Status CheckCsvFields(const std::vector<std::string>& fields, size_t line_no,
+                      const CsvReadOptions& options) {
+  if (options.max_columns != 0 && fields.size() > options.max_columns) {
+    return Status::ParseError(
+        StrFormat("csv: line %zu has %zu fields, over the %zu-column limit",
+                  line_no, fields.size(), options.max_columns));
+  }
+  for (size_t c = 0; c < fields.size(); ++c) {
+    if (fields[c].find('\0') != std::string::npos) {
+      return Status::ParseError(StrFormat(
+          "csv: line %zu column %zu: embedded NUL byte (binary input?)",
+          line_no, c + 1));
+    }
+    if (options.max_field_bytes != 0 &&
+        fields[c].size() > options.max_field_bytes) {
+      return Status::ParseError(StrFormat(
+          "csv: line %zu column %zu: %zu-byte field is over the %zu-byte "
+          "limit (wrong delimiter?)",
+          line_no, c + 1, fields[c].size(), options.max_field_bytes));
+    }
+  }
+  return Status::Ok();
+}
+
 Result<Dataset> ReadCsvString(const std::string& text,
                               const CsvReadOptions& options) {
   const std::vector<std::string> lines = SplitLines(text);
@@ -43,6 +72,8 @@ Result<Dataset> ReadCsvString(const std::string& text,
       return Status::ParseError("csv: missing header line");
     }
     header = Split(lines[line_idx], options.delimiter);
+    const Status header_ok = CheckCsvFields(header, line_idx + 1, options);
+    if (!header_ok.ok()) return header_ok;
     for (std::string& name : header) {
       name = std::string(Trim(name));
     }
@@ -62,6 +93,8 @@ Result<Dataset> ReadCsvString(const std::string& text,
           StrFormat("csv: blank line %zu", line_idx + 1));
     }
     const std::vector<std::string> fields = Split(line, options.delimiter);
+    const Status fields_ok = CheckCsvFields(fields, line_idx + 1, options);
+    if (!fields_ok.ok()) return fields_ok;
     if (width == 0) {
       width = fields.size();
       if (label_col >= 0 && static_cast<size_t>(label_col) >= width) {

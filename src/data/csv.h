@@ -5,6 +5,7 @@
 // be dropped into the benchmarks in place of the bundled synthetic stand-ins.
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
@@ -23,6 +24,11 @@ struct CsvReadOptions {
   bool allow_missing = true;
   /// Skip blank lines instead of failing on them.
   bool skip_blank_lines = true;
+  /// Reject fields longer than this many bytes — the usual symptom of a
+  /// wrong delimiter or a binary file fed in by mistake. 0 disables.
+  size_t max_field_bytes = 4096;
+  /// Reject rows wider than this many columns. 0 disables.
+  size_t max_columns = 65536;
 };
 
 /// Options for WriteCsv.
@@ -36,13 +42,22 @@ struct CsvWriteOptions {
 };
 
 /// Parses `path` into a Dataset. Fails (no partial result) on ragged rows,
-/// non-numeric fields (other than missing tokens), or unreadable files.
+/// non-numeric fields (other than missing tokens), embedded NUL bytes,
+/// fields/rows beyond the size caps, or unreadable files; every parse error
+/// carries 1-based line (and where it applies, column) context.
 Result<Dataset> ReadCsv(const std::string& path,
                         const CsvReadOptions& options = {});
 
 /// Parses CSV text directly (same semantics as ReadCsv).
 Result<Dataset> ReadCsvString(const std::string& text,
                               const CsvReadOptions& options = {});
+
+/// Validates one split line against the structural caps in `options`:
+/// embedded NUL bytes, over-long fields, and over-wide rows all fail with
+/// 1-based line/column context. Shared by every CSV ingest path (numeric
+/// and categorical-encoding) so they reject binary garbage identically.
+Status CheckCsvFields(const std::vector<std::string>& fields, size_t line_no,
+                      const CsvReadOptions& options);
 
 /// Writes `data` to `path`.
 Status WriteCsv(const Dataset& data, const std::string& path,

@@ -35,6 +35,7 @@ Result<RawCsv> Tokenize(const std::string& text,
       return Status::ParseError(StrFormat("csv: blank line %zu", i + 1));
     }
     std::vector<std::string> fields = Split(lines[i], options.delimiter);
+    HIDO_RETURN_IF_ERROR(CheckCsvFields(fields, i + 1, options));
     for (std::string& f : fields) f = std::string(Trim(f));
     if (options.has_header && raw.header.empty() && raw.rows.empty()) {
       raw.header = std::move(fields);

@@ -99,6 +99,43 @@ TEST(EstimateLambdaTest, ExtremesSpanTheDistanceRange) {
   EXPECT_LT(lo, hi);
 }
 
+TEST(DbOutlierTest, ParallelMatchesSerialExactly) {
+  const Dataset ds = GenerateUniform(300, 4, 13);
+  const DistanceMetric metric(ds);
+  DbOutlierOptions opts;
+  opts.lambda = 0.4;
+  opts.max_neighbors = 3;
+  opts.num_threads = 1;
+  const std::vector<size_t> serial = DbOutliers(metric, opts);
+  for (size_t threads : {2u, 4u, 0u}) {
+    opts.num_threads = threads;
+    EXPECT_EQ(DbOutliers(metric, opts), serial) << "threads=" << threads;
+  }
+}
+
+TEST(DbOutlierTest, CancelledRunReportsOnlyJudgedPoints) {
+  const Dataset ds = GenerateUniform(200, 3, 14);
+  const DistanceMetric metric(ds);
+  DbOutlierOptions opts;
+  opts.lambda = 0.05;  // small radius: many outliers
+  opts.max_neighbors = 1;
+  const std::vector<size_t> full = DbOutliers(metric, opts);
+
+  StopToken token;
+  token.ArmFailpoint(60);
+  opts.stop = &token;
+  RunStatus status;
+  const std::vector<size_t> partial = DbOutliers(metric, opts, &status);
+  EXPECT_FALSE(status.completed);
+  EXPECT_EQ(status.stop_cause, StopCause::kFailpoint);
+  // Ascending, no duplicates, and a subset of the full answer — a skipped
+  // point is simply unreported, never misreported.
+  EXPECT_TRUE(std::is_sorted(partial.begin(), partial.end()));
+  EXPECT_TRUE(std::includes(full.begin(), full.end(), partial.begin(),
+                            partial.end()));
+  EXPECT_LT(partial.size(), full.size());
+}
+
 TEST(DbOutlierDeathTest, NonPositiveLambda) {
   const Dataset ds = GenerateUniform(10, 2, 5);
   const DistanceMetric metric(ds);

@@ -101,6 +101,88 @@ TEST(KnnOutlierTest, NoShuffleStillExact) {
   }
 }
 
+TEST(KnnOutlierTest, ParallelMatchesSerialBitExactly) {
+  const Dataset ds = GenerateUniform(400, 6, 3);
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 4;
+  opts.num_outliers = 15;
+  opts.num_threads = 1;
+  const std::vector<KnnOutlier> serial = TopNKnnOutliers(metric, opts);
+  for (size_t threads : {2u, 4u, 8u, 0u}) {
+    opts.num_threads = threads;
+    const std::vector<KnnOutlier> parallel = TopNKnnOutliers(metric, opts);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].row, serial[i].row) << "threads=" << threads;
+      EXPECT_EQ(parallel[i].kth_distance, serial[i].kth_distance);
+    }
+  }
+}
+
+TEST(KnnOutlierTest, ExactScoreTiesBreakOnRowNotScanOrder) {
+  // Two identical far pairs: rows 20/21 and 22/23 have the same 1-NN
+  // distance, so with num_outliers=3 one tied pair member must win by the
+  // (score desc, row asc) total order — independent of shuffle seed.
+  Dataset ds(2);
+  for (int i = 0; i < 20; ++i) ds.AppendRow({0.0, 0.001 * i});
+  ds.AppendRow({50.0, 0.0});
+  ds.AppendRow({53.0, 0.0});
+  ds.AppendRow({50.0, 30.0});
+  ds.AppendRow({53.0, 30.0});
+  const DistanceMetric metric(ds);
+  KnnOutlierOptions opts;
+  opts.k = 1;
+  opts.num_outliers = 3;
+  for (uint64_t seed : {0u, 1u, 7u, 99u}) {
+    opts.shuffle_seed = seed;
+    const std::vector<KnnOutlier> out = TopNKnnOutliers(metric, opts);
+    ASSERT_EQ(out.size(), 3u) << seed;
+    EXPECT_EQ(out[0].row, 20u) << seed;
+    EXPECT_EQ(out[1].row, 21u) << seed;
+    EXPECT_EQ(out[2].row, 22u) << seed;  // ties with 23; lower row wins
+  }
+}
+
+TEST(KnnOutlierTest, PreCancelledTokenYieldsEmptyIncomplete) {
+  const Dataset ds = GenerateUniform(100, 3, 5);
+  const DistanceMetric metric(ds);
+  StopToken token;
+  token.RequestCancel();
+  KnnOutlierOptions opts;
+  opts.k = 2;
+  opts.num_outliers = 5;
+  opts.stop = &token;
+  RunStatus status;
+  const std::vector<KnnOutlier> out = TopNKnnOutliers(metric, opts, &status);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(status.completed);
+  EXPECT_EQ(status.stop_cause, StopCause::kCancelled);
+}
+
+TEST(KnnOutlierTest, FailpointMidScanReportsValidPartial) {
+  const Dataset ds = GenerateUniform(200, 4, 8);
+  const DistanceMetric metric(ds);
+  StopToken token;
+  token.ArmFailpoint(50);  // stop after ~50 of 200 points
+  KnnOutlierOptions opts;
+  opts.k = 3;
+  opts.num_outliers = 10;
+  opts.stop = &token;
+  RunStatus status;
+  const std::vector<KnnOutlier> out = TopNKnnOutliers(metric, opts, &status);
+  EXPECT_FALSE(status.completed);
+  EXPECT_EQ(status.stop_cause, StopCause::kFailpoint);
+  // Partial but valid: scores exact, sorted strongest first.
+  const std::vector<double> all = AllKthNeighborDistances(metric, 3);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].kth_distance, all[out[i].row]);
+    if (i > 0) {
+      EXPECT_GE(out[i - 1].kth_distance, out[i].kth_distance);
+    }
+  }
+}
+
 TEST(KnnOutlierDeathTest, InvalidK) {
   const Dataset ds = GenerateUniform(10, 2, 6);
   const DistanceMetric metric(ds);

@@ -1,6 +1,8 @@
 #include "baselines/lof.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -83,6 +85,75 @@ TEST(LofTest, DuplicatePointsDontCrash) {
   for (double s : scores) {
     EXPECT_FALSE(std::isnan(s));
   }
+}
+
+TEST(LofTest, ParallelMatchesSerialBitExactly) {
+  const Dataset ds = GenerateUniform(300, 5, 9);
+  const DistanceMetric metric(ds);
+  LofOptions opts;
+  opts.min_pts = 8;
+  opts.num_threads = 1;
+  const std::vector<double> serial = ComputeLof(metric, opts);
+  for (size_t threads : {2u, 4u, 0u}) {
+    opts.num_threads = threads;
+    const std::vector<double> parallel = ComputeLof(metric, opts);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "threads=" << threads
+                                        << " row=" << i;
+    }
+  }
+}
+
+TEST(LofTest, CancelledRunMarksUncomputedScoresNaN) {
+  const Dataset ds = GenerateUniform(150, 4, 10);
+  const DistanceMetric metric(ds);
+  StopToken token;
+  token.ArmFailpoint(40);  // fires during pass 1 of 3
+  LofOptions opts;
+  opts.min_pts = 5;
+  opts.stop = &token;
+  RunStatus status;
+  const std::vector<double> partial = ComputeLof(metric, opts, &status);
+  EXPECT_FALSE(status.completed);
+  EXPECT_EQ(status.stop_cause, StopCause::kFailpoint);
+  ASSERT_EQ(partial.size(), 150u);
+
+  // Every computed score must be exact — identical to the full run's value;
+  // everything else must be NaN, and at least something must be NaN given
+  // the failpoint fired before pass 1 finished.
+  const std::vector<double> full = ComputeLof(metric, LofOptions{5});
+  size_t nans = 0;
+  for (size_t i = 0; i < partial.size(); ++i) {
+    if (std::isnan(partial[i])) {
+      ++nans;
+    } else {
+      EXPECT_EQ(partial[i], full[i]) << i;
+    }
+  }
+  EXPECT_GE(nans, 1u);
+}
+
+TEST(LofTest, PreCancelledTokenYieldsAllNaN) {
+  const Dataset ds = GenerateUniform(50, 3, 11);
+  const DistanceMetric metric(ds);
+  StopToken token;
+  token.RequestCancel();
+  LofOptions opts;
+  opts.min_pts = 3;
+  opts.stop = &token;
+  RunStatus status;
+  const std::vector<double> scores = ComputeLof(metric, opts, &status);
+  EXPECT_FALSE(status.completed);
+  for (double s : scores) EXPECT_TRUE(std::isnan(s));
+  // And the ranking helper never selects an unscored row.
+  EXPECT_TRUE(TopNByScore(scores, 10).empty());
+}
+
+TEST(TopNByScoreTest, SkipsNanScores) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores = {1.0, nan, 3.0, nan, 2.0};
+  EXPECT_EQ(TopNByScore(scores, 4), (std::vector<size_t>{2, 4, 0}));
 }
 
 TEST(TopNByScoreTest, OrdersByScoreThenIndex) {

@@ -71,11 +71,50 @@ TEST(BestSetTest, WorstRetainedSparsity) {
   EXPECT_DOUBLE_EQ(best.WorstRetainedSparsity(), -2.0);
 }
 
-TEST(BestSetTest, WouldAcceptConsistentWithOffer) {
+TEST(BestSetTest, WouldAcceptAdmitsTiesForKeyComparison) {
   BestSet best(1);
-  best.Offer(Make(0, 0, -3.0));
-  EXPECT_FALSE(best.WouldAccept(-3.0));  // ties rejected
+  best.Offer(Make(1, 0, -3.0));
+  // Ties pass the sparsity filter; Offer decides by packed key.
+  EXPECT_TRUE(best.WouldAccept(-3.0));
   EXPECT_TRUE(best.WouldAccept(-3.5));
+  EXPECT_FALSE(best.WouldAccept(-2.5));
+}
+
+TEST(BestSetTest, ExactTiesBreakOnPackedKeyNotOfferOrder) {
+  // Two distinct projections with identical sparsity: whichever order they
+  // are offered in, the one with the smaller packed key is retained.
+  const ScoredProjection low_key = Make(0, 1, -3.0);
+  const ScoredProjection high_key = Make(5, 2, -3.0);
+  ASSERT_TRUE(low_key.projection.PackedKey() <
+              high_key.projection.PackedKey());
+
+  BestSet forward(1);
+  forward.Offer(low_key);
+  EXPECT_FALSE(forward.Offer(high_key));
+
+  BestSet backward(1);
+  backward.Offer(high_key);
+  EXPECT_TRUE(backward.Offer(low_key));  // displaces the tied larger key
+
+  ASSERT_EQ(forward.size(), 1u);
+  ASSERT_EQ(backward.size(), 1u);
+  EXPECT_TRUE(forward.Sorted()[0].projection ==
+              backward.Sorted()[0].projection);
+}
+
+TEST(BestSetTest, TiedEntriesSortedByKeyAscending) {
+  BestSet best(4);
+  best.Offer(Make(3, 0, -1.0));
+  best.Offer(Make(1, 0, -1.0));
+  best.Offer(Make(2, 0, -1.0));
+  best.Offer(Make(0, 0, -2.0));
+  const auto& sorted = best.Sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_DOUBLE_EQ(sorted[0].sparsity, -2.0);
+  for (size_t i = 2; i < sorted.size(); ++i) {
+    EXPECT_TRUE(sorted[i - 1].projection.PackedKey() <
+                sorted[i].projection.PackedKey());
+  }
 }
 
 TEST(BestSetTest, MeanSparsityIsTable1Quality) {

@@ -261,6 +261,87 @@ TEST(BruteForceTest, ParallelRespectsTimeBudget) {
   EXPECT_LT(result.stats.seconds, 5.0);
 }
 
+TEST(BruteForceTest, ExactSparsityTiesResolveIdenticallyAcrossThreads) {
+  // phi=2 over few points gives many cubes with identical counts — hence
+  // bit-identical sparsity coefficients. The (sparsity, projection-key)
+  // total order in BestSet must then pick the same winners no matter which
+  // worker offered first.
+  Fixture f(256, 8, 2, 11);
+  BruteForceOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 12;
+
+  opts.num_threads = 1;
+  const BruteForceResult reference = BruteForceSearch(f.objective, opts);
+  ASSERT_TRUE(reference.stats.completed);
+
+  // The construction must actually produce ties inside the retained set,
+  // otherwise this test exercises nothing.
+  size_t tied_pairs = 0;
+  for (size_t i = 1; i < reference.best.size(); ++i) {
+    if (reference.best[i].sparsity == reference.best[i - 1].sparsity) {
+      ++tied_pairs;
+    }
+  }
+  ASSERT_GE(tied_pairs, 1u);
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    opts.num_threads = threads;
+    const BruteForceResult run = BruteForceSearch(f.objective, opts);
+    ASSERT_EQ(run.best.size(), reference.best.size()) << threads;
+    for (size_t i = 0; i < reference.best.size(); ++i) {
+      EXPECT_EQ(run.best[i].projection, reference.best[i].projection)
+          << "threads=" << threads << " entry=" << i;
+      EXPECT_EQ(run.best[i].count, reference.best[i].count);
+      EXPECT_EQ(run.best[i].sparsity, reference.best[i].sparsity);
+    }
+  }
+}
+
+TEST(BruteForceTest, DeadlineExpiryOnInjectedClockReturnsValidPartial) {
+  // The clock advances a fixed step per read, so the deadline expires after
+  // a deterministic number of polls — no wall-clock sleeps involved.
+  Fixture f(300, 10, 4, 9);
+  FakeClock clock(0.0, 0.1);
+  BruteForceOptions opts;
+  opts.target_dim = 3;
+  opts.num_projections = 5;
+  opts.time_budget_seconds = 0.5;  // expires on the 5th poll
+  opts.clock = &clock;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_EQ(result.stats.stop_cause, StopCause::kDeadline);
+  // Accounting invariants hold even on the abort path.
+  EXPECT_EQ(result.stats.cubes_published, result.stats.cubes_evaluated);
+  // Genuinely partial: the full space is C(10,3) * 4^3 = 7680 leaves.
+  EXPECT_LT(result.stats.cubes_evaluated, 7680u);
+  // What was found is still a valid, sorted best-so-far report.
+  EXPECT_FALSE(result.best.empty());
+  for (const ScoredProjection& s : result.best) {
+    EXPECT_EQ(s.projection.Dimensionality(), 3u);
+    EXPECT_GE(s.count, 1u);
+  }
+  for (size_t i = 1; i < result.best.size(); ++i) {
+    EXPECT_LE(result.best[i - 1].sparsity, result.best[i].sparsity);
+  }
+}
+
+TEST(BruteForceTest, PreCancelledTokenStopsBeforeAnyWork) {
+  Fixture f(200, 8, 4, 10);
+  StopToken token;
+  token.RequestCancel();
+  BruteForceOptions opts;
+  opts.target_dim = 3;
+  opts.num_projections = 5;
+  opts.stop = &token;
+  const BruteForceResult result = BruteForceSearch(f.objective, opts);
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_EQ(result.stats.stop_cause, StopCause::kCancelled);
+  EXPECT_EQ(result.stats.cubes_evaluated, 0u);
+  EXPECT_EQ(result.stats.cubes_published, 0u);
+}
+
 TEST(BruteForceSearchSpaceTest, PaperExample) {
   // Section 3: d=20, k=4, phi=10 gives ~7 * 10^7 possibilities.
   const double space = BruteForceSearchSpace(20, 4, 10);

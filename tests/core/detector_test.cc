@@ -129,6 +129,20 @@ TEST(DetectorTest, WorksWithMissingValues) {
   EXPECT_FALSE(result.report.projections.empty());
 }
 
+TEST(DetectorTest, PreCancelledTokenYieldsIncompleteResult) {
+  const Dataset data = GenerateUniform(300, 8, 23);
+  StopToken token;
+  token.RequestCancel();
+  DetectorConfig dconfig;
+  dconfig.target_dim = 2;
+  dconfig.phi = 5;
+  dconfig.seed = 8;
+  dconfig.stop = &token;
+  const DetectionResult result = OutlierDetector(dconfig).Detect(data);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.stop_cause, StopCause::kCancelled);
+}
+
 TEST(DetectorTest, ReportedOutliersActuallyCoverProjections) {
   const Dataset data = GenerateUniform(400, 8, 19);
   DetectorConfig dconfig;

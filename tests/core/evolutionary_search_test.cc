@@ -220,6 +220,88 @@ TEST(EvolutionarySearchTest, StopsOnTimeBudget) {
   EXPECT_LT(result.stats.seconds, 5.0);
 }
 
+TEST(EvolutionarySearchTest, DeadlineExpiryOnInjectedClockReturnsValidPartial) {
+  // The injected clock steps a fixed amount per read, so the budget expires
+  // after a deterministic number of generation-boundary polls — the expiry
+  // path is covered without any real sleeping or wall-clock dependence.
+  Fixture f(GenerateUniform(300, 8, 2), 4);
+  FakeClock clock(0.0, 0.1);
+  EvolutionaryOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 5;
+  opts.population_size = 20;
+  opts.max_generations = 200;
+  opts.stagnation_generations = 0;
+  opts.restarts = 4;
+  opts.seed = 3;
+  opts.time_budget_seconds = 1.0;  // expires on the 10th poll
+  opts.clock = &clock;
+  const EvolutionResult result = EvolutionarySearch(f.objective, opts);
+
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_EQ(result.stats.stop_cause, StopCause::kDeadline);
+  EXPECT_EQ(result.stats.stop_reason, StopReason::kTimeBudget);
+  // Genuinely partial, but with a valid best-so-far report.
+  EXPECT_LT(result.stats.generations, 4u * 200u);
+  EXPECT_FALSE(result.best.empty());
+  for (const ScoredProjection& s : result.best) {
+    EXPECT_EQ(s.projection.Dimensionality(), 2u);
+    EXPECT_GE(s.count, 1u);
+  }
+  for (size_t i = 1; i < result.best.size(); ++i) {
+    EXPECT_LE(result.best[i - 1].sparsity, result.best[i].sparsity);
+  }
+  // Evaluation accounting stays truthful on the abort path: the partial run
+  // consumed strictly fewer evaluations than the full batch would.
+  EXPECT_GT(result.stats.evaluations, 0u);
+}
+
+TEST(EvolutionarySearchTest, PreCancelledTokenReturnsEmptyIncomplete) {
+  Fixture f(GenerateUniform(200, 6, 5), 4);
+  StopToken token;
+  token.RequestCancel();
+  EvolutionaryOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 5;
+  opts.stop = &token;
+  const EvolutionResult result = EvolutionarySearch(f.objective, opts);
+  EXPECT_FALSE(result.stats.completed);
+  EXPECT_EQ(result.stats.stop_cause, StopCause::kCancelled);
+  EXPECT_EQ(result.stats.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(result.stats.evaluations, 0u);
+  EXPECT_TRUE(result.best.empty());
+}
+
+TEST(EvolutionarySearchTest, FailpointInterruptIsDeterministic) {
+  // Two runs interrupted at the same poll count must return the same
+  // partial result when run serially — fault injection is reproducible.
+  Fixture f(GenerateUniform(250, 8, 6), 4);
+  EvolutionaryOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 5;
+  opts.population_size = 20;
+  opts.max_generations = 60;
+  opts.stagnation_generations = 0;
+  opts.restarts = 2;
+  opts.seed = 12;
+  EvolutionResult runs[2];
+  for (EvolutionResult& run : runs) {
+    StopToken token;
+    token.ArmFailpoint(25);
+    opts.stop = &token;
+    run = EvolutionarySearch(f.objective, opts);
+    EXPECT_FALSE(run.stats.completed);
+    EXPECT_EQ(run.stats.stop_cause, StopCause::kFailpoint);
+  }
+  ASSERT_EQ(runs[0].best.size(), runs[1].best.size());
+  for (size_t i = 0; i < runs[0].best.size(); ++i) {
+    EXPECT_EQ(runs[0].best[i].projection, runs[1].best[i].projection);
+    EXPECT_EQ(runs[0].best[i].sparsity, runs[1].best[i].sparsity);
+  }
+  EXPECT_EQ(runs[0].stats.evaluations, runs[1].stats.evaluations);
+  EXPECT_EQ(runs[0].stats.generations, runs[1].stats.generations);
+}
+
 TEST(EvolutionarySearchTest, StopsOnStagnation) {
   Fixture f(GenerateUniform(100, 4, 9), 3);
   EvolutionaryOptions opts;

@@ -96,6 +96,77 @@ TEST(CsvReadTest, LabelColumnOutOfRangeFails) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(CsvReadTest, EmbeddedNulFailsWithLineAndColumn) {
+  const Result<Dataset> r =
+      ReadCsvString(std::string("a,b\n1,2\n3,4\x00 5\n", 15));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("column 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvReadTest, EmbeddedNulInHeaderFails) {
+  const Result<Dataset> r = ReadCsvString(std::string("a,b\x00 c\n1,2\n", 11));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvReadTest, OversizedFieldFailsWithContext) {
+  CsvReadOptions opts;
+  opts.max_field_bytes = 16;
+  const std::string huge(17, '7');
+  const Result<Dataset> r = ReadCsvString("a,b\n1," + huge + "\n", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("column 2"), std::string::npos)
+      << r.status().ToString();
+  // At the cap exactly is fine.
+  const std::string at_cap(16, '7');
+  EXPECT_TRUE(ReadCsvString("a,b\n1," + at_cap + "\n", opts).ok());
+}
+
+TEST(CsvReadTest, TooManyColumnsFails) {
+  CsvReadOptions opts;
+  opts.max_columns = 3;
+  EXPECT_TRUE(ReadCsvString("a,b,c\n1,2,3\n", opts).ok());
+  const Result<Dataset> r = ReadCsvString("a,b,c,d\n1,2,3,4\n", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvReadTest, SizeCapsCanBeDisabled) {
+  CsvReadOptions opts;
+  opts.max_field_bytes = 0;
+  opts.max_columns = 0;
+  const std::string huge = "0." + std::string(10000, '1');
+  EXPECT_TRUE(ReadCsvString("a\n" + huge + "\n", opts).ok());
+}
+
+TEST(CsvReadTest, RaggedRowErrorNamesTheLine) {
+  const Result<Dataset> r = ReadCsvString("a,b\n1,2\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvReadTest, GarbageFieldErrorNamesLineAndColumn) {
+  const Result<Dataset> r = ReadCsvString("a,b\n1,2\n3,@!garbage\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("column 2"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(CsvReadTest, MissingFileFails) {
   const Result<Dataset> r = ReadCsv("/nonexistent/path/data.csv");
   EXPECT_FALSE(r.ok());

@@ -92,6 +92,32 @@ TEST(EncodingTest, RaggedRowsFail) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(EncodingTest, EmbeddedNulFailsInsteadOfBecomingACategory) {
+  // A NUL byte means binary input; the categorical fallback must reject it
+  // with line/column context rather than ordinal-encoding the garbage.
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString(std::string("a,b\nred,2\nblu\x00 e,4\n", 18));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("column 1"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(EncodingTest, OversizedFieldFailsWithContext) {
+  CsvReadOptions opts;
+  opts.max_field_bytes = 8;
+  const Result<EncodedDataset> r =
+      ReadCsvEncodedString("a,b\nred," + std::string(9, 'x') + "\n", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("column 2"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(EncodingTest, MissingFileFails) {
   EXPECT_FALSE(ReadCsvEncoded("/no/such/file.csv").ok());
 }

@@ -73,6 +73,71 @@ TEST_P(CsvRoundTripProperty, WriteReadIsIdentity) {
   }
 }
 
+// Robustness property: start from a valid CSV, hit it with random byte-level
+// damage (truncation, NUL injection, garbage bytes, delimiter insertion,
+// chunk duplication, giant fields), and the reader must either parse it —
+// ragged damage can cancel out — or return a structured "csv:" parse error;
+// it must never crash or hang. Successful parses must stay within the
+// structural caps.
+class CsvMutationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvMutationProperty, MutatedInputFailsCleanlyOrParses) {
+  Rng rng(GetParam());
+  // A valid starting point, regenerated per seed.
+  std::string text = "alpha,beta,gamma\n";
+  const size_t rows = 3 + rng.UniformIndex(20);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      if (c > 0) text.push_back(',');
+      text += std::to_string(rng.UniformInt(-1000, 1000));
+    }
+    text.push_back('\n');
+  }
+
+  const size_t mutations = 1 + rng.UniformIndex(4);
+  for (size_t m = 0; m < mutations && !text.empty(); ++m) {
+    const size_t pos = rng.UniformIndex(text.size());
+    switch (rng.UniformIndex(6)) {
+      case 0:  // truncate
+        text.resize(pos);
+        break;
+      case 1:  // inject a NUL byte
+        text.insert(text.begin() + static_cast<ptrdiff_t>(pos), '\0');
+        break;
+      case 2:  // overwrite with a random byte (possibly non-ASCII)
+        text[pos] = static_cast<char>(rng.UniformIndex(256));
+        break;
+      case 3:  // extra delimiter (ragged row)
+        text.insert(text.begin() + static_cast<ptrdiff_t>(pos), ',');
+        break;
+      case 4: {  // duplicate a chunk
+        const size_t len = std::min<size_t>(text.size() - pos,
+                                            1 + rng.UniformIndex(32));
+        text.insert(pos, text.substr(pos, len));
+        break;
+      }
+      case 5:  // splice in an oversized field
+        text.insert(pos, std::string(5000, 'x'));
+        break;
+    }
+  }
+
+  CsvReadOptions opts;
+  const Result<Dataset> r = ReadCsvString(text, opts);
+  if (!r.ok()) {
+    EXPECT_TRUE(r.status().code() == StatusCode::kParseError ||
+                r.status().code() == StatusCode::kInvalidArgument)
+        << r.status().ToString();
+    EXPECT_EQ(r.status().message().rfind("csv:", 0), 0u)
+        << "error lacks csv context: " << r.status().ToString();
+  } else {
+    EXPECT_LE(r.value().num_cols(), opts.max_columns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MutatedCsv, CsvMutationProperty,
+                         ::testing::Range<uint64_t>(1, 81));
+
 INSTANTIATE_TEST_SUITE_P(
     RandomDatasets, CsvRoundTripProperty,
     ::testing::Values(CsvCase{1, 1, 0, false, 1},

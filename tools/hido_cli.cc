@@ -19,9 +19,11 @@
 #include "baselines/lof.h"
 #include "common/flags.h"
 #include "common/parallel.h"
+#include "common/run_control.h"
 #include "common/string_util.h"
 #include "core/detector.h"
 #include "core/model_io.h"
+#include "core/search_checkpoint.h"
 #include "core/parameter_advisor.h"
 #include "core/report_io.h"
 #include "core/scoring.h"
@@ -90,6 +92,33 @@ void AddInputFlags(FlagParser& flags) {
                 "ordinal-encode non-numeric columns instead of failing");
 }
 
+// Cancellation shared by the long-running subcommands: one token fed by an
+// optional --deadline and by Ctrl-C, installed for the duration of the run.
+// Either source degrades the run to a valid best-so-far report instead of
+// killing the process.
+class ScopedRunControl {
+ public:
+  explicit ScopedRunControl(double deadline_seconds) {
+    if (deadline_seconds > 0.0) token_.SetDeadline(deadline_seconds);
+    InstallSigintCancel(&token_);
+  }
+  ~ScopedRunControl() { InstallSigintCancel(nullptr); }
+
+  const StopToken& token() const { return token_; }
+
+  /// Prints a note when the run stopped early; call after the work is done.
+  void ReportIfStopped() const {
+    if (token_.cause() == StopCause::kNone) return;
+    std::fprintf(stderr,
+                 "note: run stopped early (%s); results below cover the "
+                 "work finished before the stop\n",
+                 StopCauseToString(token_.cause()));
+  }
+
+ private:
+  StopToken token_;
+};
+
 // ---------------------------------------------------------------- detect --
 
 int RunDetect(const std::vector<std::string>& args) {
@@ -110,6 +139,17 @@ int RunDetect(const std::vector<std::string>& args) {
                "worker threads for the search (0: all hardware threads); "
                "results are seed-deterministic for any value");
   flags.AddInt("seed", 42, "random seed");
+  flags.AddDouble("deadline", 0.0,
+                  "wall-clock budget in seconds (0: none); an expired run "
+                  "still reports its best-so-far projections");
+  flags.AddString("checkpoint", "",
+                  "periodically save evolutionary search state to this path "
+                  "(atomic write; survives crashes and Ctrl-C)");
+  flags.AddInt("checkpoint-every", 10,
+               "generations between checkpoint saves");
+  flags.AddString("resume", "",
+                  "resume the evolutionary search from a checkpoint file "
+                  "(flags must match the interrupted run)");
   flags.AddInt("explain", 3, "print explanations for the strongest N rows");
   flags.AddInt("rank", 0,
                "also print the top-N ranked rows by outlier score (0: off)");
@@ -157,13 +197,34 @@ int RunDetect(const std::vector<std::string>& args) {
     return Fail(Status::InvalidArgument("unknown --crossover"));
   }
 
+  config.evolution.checkpoint_path = flags.GetString("checkpoint");
+  config.evolution.checkpoint_every_generations =
+      static_cast<size_t>(flags.GetInt("checkpoint-every"));
+  EvolutionCheckpoint checkpoint;  // must outlive Detect when resuming
+  if (!flags.GetString("resume").empty()) {
+    if (config.algorithm != SearchAlgorithm::kEvolutionary) {
+      return Fail(Status::InvalidArgument(
+          "--resume only applies to --algorithm=evolutionary"));
+    }
+    Result<EvolutionCheckpoint> loaded =
+        LoadCheckpoint(flags.GetString("resume"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    checkpoint = std::move(loaded.value());
+    config.evolution.resume = &checkpoint;
+  }
+
+  const ScopedRunControl control(flags.GetDouble("deadline"));
+  config.stop = &control.token();
+
   const OutlierDetector detector(config);
   const DetectionResult result = detector.Detect(data.value());
+  control.ReportIfStopped();
 
-  std::printf("detected with phi=%zu, k=%zu (%s) in %.3fs: "
+  std::printf("detected with phi=%zu, k=%zu (%s) in %.3fs%s: "
               "%zu abnormal projections covering %zu rows\n\n",
               result.phi, result.target_dim,
               flags.GetString("algorithm").c_str(), result.seconds,
+              result.completed ? "" : " [incomplete]",
               result.report.projections.size(),
               result.report.outliers.size());
 
@@ -296,30 +357,47 @@ int RunBaselines(const std::vector<std::string>& args) {
   flags.AddDouble("db-lambda", 0.0,
                   "lambda for DB outliers (0: the 5th-percentile distance)");
   flags.AddInt("db-max-neighbors", 5, "k for DB(k,lambda)");
+  flags.AddInt("threads", 1,
+               "worker threads per method (0: all hardware threads); "
+               "results are identical for any value");
+  flags.AddDouble("deadline", 0.0,
+                  "wall-clock budget in seconds (0: none); methods not "
+                  "finished in time report partial results");
   const int parse_outcome = ParseOrReport(flags, args);
   if (parse_outcome >= 0) return parse_outcome;
   Result<Dataset> data = LoadInput(flags);
   if (!data.ok()) return Fail(data.status());
   const DistanceMetric metric(data.value());
   const size_t top = static_cast<size_t>(flags.GetInt("top"));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
+  const ScopedRunControl control(flags.GetDouble("deadline"));
+  const char* kPartialNote = "  (partial: stopped before every point)\n";
 
   std::printf("== kNN-distance outliers (k=%lld), strongest first ==\n",
               static_cast<long long>(flags.GetInt("knn-k")));
   KnnOutlierOptions kopts;
   kopts.k = static_cast<size_t>(flags.GetInt("knn-k"));
   kopts.num_outliers = top;
-  for (const KnnOutlier& o : TopNKnnOutliers(metric, kopts)) {
+  kopts.num_threads = threads;
+  kopts.stop = &control.token();
+  RunStatus knn_status;
+  for (const KnnOutlier& o : TopNKnnOutliers(metric, kopts, &knn_status)) {
     std::printf("  row %zu  kth-NN distance %.4f\n", o.row, o.kth_distance);
   }
+  if (!knn_status.completed) std::printf("%s", kPartialNote);
 
   std::printf("\n== LOF (MinPts=%lld), top scores ==\n",
               static_cast<long long>(flags.GetInt("lof-minpts")));
   LofOptions lofopts;
   lofopts.min_pts = static_cast<size_t>(flags.GetInt("lof-minpts"));
-  const std::vector<double> scores = ComputeLof(metric, lofopts);
+  lofopts.num_threads = threads;
+  lofopts.stop = &control.token();
+  RunStatus lof_status;
+  const std::vector<double> scores = ComputeLof(metric, lofopts, &lof_status);
   for (size_t row : TopNByScore(scores, top)) {
     std::printf("  row %zu  LOF %.3f\n", row, scores[row]);
   }
+  if (!lof_status.completed) std::printf("%s", kPartialNote);
 
   double lambda = flags.GetDouble("db-lambda");
   if (lambda <= 0.0) {
@@ -333,12 +411,17 @@ int RunBaselines(const std::vector<std::string>& args) {
   dbopts.lambda = lambda;
   dbopts.max_neighbors =
       static_cast<size_t>(flags.GetInt("db-max-neighbors"));
-  const std::vector<size_t> db = DbOutliers(metric, dbopts);
+  dbopts.num_threads = threads;
+  dbopts.stop = &control.token();
+  RunStatus db_status;
+  const std::vector<size_t> db = DbOutliers(metric, dbopts, &db_status);
   std::printf("  %zu rows flagged", db.size());
   for (size_t i = 0; i < db.size() && i < top; ++i) {
     std::printf("%s%zu", i == 0 ? ": " : ", ", db[i]);
   }
   std::printf("\n");
+  if (!db_status.completed) std::printf("%s", kPartialNote);
+  control.ReportIfStopped();
   return 0;
 }
 
