@@ -1,8 +1,8 @@
 #include "baselines/lof.h"
 
 #include <algorithm>
-#include <cstddef>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <numeric>
 

@@ -45,6 +45,14 @@ const Clock& Clock::Real() {
   return clock;
 }
 
+Status StopStatus(const StopToken& token, const std::string& what) {
+  const std::string message =
+      what + " stopped (" + StopCauseToString(token.cause()) + ")";
+  return token.cause() == StopCause::kDeadline
+             ? Status::DeadlineExceeded(message)
+             : Status::Cancelled(message);
+}
+
 void InstallSigintCancel(StopToken* token) {
   static_assert(std::atomic<StopToken*>::is_always_lock_free,
                 "SIGINT handler requires a lock-free atomic pointer");

@@ -25,7 +25,11 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace hido {
 
@@ -61,26 +65,26 @@ class FakeClock final : public Clock {
       : now_(start), step_(step_per_read) {}
 
   double NowSeconds() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const double now = now_;
     now_ += step_;
     return now;
   }
 
   void Advance(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ += seconds;
   }
 
   void Set(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ = seconds;
   }
 
  private:
-  mutable std::mutex mu_;
-  mutable double now_;
-  double step_;
+  mutable Mutex mu_;
+  mutable double now_ HIDO_GUARDED_BY(mu_);
+  const double step_;
 };
 
 /// Cooperative stop request shared between a controller (CLI, test, signal
@@ -219,6 +223,14 @@ class StopPoller {
   StopToken local_;
   mutable std::atomic<bool> stopped_{false};
 };
+
+/// Maps a fired token to the Status an all-or-nothing entry point (grid
+/// construction, dataset loading) returns when it aborts: kDeadlineExceeded
+/// for an expired deadline, kCancelled for a cancel or failpoint. Unlike
+/// the searches, these paths have no useful best-so-far result, so they
+/// discard their partial work and surface the stop as an error. `what`
+/// names the aborted operation for the message.
+Status StopStatus(const StopToken& token, const std::string& what);
 
 /// Installs a SIGINT handler that requests kCancelled on `token` (replacing
 /// any previously installed token), so an interrupted CLI run still emits a

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
   }

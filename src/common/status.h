@@ -26,6 +26,7 @@ enum class StatusCode {
   kParseError,
   kResourceExhausted,
   kDeadlineExceeded,
+  kCancelled,
   kInternal,
 };
 
@@ -73,6 +74,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,88 @@
+#ifndef HIDO_COMMON_THREAD_ANNOTATIONS_H_
+#define HIDO_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These annotations let the compiler prove, at -Wthread-safety, that every
+// access to a guarded member happens with the right lock held. On compilers
+// without the attributes (GCC, MSVC) every macro expands to nothing, so the
+// annotations are pure documentation there; Clang CI builds with
+// -Werror=thread-safety and rejects violations.
+//
+// Conventions in this codebase:
+//   * All lockable state uses common::Mutex / MutexLock (common/mutex.h),
+//     which carry the capability attributes. Raw std::mutex outside
+//     src/common/ is rejected by hido_lint (rule no-raw-mutex) because it
+//     silently bypasses this analysis.
+//   * Annotate members with HIDO_GUARDED_BY(mu_), private helper methods
+//     that assume the lock with HIDO_EXCLUSIVE_LOCKS_REQUIRED(mu_).
+//   * HIDO_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//     comment justifying why the analysis cannot see the invariant.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HIDO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HIDO_THREAD_ANNOTATION_(x)  // no-op on non-Clang
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis can track.
+#define HIDO_CAPABILITY(x) HIDO_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define HIDO_SCOPED_CAPABILITY HIDO_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The member may only be read or written while `x` is held.
+#define HIDO_GUARDED_BY(x) HIDO_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointee may only be accessed while `x` is held (the pointer itself
+/// is unguarded).
+#define HIDO_PT_GUARDED_BY(x) HIDO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called with the listed capabilities held
+/// exclusively; it neither acquires nor releases them.
+#define HIDO_EXCLUSIVE_LOCKS_REQUIRED(...) \
+  HIDO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities held at
+/// least shared.
+#define HIDO_SHARED_LOCKS_REQUIRED(...) \
+  HIDO_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function must not be called with the listed capabilities held
+/// (deadlock prevention for self-locking methods).
+#define HIDO_LOCKS_EXCLUDED(...) \
+  HIDO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and does not release it.
+#define HIDO_ACQUIRE(...) \
+  HIDO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define HIDO_RELEASE(...) \
+  HIDO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability when it returns `ret`.
+#define HIDO_TRY_ACQUIRE(ret, ...) \
+  HIDO_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Documents lock acquisition order between two mutexes.
+#define HIDO_ACQUIRED_AFTER(...) \
+  HIDO_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define HIDO_ACQUIRED_BEFORE(...) \
+  HIDO_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Asserts at runtime-knowledge level that the capability is held (tells
+/// the analysis without generating code).
+#define HIDO_ASSERT_CAPABILITY(x) \
+  HIDO_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Returns a reference to the capability guarding the returned data.
+#define HIDO_RETURN_CAPABILITY(x) HIDO_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Every use must carry a
+/// comment explaining which invariant the analysis cannot express.
+#define HIDO_NO_THREAD_SAFETY_ANALYSIS \
+  HIDO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // HIDO_COMMON_THREAD_ANNOTATIONS_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 
 namespace hido {
@@ -29,9 +30,10 @@ struct ThreadPool::ForJob {
   std::atomic<size_t> next{0};   // next unclaimed task index
   std::atomic<size_t> slots{1};  // participant slots handed out (0 = issuer)
 
-  std::mutex m;
-  std::condition_variable done;
-  size_t active = 0;  // helpers currently inside the claim loop
+  Mutex m;
+  CondVar done{&m};
+  // Helpers currently inside the claim loop.
+  size_t active HIDO_GUARDED_BY(m) = 0;
 
   void RunClaimLoop(size_t worker) {
     while (true) {
@@ -46,7 +48,7 @@ struct ThreadPool::ForJob {
     const size_t slot = slots.fetch_add(1, std::memory_order_relaxed);
     if (slot >= max_workers) return;  // loop already fully staffed
     {
-      std::lock_guard<std::mutex> lock(m);
+      MutexLock lock(m);
       // All tasks claimed: the issuer may already be returning, so `work`
       // must not be touched. Checked under the lock that the issuer's
       // final wait holds, which makes the hand-off race-free.
@@ -55,10 +57,10 @@ struct ThreadPool::ForJob {
     }
     RunClaimLoop(slot);
     {
-      std::lock_guard<std::mutex> lock(m);
+      MutexLock lock(m);
       --active;
     }
-    done.notify_all();
+    done.NotifyAll();
   }
 };
 
@@ -71,10 +73,10 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) {
     t.join();
   }
@@ -84,18 +86,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait();
       if (queue_.empty()) return;  // shutdown with nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -125,8 +127,8 @@ void ThreadPool::ParallelFor(
   }
   job->RunClaimLoop(0);
   // Every task is claimed; wait for helpers still running claimed tasks.
-  std::unique_lock<std::mutex> lock(job->m);
-  job->done.wait(lock, [&job] { return job->active == 0; });
+  MutexLock lock(job->m);
+  while (job->active != 0) job->done.Wait();
 }
 
 ThreadPool& ThreadPool::Shared() {

@@ -13,13 +13,14 @@
 // (helpers only add parallelism, they are never required for completion —
 // a work-stealing-lite discipline that cannot deadlock).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hido {
 
@@ -58,12 +59,14 @@ class ThreadPool {
   struct ForJob;
 
   void WorkerLoop();
-  void Enqueue(std::function<void()> task);
+  void Enqueue(std::function<void()> task) HIDO_LOCKS_EXCLUDED(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar cv_{&mutex_};
+  std::deque<std::function<void()>> queue_ HIDO_GUARDED_BY(mutex_);
+  bool shutdown_ HIDO_GUARDED_BY(mutex_) = false;
+  // Written once in the constructor before any worker can observe the pool;
+  // immutable (and safely readable without the lock) from then on.
   std::vector<std::thread> workers_;
 };
 

@@ -27,6 +27,14 @@ namespace hido {
 
 /// Bounded, deduplicated set of the best (most negative sparsity)
 /// projections.
+///
+/// Thread-compatible, not thread-safe: the concurrency discipline is
+/// ownership, not locking. Each restart/worker owns a private BestSet and
+/// the owners' sets are merged single-threaded, in restart order, after the
+/// parallel region joins (EvolutionarySearch / BruteForceSearch). Guarding
+/// a shared set with a mutex would serialize the hot Offer path and is
+/// deliberately not provided; hido_lint's no-raw-mutex rule keeps ad-hoc
+/// locking from creeping in around this class.
 class BestSet {
  public:
   /// Keeps at most `capacity` projections (the paper's m). capacity > 0.

@@ -37,7 +37,18 @@ DetectionResult OutlierDetector::Detect(const Dataset& data) const {
   GridModel::Options gopts;
   gopts.phi = result.phi;
   gopts.mode = config_.binning;
-  result.grid = GridModel::Build(data, gopts);
+  // Grid construction honours the caller's stop token too (ROADMAP: it
+  // used to be the one uninterruptible phase of Detect). A cancel here
+  // yields the searches' best-so-far shape with nothing found yet: an
+  // empty report, completed = false, and the token's cause.
+  Result<GridModel> grid = GridModel::Build(data, gopts, config_.stop);
+  if (!grid.ok()) {
+    result.completed = false;
+    result.stop_cause = config_.stop->cause();
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+  result.grid = std::move(grid).value();
 
   CubeCounter counter(result.grid);
   SparsityObjective objective(counter, config_.expectation);

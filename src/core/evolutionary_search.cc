@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/genetic/convergence.h"
@@ -103,15 +104,32 @@ class EvalScratch {
 // Serializes concurrent per-restart snapshot updates into whole-file
 // atomic rewrites. Checkpointing is best-effort: write failures are
 // logged, never fatal to the search.
+//
+// The in-memory state (`checkpoint_`) and the writer state
+// (`written_version_`) are guarded separately so the disk write happens
+// outside `mu_`: a slow write used to stall every other restart at its
+// next generation boundary (they all block in Update). Updates are
+// versioned under `mu_` and the writer skips any snapshot older than one
+// already written, so concurrent writers can never regress the file.
 class CheckpointSink {
  public:
   CheckpointSink(EvolutionCheckpoint initial, std::string path)
       : checkpoint_(std::move(initial)), path_(std::move(path)) {}
 
-  void Update(size_t run, RestartCheckpoint state) {
-    std::lock_guard<std::mutex> lock(mu_);
-    checkpoint_.runs[run] = std::move(state);
-    const Status status = SaveCheckpointAtomic(checkpoint_, path_);
+  void Update(size_t run, RestartCheckpoint state)
+      HIDO_LOCKS_EXCLUDED(mu_, write_mu_) {
+    EvolutionCheckpoint snapshot;
+    uint64_t version = 0;
+    {
+      MutexLock lock(mu_);
+      checkpoint_.runs[run] = std::move(state);
+      version = ++version_;
+      snapshot = checkpoint_;
+    }
+    MutexLock write_lock(write_mu_);
+    if (version <= written_version_) return;  // a newer snapshot is on disk
+    written_version_ = version;
+    const Status status = SaveCheckpointAtomic(snapshot, path_);
     if (!status.ok()) {
       HIDO_LOG_WARNING("checkpoint write failed: %s",
                        status.ToString().c_str());
@@ -119,9 +137,12 @@ class CheckpointSink {
   }
 
  private:
-  std::mutex mu_;
-  EvolutionCheckpoint checkpoint_;
-  std::string path_;
+  Mutex mu_;
+  EvolutionCheckpoint checkpoint_ HIDO_GUARDED_BY(mu_);
+  uint64_t version_ HIDO_GUARDED_BY(mu_) = 0;
+  Mutex write_mu_ HIDO_ACQUIRED_AFTER(mu_);
+  uint64_t written_version_ HIDO_GUARDED_BY(write_mu_) = 0;
+  const std::string path_;
 };
 
 // Everything one restart produces; merged by the caller in restart order.

@@ -1,8 +1,8 @@
 #include "core/model_io.h"
 
 #include <cmath>
-#include <limits>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/file_util.h"

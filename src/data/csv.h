@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_control.h"
 #include "common/status.h"
 #include "data/dataset.h"
 
@@ -29,6 +30,12 @@ struct CsvReadOptions {
   size_t max_field_bytes = 4096;
   /// Reject rows wider than this many columns. 0 disables.
   size_t max_columns = 65536;
+  /// Cooperative cancellation (nullable; must outlive the read), polled
+  /// every few thousand parsed lines. A fired token fails the read with
+  /// kCancelled/kDeadlineExceeded — parsing is all-or-nothing, so there is
+  /// no partial dataset to salvage. Shared by the numeric and the
+  /// categorical-encoding ingest paths.
+  const StopToken* stop = nullptr;
 };
 
 /// Options for WriteCsv.

@@ -28,8 +28,17 @@ Result<RawCsv> Tokenize(const std::string& text,
   }
   if (!lines.empty() && lines.back().empty()) lines.pop_back();
 
+  // The tokenize loop dominates the read; the encoding passes below reuse
+  // its output row-by-row, so one poll stride here bounds cancel latency
+  // for the whole encoded ingest.
+  constexpr size_t kPollStride = 1024;
+
   size_t width = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
+    if (options.stop != nullptr && i % kPollStride == kPollStride - 1 &&
+        options.stop->ShouldStop()) {
+      return StopStatus(*options.stop, "csv read");
+    }
     if (Trim(lines[i]).empty()) {
       if (options.skip_blank_lines) continue;
       return Status::ParseError(StrFormat("csv: blank line %zu", i + 1));
@@ -67,6 +76,9 @@ std::string EncodedDataset::Decode(size_t column, double code) const {
 
 Result<EncodedDataset> ReadCsvEncodedString(const std::string& text,
                                             const CsvReadOptions& options) {
+  if (options.stop != nullptr && options.stop->ShouldStop()) {
+    return StopStatus(*options.stop, "csv read");
+  }
   Result<RawCsv> raw = Tokenize(text, options);
   if (!raw.ok()) return raw.status();
   const RawCsv& csv = raw.value();

@@ -1,10 +1,27 @@
 #include "grid/grid_model.h"
 
+#include <utility>
+
 #include "common/macros.h"
 
 namespace hido {
 
 GridModel GridModel::Build(const Dataset& data, const Options& options) {
+  Result<GridModel> built = Build(data, options, /*stop=*/nullptr);
+  return std::move(built).value();  // cannot fail without a token
+}
+
+Result<GridModel> GridModel::Build(const Dataset& data,
+                                   const Options& options,
+                                   const StopToken* stop) {
+  // Indexing cost is rows * dims; poll every this many cells so a cancel
+  // lands promptly even on one very long column.
+  constexpr size_t kPollStride = 4096;
+
+  if (stop != nullptr && stop->ShouldStop()) {
+    return StopStatus(*stop, "grid build");
+  }
+
   Quantizer::Options qopts;
   qopts.num_ranges = options.phi;
   qopts.mode = options.mode;
@@ -20,7 +37,14 @@ GridModel GridModel::Build(const Dataset& data, const Options& options) {
   model.postings_.assign(d * phi, {});
 
   for (size_t dim = 0; dim < d; ++dim) {
+    if (stop != nullptr && stop->ShouldStop()) {
+      return StopStatus(*stop, "grid build");
+    }
     for (size_t row = 0; row < data.num_rows(); ++row) {
+      if (stop != nullptr && row % kPollStride == kPollStride - 1 &&
+          stop->ShouldStop()) {
+        return StopStatus(*stop, "grid build");
+      }
       if (data.IsMissing(row, dim)) {
         model.cells_[dim][row] = kMissingCell;
         continue;

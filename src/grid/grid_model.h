@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/run_control.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "grid/quantizer.h"
 
@@ -50,6 +52,14 @@ class GridModel {
 
   /// Discretizes `data` and builds the indexes. The dataset is not retained.
   static GridModel Build(const Dataset& data, const Options& options);
+
+  /// Cancellable Build: polls `stop` (nullable) once per dimension and
+  /// every few thousand rows within a dimension. A fired token aborts with
+  /// kCancelled/kDeadlineExceeded — a partially indexed grid is useless, so
+  /// unlike the searches there is no best-so-far result. With stop == null
+  /// this is exactly Build(data, options).
+  static Result<GridModel> Build(const Dataset& data, const Options& options,
+                                 const StopToken* stop);
 
   size_t num_points() const { return num_points_; }
   size_t num_dims() const { return cells_.size(); }

@@ -1,7 +1,8 @@
 #include "common/parallel.h"
 
+#include "common/mutex.h"
+
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <vector>
 
@@ -38,10 +39,10 @@ TEST(ParallelForTest, ZeroTasksIsNoop) {
 }
 
 TEST(ParallelForTest, WorkerIndicesWithinRange) {
-  std::mutex mu;
+  Mutex mu;
   std::set<size_t> workers;
   ParallelFor(200, 3, [&](size_t, size_t worker) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     workers.insert(worker);
   });
   for (size_t w : workers) EXPECT_LT(w, 3u);
@@ -49,10 +50,10 @@ TEST(ParallelForTest, WorkerIndicesWithinRange) {
 
 TEST(ParallelForTest, ThreadsClampedToTasks) {
   // 2 tasks, 16 threads: worker indices must stay below the task count.
-  std::mutex mu;
+  Mutex mu;
   std::set<size_t> workers;
   ParallelFor(2, 16, [&](size_t, size_t worker) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     workers.insert(worker);
   });
   for (size_t w : workers) EXPECT_LT(w, 2u);

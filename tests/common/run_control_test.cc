@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
+
 namespace hido {
 namespace {
 
@@ -145,6 +147,27 @@ TEST(SigintCancelTest, RaiseCancelsInstalledToken) {
   StopToken other;
   ASSERT_EQ(std::raise(SIGINT), 0);
   EXPECT_FALSE(other.stop_requested());
+}
+
+TEST(StopStatusTest, MapsCauseToStatusCode) {
+  // Deadline stops surface as kDeadlineExceeded; everything else (cancel,
+  // failpoint) is kCancelled. The message names the aborted operation.
+  StopToken deadline;
+  deadline.RequestCancel(StopCause::kDeadline);
+  const Status d = StopStatus(deadline, "grid build");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(d.message().find("grid build"), std::string::npos);
+
+  StopToken cancelled;
+  cancelled.RequestCancel();
+  EXPECT_EQ(StopStatus(cancelled, "csv read").code(),
+            StatusCode::kCancelled);
+
+  StopToken failpoint;
+  failpoint.ArmFailpoint(1);
+  EXPECT_TRUE(failpoint.ShouldStop());
+  EXPECT_EQ(StopStatus(failpoint, "csv read").code(),
+            StatusCode::kCancelled);
 }
 
 }  // namespace

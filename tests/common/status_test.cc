@@ -25,6 +25,8 @@ TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
   EXPECT_FALSE(Status::FailedPrecondition("p").ok());
   EXPECT_FALSE(Status::ResourceExhausted("e").ok());
   EXPECT_FALSE(Status::DeadlineExceeded("d").ok());
+  EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
+  EXPECT_FALSE(Status::Cancelled("c").ok());
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
@@ -45,6 +47,7 @@ TEST(StatusCodeToStringTest, AllCodesNamed) {
                "InvalidArgument");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -2,8 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include "grid/cube_counter.h"
 #include "data/generators/synthetic.h"
+#include "grid/cube_counter.h"
 
 namespace hido {
 namespace {

@@ -7,8 +7,8 @@
 
 #include "common/rng.h"
 #include "data/generators/synthetic.h"
-#include "grid/sparsity.h"
 #include "grid/cube_counter.h"
+#include "grid/sparsity.h"
 
 namespace hido {
 namespace {

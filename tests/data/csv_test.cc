@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/run_control.h"
+#include "common/status.h"
+
 namespace hido {
 namespace {
 
@@ -200,6 +203,41 @@ TEST(CsvRoundTripTest, FileRoundTrip) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().num_rows(), 2u);
   std::remove(path.c_str());
+}
+
+TEST(CsvReadTest, StopTokenFailpointAbortsRead) {
+  // Loading is all-or-nothing: a stop mid-read returns a Status, never a
+  // truncated Dataset.
+  std::string text = "a,b\n";
+  for (int i = 0; i < 5000; ++i) text += "1,2\n";
+  StopToken token;
+  token.ArmFailpoint(2);  // entry poll passes; the first stride poll fires
+  CsvReadOptions opts;
+  opts.stop = &token;
+  const Result<Dataset> r = ReadCsvString(text, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(token.cause(), StopCause::kFailpoint);
+}
+
+TEST(CsvReadTest, PreCancelledTokenAbortsImmediately) {
+  StopToken token;
+  token.RequestCancel();
+  CsvReadOptions opts;
+  opts.stop = &token;
+  const Result<Dataset> r = ReadCsvString("a,b\n1,2\n", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CsvReadTest, UnfiredStopTokenReadsNormally) {
+  StopToken token;
+  CsvReadOptions opts;
+  opts.stop = &token;
+  const Result<Dataset> r = ReadCsvString("a,b\n1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 2u);
+  EXPECT_FALSE(token.stop_requested());
 }
 
 TEST(CsvWriteTest, HeaderOptional) {

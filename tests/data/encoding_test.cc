@@ -1,6 +1,11 @@
 #include "data/encoding.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "common/run_control.h"
+#include "common/status.h"
 
 namespace hido {
 namespace {
@@ -130,6 +135,29 @@ TEST(EncodingTest, NoHeaderMode) {
   EXPECT_EQ(r.value().data.num_rows(), 2u);
   EXPECT_EQ(r.value().data.ColumnName(0), "c0");
   ASSERT_EQ(r.value().categorical.size(), 1u);
+}
+
+TEST(EncodingTest, StopTokenFailpointAbortsEncodedRead) {
+  std::string text = "cat,v\n";
+  for (int i = 0; i < 5000; ++i) text += "x,1\n";
+  StopToken token;
+  token.ArmFailpoint(2);
+  CsvReadOptions opts;
+  opts.stop = &token;
+  const Result<EncodedDataset> r = ReadCsvEncodedString(text, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(token.cause(), StopCause::kFailpoint);
+}
+
+TEST(EncodingTest, UnfiredStopTokenEncodesNormally) {
+  StopToken token;
+  CsvReadOptions opts;
+  opts.stop = &token;
+  const Result<EncodedDataset> r = ReadCsvEncodedString("cat,v\nx,1\ny,2\n", opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().data.num_rows(), 2u);
+  EXPECT_FALSE(token.stop_requested());
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/run_control.h"
+#include "common/status.h"
 #include "data/generators/synthetic.h"
 
 namespace hido {
@@ -109,6 +111,49 @@ TEST(GridModelTest, CoversNeverMatchesMissing) {
   for (uint32_t cell = 0; cell < 2; ++cell) {
     EXPECT_FALSE(grid.Covers(0, {{0, cell}}));
   }
+}
+
+TEST(GridModelTest, StopTokenFailpointAbortsBuild) {
+  const Dataset ds = GenerateUniform(500, 8, 7);
+  GridModel::Options opts;
+  opts.phi = 5;
+  StopToken token;
+  token.ArmFailpoint(3);  // entry poll + per-dimension polls; fires early
+  const Result<GridModel> r = GridModel::Build(ds, opts, &token);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(token.cause(), StopCause::kFailpoint);
+}
+
+TEST(GridModelTest, PreCancelledTokenAbortsBeforeAnyWork) {
+  const Dataset ds = GenerateUniform(50, 2, 7);
+  GridModel::Options opts;
+  opts.phi = 5;
+  StopToken token;
+  token.RequestCancel();
+  const Result<GridModel> r = GridModel::Build(ds, opts, &token);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(GridModelTest, UnfiredStopTokenBuildMatchesLegacyBuild) {
+  const Dataset ds = GenerateUniform(300, 5, 11);
+  GridModel::Options opts;
+  opts.phi = 4;
+  const GridModel legacy = GridModel::Build(ds, opts);
+  StopToken token;
+  const Result<GridModel> r = GridModel::Build(ds, opts, &token);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const GridModel& grid = r.value();
+  ASSERT_EQ(grid.num_points(), legacy.num_points());
+  ASSERT_EQ(grid.num_dims(), legacy.num_dims());
+  for (size_t row = 0; row < grid.num_points(); ++row) {
+    for (size_t dim = 0; dim < grid.num_dims(); ++dim) {
+      ASSERT_EQ(grid.Cell(row, dim), legacy.Cell(row, dim))
+          << "row " << row << " dim " << dim;
+    }
+  }
+  EXPECT_FALSE(token.stop_requested());
 }
 
 TEST(GridModelDeathTest, BadCellAborts) {

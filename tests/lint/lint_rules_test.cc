@@ -1,0 +1,334 @@
+#include "tools/lint/lint_rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace lint {
+namespace {
+
+std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
+  std::vector<std::string> names;
+  for (const Finding& f : findings) names.push_back(f.rule);
+  return names;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> names = RuleNames(findings);
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+// ---------------------------------------------------------------------------
+// no-exceptions
+
+TEST(NoExceptionsRule, FlagsThrowTryCatch) {
+  const std::string bad =
+      "int F(int x) {\n"
+      "  try {\n"
+      "    if (x < 0) throw x;\n"
+      "  } catch (int e) {\n"
+      "    return e;\n"
+      "  }\n"
+      "  return x;\n"
+      "}\n";
+  const std::vector<Finding> findings = LintContent("src/core/f.cc", bad);
+  EXPECT_TRUE(HasRule(findings, "no-exceptions"));
+  // try{, throw, and catch( are three separate offending lines.
+  const std::vector<std::string> names = RuleNames(findings);
+  EXPECT_EQ(std::count(names.begin(), names.end(),
+                       std::string("no-exceptions")),
+            3);
+}
+
+TEST(NoExceptionsRule, SuppressedByAllowComment) {
+  const std::string suppressed =
+      "void G() {\n"
+      "  throw 1;  // hido-lint: allow(no-exceptions)\n"
+      "}\n";
+  EXPECT_FALSE(
+      HasRule(LintContent("src/core/g.cc", suppressed), "no-exceptions"));
+}
+
+TEST(NoExceptionsRule, IgnoresCommentsStringsAndIdentifiers) {
+  const std::string clean =
+      "// a comment may say throw or try { freely\n"
+      "const char* kMsg = \"throw\";\n"
+      "int try_count = 0;  // identifier containing 'try'\n"
+      "int rethrown_total = try_count;\n";
+  EXPECT_TRUE(LintContent("src/core/h.cc", clean).empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-raw-random
+
+TEST(NoRawRandomRule, FlagsRawEngines) {
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/a.cc", "std::mt19937 gen(1);\n"), "no-raw-random"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/a.cc", "std::mt19937_64 gen(1);\n"),
+      "no-raw-random"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/a.cc", "std::random_device rd;\n"),
+      "no-raw-random"));
+  EXPECT_TRUE(HasRule(LintContent("src/core/a.cc", "int x = rand();\n"),
+                      "no-raw-random"));
+  EXPECT_TRUE(HasRule(LintContent("src/core/a.cc", "srand(42);\n"),
+                      "no-raw-random"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/a.cc", "auto seed = time(nullptr);\n"),
+      "no-raw-random"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/a.cc", "auto seed = std::time(0);\n"),
+      "no-raw-random"));
+}
+
+TEST(NoRawRandomRule, AllowedInsideRngImplementation) {
+  // common/rng.* is where the engine legitimately lives.
+  EXPECT_TRUE(
+      LintContent("src/common/rng.cc", "std::mt19937_64 engine_;\n").empty());
+  EXPECT_TRUE(
+      LintContent("src/common/rng.h", "#ifndef HIDO_COMMON_RNG_H_\n"
+                                      "#define HIDO_COMMON_RNG_H_\n"
+                                      "std::mt19937_64 engine_;\n"
+                                      "#endif\n")
+          .empty());
+}
+
+TEST(NoRawRandomRule, DoesNotFlagUnrelatedIdentifiers) {
+  // Substrings like Elapsed"time(" must not match the time(nullptr) form,
+  // and mt19937 inside a longer identifier is not an engine.
+  const std::string clean =
+      "double t = ElapsedTime();\n"
+      "int not_mt19937_related = 0;\n"
+      "auto when = timestamp(now);\n";
+  EXPECT_TRUE(LintContent("src/core/b.cc", clean).empty());
+}
+
+TEST(NoRawRandomRule, SuppressedByAllowComment) {
+  const std::string suppressed =
+      "std::random_device rd;  // hido-lint: allow(no-raw-random)\n";
+  EXPECT_TRUE(LintContent("src/core/c.cc", suppressed).empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-raw-mutex
+
+TEST(NoRawMutexRule, FlagsStdMutexFamilyOutsideCommon) {
+  EXPECT_TRUE(HasRule(LintContent("src/core/d.cc", "std::mutex mu;\n"),
+                      "no-raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/d.cc", "std::condition_variable cv;\n"),
+      "no-raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintContent("tools/t.cc", "std::lock_guard<std::mutex> l(mu);\n"),
+      "no-raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintContent("tests/x_test.cc", "std::unique_lock<std::mutex> l(mu);\n"),
+      "no-raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/grid/e.cc", "std::shared_mutex rw;\n"), "no-raw-mutex"));
+}
+
+TEST(NoRawMutexRule, AllowedUnderCommon) {
+  // common/mutex.h wraps std::mutex; the whole of src/common/ is exempt so
+  // the wrapper itself (and the thread pool internals) can exist.
+  EXPECT_TRUE(
+      LintContent("src/common/mutex.cc", "std::mutex mu_;\n").empty());
+}
+
+TEST(NoRawMutexRule, AnnotatedWrapperIsClean) {
+  const std::string clean =
+      "common::Mutex mu;\n"
+      "common::MutexLock lock(&mu);\n";
+  EXPECT_TRUE(LintContent("src/core/f.cc", clean).empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-stdio-in-core
+
+TEST(NoStdioInCoreRule, FlagsStdioUnderCoreOnly) {
+  const std::string bad = "std::cerr << \"oops\";\n";
+  EXPECT_TRUE(HasRule(LintContent("src/core/g.cc", bad), "no-stdio-in-core"));
+  EXPECT_TRUE(HasRule(LintContent("src/core/sub/g.cc", bad),
+                      "no-stdio-in-core"));
+  // The same line is fine outside src/core (tools print by design).
+  EXPECT_TRUE(LintContent("tools/cli.cc", bad).empty());
+  EXPECT_TRUE(LintContent("src/eval/table.cc", bad).empty());
+}
+
+TEST(NoStdioInCoreRule, FlagsPrintfFamily) {
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/h.cc", "printf(\"%d\", x);\n"),
+      "no-stdio-in-core"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/h.cc", "fprintf(stderr, \"x\");\n"),
+      "no-stdio-in-core"));
+}
+
+TEST(NoStdioInCoreRule, SuppressedByAllowComment) {
+  const std::string suppressed =
+      "std::cerr << x;  // hido-lint: allow(no-stdio-in-core)\n";
+  EXPECT_TRUE(LintContent("src/core/i.cc", suppressed).empty());
+}
+
+// ---------------------------------------------------------------------------
+// header-guard
+
+TEST(HeaderGuardRule, ExpectedGuardDerivation) {
+  EXPECT_EQ(ExpectedHeaderGuard("src/common/mutex.h"),
+            "HIDO_COMMON_MUTEX_H_");
+  EXPECT_EQ(ExpectedHeaderGuard("src/core/best_set.h"),
+            "HIDO_CORE_BEST_SET_H_");
+  EXPECT_EQ(ExpectedHeaderGuard("tools/lint/lint_rules.h"),
+            "HIDO_TOOLS_LINT_LINT_RULES_H_");
+}
+
+TEST(HeaderGuardRule, AcceptsCanonicalGuard) {
+  const std::string good =
+      "#ifndef HIDO_CORE_WIDGET_H_\n"
+      "#define HIDO_CORE_WIDGET_H_\n"
+      "#endif  // HIDO_CORE_WIDGET_H_\n";
+  EXPECT_TRUE(LintContent("src/core/widget.h", good).empty());
+}
+
+TEST(HeaderGuardRule, FlagsWrongOrMissingGuard) {
+  const std::string wrong =
+      "#ifndef WIDGET_H\n"
+      "#define WIDGET_H\n"
+      "#endif\n";
+  const std::vector<Finding> findings =
+      LintContent("src/core/widget.h", wrong);
+  ASSERT_TRUE(HasRule(findings, "header-guard"));
+  EXPECT_EQ(findings[0].line, 0u) << "header-guard is a file-level finding";
+  EXPECT_TRUE(HasRule(LintContent("src/core/empty.h", "int x;\n"),
+                      "header-guard"));
+  // .cc files have no guard requirement.
+  EXPECT_TRUE(LintContent("src/core/widget.cc", "int x;\n").empty());
+}
+
+TEST(HeaderGuardRule, SuppressedByAllowComment) {
+  const std::string suppressed =
+      "#pragma once  // hido-lint: allow(header-guard)\n"
+      "int x;\n";
+  EXPECT_TRUE(LintContent("src/core/pragma.h", suppressed).empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-order
+
+TEST(IncludeOrderRule, AcceptsConventionalLayout) {
+  const std::string good =
+      "#include \"core/widget.h\"\n"  // own header first: new block below
+      "\n"
+      "#include <string>\n"
+      "#include <vector>\n"
+      "\n"
+      "#include \"common/status.h\"\n"
+      "#include \"core/best_set.h\"\n";
+  EXPECT_TRUE(LintContent("src/core/widget.cc", good).empty());
+}
+
+TEST(IncludeOrderRule, FlagsUnsortedBlock) {
+  const std::string bad =
+      "#include <vector>\n"
+      "#include <string>\n";
+  const std::vector<Finding> findings = LintContent("src/core/j.cc", bad);
+  ASSERT_TRUE(HasRule(findings, "include-order"));
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(IncludeOrderRule, FlagsMixedStylesInOneBlock) {
+  const std::string bad =
+      "#include <vector>\n"
+      "#include \"common/status.h\"\n";
+  EXPECT_TRUE(HasRule(LintContent("src/core/k.cc", bad), "include-order"));
+}
+
+TEST(IncludeOrderRule, BlankLineStartsANewBlock) {
+  // Unsorted across a blank line is fine: blocks are independent.
+  const std::string good =
+      "#include <vector>\n"
+      "\n"
+      "#include <algorithm>\n";
+  EXPECT_TRUE(LintContent("src/core/l.cc", good).empty());
+}
+
+TEST(IncludeOrderRule, SuppressedByAllowComment) {
+  const std::string suppressed =
+      "#include <vector>\n"
+      "#include <string>  // hido-lint: allow(include-order)\n";
+  EXPECT_TRUE(LintContent("src/core/m.cc", suppressed).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stripper
+
+TEST(StripCommentsAndStrings, RemovesCommentsPreservingLines) {
+  const std::string source =
+      "int a;  // trailing throw\n"
+      "/* block\n"
+      "   spanning throw\n"
+      "   lines */ int b;\n";
+  const std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(source.begin(), source.end(), '\n'));
+  EXPECT_EQ(stripped.find("throw"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStrings, EmptiesStringAndCharLiterals) {
+  const std::string source =
+      "const char* s = \"throw \\\" inside\";\n"
+      "char c = '\\'';\n";
+  const std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(stripped.find("throw"), std::string::npos);
+  EXPECT_EQ(stripped.find("inside"), std::string::npos);
+}
+
+TEST(StripCommentsAndStrings, HandlesRawStrings) {
+  const std::string source =
+      "auto re = \"x\";\n"
+      "auto raw = R\"(throw inside ) quote \" still inside)\";\n"
+      "int after = 1;\n";
+  const std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(stripped.find("throw"), std::string::npos);
+  EXPECT_NE(stripped.find("int after = 1;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStrings, HandlesDelimitedRawStrings) {
+  const std::string source =
+      "auto raw = R\"xy(body with )\" fake end)xy\";\n"
+      "int after = 2;\n";
+  const std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(stripped.find("body"), std::string::npos);
+  EXPECT_EQ(stripped.find("fake end"), std::string::npos);
+  EXPECT_NE(stripped.find("int after = 2;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Rule table
+
+TEST(RuleTable, ListsEveryRuleOnce) {
+  std::vector<std::string> names;
+  for (const RuleInfo& rule : Rules()) names.push_back(rule.name);
+  const std::vector<std::string> expected = {
+      "no-exceptions", "no-raw-random",  "no-raw-mutex",
+      "no-stdio-in-core", "header-guard", "include-order"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(RuleTable, SuppressionTagIsPerRule) {
+  EXPECT_TRUE(IsSuppressed("x;  // hido-lint: allow(no-exceptions)",
+                           "no-exceptions"));
+  EXPECT_FALSE(IsSuppressed("x;  // hido-lint: allow(no-exceptions)",
+                            "no-raw-random"));
+  EXPECT_FALSE(IsSuppressed("x;  // unrelated comment", "no-exceptions"));
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace hido

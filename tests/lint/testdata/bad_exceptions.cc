@@ -1,0 +1,7 @@
+// Lint fixture: trips the no-exceptions rule. Never compiled.
+int Parse(int x) {
+  if (x < 0) {
+    throw x;
+  }
+  return x;
+}

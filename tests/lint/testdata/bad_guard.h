@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// Lint fixture: trips the header-guard rule (guard does not match the
+// canonical HIDO_<PATH>_H_ form). Never compiled.
+
+#endif  // WRONG_GUARD_H

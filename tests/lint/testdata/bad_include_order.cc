@@ -1,0 +1,5 @@
+// Lint fixture: trips the include-order rule twice — the system block is
+// unsorted and a project include is mixed into it. Never compiled.
+#include <vector>
+#include <string>
+#include "common/status.h"

@@ -1,0 +1,6 @@
+// Lint fixture: trips the no-raw-mutex rule. Never compiled.
+#include <mutex>
+
+std::mutex g_mu;
+
+void Touch() { std::lock_guard<std::mutex> lock(g_mu); }

@@ -1,0 +1,7 @@
+// Lint fixture: trips the no-raw-random rule. Never compiled.
+#include <random>
+
+int Roll() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,37 @@
+// Compile-FAIL sample for Clang Thread Safety Analysis.
+//
+// This translation unit is deliberately wrong: `count_` is declared
+// HIDO_GUARDED_BY(mu_) but Increment() touches it without holding the
+// mutex. It is never part of the normal build; the `thread_safety_fail`
+// ctest (Clang only, WILL_FAIL) compiles it with
+// -Wthread-safety -Werror=thread-safety and asserts the compiler rejects
+// it — proving the analysis is armed, not silently disabled. The matching
+// thread_safety_ok.cc is the positive control.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace hido {
+
+class MisguardedCounter {
+ public:
+  // BUG (intentional): reads and writes count_ without mu_.
+  void Increment() { ++count_; }
+
+  int Get() const {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ HIDO_GUARDED_BY(mu_) = 0;
+};
+
+int TouchIt() {
+  MisguardedCounter counter;
+  counter.Increment();
+  return counter.Get();
+}
+
+}  // namespace hido

@@ -1,0 +1,37 @@
+// Positive control for the thread-safety compile-fail test.
+//
+// Identical shape to thread_safety_fail.cc but correctly locked; the
+// `thread_safety_ok` ctest (Clang only) compiles it with
+// -Wthread-safety -Werror=thread-safety and must succeed. If this one
+// fails, the harness flags (include paths, warning spelling) are broken —
+// which would make thread_safety_fail pass for the wrong reason.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace hido {
+
+class GuardedCounter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+  int Get() const {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ HIDO_GUARDED_BY(mu_) = 0;
+};
+
+int TouchIt() {
+  GuardedCounter counter;
+  counter.Increment();
+  return counter.Get();
+}
+
+}  // namespace hido

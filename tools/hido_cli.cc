@@ -23,10 +23,10 @@
 #include "common/string_util.h"
 #include "core/detector.h"
 #include "core/model_io.h"
-#include "core/search_checkpoint.h"
 #include "core/parameter_advisor.h"
 #include "core/report_io.h"
 #include "core/scoring.h"
+#include "core/search_checkpoint.h"
 #include "data/column_stats.h"
 #include "data/csv.h"
 #include "data/encoding.h"
@@ -63,10 +63,12 @@ int ParseOrReport(FlagParser& flags, const std::vector<std::string>& args) {
   return -1;
 }
 
-Result<Dataset> LoadInput(const FlagParser& flags) {
+Result<Dataset> LoadInput(const FlagParser& flags,
+                          const StopToken* stop = nullptr) {
   CsvReadOptions options;
   options.has_header = flags.GetBool("header");
   options.label_column = static_cast<int>(flags.GetInt("label-column"));
+  options.stop = stop;  // Ctrl-C aborts a long load instead of hanging it
   if (flags.GetBool("encode-categorical")) {
     Result<EncodedDataset> encoded =
         ReadCsvEncoded(flags.GetString("input"), options);
@@ -160,7 +162,12 @@ int RunDetect(const std::vector<std::string>& args) {
   const int parse_outcome = ParseOrReport(flags, args);
   if (parse_outcome >= 0) return parse_outcome;
 
-  Result<Dataset> data = LoadInput(flags);
+  // Installed before the load: CSV parsing and grid construction poll the
+  // same token as the search, so Ctrl-C / --deadline interrupt the whole
+  // pipeline, not just the search phase.
+  const ScopedRunControl control(flags.GetDouble("deadline"));
+
+  Result<Dataset> data = LoadInput(flags, &control.token());
   if (!data.ok()) return Fail(data.status());
 
   DetectorConfig config;
@@ -213,7 +220,6 @@ int RunDetect(const std::vector<std::string>& args) {
     config.evolution.resume = &checkpoint;
   }
 
-  const ScopedRunControl control(flags.GetDouble("deadline"));
   config.stop = &control.token();
 
   const OutlierDetector detector(config);
@@ -365,12 +371,12 @@ int RunBaselines(const std::vector<std::string>& args) {
                   "finished in time report partial results");
   const int parse_outcome = ParseOrReport(flags, args);
   if (parse_outcome >= 0) return parse_outcome;
-  Result<Dataset> data = LoadInput(flags);
+  const ScopedRunControl control(flags.GetDouble("deadline"));
+  Result<Dataset> data = LoadInput(flags, &control.token());
   if (!data.ok()) return Fail(data.status());
   const DistanceMetric metric(data.value());
   const size_t top = static_cast<size_t>(flags.GetInt("top"));
   const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
-  const ScopedRunControl control(flags.GetDouble("deadline"));
   const char* kPartialNote = "  (partial: stopped before every point)\n";
 
   std::printf("== kNN-distance outliers (k=%lld), strongest first ==\n",

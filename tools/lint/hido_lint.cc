@@ -1,0 +1,146 @@
+// hido_lint — repo-invariant linter.
+//
+// Walks the given files/directories (default: src tools tests under the
+// current directory), applies the rule table in tools/lint/lint_rules.h to
+// every .h/.cc file, and prints findings as
+//
+//   path:line: [rule] message
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error. Directories named
+// `testdata` are skipped unless --include-testdata is given (lint test
+// fixtures contain deliberate violations). Run it locally with
+//
+//   ./build/tools/lint/hido_lint
+//
+// from the repo root; CI runs it as the `lint` ctest.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint_rules.h"
+
+namespace hido {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::vector<std::string> roots;
+  bool include_testdata = false;
+  bool list_rules = false;
+};
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool InTestdata(const fs::path& path) {
+  for (const fs::path& part : path) {
+    if (part == "testdata") return true;
+  }
+  return false;
+}
+
+// Repo-relative path with '/' separators, as the rule table expects.
+std::string NormalizePath(const fs::path& path) {
+  return path.lexically_normal().generic_string();
+}
+
+int LintFile(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "hido_lint: cannot read %s\n",
+                 path.string().c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<Finding> found =
+      LintContent(NormalizePath(path), buffer.str());
+  findings.insert(findings.end(), found.begin(), found.end());
+  return 0;
+}
+
+int Run(const Options& options) {
+  if (options.list_rules) {
+    for (const RuleInfo& rule : Rules()) {
+      std::printf("%-18s %s\n", rule.name, rule.what);
+    }
+    return 0;
+  }
+  std::vector<Finding> findings;
+  size_t files = 0;
+  for (const std::string& root : options.roots) {
+    const fs::path path(root);
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+      ++files;
+      if (int rc = LintFile(path, findings); rc != 0) return rc;
+      continue;
+    }
+    if (!fs::is_directory(path, ec)) {
+      std::fprintf(stderr, "hido_lint: no such file or directory: %s\n",
+                   root.c_str());
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(path), end; it != end; ++it) {
+      if (!it->is_regular_file() || !IsSourceFile(it->path())) continue;
+      if (!options.include_testdata && InTestdata(it->path())) continue;
+      ++files;
+      if (int rc = LintFile(it->path(), findings); rc != 0) return rc;
+    }
+  }
+  for (const Finding& finding : findings) {
+    if (finding.line > 0) {
+      std::printf("%s:%zu: [%s] %s\n", finding.path.c_str(), finding.line,
+                  finding.rule.c_str(), finding.message.c_str());
+    } else {
+      std::printf("%s: [%s] %s\n", finding.path.c_str(),
+                  finding.rule.c_str(), finding.message.c_str());
+    }
+  }
+  std::fprintf(stderr, "hido_lint: %zu file(s), %zu finding(s)\n", files,
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--include-testdata") {
+      options.include_testdata = true;
+    } else if (arg == "--list-rules") {
+      options.list_rules = true;
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: hido_lint [--list-rules] [--include-testdata] "
+          "[path...]\n"
+          "Lints .h/.cc files under the given paths (default: src tools "
+          "tests)\nagainst the repo invariants; see tools/lint/"
+          "lint_rules.h.\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hido_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) {
+    options.roots = {"src", "tools", "tests"};
+  }
+  return Run(options);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace hido
+
+int main(int argc, char** argv) { return hido::lint::Main(argc, argv); }

@@ -1,0 +1,346 @@
+#include "tools/lint/lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace hido {
+namespace lint {
+
+namespace {
+
+// True when `path` starts with `prefix` at a directory boundary.
+bool PathStartsWith(const std::string& path, const std::string& prefix) {
+  return path.size() >= prefix.size() &&
+         path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+// Splits stripped/raw text into lines (both views keep identical line
+// numbering because StripCommentsAndStrings preserves every '\n').
+std::vector<std::string> SplitIntoLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+// A token rule: regex over stripped code text, scoped by path predicates.
+struct TokenRule {
+  const char* name;
+  const char* what;
+  // Matches one offending line of stripped code.
+  std::regex pattern;
+  // Paths where the construct is legitimate (prefix match); empty = none.
+  std::vector<std::string> allowed_prefixes;
+  // When non-empty, the rule only applies under these prefixes.
+  std::vector<std::string> only_under;
+  const char* message;
+};
+
+const std::vector<TokenRule>& TokenRules() {
+  static const std::vector<TokenRule>* const rules = new std::vector<
+      TokenRule>{
+      {"no-exceptions",
+       "recoverable failures return Status/Result<T>; no throw/try/catch",
+       std::regex(R"(\bthrow\b|\btry\s*\{|\bcatch\s*\()"),
+       {},
+       {},
+       "exception construct; use hido::Status / hido::Result<T> instead"},
+      {"no-raw-random",
+       "all randomness flows through seeded hido::Rng streams "
+       "(determinism contract)",
+       std::regex(R"(\bstd::mt19937(_64)?\b|\bstd::random_device\b)"
+                  R"(|\bs?rand\s*\(|\b(std::)?time\s*\(\s*(nullptr|NULL|0)\s*\))"),
+       {"src/common/rng."},
+       {},
+       "raw randomness/time seed; draw from hido::Rng (common/rng.h) with "
+       "an explicit seed"},
+      {"no-raw-mutex",
+       "locking goes through the annotated common::Mutex so Clang thread "
+       "safety analysis sees it",
+       std::regex(R"(\bstd::(recursive_|shared_|timed_)?mutex\b)"
+                  R"(|\bstd::condition_variable(_any)?\b)"
+                  R"(|\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b)"),
+       {"src/common/"},
+       {},
+       "raw std::mutex/lock; use common::Mutex / MutexLock / CondVar "
+       "(common/mutex.h) so the thread-safety analysis applies"},
+      {"no-stdio-in-core",
+       "core library code reports through HIDO_LOG_* / Status, not the "
+       "process's streams",
+       std::regex(R"(\b(printf|fprintf|sprintf|puts)\s*\()"
+                  R"(|\bstd::(cout|cerr|clog)\b)"),
+       {},
+       {"src/core/"},
+       "direct stdio in src/core; use HIDO_LOG_* (common/logging.h) or "
+       "return a Status"},
+  };
+  return *rules;
+}
+
+void CheckHeaderGuard(const std::string& path, const std::string& stripped,
+                      const std::vector<std::string>& raw_lines,
+                      std::vector<Finding>& findings) {
+  if (!IsHeader(path)) return;
+  const std::string guard = ExpectedHeaderGuard(path);
+  const bool has_ifndef =
+      stripped.find("#ifndef " + guard) != std::string::npos;
+  const bool has_define =
+      stripped.find("#define " + guard) != std::string::npos;
+  if (has_ifndef && has_define) return;
+  for (const std::string& raw : raw_lines) {
+    if (IsSuppressed(raw, "header-guard")) return;
+  }
+  findings.push_back({"header-guard", path, 0,
+                      "missing or wrong include guard; expected #ifndef " +
+                          guard + " / #define " + guard});
+}
+
+void CheckIncludeOrder(const std::string& path,
+                       const std::vector<std::string>& code_lines,
+                       const std::vector<std::string>& raw_lines,
+                       std::vector<Finding>& findings) {
+  // Contiguous #include runs must be internally sorted and style-pure
+  // (either all <system> or all "project"). Blocks are separated by any
+  // non-include line, so the conventional layout — own header, blank,
+  // sorted system block, blank, sorted project block — passes, and an
+  // unsorted or mixed block is pinpointed to its first offending line.
+  // Names are read from the raw line: the stripper empties string-literal
+  // contents, which would blank out every "project/include.h". The
+  // stripped line gates the match so commented-out includes don't count.
+  static const std::regex include_re(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
+  static const std::regex include_gate_re(R"(^\s*#\s*include\b)");
+  std::string prev_name;
+  char prev_style = 0;
+  bool in_block = false;
+  // The first include of a block is exempt from the cross-block
+  // comparison, so "own header first" layouts pass trivially.
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(code_lines[i], include_gate_re) ||
+        !std::regex_search(raw_lines[i], m, include_re)) {
+      in_block = false;
+      continue;
+    }
+    const char style = m[1].str()[0];
+    const std::string name = m[2].str();
+    if (in_block) {
+      if (style != prev_style) {
+        if (!IsSuppressed(raw_lines[i], "include-order")) {
+          findings.push_back(
+              {"include-order", path, i + 1,
+               "mixed <system> and \"project\" includes in one block; "
+               "separate them with a blank line"});
+        }
+      } else if (name < prev_name) {
+        if (!IsSuppressed(raw_lines[i], "include-order")) {
+          findings.push_back({"include-order", path, i + 1,
+                              "include '" + name +
+                                  "' breaks alphabetical order (after '" +
+                                  prev_name + "')"});
+        }
+      }
+    }
+    prev_name = name;
+    prev_style = style;
+    in_block = true;
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo>* const rules = new std::vector<RuleInfo>{
+      {"no-exceptions",
+       "recoverable failures return Status/Result<T>; no throw/try/catch"},
+      {"no-raw-random",
+       "all randomness flows through seeded hido::Rng streams "
+       "(determinism contract)"},
+      {"no-raw-mutex",
+       "locking goes through the annotated common::Mutex so Clang thread "
+       "safety analysis sees it"},
+      {"no-stdio-in-core",
+       "core library code reports through HIDO_LOG_* / Status, not the "
+       "process's streams"},
+      {"header-guard", ".h files carry the canonical HIDO_<PATH>_H_ guard"},
+      {"include-order",
+       "each contiguous #include block is sorted and style-pure"},
+  };
+  return *rules;
+}
+
+bool IsSuppressed(const std::string& raw_line, const std::string& rule) {
+  const std::string tag = "hido-lint: allow(" + rule + ")";
+  return raw_line.find(tag) != std::string::npos;
+}
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   source[i - 1])) &&
+                               source[i - 1] != '_'))) {
+          // R"delim( — capture the delimiter up to the '('.
+          size_t j = i + 2;
+          raw_delim.clear();
+          while (j < source.size() && source[j] != '(' &&
+                 raw_delim.size() < 16) {
+            raw_delim.push_back(source[j]);
+            ++j;
+          }
+          if (j < source.size() && source[j] == '(') {
+            state = State::kRawString;
+            out += "\"\"";  // keep a placeholder so the line stays code
+            i = j;
+          } else {
+            out.push_back(c);  // not a raw string after all
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back(c);
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back(c);
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          out.push_back(c);  // unterminated; keep line structure
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          out.push_back(c);
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        // Look for )delim"
+        if (c == ')' &&
+            source.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < source.size() &&
+            source[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        } else if (c == '\n') {
+          out.push_back(c);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExpectedHeaderGuard(const std::string& path) {
+  std::string trimmed = path;
+  // Library headers are included as "common/mutex.h" etc., so the guard
+  // drops the src/ prefix; tools/tests keep their full path.
+  if (PathStartsWith(trimmed, "src/")) trimmed = trimmed.substr(4);
+  std::string guard = "HIDO_";
+  for (char c : trimmed) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  std::vector<Finding> findings;
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<std::string> code_lines = SplitIntoLines(stripped);
+  const std::vector<std::string> raw_lines = SplitIntoLines(content);
+
+  for (const TokenRule& rule : TokenRules()) {
+    bool scoped_in = rule.only_under.empty();
+    for (const std::string& prefix : rule.only_under) {
+      if (PathStartsWith(path, prefix)) scoped_in = true;
+    }
+    if (!scoped_in) continue;
+    bool allowed = false;
+    for (const std::string& prefix : rule.allowed_prefixes) {
+      if (PathStartsWith(path, prefix)) allowed = true;
+    }
+    if (allowed) continue;
+    for (size_t i = 0; i < code_lines.size(); ++i) {
+      if (!std::regex_search(code_lines[i], rule.pattern)) continue;
+      if (IsSuppressed(raw_lines[i], rule.name)) continue;
+      findings.push_back({rule.name, path, i + 1, rule.message});
+    }
+  }
+
+  CheckHeaderGuard(path, stripped, raw_lines, findings);
+  CheckIncludeOrder(path, code_lines, raw_lines, findings);
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace hido

@@ -1,0 +1,80 @@
+#ifndef HIDO_TOOLS_LINT_LINT_RULES_H_
+#define HIDO_TOOLS_LINT_LINT_RULES_H_
+
+// Repo-invariant lint rules for hido_lint.
+//
+// Each rule enforces one repo-wide invariant that the compiler cannot (or
+// does not) check, at regex/token level over comment- and string-stripped
+// source text:
+//
+//   no-exceptions    throw/try/catch anywhere — recoverable failures use
+//                    hido::Status / hido::Result<T>.
+//   no-raw-random    std::mt19937 / std::random_device / rand() /
+//                    time(nullptr) outside common/rng.* — all randomness
+//                    flows through seeded hido::Rng streams, the backbone
+//                    of the bit-determinism contract.
+//   no-raw-mutex     std::mutex & friends outside src/common/ — locking
+//                    goes through the annotated common::Mutex so Clang
+//                    Thread Safety Analysis sees every critical section.
+//   no-stdio-in-core printf/std::cout/std::cerr inside src/core/ — library
+//                    code reports through HIDO_LOG_* / Status, never by
+//                    writing to the process's streams.
+//   header-guard     .h files carry the canonical HIDO_<PATH>_H_ guard.
+//   include-order    each contiguous #include block is internally sorted
+//                    and does not mix <system> with "project" includes.
+//
+// Escape hatch: a finding on line N is suppressed when line N contains
+//   // hido-lint: allow(<rule-name>)
+// Use it sparingly and justify it in a neighbouring comment; the
+// suppression is per-line and per-rule.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hido {
+namespace lint {
+
+/// One rule violation.
+struct Finding {
+  std::string rule;
+  std::string path;
+  size_t line = 0;  ///< 1-based; 0 = file-level finding (e.g. header guard)
+  std::string message;
+};
+
+/// Name + one-line rationale for every rule (for --list-rules and docs).
+struct RuleInfo {
+  const char* name;
+  const char* what;
+};
+
+/// The rule table, in evaluation order.
+const std::vector<RuleInfo>& Rules();
+
+/// True when `raw_line` carries the per-line suppression comment for
+/// `rule`.
+bool IsSuppressed(const std::string& raw_line, const std::string& rule);
+
+/// Removes comments and string/char literal *contents* from source text,
+/// preserving line structure (every '\n' survives), so token rules cannot
+/// fire on documentation or on patterns quoted inside literals. Handles
+/// //-comments, /*...*/ (multi-line), "..."/'...' with escapes, and
+/// R"delim(...)delim" raw strings.
+std::string StripCommentsAndStrings(const std::string& source);
+
+/// Lints one in-memory file. `path` must be repo-relative with '/'
+/// separators (e.g. "src/core/detector.cc"); rules use it to scope
+/// themselves (allowed directories, header-guard derivation).
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content);
+
+/// Canonical include guard for a repo-relative header path:
+/// "src/common/mutex.h" -> "HIDO_COMMON_MUTEX_H_",
+/// "tools/lint/lint_rules.h" -> "HIDO_TOOLS_LINT_LINT_RULES_H_".
+std::string ExpectedHeaderGuard(const std::string& path);
+
+}  // namespace lint
+}  // namespace hido
+
+#endif  // HIDO_TOOLS_LINT_LINT_RULES_H_
