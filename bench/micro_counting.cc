@@ -2,12 +2,22 @@
 // bitset AND+popcount vs posting-list intersection vs naive scan, the
 // effect of the memoization cache, and grid construction cost. This is the
 // design-choice ablation behind CubeCounter's kAuto strategy.
+//
+// Besides the console table, the run writes BENCH_counting.json
+// (HIDO_BENCH_JSON overrides the path): one telemetry result row per
+// benchmark, for CI trend tracking.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "data/generators/synthetic.h"
 #include "grid/cube_counter.h"
+#include "obs/telemetry.h"
 
 namespace hido {
 namespace {
@@ -108,7 +118,52 @@ void BM_GridBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GridBuild)->Arg(1000)->Arg(10000);
 
+// Console output as usual, plus one telemetry row per finished benchmark.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::TelemetryRow row = {
+          {"benchmark", run.benchmark_name()},
+          {"iterations", static_cast<uint64_t>(run.iterations)},
+          {"real_time_ns", run.GetAdjustedRealTime()},
+          {"cpu_time_ns", run.GetAdjustedCPUTime()},
+      };
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row.push_back({"items_per_second",
+                       static_cast<double>(items->second)});
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::vector<obs::TelemetryRow> rows;
+};
+
+int BenchMain(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const char* env = std::getenv("HIDO_BENCH_JSON");
+  const char* path = env != nullptr ? env : "BENCH_counting.json";
+  obs::RunTelemetry telemetry = obs::CaptureRunTelemetry("micro_counting");
+  telemetry.results = std::move(reporter.rows);
+  const Status written = obs::WriteRunTelemetryJson(telemetry, path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 }  // namespace hido
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hido::BenchMain(argc, argv); }

@@ -10,6 +10,7 @@
 #include "core/genetic/selection.h"
 #include "data/generators/synthetic.h"
 #include "grid/cube_counter.h"
+#include "obs/trace.h"
 
 namespace hido {
 namespace {
@@ -117,6 +118,33 @@ void BM_EvolutionarySearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvolutionarySearch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Same workload with trace spans disabled: the instrumentation-overhead
+// baseline. The spans-on run above must stay within ~2% of this one —
+// spans wrap phases, not hot loops, and counters publish once per search,
+// so the delta is expected to be measurement noise.
+void BM_EvolutionarySearchSpansOff(benchmark::State& state) {
+  GaFixture fixture;
+  EvolutionaryOptions options;
+  options.target_dim = 4;
+  options.num_projections = 20;
+  options.population_size = 60;
+  options.max_generations = 12;
+  options.stagnation_generations = 0;
+  options.restarts = 4;
+  options.seed = 7;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  obs::Tracer::Global().SetEnabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvolutionarySearch(fixture.objective, options));
+  }
+  obs::Tracer::Global().SetEnabled(true);
+}
+BENCHMARK(BM_EvolutionarySearchSpansOff)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
 
 void BM_FullGeneration(benchmark::State& state) {
   GaFixture fixture;

@@ -20,15 +20,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "data/generators/uci_like.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
 #include "grid/sparsity.h"
+#include "obs/telemetry.h"
 
 namespace hido {
 namespace {
+
+// Machine-readable sibling of the printed table, consumed by CI trend
+// tracking. HIDO_BENCH_JSON overrides the output path.
+const char* BenchJsonPath() {
+  const char* env = std::getenv("HIDO_BENCH_JSON");
+  return env != nullptr ? env : "BENCH_table1.json";
+}
 
 int Main() {
   const double brute_budget = [] {
@@ -45,6 +54,7 @@ int Main() {
                       "Gen_o(time)", "Brute(qual)", "Gen(qual)",
                       "Gen_o(qual)"});
 
+  std::vector<obs::TelemetryRow> rows;
   for (const UciLikePreset& preset : Table1Presets()) {
     const GeneratedDataset g = GenerateUciLike(preset, /*seed=*/2001);
 
@@ -79,6 +89,21 @@ int Main() {
         StrFormat("%.2f%s", gen_opt.mean_quality,
                   matches_optimum ? " (*)" : ""),
     });
+    rows.push_back({{"dataset", preset.name},
+                    {"num_rows", static_cast<uint64_t>(preset.num_rows)},
+                    {"num_dims", static_cast<uint64_t>(preset.num_dims)},
+                    {"k", static_cast<uint64_t>(params.target_dim)},
+                    {"brute_completed", brute.completed},
+                    {"brute_seconds", brute.seconds},
+                    {"brute_cubes_examined", brute.cubes_examined},
+                    {"brute_quality", brute.mean_quality},
+                    {"gen_seconds", gen.seconds},
+                    {"gen_evaluations", gen.cubes_examined},
+                    {"gen_quality", gen.mean_quality},
+                    {"gen_opt_seconds", gen_opt.seconds},
+                    {"gen_opt_evaluations", gen_opt.cubes_examined},
+                    {"gen_opt_quality", gen_opt.mean_quality},
+                    {"matches_optimum", matches_optimum}});
   }
   table.Print();
   std::printf(
@@ -86,6 +111,20 @@ int Main() {
       "     brute-force optimum quality, as in 3 of 5 rows of the paper.\n"
       "'-': brute force exceeded its budget (paper: musk did not terminate\n"
       "     in a reasonable amount of time).\n");
+
+  obs::RunTelemetry telemetry = obs::CaptureRunTelemetry("table1_performance");
+  telemetry.config = {{"phi", static_cast<uint64_t>(5)},
+                      {"s", -2.0},
+                      {"num_projections", static_cast<uint64_t>(20)},
+                      {"brute_budget_seconds", brute_budget},
+                      {"seed", static_cast<uint64_t>(7)}};
+  telemetry.results = std::move(rows);
+  const Status written = obs::WriteRunTelemetryJson(telemetry, BenchJsonPath());
+  if (!written.ok()) {
+    std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", BenchJsonPath());
   return 0;
 }
 

@@ -7,6 +7,8 @@
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hido {
 
@@ -17,6 +19,9 @@ std::vector<size_t> DbOutliers(const DistanceMetric& metric,
   const size_t n = metric.num_points();
   const size_t num_threads =
       options.num_threads == 0 ? HardwareThreads() : options.num_threads;
+  const obs::TraceSpan span("db_outliers");
+  obs::Counter& points_judged =
+      obs::MetricsRegistry::Global().GetCounter("baseline.db.points_judged");
   StopPoller poller(options.stop, nullptr, 0.0);
 
   std::optional<VpTree> tree;
@@ -32,6 +37,7 @@ std::vector<size_t> DbOutliers(const DistanceMetric& metric,
       const size_t neighbors =
           tree->CountWithin(i, options.lambda, options.max_neighbors);
       is_outlier[i] = neighbors <= options.max_neighbors ? 1 : 0;
+      points_judged.Add(1);
       return;
     }
     size_t neighbors = 0;
@@ -45,12 +51,16 @@ std::vector<size_t> DbOutliers(const DistanceMetric& metric,
         }
       }
     }
+    points_judged.Add(1);
   });
 
   std::vector<size_t> outliers;
   for (size_t i = 0; i < n; ++i) {
     if (is_outlier[i]) outliers.push_back(i);
   }
+  obs::MetricsRegistry::Global()
+      .GetCounter("baseline.db.outliers_flagged")
+      .Add(outliers.size());
   if (status != nullptr) *status = poller.status();
   return outliers;
 }

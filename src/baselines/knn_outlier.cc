@@ -10,6 +10,8 @@
 #include "common/macros.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hido {
 
@@ -32,6 +34,13 @@ std::vector<KnnOutlier> TopNKnnOutliers(const DistanceMetric& metric,
   HIDO_CHECK(options.k >= 1);
   HIDO_CHECK_MSG(options.k < n, "k must be < number of points");
   HIDO_CHECK(options.num_outliers >= 1);
+  const obs::TraceSpan span("knn_outliers");
+  // The scored/pruned split depends on cutoff publication timing, so these
+  // two counters are thread-variant (their sum is not).
+  obs::Counter& points_scored =
+      obs::MetricsRegistry::Global().GetCounter("baseline.knn.points_scored");
+  obs::Counter& points_pruned =
+      obs::MetricsRegistry::Global().GetCounter("baseline.knn.points_pruned");
   const size_t top_n = std::min(options.num_outliers, n);
   const size_t num_threads =
       options.num_threads == 0 ? HardwareThreads() : options.num_threads;
@@ -86,11 +95,13 @@ std::vector<KnnOutlier> TopNKnnOutliers(const DistanceMetric& metric,
         }
         if (ksmallest.size() == options.k &&
             ksmallest.top() < cutoff.load(std::memory_order_relaxed)) {
+          points_pruned.Add(1);
           return;  // provably outside the final top n
         }
       }
       kth = ksmallest.top();
     }
+    points_scored.Add(1);
     ws.survivors.push_back({point, kth});
     if (ws.top.size() < top_n) {
       ws.top.push(kth);

@@ -9,6 +9,8 @@
 #include "baselines/vptree.h"
 #include "common/macros.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hido {
 
@@ -21,6 +23,9 @@ std::vector<double> ComputeLof(const DistanceMetric& metric,
   const size_t k = options.min_pts;
   const size_t num_threads =
       options.num_threads == 0 ? HardwareThreads() : options.num_threads;
+  const obs::TraceSpan span("lof");
+  obs::Counter& points_scored =
+      obs::MetricsRegistry::Global().GetCounter("baseline.lof.points_scored");
   StopPoller poller(options.stop, nullptr, 0.0);
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
@@ -91,6 +96,7 @@ std::vector<double> ComputeLof(const DistanceMetric& metric,
       }
     }
     lof[i] = sum / static_cast<double>(neighborhood[i].size());
+    points_scored.Add(1);
   });
   if (status != nullptr) *status = poller.status();
   return lof;

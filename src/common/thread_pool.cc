@@ -85,9 +85,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  size_t depth = 0;
   {
     MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  // Raise the high-water mark (outside the lock; a stale max only loses a
+  // tie, never a deeper observation made under the lock above).
+  uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !queue_high_water_.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
   }
   cv_.NotifyOne();
 }
@@ -103,6 +112,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

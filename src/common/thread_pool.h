@@ -13,7 +13,9 @@
 // (helpers only add parallelism, they are never required for completion —
 // a work-stealing-lite discipline that cannot deadlock).
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -38,6 +40,19 @@ class ThreadPool {
   /// Background workers owned by the pool (the calling thread of a
   /// ParallelFor participates on top of these).
   size_t num_workers() const { return workers_.size(); }
+
+  /// Lifetime usage statistics, readable at any time. Values are
+  /// scheduling-dependent (they vary run to run and with thread count);
+  /// obs/telemetry surfaces them as `pool.*` gauges, segregated from the
+  /// deterministic counters.
+  struct Stats {
+    uint64_t tasks_executed = 0;    ///< queue entries run by workers
+    uint64_t queue_high_water = 0;  ///< deepest pending queue observed
+  };
+  Stats stats() const {
+    return {tasks_executed_.load(std::memory_order_relaxed),
+            queue_high_water_.load(std::memory_order_relaxed)};
+  }
 
   /// Runs `work(task_index, worker_index)` for every task in
   /// [0, num_tasks). Tasks are claimed dynamically from an atomic counter,
@@ -65,6 +80,8 @@ class ThreadPool {
   CondVar cv_{&mutex_};
   std::deque<std::function<void()>> queue_ HIDO_GUARDED_BY(mutex_);
   bool shutdown_ HIDO_GUARDED_BY(mutex_) = false;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> queue_high_water_{0};
   // Written once in the constructor before any worker can observe the pool;
   // immutable (and safely readable without the lock) from then on.
   std::vector<std::thread> workers_;

@@ -10,6 +10,8 @@
 #include "common/parallel.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hido {
 
@@ -196,6 +198,7 @@ BruteForceResult BruteForceSearch(SparsityObjective& objective,
                  options.target_dim, objective.grid().num_dims());
   HIDO_CHECK(options.num_projections >= 1);
 
+  const obs::TraceSpan span("brute_force");
   const GridModel& grid = objective.grid();
   const size_t phi = grid.phi();
   // Root tasks: the lowest condition of a k-cube can only use dimensions
@@ -238,6 +241,17 @@ BruteForceResult BruteForceSearch(SparsityObjective& objective,
   result.stats.stop_cause = shared.poller.cause();
   result.stats.seconds = shared.watch.ElapsedSeconds();
   result.best = best.Sorted();
+
+  // Published once at aggregation; brute force counts cubes directly on
+  // bitsets (no CubeCounter), so it contributes no counter.* metrics. All
+  // brute.* totals are deterministic on complete runs at any thread count.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("brute.runs").Add(1);
+  registry.GetCounter("brute.cubes_evaluated")
+      .Add(result.stats.cubes_evaluated);
+  registry.GetCounter("brute.nodes_visited").Add(result.stats.nodes_visited);
+  registry.GetCounter("brute.subtrees_pruned")
+      .Add(result.stats.subtrees_pruned);
   return result;
 }
 

@@ -6,8 +6,31 @@
 #include "common/timer.h"
 #include "core/parameter_advisor.h"
 #include "grid/cube_counter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hido {
+
+namespace {
+
+// One registry event per finished Detect: volume counters plus a
+// stop-cause breakdown (run.stops.<cause>, omitted for clean completion).
+void PublishDetectMetrics(const DetectionResult& result) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("detect.runs").Add(1);
+  registry.GetCounter("detect.projections_reported")
+      .Add(result.report.projections.size());
+  registry.GetCounter("detect.points_flagged")
+      .Add(result.report.outliers.size());
+  if (result.stop_cause != StopCause::kNone) {
+    registry
+        .GetCounter(std::string("run.stops.") +
+                    StopCauseToString(result.stop_cause))
+        .Add(1);
+  }
+}
+
+}  // namespace
 
 OutlierDetector::OutlierDetector() : config_() {}
 
@@ -46,6 +69,7 @@ DetectionResult OutlierDetector::Detect(const Dataset& data) const {
     result.completed = false;
     result.stop_cause = config_.stop->cause();
     result.seconds = watch.ElapsedSeconds();
+    PublishDetectMetrics(result);
     return result;
   }
   result.grid = std::move(grid).value();
@@ -79,8 +103,12 @@ DetectionResult OutlierDetector::Detect(const Dataset& data) const {
     best = std::move(search.best);
   }
 
-  result.report = ExtractOutliers(result.grid, std::move(best));
+  {
+    const obs::TraceSpan postprocess_span("postprocess");
+    result.report = ExtractOutliers(result.grid, std::move(best));
+  }
   result.seconds = watch.ElapsedSeconds();
+  PublishDetectMetrics(result);
   return result;
 }
 

@@ -17,6 +17,8 @@
 #include "core/genetic/selection.h"
 #include "core/search_checkpoint.h"
 #include "grid/cube_counter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hido {
 
@@ -130,7 +132,12 @@ class CheckpointSink {
     if (version <= written_version_) return;  // a newer snapshot is on disk
     written_version_ = version;
     const Status status = SaveCheckpointAtomic(snapshot, path_);
-    if (!status.ok()) {
+    if (status.ok()) {
+      obs::MetricsRegistry::Global().GetCounter("checkpoint.saves").Add(1);
+    } else {
+      obs::MetricsRegistry::Global()
+          .GetCounter("checkpoint.save_failures")
+          .Add(1);
       HIDO_LOG_WARNING("checkpoint write failed: %s",
                        status.ToString().c_str());
     }
@@ -152,6 +159,9 @@ struct RestartOutcome {
   StopReason stop_reason = StopReason::kMaxGenerations;
   bool interrupted = false;  ///< a deadline/cancel cut this restart short
   uint64_t evaluations = 0;
+  uint64_t crossovers = 0;
+  uint64_t mutations = 0;
+  uint64_t selections = 0;
   CubeCounter::Stats counter_stats;
 };
 
@@ -173,6 +183,9 @@ RestartOutcome OutcomeFromSnapshot(const RestartCheckpoint& snapshot) {
   outcome.generations = snapshot.generation;
   outcome.stop_reason = snapshot.stop_reason;
   outcome.evaluations = snapshot.evaluations;
+  outcome.crossovers = snapshot.crossovers;
+  outcome.mutations = snapshot.mutations;
+  outcome.selections = snapshot.selections;
   outcome.counter_stats = snapshot.counter_stats;
   return outcome;
 }
@@ -216,6 +229,10 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
   // the outcome so resumed totals match the uninterrupted run.
   uint64_t base_evaluations = 0;
   CubeCounter::Stats base_counter_stats;
+  // Operator tallies (cumulative: seeded from the snapshot on resume).
+  uint64_t crossovers = 0;
+  uint64_t mutations = 0;
+  uint64_t selections = 0;
 
   if (resume != nullptr) {
     // Continue the interrupted run: same RNG position, same population
@@ -227,6 +244,9 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
     stagnant_generations = resume->stagnant_generations;
     base_evaluations = resume->evaluations;
     base_counter_stats = resume->counter_stats;
+    crossovers = resume->crossovers;
+    mutations = resume->mutations;
+    selections = resume->selections;
   } else {
     // Initial seed population of p random k-dimensional strings.
     // Projections are drawn serially (RNG order), evaluations fan out
@@ -256,6 +276,9 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
     snapshot.best = best.Sorted();
     snapshot.population = population;
     snapshot.evaluations = base_evaluations + scratch.TotalEvaluations();
+    snapshot.crossovers = crossovers;
+    snapshot.mutations = mutations;
+    snapshot.selections = selections;
     snapshot.counter_stats = base_counter_stats;
     snapshot.counter_stats += scratch.CombinedCounterStats();
     return snapshot;
@@ -293,11 +316,13 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
     }
 
     population = RankRouletteSelection(population, rng);
+    selections += population.size();
     CrossoverPopulation(population, options.crossover, options.target_dim,
                         evals, rng);
+    crossovers += population.size() / 2;
     bool improved = OfferPopulation(population, best);
-    MutatePopulation(population, options.target_dim, options.mutation,
-                     evals, rng);
+    mutations += MutatePopulation(population, options.target_dim,
+                                  options.mutation, evals, rng);
     improved |= OfferPopulation(population, best);
 
     if (options.elitism > 0) {
@@ -336,6 +361,9 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
   outcome.best = best.Sorted();
   outcome.generations = generation;
   outcome.evaluations = base_evaluations + objective.num_evaluations();
+  outcome.crossovers = crossovers;
+  outcome.mutations = mutations;
+  outcome.selections = selections;
   outcome.counter_stats = counter.stats();
 
   if (ctx.sink != nullptr && !outcome.interrupted) {
@@ -345,6 +373,9 @@ RestartOutcome RunRestart(const SearchContext& ctx, size_t run,
     snapshot.stop_reason = outcome.stop_reason;
     snapshot.best = outcome.best;
     snapshot.evaluations = outcome.evaluations;
+    snapshot.crossovers = outcome.crossovers;
+    snapshot.mutations = outcome.mutations;
+    snapshot.selections = outcome.selections;
     snapshot.counter_stats = outcome.counter_stats;
     ctx.sink->Update(run, std::move(snapshot));
   }
@@ -368,6 +399,7 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
                  "elitism must leave room for offspring");
 
   StopWatch watch;
+  const obs::TraceSpan span("evolutionary_search");
   const size_t restarts = std::max<size_t>(1, options.restarts);
   const size_t threads =
       options.num_threads == 0 ? HardwareThreads() : options.num_threads;
@@ -451,16 +483,58 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
   // restart's evaluation/counter totals back into the caller's objective.
   EvolutionResult result;
   BestSet best(options.num_projections, options.require_non_empty);
+  CubeCounter::Stats counter_totals;
   for (const RestartOutcome& outcome : outcomes) {
     for (const ScoredProjection& scored : outcome.best) {
       best.Offer(scored);
     }
     result.stats.generations += outcome.generations;
     result.stats.evaluations += outcome.evaluations;
+    result.stats.crossovers += outcome.crossovers;
+    result.stats.mutations += outcome.mutations;
+    result.stats.selections += outcome.selections;
+    if (!outcome.interrupted) ++result.stats.restarts_completed;
+    counter_totals += outcome.counter_stats;
     objective.AddEvaluations(outcome.evaluations);
     objective.counter().AbsorbStats(outcome.counter_stats);
   }
   result.best = best.Sorted();
+
+  // Publish this run's totals to the process-wide registry once, at
+  // aggregation — never from the hot loops. All search.* counters are
+  // deterministic for a fixed seed at any thread count; the counter.*
+  // strategy/cache breakdowns are not (private caches restart cold), only
+  // their sum counter.queries is.
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("search.runs").Add(1);
+    registry.GetCounter("search.generations").Add(result.stats.generations);
+    registry.GetCounter("search.evaluations").Add(result.stats.evaluations);
+    registry.GetCounter("search.crossovers").Add(result.stats.crossovers);
+    registry.GetCounter("search.mutations").Add(result.stats.mutations);
+    registry.GetCounter("search.selections").Add(result.stats.selections);
+    registry.GetCounter("search.restarts_completed")
+        .Add(result.stats.restarts_completed);
+    if (resume != nullptr) {
+      registry.GetCounter("checkpoint.resumes").Add(1);
+    }
+    obs::Histogram& generations_histogram = registry.GetHistogram(
+        "search.restart_generations",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0});
+    for (const RestartOutcome& outcome : outcomes) {
+      generations_histogram.Observe(
+          static_cast<double>(outcome.generations));
+    }
+    registry.GetCounter("counter.queries").Add(counter_totals.queries);
+    registry.GetCounter("counter.cache_hits")
+        .Add(counter_totals.cache_hits);
+    registry.GetCounter("counter.bitset_counts")
+        .Add(counter_totals.bitset_counts);
+    registry.GetCounter("counter.posting_counts")
+        .Add(counter_totals.posting_counts);
+    registry.GetCounter("counter.naive_counts")
+        .Add(counter_totals.naive_counts);
+  }
   result.stats.completed = !poller.stopped();
   result.stats.stop_cause = poller.cause();
   result.stats.stop_reason = poller.stopped()

@@ -115,6 +115,16 @@ struct EvolutionStats {
   StopCause stop_cause = StopCause::kNone;
   double seconds = 0.0;
   uint64_t evaluations = 0;  ///< objective evaluations consumed by this run
+  /// Genetic-operator totals, summed across restarts. Selections count
+  /// individuals drawn by rank-roulette; crossovers count pairings;
+  /// mutations count individuals actually changed (and re-evaluated).
+  /// Deterministic for a fixed seed at any thread count, and a resumed run
+  /// reports the same cumulative totals as the uninterrupted one.
+  uint64_t crossovers = 0;
+  uint64_t mutations = 0;
+  uint64_t selections = 0;
+  /// Restarts that ran to their natural stopping rule (not interrupted).
+  size_t restarts_completed = 0;
 };
 
 /// Result of an evolutionary run.

@@ -39,17 +39,17 @@ bool MutateProjection(Projection& projection, size_t phi,
   return changed;
 }
 
-void MutatePopulation(std::vector<Individual>& population, size_t target_k,
-                      const MutationOptions& options,
-                      SparsityObjective& objective, Rng& rng) {
-  MutatePopulation(population, target_k, options,
-                   std::vector<SparsityObjective*>{&objective}, rng);
+size_t MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                        const MutationOptions& options,
+                        SparsityObjective& objective, Rng& rng) {
+  return MutatePopulation(population, target_k, options,
+                          std::vector<SparsityObjective*>{&objective}, rng);
 }
 
-void MutatePopulation(std::vector<Individual>& population, size_t target_k,
-                      const MutationOptions& options,
-                      const std::vector<SparsityObjective*>& objectives,
-                      Rng& rng) {
+size_t MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                        const MutationOptions& options,
+                        const std::vector<SparsityObjective*>& objectives,
+                        Rng& rng) {
   HIDO_CHECK(!objectives.empty());
   const size_t phi = objectives.front()->grid().phi();
   // Mutation only consumes randomness; evaluation only consumes cycles.
@@ -65,6 +65,7 @@ void MutatePopulation(std::vector<Individual>& population, size_t target_k,
                 EvaluateIndividual(population[changed[task]], target_k,
                                    *objectives[worker]);
               });
+  return changed.size();
 }
 
 }  // namespace hido

@@ -32,20 +32,22 @@ bool MutateProjection(Projection& projection, size_t phi,
                       const MutationOptions& options, Rng& rng);
 
 /// Applies MutateProjection to every individual, re-evaluating the changed
-/// ones against `objective`.
-void MutatePopulation(std::vector<Individual>& population, size_t target_k,
-                      const MutationOptions& options,
-                      SparsityObjective& objective, Rng& rng);
+/// ones against `objective`. Returns the number of individuals that changed
+/// (and were therefore re-evaluated).
+size_t MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                        const MutationOptions& options,
+                        SparsityObjective& objective, Rng& rng);
 
 /// Parallel MutatePopulation: mutations are drawn serially from `rng` (in
 /// population order, so the random stream is independent of worker count),
 /// then the changed individuals are re-evaluated on up to
 /// `objectives.size()` workers, worker w using `*objectives[w]`. Results
-/// are bit-identical to the serial variant.
-void MutatePopulation(std::vector<Individual>& population, size_t target_k,
-                      const MutationOptions& options,
-                      const std::vector<SparsityObjective*>& objectives,
-                      Rng& rng);
+/// are bit-identical to the serial variant. Returns the number of
+/// individuals that changed.
+size_t MutatePopulation(std::vector<Individual>& population, size_t target_k,
+                        const MutationOptions& options,
+                        const std::vector<SparsityObjective*>& objectives,
+                        Rng& rng);
 
 }  // namespace hido
 

@@ -11,7 +11,10 @@ namespace hido {
 namespace {
 
 constexpr char kMagic[] = "hido-checkpoint";
-constexpr char kVersion[] = "v1";
+// v2 added the per-restart `ops` line (genetic-operator totals), so a
+// resumed run's telemetry counters match the uninterrupted run's. v1 files
+// are rejected; checkpoints are short-lived scratch state, not archives.
+constexpr char kVersion[] = "v2";
 
 const char* StateName(RestartCheckpoint::State state) {
   switch (state) {
@@ -191,6 +194,10 @@ std::string SerializeCheckpoint(const EvolutionCheckpoint& checkpoint) {
     out += StrFormat("generation %zu\n", run.generation);
     out += StrFormat("evaluations %llu\n",
                      static_cast<unsigned long long>(run.evaluations));
+    out += StrFormat("ops %llu %llu %llu\n",
+                     static_cast<unsigned long long>(run.crossovers),
+                     static_cast<unsigned long long>(run.mutations),
+                     static_cast<unsigned long long>(run.selections));
     AppendStats(out, run.counter_stats);
     if (run.state == RestartCheckpoint::State::kDone) {
       out += StrFormat("stop_reason %d\n",
@@ -316,6 +323,10 @@ Result<EvolutionCheckpoint> ParseCheckpoint(const std::string& text) {
     }
     HIDO_RETURN_IF_ERROR(p.ExpectKey("evaluations"));
     if (!(p.in >> run.evaluations)) return p.Fail("bad evaluations");
+    HIDO_RETURN_IF_ERROR(p.ExpectKey("ops"));
+    if (!(p.in >> run.crossovers >> run.mutations >> run.selections)) {
+      return p.Fail("bad ops");
+    }
     HIDO_RETURN_IF_ERROR(ParseStats(p, run.counter_stats));
 
     if (run.state == RestartCheckpoint::State::kDone) {

@@ -48,6 +48,11 @@ struct RestartCheckpoint {
   // kPartial and kDone:
   std::vector<ScoredProjection> best;  ///< restart-local best set, sorted
   uint64_t evaluations = 0;            ///< objective evaluations so far
+  // Genetic-operator totals so far, carried across interruptions so a
+  // resumed run's telemetry counters equal the uninterrupted run's.
+  uint64_t crossovers = 0;
+  uint64_t mutations = 0;
+  uint64_t selections = 0;
   CubeCounter::Stats counter_stats;
   /// kDone: generations the restart ran; kPartial: the generation index the
   /// resumed run continues at (its draws have not happened yet).

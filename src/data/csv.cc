@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace hido {
 
@@ -171,6 +172,9 @@ Result<Dataset> ReadCsvString(const std::string& text,
   if (label_col >= 0) {
     ds.SetLabels(std::move(labels));
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("data.csv_loads").Add(1);
+  registry.GetCounter("data.csv_rows").Add(ds.num_rows());
   return ds;
 }
 

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace hido {
 
@@ -180,6 +181,10 @@ Result<EncodedDataset> ReadCsvEncodedString(const std::string& text,
     }
     ++out_col;
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("data.csv_loads").Add(1);
+  registry.GetCounter("data.csv_rows").Add(out.data.num_rows());
+  registry.GetCounter("data.columns_encoded").Add(out.categorical.size());
   return out;
 }
 

@@ -8,7 +8,7 @@ namespace hido {
 
 const std::vector<UciLikePreset>& Table1Presets() {
   static const std::vector<UciLikePreset>* presets =
-      new std::vector<UciLikePreset>{
+      new std::vector<UciLikePreset>{  // hido-lint: allow(no-naked-new)
           {"breast_cancer", 699, 14, true},
           {"ionosphere", 351, 34, true},
           {"segmentation", 2310, 19, true},

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hido {
 
@@ -17,6 +19,8 @@ Result<GridModel> GridModel::Build(const Dataset& data,
   // Indexing cost is rows * dims; poll every this many cells so a cancel
   // lands promptly even on one very long column.
   constexpr size_t kPollStride = 4096;
+
+  const obs::TraceSpan span("grid_build");
 
   if (stop != nullptr && stop->ShouldStop()) {
     return StopStatus(*stop, "grid build");
@@ -56,6 +60,10 @@ Result<GridModel> GridModel::Build(const Dataset& data,
       model.postings_[idx].push_back(static_cast<uint32_t>(row));
     }
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("grid.builds").Add(1);
+  registry.GetCounter("grid.points_indexed").Add(data.num_rows());
+  registry.GetCounter("grid.cells_indexed").Add(data.num_rows() * d);
   return model;
 }
 

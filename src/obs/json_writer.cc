@@ -1,0 +1,161 @@
+#include "obs/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace hido {
+namespace obs {
+
+void JsonWriter::NewlineIndent(size_t depth) {
+  if (!pretty_) return;
+  out_.push_back('\n');
+  out_.append(depth * 2, ' ');
+}
+
+void JsonWriter::BeginValue() {
+  if (stack_.empty()) {
+    HIDO_CHECK_MSG(!root_written_, "JsonWriter: document already complete");
+    root_written_ = true;
+    return;
+  }
+  Frame& frame = stack_.back();
+  if (frame.is_object) {
+    HIDO_CHECK_MSG(frame.key_pending,
+                   "JsonWriter: object value without a Key()");
+    frame.key_pending = false;
+    return;
+  }
+  if (frame.entries > 0) out_.push_back(',');
+  NewlineIndent(stack_.size());
+  ++frame.entries;
+}
+
+void JsonWriter::BeginObject() {
+  BeginValue();
+  out_.push_back('{');
+  stack_.push_back(Frame{/*is_object=*/true, 0, false});
+}
+
+void JsonWriter::EndObject() {
+  HIDO_CHECK_MSG(!stack_.empty() && stack_.back().is_object &&
+                     !stack_.back().key_pending,
+                 "JsonWriter: unbalanced EndObject");
+  const size_t entries = stack_.back().entries;
+  stack_.pop_back();
+  if (entries > 0) NewlineIndent(stack_.size());
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeginValue();
+  out_.push_back('[');
+  stack_.push_back(Frame{/*is_object=*/false, 0, false});
+}
+
+void JsonWriter::EndArray() {
+  HIDO_CHECK_MSG(!stack_.empty() && !stack_.back().is_object,
+                 "JsonWriter: unbalanced EndArray");
+  const size_t entries = stack_.back().entries;
+  stack_.pop_back();
+  if (entries > 0) NewlineIndent(stack_.size());
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  HIDO_CHECK_MSG(!stack_.empty() && stack_.back().is_object &&
+                     !stack_.back().key_pending,
+                 "JsonWriter: Key() outside an object member slot");
+  Frame& frame = stack_.back();
+  if (frame.entries > 0) out_.push_back(',');
+  NewlineIndent(stack_.size());
+  AppendEscaped(key);
+  out_.append(pretty_ ? ": " : ":");
+  frame.key_pending = true;
+  ++frame.entries;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeginValue();
+  AppendEscaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeginValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeginValue();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::Double(double value) {
+  BeginValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/inf
+    return;
+  }
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  HIDO_CHECK(result.ec == std::errc());
+  out_.append(buffer, result.ptr);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeginValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeginValue();
+  out_ += "null";
+}
+
+const std::string& JsonWriter::str() const {
+  HIDO_CHECK_MSG(stack_.empty() && root_written_,
+                 "JsonWriter: document incomplete");
+  return out_;
+}
+
+void JsonWriter::AppendEscaped(std::string_view text) {
+  out_.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\b':
+        out_ += "\\b";
+        break;
+      case '\f':
+        out_ += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+}  // namespace obs
+}  // namespace hido

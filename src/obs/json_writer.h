@@ -1,0 +1,81 @@
+#ifndef HIDO_OBS_JSON_WRITER_H_
+#define HIDO_OBS_JSON_WRITER_H_
+
+// A minimal hand-rolled JSON emitter for telemetry snapshots: no
+// third-party dependencies, no exceptions (misuse is a programmer error
+// and aborts via HIDO_CHECK), deterministic byte output for identical
+// inputs. Doubles are printed with std::to_chars (shortest round-trip
+// form), so equal values always serialize to equal bytes; NaN and
+// infinities — which JSON cannot represent — are emitted as null.
+//
+// Usage mirrors the document structure:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("tool");     w.String("hido detect");
+//   w.Key("counters"); w.BeginObject();
+//   w.Key("grid.builds"); w.UInt(1);
+//   w.EndObject();
+//   w.EndObject();
+//   WriteFileAtomic(path, w.str());
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hido {
+namespace obs {
+
+/// Streaming JSON writer producing one pretty-printed document.
+/// Not thread-safe; build the document from one thread.
+class JsonWriter {
+ public:
+  /// `pretty` adds newlines and two-space indentation (the default — the
+  /// snapshots are meant to be diffed and read by humans too).
+  explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next object member. Must be inside an object and
+  /// must be followed by exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Shortest round-trip decimal form; NaN/±inf serialize as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The finished document. The root value must be complete (every Begin
+  /// matched by its End) — checked.
+  const std::string& str() const;
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    size_t entries = 0;
+    bool key_pending = false;
+  };
+
+  // Separator/indent bookkeeping before a value lands in the current
+  // container (or at the root).
+  void BeginValue();
+  void NewlineIndent(size_t depth);
+  void AppendEscaped(std::string_view text);
+
+  bool pretty_;
+  bool root_written_ = false;
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace obs
+}  // namespace hido
+
+#endif  // HIDO_OBS_JSON_WRITER_H_

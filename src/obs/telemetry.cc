@@ -1,0 +1,251 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "common/file_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace hido {
+namespace obs {
+
+namespace {
+
+std::string DoubleToString(double value) {
+  if (!std::isfinite(value)) return "nan";
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  HIDO_CHECK(result.ec == std::errc());
+  return std::string(buffer, result.ptr);
+}
+
+void WriteRow(JsonWriter& writer, const TelemetryRow& row) {
+  writer.BeginObject();
+  for (const auto& [key, value] : row) {
+    writer.Key(key);
+    value.WriteTo(writer);
+  }
+  writer.EndObject();
+}
+
+void WriteHistogram(JsonWriter& writer,
+                    const Histogram::Snapshot& snapshot) {
+  writer.BeginObject();
+  writer.Key("upper_bounds");
+  writer.BeginArray();
+  for (const double bound : snapshot.upper_bounds) writer.Double(bound);
+  writer.EndArray();
+  writer.Key("counts");
+  writer.BeginArray();
+  for (const uint64_t count : snapshot.counts) writer.UInt(count);
+  writer.EndArray();
+  writer.Key("total_count");
+  writer.UInt(snapshot.total_count);
+  writer.Key("sum");
+  writer.Double(snapshot.sum);
+  writer.EndObject();
+}
+
+void WriteTimingNode(JsonWriter& writer, const TraceNode& node) {
+  writer.BeginObject();
+  writer.Key("seconds");
+  writer.Double(node.seconds);
+  writer.Key("calls");
+  writer.UInt(node.calls);
+  writer.Key("children");
+  writer.BeginObject();
+  for (const auto& [name, child] : node.children) {
+    writer.Key(name);
+    WriteTimingNode(writer, child);
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+void RenderTimingNode(std::string& out, const std::string& name,
+                      const TraceNode& node, size_t depth) {
+  out += StrFormat("  %*s%-*s %9.3fs x%llu\n", static_cast<int>(depth * 2),
+                   "", static_cast<int>(28 - std::min<size_t>(depth * 2, 20)),
+                   name.c_str(), node.seconds,
+                   static_cast<unsigned long long>(node.calls));
+  for (const auto& [child_name, child] : node.children) {
+    RenderTimingNode(out, child_name, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+void TelemetryValue::WriteTo(JsonWriter& writer) const {
+  switch (kind_) {
+    case Kind::kString:
+      writer.String(string_);
+      break;
+    case Kind::kInt:
+      writer.Int(int_);
+      break;
+    case Kind::kUInt:
+      writer.UInt(uint_);
+      break;
+    case Kind::kDouble:
+      writer.Double(double_);
+      break;
+    case Kind::kBool:
+      writer.Bool(bool_);
+      break;
+  }
+}
+
+std::string TelemetryValue::ToDisplayString() const {
+  switch (kind_) {
+    case Kind::kString:
+      return string_;
+    case Kind::kInt:
+      return StrFormat("%lld", static_cast<long long>(int_));
+    case Kind::kUInt:
+      return StrFormat("%llu", static_cast<unsigned long long>(uint_));
+    case Kind::kDouble:
+      return DoubleToString(double_);
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+  }
+  return "";
+}
+
+RunTelemetry CaptureRunTelemetry(const std::string& tool) {
+  // Bridge the pool's own atomics into gauges before snapshotting: common
+  // cannot depend on obs (obs sits above it), so the pool publishes
+  // nothing itself and the capture pulls instead.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const ThreadPool::Stats pool_stats = ThreadPool::Shared().stats();
+  registry.GetGauge("pool.workers")
+      .Set(static_cast<int64_t>(ThreadPool::Shared().num_workers()));
+  registry.GetGauge("pool.tasks_executed")
+      .Set(static_cast<int64_t>(pool_stats.tasks_executed));
+  registry.GetGauge("pool.queue_high_water")
+      .Set(static_cast<int64_t>(pool_stats.queue_high_water));
+
+  RunTelemetry telemetry;
+  telemetry.tool = tool;
+  telemetry.metrics = registry.TakeSnapshot();
+  telemetry.timing = Tracer::Global().TakeSnapshot();
+  return telemetry;
+}
+
+std::string SerializeRunTelemetry(const RunTelemetry& telemetry) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema_version");
+  writer.Int(telemetry.schema_version);
+  writer.Key("tool");
+  writer.String(telemetry.tool);
+
+  writer.Key("config");
+  WriteRow(writer, telemetry.config);
+
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const CounterSample& counter : telemetry.metrics.counters) {
+    writer.Key(counter.name);
+    writer.UInt(counter.value);
+  }
+  writer.EndObject();
+
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const GaugeSample& gauge : telemetry.metrics.gauges) {
+    writer.Key(gauge.name);
+    writer.Int(gauge.value);
+  }
+  writer.EndObject();
+
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const HistogramSample& histogram : telemetry.metrics.histograms) {
+    writer.Key(histogram.name);
+    WriteHistogram(writer, histogram.snapshot);
+  }
+  writer.EndObject();
+
+  writer.Key("results");
+  writer.BeginArray();
+  for (const TelemetryRow& row : telemetry.results) {
+    WriteRow(writer, row);
+  }
+  writer.EndArray();
+
+  // Wall-clock last, clearly segregated from the deterministic sections.
+  writer.Key("timing");
+  WriteTimingNode(writer, telemetry.timing);
+
+  writer.EndObject();
+  return writer.str() + "\n";
+}
+
+Status WriteRunTelemetryJson(const RunTelemetry& telemetry,
+                             const std::string& path) {
+  return WriteFileAtomic(path, SerializeRunTelemetry(telemetry));
+}
+
+std::string RenderTelemetrySummary(const RunTelemetry& telemetry) {
+  std::string out =
+      StrFormat("== run telemetry (%s) ==\n", telemetry.tool.c_str());
+  if (!telemetry.config.empty()) {
+    out += "config:\n";
+    for (const auto& [key, value] : telemetry.config) {
+      out += StrFormat("  %-30s %s\n", key.c_str(),
+                       value.ToDisplayString().c_str());
+    }
+  }
+  if (!telemetry.metrics.counters.empty()) {
+    out += "counters:\n";
+    for (const CounterSample& counter : telemetry.metrics.counters) {
+      out += StrFormat("  %-30s %llu\n", counter.name.c_str(),
+                       static_cast<unsigned long long>(counter.value));
+    }
+  }
+  if (!telemetry.metrics.gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeSample& gauge : telemetry.metrics.gauges) {
+      out += StrFormat("  %-30s %lld\n", gauge.name.c_str(),
+                       static_cast<long long>(gauge.value));
+    }
+  }
+  if (!telemetry.metrics.histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramSample& histogram : telemetry.metrics.histograms) {
+      const Histogram::Snapshot& snapshot = histogram.snapshot;
+      std::string buckets;
+      for (size_t i = 0; i < snapshot.counts.size(); ++i) {
+        if (snapshot.counts[i] == 0) continue;
+        const std::string bound =
+            i < snapshot.upper_bounds.size()
+                ? "<=" + DoubleToString(snapshot.upper_bounds[i])
+                : std::string(">") +
+                      DoubleToString(snapshot.upper_bounds.back());
+        buckets += StrFormat("%s%s:%llu", buckets.empty() ? "" : " ",
+                             bound.c_str(),
+                             static_cast<unsigned long long>(
+                                 snapshot.counts[i]));
+      }
+      out += StrFormat("  %-30s n=%llu sum=%s [%s]\n",
+                       histogram.name.c_str(),
+                       static_cast<unsigned long long>(snapshot.total_count),
+                       DoubleToString(snapshot.sum).c_str(),
+                       buckets.c_str());
+    }
+  }
+  if (!telemetry.timing.children.empty()) {
+    out += "timing (wall-clock; not comparable across runs):\n";
+    for (const auto& [name, child] : telemetry.timing.children) {
+      RenderTimingNode(out, name, child, 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hido

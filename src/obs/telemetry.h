@@ -1,0 +1,94 @@
+#ifndef HIDO_OBS_TELEMETRY_H_
+#define HIDO_OBS_TELEMETRY_H_
+
+// RunTelemetry: one machine-readable snapshot of a run — configuration,
+// the metrics registry, tool-specific result rows, and the trace timing
+// tree — serialized to JSON with a fixed section order:
+//
+//   schema_version, tool, config, counters, gauges, histograms, results,
+//   timing
+//
+// Determinism contract: for a fixed seed and complete run, the `config`,
+// `counters`, `histograms`, and `results` sections are byte-identical at
+// any thread count, *except* counters documented as scheduling-dependent
+// (cube-counter cache/strategy breakdowns, kNN pruning, pool.* gauges).
+// Wall-clock lives only in `timing` and in explicitly "_seconds"-named
+// result fields, so consumers can diff everything above it.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hido {
+namespace obs {
+
+/// A tagged scalar for config/result entries.
+class TelemetryValue {
+ public:
+  TelemetryValue(std::string value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  TelemetryValue(const char* value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kString), string_(value) {}
+  TelemetryValue(int value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kInt), int_(value) {}
+  TelemetryValue(int64_t value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kInt), int_(value) {}
+  TelemetryValue(uint64_t value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kUInt), uint_(value) {}
+  TelemetryValue(double value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kDouble), double_(value) {}
+  TelemetryValue(bool value)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kBool), bool_(value) {}
+
+  void WriteTo(JsonWriter& writer) const;
+  std::string ToDisplayString() const;
+
+ private:
+  enum class Kind { kString, kInt, kUInt, kDouble, kBool };
+  Kind kind_;
+  std::string string_;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  bool bool_ = false;
+};
+
+/// An ordered key/value row (caller-controlled order; serialized as-is).
+using TelemetryRow = std::vector<std::pair<std::string, TelemetryValue>>;
+
+/// The full snapshot of one run.
+struct RunTelemetry {
+  int schema_version = 1;
+  std::string tool;
+  TelemetryRow config;
+  MetricsSnapshot metrics;
+  std::vector<TelemetryRow> results;
+  TraceNode timing;
+};
+
+/// Snapshots the global registry, the global tracer, and the shared
+/// ThreadPool's statistics (bridged into `pool.*` gauges) into one
+/// RunTelemetry. The caller fills `config` and `results`.
+RunTelemetry CaptureRunTelemetry(const std::string& tool);
+
+/// The canonical JSON form (see the section order above). Ends with '\n'.
+std::string SerializeRunTelemetry(const RunTelemetry& telemetry);
+
+/// Serializes and writes with an atomic write-rename.
+Status WriteRunTelemetryJson(const RunTelemetry& telemetry,
+                             const std::string& path);
+
+/// Human-readable `--stats` rendering: counters/gauges/histograms plus an
+/// indented timing tree.
+std::string RenderTelemetrySummary(const RunTelemetry& telemetry);
+
+}  // namespace obs
+}  // namespace hido
+
+#endif  // HIDO_OBS_TELEMETRY_H_

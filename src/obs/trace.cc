@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+#include "common/macros.h"
+
+namespace hido {
+namespace obs {
+
+namespace {
+
+// The calling thread's open-span path, innermost last. Span names are
+// string literals, so storing pointers is safe for the spans' lifetimes.
+thread_local std::vector<const char*> tl_span_path;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked-on-purpose process singleton (same reasoning as the registry).
+  static Tracer* const tracer =
+      new Tracer();  // hido-lint: allow(no-naked-new)
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+TraceNode Tracer::TakeSnapshot() const {
+  MutexLock lock(mu_);
+  return root_;
+}
+
+void Tracer::Reset() {
+  MutexLock lock(mu_);
+  root_ = TraceNode();
+}
+
+void Tracer::Record(const std::vector<const char*>& path, double seconds) {
+  MutexLock lock(mu_);
+  TraceNode* node = &root_;
+  for (const char* name : path) {
+    node = &node->children[name];
+  }
+  node->seconds += seconds;
+  ++node->calls;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  HIDO_DCHECK(name != nullptr);
+  active_ = Tracer::Global().enabled();
+  if (!active_) return;
+  tl_span_path.push_back(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  Tracer::Global().Record(tl_span_path, seconds);
+  tl_span_path.pop_back();
+}
+
+}  // namespace obs
+}  // namespace hido

@@ -1,0 +1,95 @@
+#ifndef HIDO_OBS_TRACE_H_
+#define HIDO_OBS_TRACE_H_
+
+// Scoped trace spans: RAII timers that build one hierarchical timing tree
+// per run. A span opened while another span is live on the same thread
+// becomes its child, so the tree mirrors the call structure
+// (detect -> grid_build / evolutionary_search / postprocess, ...).
+//
+// Costs and caveats:
+//   * A span is one steady_clock read at open and one read plus a mutex'd
+//     tree update at close. Spans therefore wrap *phases* (a grid build, a
+//     whole search), never per-item hot loops; the metrics registry covers
+//     those with relaxed counters.
+//   * Each thread tracks its own open-span path. A span opened on a pool
+//     worker roots its own path on that worker — phase spans are opened on
+//     the issuing thread, which participates in every ParallelFor it
+//     issues, so the tree stays predictable.
+//   * Timing is wall-clock and therefore never comparable across runs or
+//     thread counts; telemetry keeps it segregated from the deterministic
+//     counter sections.
+//
+// Disabling (Tracer::SetEnabled(false)) makes span construction one
+// relaxed atomic load and nothing else — the cheap baseline the overhead
+// micro-bench compares against.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace hido {
+namespace obs {
+
+/// One node of the aggregated timing tree. Identical call paths aggregate:
+/// `seconds` accumulates inclusive wall time, `calls` the number of spans
+/// closed at this path. Children are keyed (and serialized) by name, so
+/// the tree's structure is deterministic even though its times are not.
+struct TraceNode {
+  double seconds = 0.0;
+  uint64_t calls = 0;
+  std::map<std::string, TraceNode> children;
+};
+
+/// The process-wide span collector.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  /// Spans started while disabled record nothing (their close is free too).
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  TraceNode TakeSnapshot() const HIDO_LOCKS_EXCLUDED(mu_);
+
+  /// Clears the tree. Call between runs with no spans open; a span closing
+  /// after a Reset re-creates its path from the root.
+  void Reset() HIDO_LOCKS_EXCLUDED(mu_);
+
+ private:
+  friend class TraceSpan;
+  void Record(const std::vector<const char*>& path, double seconds)
+      HIDO_LOCKS_EXCLUDED(mu_);
+
+  std::atomic<bool> enabled_{true};
+  mutable Mutex mu_;
+  TraceNode root_ HIDO_GUARDED_BY(mu_);
+};
+
+/// RAII span. `name` must be a string literal (stored by pointer while the
+/// span is open). Non-copyable, stack-scoped.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace hido
+
+#endif  // HIDO_OBS_TRACE_H_

@@ -175,6 +175,35 @@ TEST(NoStdioInCoreRule, SuppressedByAllowComment) {
 }
 
 // ---------------------------------------------------------------------------
+// no-naked-new
+
+TEST(NoNakedNewRule, FlagsBareNewEverywhere) {
+  const std::string bad = "int* p = new int(42);\n";
+  EXPECT_TRUE(HasRule(LintContent("src/core/n.cc", bad), "no-naked-new"));
+  EXPECT_TRUE(HasRule(LintContent("tools/t.cc", bad), "no-naked-new"));
+  EXPECT_TRUE(HasRule(LintContent("tests/x_test.cc", bad), "no-naked-new"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/obs/o.cc", "auto* a = new Widget[8];\n"),
+      "no-naked-new"));
+}
+
+TEST(NoNakedNewRule, IgnoresCommentsStringsAndIdentifiers) {
+  const std::string clean =
+      "// a comment may mention new freely\n"
+      "const char* kMsg = \"brand new\";\n"
+      "int new_shard = renewals + newest;\n"
+      "auto p = std::make_unique<int>(42);\n";
+  EXPECT_TRUE(LintContent("src/core/o.cc", clean).empty());
+}
+
+TEST(NoNakedNewRule, SuppressedByAllowComment) {
+  const std::string suppressed =
+      "static Tracer* const t = new Tracer();  "
+      "// hido-lint: allow(no-naked-new)\n";
+  EXPECT_TRUE(LintContent("src/obs/trace.cc", suppressed).empty());
+}
+
+// ---------------------------------------------------------------------------
 // header-guard
 
 TEST(HeaderGuardRule, ExpectedGuardDerivation) {
@@ -316,8 +345,9 @@ TEST(RuleTable, ListsEveryRuleOnce) {
   std::vector<std::string> names;
   for (const RuleInfo& rule : Rules()) names.push_back(rule.name);
   const std::vector<std::string> expected = {
-      "no-exceptions", "no-raw-random",  "no-raw-mutex",
-      "no-stdio-in-core", "header-guard", "include-order"};
+      "no-exceptions",    "no-raw-random", "no-raw-mutex",
+      "no-stdio-in-core", "no-naked-new",  "header-guard",
+      "include-order"};
   EXPECT_EQ(names, expected);
 }
 

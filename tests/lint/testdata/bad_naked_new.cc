@@ -1,0 +1,3 @@
+// Lint fixture: trips the no-naked-new rule. Never compiled.
+
+int* Allocate() { return new int(42); }

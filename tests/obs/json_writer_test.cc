@@ -1,0 +1,151 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace obs {
+namespace {
+
+TEST(JsonWriterTest, ScalarRoots) {
+  {
+    JsonWriter w(/*pretty=*/false);
+    w.Int(-7);
+    EXPECT_EQ(w.str(), "-7");
+  }
+  {
+    JsonWriter w(/*pretty=*/false);
+    w.UInt(18446744073709551615ull);
+    EXPECT_EQ(w.str(), "18446744073709551615");
+  }
+  {
+    JsonWriter w(/*pretty=*/false);
+    w.Bool(true);
+    EXPECT_EQ(w.str(), "true");
+  }
+  {
+    JsonWriter w(/*pretty=*/false);
+    w.Null();
+    EXPECT_EQ(w.str(), "null");
+  }
+  {
+    JsonWriter w(/*pretty=*/false);
+    w.String("hi");
+    EXPECT_EQ(w.str(), "\"hi\"");
+  }
+}
+
+TEST(JsonWriterTest, CompactObjectAndArrayNesting) {
+  JsonWriter w(/*pretty=*/false);
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.Key("b");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.BeginObject();
+  w.Key("c");
+  w.Bool(false);
+  w.EndObject();
+  w.EndArray();
+  w.Key("d");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[1,2,{\"c\":false}],\"d\":{}}");
+}
+
+TEST(JsonWriterTest, PrettyPrintingIndentsTwoSpaces) {
+  JsonWriter w;  // pretty by default
+  w.BeginObject();
+  w.Key("outer");
+  w.BeginObject();
+  w.Key("inner");
+  w.Int(3);
+  w.EndObject();
+  w.Key("list");
+  w.BeginArray();
+  w.Int(1);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"outer\": {\n"
+            "    \"inner\": 3\n"
+            "  },\n"
+            "  \"list\": [\n"
+            "    1\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndSpecialCharacters) {
+  JsonWriter w(/*pretty=*/false);
+  w.String(std::string("a\"b\\c\n\t\r") + '\x01');
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\n\\t\\r\\u0001\"");
+}
+
+TEST(JsonWriterTest, DoublesUseShortestRoundTripForm) {
+  {
+    JsonWriter w(/*pretty=*/false);
+    w.Double(0.1);
+    EXPECT_EQ(w.str(), "0.1");
+  }
+  {
+    JsonWriter w(/*pretty=*/false);
+    w.Double(2.0);
+    EXPECT_EQ(w.str(), "2");
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter w(/*pretty=*/false);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriterTest, IdenticalInputsProduceIdenticalBytes) {
+  const auto build = [] {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("x");
+    w.Double(1.5);
+    w.Key("y");
+    w.String("z");
+    w.EndObject();
+    return w.str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(JsonWriterDeathTest, UnbalancedDocumentAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        (void)w.str();  // object never closed
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyInObjectAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        w.Int(1);  // no Key() first
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hido

@@ -1,0 +1,152 @@
+// Acceptance tests for the telemetry determinism contract
+// (obs/telemetry.h): the deterministic sections of a run's metrics are
+// byte-identical at any thread count, and a run resumed from a checkpoint
+// publishes the same cumulative counters as one that was never
+// interrupted.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_control.h"
+#include "core/detector.h"
+#include "core/search_checkpoint.h"
+#include "data/generators/synthetic.h"
+#include "obs/telemetry.h"
+
+namespace hido {
+namespace obs {
+namespace {
+
+// Counters documented as scheduling-dependent (see obs/telemetry.h): the
+// cube-counter per-worker caches restart cold and its strategy dispatch
+// depends on which worker claims a query, so their breakdowns move between
+// schedules while their total (counter.queries) does not.
+bool IsThreadVariant(const std::string& name) {
+  return name == "counter.cache_hits" || name == "counter.bitset_counts" ||
+         name == "counter.posting_counts" || name == "counter.naive_counts";
+}
+
+// Runs one full detection at `threads` workers against a clean registry
+// and returns the serialized thread-invariant counter + histogram
+// sections.
+std::string DetectAndSerializeInvariantSections(const Dataset& data,
+                                                size_t threads) {
+  MetricsRegistry::Global().ResetForTest();
+  Tracer::Global().Reset();
+
+  DetectorConfig config;
+  config.phi = 4;
+  config.target_dim = 2;
+  config.num_projections = 6;
+  config.evolution.population_size = 24;
+  config.evolution.max_generations = 15;
+  config.evolution.stagnation_generations = 0;
+  config.evolution.restarts = 2;
+  config.seed = 29;
+  config.num_threads = threads;
+  const DetectionResult result = OutlierDetector(config).Detect(data);
+  EXPECT_TRUE(result.completed);
+
+  RunTelemetry telemetry = CaptureRunTelemetry("invariance test");
+  RunTelemetry filtered;
+  filtered.tool = telemetry.tool;
+  for (const CounterSample& counter : telemetry.metrics.counters) {
+    if (!IsThreadVariant(counter.name)) {
+      filtered.metrics.counters.push_back(counter);
+    }
+  }
+  filtered.metrics.histograms = telemetry.metrics.histograms;
+  // Gauges (pool.*) and timing are wall-clock/schedule territory by
+  // definition; they stay out of the compared bytes.
+  return SerializeRunTelemetry(filtered);
+}
+
+TEST(TelemetryInvarianceTest, InvariantCountersAreByteIdenticalAcrossThreads) {
+  const Dataset data = GenerateUniform(300, 8, 13);
+  const std::string at_one = DetectAndSerializeInvariantSections(data, 1);
+  const std::string at_two = DetectAndSerializeInvariantSections(data, 2);
+  const std::string at_eight = DetectAndSerializeInvariantSections(data, 8);
+  EXPECT_EQ(at_one, at_two);
+  EXPECT_EQ(at_one, at_eight);
+  // Sanity: the compared bytes actually contain the work counters.
+  EXPECT_NE(at_one.find("search.evaluations"), std::string::npos);
+  EXPECT_NE(at_one.find("search.crossovers"), std::string::npos);
+  EXPECT_NE(at_one.find("counter.queries"), std::string::npos);
+  EXPECT_NE(at_one.find("search.restart_generations"), std::string::npos);
+}
+
+uint64_t CounterValue(const MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  for (const CounterSample& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  ADD_FAILURE() << "counter not published: " << name;
+  return 0;
+}
+
+// The resume-continuity acceptance criterion: interrupt a search, resume
+// it from the checkpoint, and the resumed run's *published* cumulative
+// counters equal the uninterrupted run's — the tallies persist through the
+// checkpoint (format v2 `ops` line) instead of restarting at zero.
+TEST(TelemetryInvarianceTest, ResumedRunPublishesUninterruptedTotals) {
+  const Dataset data = GenerateUniform(300, 8, 7);
+  GridModel::Options grid_options;
+  grid_options.phi = 4;
+  const GridModel grid = GridModel::Build(data, grid_options);
+  CubeCounter counter(grid);
+  SparsityObjective objective(counter);
+
+  EvolutionaryOptions opts;
+  opts.target_dim = 2;
+  opts.num_projections = 6;
+  opts.population_size = 24;
+  opts.max_generations = 40;
+  opts.stagnation_generations = 0;
+  opts.restarts = 3;
+  opts.seed = 17;
+
+  MetricsRegistry::Global().ResetForTest();
+  const EvolutionResult uninterrupted = EvolutionarySearch(objective, opts);
+  ASSERT_TRUE(uninterrupted.stats.completed);
+  const MetricsSnapshot full = MetricsRegistry::Global().TakeSnapshot();
+
+  const std::string path =
+      ::testing::TempDir() + "/hido_telemetry_resume.txt";
+  EvolutionaryOptions interrupted_opts = opts;
+  interrupted_opts.checkpoint_path = path;
+  interrupted_opts.checkpoint_every_generations = 3;
+  StopToken token;
+  token.ArmFailpoint(20);
+  interrupted_opts.stop = &token;
+  const EvolutionResult interrupted =
+      EvolutionarySearch(objective, interrupted_opts);
+  ASSERT_FALSE(interrupted.stats.completed);
+
+  Result<EvolutionCheckpoint> checkpoint = LoadCheckpoint(path);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+
+  MetricsRegistry::Global().ResetForTest();
+  EvolutionaryOptions resume_opts = opts;
+  resume_opts.resume = &checkpoint.value();
+  const EvolutionResult resumed = EvolutionarySearch(objective, resume_opts);
+  ASSERT_TRUE(resumed.stats.completed);
+  const MetricsSnapshot after_resume =
+      MetricsRegistry::Global().TakeSnapshot();
+
+  for (const char* name :
+       {"search.runs", "search.generations", "search.evaluations",
+        "search.crossovers", "search.mutations", "search.selections",
+        "search.restarts_completed", "counter.queries"}) {
+    EXPECT_EQ(CounterValue(after_resume, name), CounterValue(full, name))
+        << name;
+  }
+  EXPECT_EQ(CounterValue(after_resume, "checkpoint.resumes"), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hido

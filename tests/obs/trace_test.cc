@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace obs {
+namespace {
+
+// The tests share the global tracer (spans always record there), so each
+// one starts from a clean tree.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetEnabled(true);
+    Tracer::Global().Reset();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansBuildAHierarchy) {
+  {
+    const TraceSpan outer("outer");
+    {
+      const TraceSpan inner("inner");
+    }
+  }
+  const TraceNode root = Tracer::Global().TakeSnapshot();
+  ASSERT_EQ(root.children.count("outer"), 1u);
+  const TraceNode& outer = root.children.at("outer");
+  EXPECT_EQ(outer.calls, 1u);
+  EXPECT_GE(outer.seconds, 0.0);
+  ASSERT_EQ(outer.children.count("inner"), 1u);
+  EXPECT_EQ(outer.children.at("inner").calls, 1u);
+  // Inclusive times: the parent covers at least its child.
+  EXPECT_GE(outer.seconds, outer.children.at("inner").seconds);
+}
+
+TEST_F(TraceTest, IdenticalPathsAggregate) {
+  for (int i = 0; i < 3; ++i) {
+    const TraceSpan span("repeated");
+  }
+  const TraceNode root = Tracer::Global().TakeSnapshot();
+  ASSERT_EQ(root.children.count("repeated"), 1u);
+  EXPECT_EQ(root.children.at("repeated").calls, 3u);
+}
+
+TEST_F(TraceTest, SiblingSpansShareAParentNode) {
+  {
+    const TraceSpan phase("phase");
+    { const TraceSpan a("step_a"); }
+    { const TraceSpan b("step_b"); }
+  }
+  const TraceNode root = Tracer::Global().TakeSnapshot();
+  const TraceNode& phase = root.children.at("phase");
+  EXPECT_EQ(phase.children.size(), 2u);
+  EXPECT_EQ(phase.children.count("step_a"), 1u);
+  EXPECT_EQ(phase.children.count("step_b"), 1u);
+}
+
+TEST_F(TraceTest, SpansOnAnotherThreadRootTheirOwnPath) {
+  const TraceSpan main_span("main_side");
+  std::thread worker([] { const TraceSpan span("worker_side"); });
+  worker.join();
+  const TraceNode root = Tracer::Global().TakeSnapshot();
+  // The worker's span is a root child, not a child of "main_side" (which
+  // is still open on this thread and therefore not recorded yet).
+  ASSERT_EQ(root.children.count("worker_side"), 1u);
+  EXPECT_EQ(root.children.count("main_side"), 0u);
+  EXPECT_TRUE(root.children.at("worker_side").children.empty());
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().SetEnabled(false);
+  {
+    const TraceSpan span("ignored");
+  }
+  Tracer::Global().SetEnabled(true);
+  const TraceNode root = Tracer::Global().TakeSnapshot();
+  EXPECT_TRUE(root.children.empty());
+}
+
+TEST_F(TraceTest, ResetClearsTheTree) {
+  {
+    const TraceSpan span("gone");
+  }
+  Tracer::Global().Reset();
+  EXPECT_TRUE(Tracer::Global().TakeSnapshot().children.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hido

@@ -31,6 +31,8 @@
 #include "data/csv.h"
 #include "data/encoding.h"
 #include "eval/table.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace hido {
 namespace {
@@ -92,6 +94,37 @@ void AddInputFlags(FlagParser& flags) {
                "column index holding class labels (-1: none)");
   flags.AddBool("encode-categorical", true,
                 "ordinal-encode non-numeric columns instead of failing");
+}
+
+void AddTelemetryFlags(FlagParser& flags) {
+  flags.AddString("metrics-json", "",
+                  "write machine-readable run telemetry (config, metrics, "
+                  "results, timing tree) to this path as JSON");
+  flags.AddBool("stats", false,
+                "print a run-telemetry summary to stderr after the run");
+}
+
+// Captures and emits telemetry when --metrics-json or --stats asked for it.
+// Returns a non-zero exit code only when the JSON write fails.
+int EmitTelemetry(const FlagParser& flags, const char* tool,
+                  obs::TelemetryRow config,
+                  std::vector<obs::TelemetryRow> results) {
+  const std::string path = flags.GetString("metrics-json");
+  const bool stats = flags.GetBool("stats");
+  if (path.empty() && !stats) return 0;
+  obs::RunTelemetry telemetry = obs::CaptureRunTelemetry(tool);
+  telemetry.config = std::move(config);
+  telemetry.results = std::move(results);
+  if (stats) {
+    std::fprintf(stderr, "%s",
+                 obs::RenderTelemetrySummary(telemetry).c_str());
+  }
+  if (!path.empty()) {
+    const Status written = obs::WriteRunTelemetryJson(telemetry, path);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote run telemetry to %s\n", path.c_str());
+  }
+  return 0;
 }
 
 // Cancellation shared by the long-running subcommands: one token fed by an
@@ -159,6 +192,7 @@ int RunDetect(const std::vector<std::string>& args) {
                   "prefix for <prefix>.projections.csv / .outliers.csv");
   flags.AddString("save-model", "",
                   "persist the fitted model for `hido score` (path)");
+  AddTelemetryFlags(flags);
   const int parse_outcome = ParseOrReport(flags, args);
   if (parse_outcome >= 0) return parse_outcome;
 
@@ -167,7 +201,10 @@ int RunDetect(const std::vector<std::string>& args) {
   // pipeline, not just the search phase.
   const ScopedRunControl control(flags.GetDouble("deadline"));
 
-  Result<Dataset> data = LoadInput(flags, &control.token());
+  Result<Dataset> data = [&] {
+    const obs::TraceSpan span("load_input");
+    return LoadInput(flags, &control.token());
+  }();
   if (!data.ok()) return Fail(data.status());
 
   DetectorConfig config;
@@ -223,7 +260,10 @@ int RunDetect(const std::vector<std::string>& args) {
   config.stop = &control.token();
 
   const OutlierDetector detector(config);
-  const DetectionResult result = detector.Detect(data.value());
+  const DetectionResult result = [&] {
+    const obs::TraceSpan span("detect");
+    return detector.Detect(data.value());
+  }();
   control.ReportIfStopped();
 
   std::printf("detected with phi=%zu, k=%zu (%s) in %.3fs%s: "
@@ -283,7 +323,31 @@ int RunDetect(const std::vector<std::string>& args) {
     std::printf("wrote model to %s\n",
                 flags.GetString("save-model").c_str());
   }
-  return 0;
+
+  obs::TelemetryRow telemetry_config{
+      {"input", flags.GetString("input")},
+      {"algorithm", flags.GetString("algorithm")},
+      {"phi", static_cast<uint64_t>(result.phi)},
+      {"target_dim", static_cast<uint64_t>(result.target_dim)},
+      {"num_projections", static_cast<uint64_t>(config.num_projections)},
+      {"binning", flags.GetString("binning")},
+      {"expectation", flags.GetString("expectation")},
+      {"seed", static_cast<uint64_t>(config.seed)},
+      {"threads", static_cast<uint64_t>(config.num_threads)},
+      {"resumed", config.evolution.resume != nullptr},
+  };
+  obs::TelemetryRow result_row{
+      {"completed", result.completed},
+      {"stop_cause", StopCauseToString(result.stop_cause)},
+      {"projections_reported",
+       static_cast<uint64_t>(result.report.projections.size())},
+      {"points_flagged",
+       static_cast<uint64_t>(result.report.outliers.size())},
+      {"rows", static_cast<uint64_t>(data.value().num_rows())},
+      {"dims", static_cast<uint64_t>(data.value().num_cols())},
+  };
+  return EmitTelemetry(flags, "hido detect", std::move(telemetry_config),
+                       {std::move(result_row)});
 }
 
 // ----------------------------------------------------------------- score --
@@ -369,10 +433,14 @@ int RunBaselines(const std::vector<std::string>& args) {
   flags.AddDouble("deadline", 0.0,
                   "wall-clock budget in seconds (0: none); methods not "
                   "finished in time report partial results");
+  AddTelemetryFlags(flags);
   const int parse_outcome = ParseOrReport(flags, args);
   if (parse_outcome >= 0) return parse_outcome;
   const ScopedRunControl control(flags.GetDouble("deadline"));
-  Result<Dataset> data = LoadInput(flags, &control.token());
+  Result<Dataset> data = [&] {
+    const obs::TraceSpan span("load_input");
+    return LoadInput(flags, &control.token());
+  }();
   if (!data.ok()) return Fail(data.status());
   const DistanceMetric metric(data.value());
   const size_t top = static_cast<size_t>(flags.GetInt("top"));
@@ -387,7 +455,9 @@ int RunBaselines(const std::vector<std::string>& args) {
   kopts.num_threads = threads;
   kopts.stop = &control.token();
   RunStatus knn_status;
-  for (const KnnOutlier& o : TopNKnnOutliers(metric, kopts, &knn_status)) {
+  const std::vector<KnnOutlier> knn_out =
+      TopNKnnOutliers(metric, kopts, &knn_status);
+  for (const KnnOutlier& o : knn_out) {
     std::printf("  row %zu  kth-NN distance %.4f\n", o.row, o.kth_distance);
   }
   if (!knn_status.completed) std::printf("%s", kPartialNote);
@@ -400,7 +470,8 @@ int RunBaselines(const std::vector<std::string>& args) {
   lofopts.stop = &control.token();
   RunStatus lof_status;
   const std::vector<double> scores = ComputeLof(metric, lofopts, &lof_status);
-  for (size_t row : TopNByScore(scores, top)) {
+  const std::vector<size_t> lof_top = TopNByScore(scores, top);
+  for (size_t row : lof_top) {
     std::printf("  row %zu  LOF %.3f\n", row, scores[row]);
   }
   if (!lof_status.completed) std::printf("%s", kPartialNote);
@@ -428,7 +499,28 @@ int RunBaselines(const std::vector<std::string>& args) {
   std::printf("\n");
   if (!db_status.completed) std::printf("%s", kPartialNote);
   control.ReportIfStopped();
-  return 0;
+
+  obs::TelemetryRow telemetry_config{
+      {"input", flags.GetString("input")},
+      {"top", static_cast<uint64_t>(top)},
+      {"knn_k", static_cast<uint64_t>(kopts.k)},
+      {"lof_minpts", static_cast<uint64_t>(lofopts.min_pts)},
+      {"db_lambda", lambda},
+      {"db_max_neighbors", static_cast<uint64_t>(dbopts.max_neighbors)},
+      {"threads", static_cast<uint64_t>(threads)},
+  };
+  std::vector<obs::TelemetryRow> method_rows;
+  method_rows.push_back({{"method", "knn"},
+                         {"completed", knn_status.completed},
+                         {"flagged", static_cast<uint64_t>(knn_out.size())}});
+  method_rows.push_back({{"method", "lof"},
+                         {"completed", lof_status.completed},
+                         {"flagged", static_cast<uint64_t>(lof_top.size())}});
+  method_rows.push_back({{"method", "db"},
+                         {"completed", db_status.completed},
+                         {"flagged", static_cast<uint64_t>(db.size())}});
+  return EmitTelemetry(flags, "hido baselines",
+                       std::move(telemetry_config), std::move(method_rows));
 }
 
 // -------------------------------------------------------------- describe --

@@ -51,7 +51,8 @@ struct TokenRule {
 };
 
 const std::vector<TokenRule>& TokenRules() {
-  static const std::vector<TokenRule>* const rules = new std::vector<
+  // Leaked-on-purpose: compiled regexes must outlive every caller.
+  static const std::vector<TokenRule>* const rules = new std::vector<  // hido-lint: allow(no-naked-new)
       TokenRule>{
       {"no-exceptions",
        "recoverable failures return Status/Result<T>; no throw/try/catch",
@@ -87,6 +88,14 @@ const std::vector<TokenRule>& TokenRules() {
        {"src/core/"},
        "direct stdio in src/core; use HIDO_LOG_* (common/logging.h) or "
        "return a Status"},
+      {"no-naked-new",
+       "allocations are owned by containers or smart pointers; a bare new "
+       "needs a per-line justification",
+       std::regex(R"(\bnew\b)"),
+       {},
+       {},
+       "naked new; use std::make_unique/containers, or suppress with a "
+       "justified leaked-singleton escape"},
   };
   return *rules;
 }
@@ -163,7 +172,8 @@ void CheckIncludeOrder(const std::string& path,
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
-  static const std::vector<RuleInfo>* const rules = new std::vector<RuleInfo>{
+  // Leaked-on-purpose, same as TokenRules().
+  static const std::vector<RuleInfo>* const rules = new std::vector<RuleInfo>{  // hido-lint: allow(no-naked-new)
       {"no-exceptions",
        "recoverable failures return Status/Result<T>; no throw/try/catch"},
       {"no-raw-random",
@@ -175,6 +185,9 @@ const std::vector<RuleInfo>& Rules() {
       {"no-stdio-in-core",
        "core library code reports through HIDO_LOG_* / Status, not the "
        "process's streams"},
+      {"no-naked-new",
+       "allocations are owned by containers or smart pointers; a bare new "
+       "needs a per-line justification"},
       {"header-guard", ".h files carry the canonical HIDO_<PATH>_H_ guard"},
       {"include-order",
        "each contiguous #include block is sorted and style-pure"},

@@ -19,6 +19,11 @@
 //   no-stdio-in-core printf/std::cout/std::cerr inside src/core/ — library
 //                    code reports through HIDO_LOG_* / Status, never by
 //                    writing to the process's streams.
+//   no-naked-new     the `new` keyword anywhere — allocations are owned by
+//                    containers or smart pointers (std::make_unique); the
+//                    only sanctioned exception is a leaked-on-purpose
+//                    process singleton, escaped per line with a comment
+//                    justifying the leak.
 //   header-guard     .h files carry the canonical HIDO_<PATH>_H_ guard.
 //   include-order    each contiguous #include block is internally sorted
 //                    and does not mix <system> with "project" includes.
