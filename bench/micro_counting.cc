@@ -9,14 +9,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "data/generators/synthetic.h"
 #include "grid/cube_counter.h"
+#include "grid/shared_cube_cache.h"
 #include "obs/telemetry.h"
 
 namespace hido {
@@ -104,6 +107,102 @@ void BM_CountCached(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CountCached);
+
+// ---------------------------------------------------------------------------
+// GA-shaped cache-mode ablation: shared vs private vs off, prefix on/off.
+//
+// The workload models the evolutionary search's evaluation loop: a pool of
+// k-cubes where many queries share a (k-1)-prefix and differ only in the
+// last condition (what crossover/mutation produce), and W concurrent
+// "restarts" that each evaluate the *same* recurring pool with a private
+// per-worker CubeCounter — exactly the shape of the parallel search. With
+// private caches every worker recomputes every distinct cube once; one
+// SharedCubeCache makes each distinct cube cost one computation per run,
+// and prefix memoization finishes each same-prefix sibling with a single
+// AND+popcount. items/sec counts evaluated queries, so the shared-cache
+// win shows up even on one CPU: less total work, not more parallelism.
+
+enum class BenchCacheMode { kOff, kPrivate, kShared, kSharedNoPrefix };
+
+// `num_prefixes` groups of `variants` queries; within a group the first
+// k-1 conditions are identical and the last condition (on the largest
+// sampled dim, so it sorts last in the packed CubeKey) varies its cell.
+std::vector<std::vector<DimRange>> MakeGaQueries(const GridModel& grid,
+                                                 size_t k,
+                                                 size_t num_prefixes,
+                                                 size_t variants) {
+  Rng rng(13);
+  std::vector<std::vector<DimRange>> queries;
+  queries.reserve(num_prefixes * variants);
+  for (size_t p = 0; p < num_prefixes; ++p) {
+    std::vector<size_t> dims;
+    for (size_t d : rng.SampleWithoutReplacement(grid.num_dims(), k)) {
+      dims.push_back(d);
+    }
+    std::sort(dims.begin(), dims.end());
+    std::vector<DimRange> base;
+    for (size_t i = 0; i + 1 < k; ++i) {
+      base.push_back({static_cast<uint32_t>(dims[i]),
+                      static_cast<uint32_t>(rng.UniformIndex(grid.phi()))});
+    }
+    for (size_t v = 0; v < variants; ++v) {
+      std::vector<DimRange> query = base;
+      query.push_back({static_cast<uint32_t>(dims[k - 1]),
+                       static_cast<uint32_t>(v % grid.phi())});
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+void BM_GaWorkload(benchmark::State& state, BenchCacheMode mode) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  // Large-n so the AND chains dominate the per-query bookkeeping (at small
+  // n the memo-table probes cost as much as the intersections they save).
+  BenchFixture fixture(100000, 32, 10);
+  const auto queries = MakeGaQueries(fixture.grid, 5, 64, 8);
+  for (auto _ : state) {
+    SharedCubeCache::Options cache_options;
+    if (mode == BenchCacheMode::kSharedNoPrefix) {
+      cache_options.prefix_capacity = 0;
+    }
+    // Fresh per iteration: each iteration is one "search" starting cold.
+    SharedCubeCache shared(cache_options);
+    std::vector<uint64_t> sums(workers, 0);
+    ParallelFor(workers, workers, [&](size_t task, size_t /*worker*/) {
+      CubeCounter::Options options;
+      if (mode == BenchCacheMode::kOff) {
+        options.cache_capacity = 0;
+      } else if (mode != BenchCacheMode::kPrivate) {
+        options.shared_cache = &shared;
+      }
+      CubeCounter counter(fixture.grid, options);
+      uint64_t sum = 0;
+      for (const auto& query : queries) sum += counter.Count(query);
+      sums[task] = sum;
+    });
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workers * queries.size()));
+}
+
+void BM_GaCacheOff(benchmark::State& state) {
+  BM_GaWorkload(state, BenchCacheMode::kOff);
+}
+void BM_GaCachePrivate(benchmark::State& state) {
+  BM_GaWorkload(state, BenchCacheMode::kPrivate);
+}
+void BM_GaCacheShared(benchmark::State& state) {
+  BM_GaWorkload(state, BenchCacheMode::kShared);
+}
+void BM_GaCacheSharedNoPrefix(benchmark::State& state) {
+  BM_GaWorkload(state, BenchCacheMode::kSharedNoPrefix);
+}
+BENCHMARK(BM_GaCacheOff)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_GaCachePrivate)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_GaCacheShared)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_GaCacheSharedNoPrefix)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_GridBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -17,6 +17,13 @@
 // require_non_empty): a cube with zero points has only zero-point
 // extensions, and empty cubes are not reportable, so the subtree below an
 // empty partial cube is skipped. This does not change the returned set.
+//
+// Cube-count memoization (DetectorConfig::cache_mode) is deliberately a
+// no-op here: the depth-first walk visits each cube exactly once and counts
+// it directly on the carried bitset, never through CubeCounter::Count, so
+// a memo table — private or shared — has nothing to serve. The bottom-up
+// CandidateSetSearch variant and the evolutionary search both count through
+// CubeCounter and do benefit.
 
 #include <cstdint>
 

@@ -11,6 +11,7 @@
 //   for (const auto& o : result.report.outliers) { ... }
 
 #include <cstdint>
+#include <string>
 
 #include "core/brute_force.h"
 #include "core/evolutionary_search.h"
@@ -24,6 +25,22 @@ enum class SearchAlgorithm {
   kEvolutionary,  ///< Figure 3 (default; scales to high dimensionality)
   kBruteForce,    ///< Figure 2 (exact; exponential in k)
 };
+
+/// How the search memoizes cube counts. Determinism contract: counts are
+/// pure functions of the grid, so every mode produces bit-identical
+/// reports; only speed and the serving-path statistics differ (see
+/// DESIGN.md "Shared cube-count cache").
+enum class CubeCacheMode {
+  kPrivate,  ///< per-worker memo tables (the historical default)
+  kShared,   ///< one lock-striped table for all workers + prefix memo
+  kOff,      ///< no memoization; every query recomputes
+};
+
+/// Canonical lowercase name ("private" / "shared" / "off").
+const char* CubeCacheModeToString(CubeCacheMode mode);
+
+/// Inverse of CubeCacheModeToString. Returns false on unknown names.
+bool ParseCubeCacheMode(const std::string& name, CubeCacheMode* mode);
 
 /// Detector configuration. Zeros mean "choose automatically per §2.4".
 struct DetectorConfig {
@@ -44,6 +61,14 @@ struct DetectorConfig {
   /// Brute-force knobs; target_dim/num_projections are overridden.
   BruteForceOptions brute_force;
   uint64_t seed = 42;
+  /// Cube-count memoization mode. kShared builds one SharedCubeCache per
+  /// Detect call, attaches every search worker's counter to it, and
+  /// publishes its statistics as cube.cache.shared.* when done.
+  CubeCacheMode cache_mode = CubeCacheMode::kPrivate;
+  /// Capacity override for whichever cache `cache_mode` selects (private
+  /// per-worker tables or the shared table). 0 keeps the mode's default;
+  /// ignored when cache_mode == kOff.
+  size_t cache_capacity = 0;
   /// Worker threads for whichever search runs. 0 keeps the per-algorithm
   /// settings in `evolution` / `brute_force` untouched; any other value
   /// overrides both. The evolutionary determinism contract (same seed ⇒

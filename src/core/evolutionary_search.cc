@@ -47,10 +47,14 @@ bool OfferPopulation(const std::vector<Individual>& population,
   return improved;
 }
 
-// Per-worker fitness-evaluation scratch for one restart: a private
-// CubeCounter (cache + bitset scratch are not thread-safe) and objective
-// per worker, all over the shared read-only grid. Worker 0 is the
-// restart's own base objective.
+// Per-worker fitness-evaluation scratch for one restart: a CubeCounter
+// (stats + bitset scratch are single-threaded state) and objective per
+// worker, all over the shared read-only grid. Worker 0 is the restart's
+// own base objective. The counters are built from the base counter's
+// Options, so when the caller attached a SharedCubeCache every worker's
+// counter memoizes through that one concurrent table (per-worker Stats
+// stay private scratch and are absorbed at the end); without one, each
+// worker keeps a private memo table.
 class EvalScratch {
  public:
   EvalScratch(SparsityObjective& base, size_t workers) {
@@ -528,12 +532,20 @@ EvolutionResult EvolutionarySearch(SparsityObjective& objective,
     registry.GetCounter("counter.queries").Add(counter_totals.queries);
     registry.GetCounter("counter.cache_hits")
         .Add(counter_totals.cache_hits);
+    registry.GetCounter("counter.shared_hits")
+        .Add(counter_totals.shared_hits);
+    registry.GetCounter("counter.prefix_counts")
+        .Add(counter_totals.prefix_counts);
     registry.GetCounter("counter.bitset_counts")
         .Add(counter_totals.bitset_counts);
     registry.GetCounter("counter.posting_counts")
         .Add(counter_totals.posting_counts);
     registry.GetCounter("counter.naive_counts")
         .Add(counter_totals.naive_counts);
+    registry.GetCounter("counter.cache_evictions")
+        .Add(counter_totals.cache_evictions);
+    registry.GetCounter("counter.cache_clears")
+        .Add(counter_totals.cache_clears);
   }
   result.stats.completed = !poller.stopped();
   result.stats.stop_cause = poller.cause();

@@ -1,6 +1,7 @@
 #include "grid/cube_counter.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/macros.h"
 
@@ -31,9 +32,13 @@ void ValidateConditions(const GridModel& grid,
 CubeCounter::Stats& CubeCounter::Stats::operator+=(const Stats& other) {
   queries += other.queries;
   cache_hits += other.cache_hits;
+  shared_hits += other.shared_hits;
+  prefix_counts += other.prefix_counts;
   bitset_counts += other.bitset_counts;
   posting_counts += other.posting_counts;
   naive_counts += other.naive_counts;
+  cache_evictions += other.cache_evictions;
+  cache_clears += other.cache_clears;
   return *this;
 }
 
@@ -43,35 +48,32 @@ CubeCounter::CubeCounter(const GridModel& grid)
 CubeCounter::CubeCounter(const GridModel& grid, const Options& options)
     : grid_(&grid), options_(options), scratch_(grid.num_points()) {}
 
-size_t CubeCounter::KeyHash::operator()(
-    const std::vector<uint64_t>& key) const {
-  // FNV-1a over the packed conditions.
-  uint64_t h = 1469598103934665603ULL;
-  for (uint64_t v : key) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  }
-  return static_cast<size_t>(h);
-}
-
-std::vector<uint64_t> CubeCounter::CacheKey(
-    const std::vector<DimRange>& conditions) {
-  std::vector<uint64_t> key;
-  key.reserve(conditions.size());
-  for (const DimRange& c : conditions) {
-    key.push_back((static_cast<uint64_t>(c.dim) << 32) | c.cell);
-  }
-  std::sort(key.begin(), key.end());
-  return key;
+const DynamicBitset& CubeCounter::MembersOf(uint64_t packed) const {
+  return grid_->Members(static_cast<size_t>(packed >> 32),
+                        static_cast<uint32_t>(packed & 0xffffffffu));
 }
 
 size_t CubeCounter::Count(const std::vector<DimRange>& conditions) {
   ValidateConditions(*grid_, conditions);
   ++stats_.queries;
+  SharedCubeCache* shared = options_.shared_cache;
+  if (shared != nullptr) {
+    // Shared mode: the concurrent table replaces the private one entirely,
+    // so every worker attached to it reuses every other worker's counts.
+    const CubeKey key = PackCubeKey(conditions);
+    size_t count = 0;
+    if (shared->LookupCount(key, &count)) {
+      ++stats_.shared_hits;
+      return count;
+    }
+    count = DispatchWithPrefix(conditions, key, options_.strategy);
+    shared->InsertCount(key, count);
+    return count;
+  }
   if (options_.cache_capacity == 0) {
     return Dispatch(conditions, options_.strategy);
   }
-  std::vector<uint64_t> key = CacheKey(conditions);
+  CubeKey key = PackCubeKey(conditions);
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++stats_.cache_hits;
@@ -79,7 +81,11 @@ size_t CubeCounter::Count(const std::vector<DimRange>& conditions) {
   }
   const size_t count = Dispatch(conditions, options_.strategy);
   if (cache_.size() >= options_.cache_capacity) {
-    cache_.clear();  // wholesale eviction keeps bookkeeping O(1)
+    // Wholesale eviction keeps bookkeeping O(1); the price — every dropped
+    // entry is a potential recomputation — is visible in the stats.
+    stats_.cache_evictions += cache_.size();
+    ++stats_.cache_clears;
+    cache_.clear();
   }
   cache_.emplace(std::move(key), count);
   return count;
@@ -112,6 +118,43 @@ size_t CubeCounter::Dispatch(const std::vector<DimRange>& conditions,
   }
   HIDO_CHECK_MSG(false, "unreachable counting strategy");
   return 0;
+}
+
+size_t CubeCounter::DispatchWithPrefix(
+    const std::vector<DimRange>& conditions, const CubeKey& key,
+    CountingStrategy strategy) {
+  // Prefix memoization: the first k-1 elements of the sorted key identify
+  // the (k-1)-sub-cube whose intersection bitset finishes this query with
+  // one AND+popcount. Only worthwhile for k >= 3 — a 2-cube's "prefix" is
+  // a raw membership bitset the grid already holds.
+  SharedCubeCache* shared = options_.shared_cache;
+  if (conditions.size() < 3 || !shared->prefix_enabled()) {
+    return Dispatch(conditions, strategy);
+  }
+  const CubeKey prefix_key(key.begin(), key.end() - 1);
+  if (const std::shared_ptr<const DynamicBitset> prefix =
+          shared->LookupPrefix(prefix_key)) {
+    ++stats_.prefix_counts;
+    return prefix->AndCount(MembersOf(key.back()));
+  }
+  if (strategy == CountingStrategy::kAuto) {
+    strategy = Choose(conditions);
+  }
+  if (strategy != CountingStrategy::kBitset) {
+    // Postings/naive computations never materialize the prefix bitset, so
+    // there is nothing cheap to store; count the plain way.
+    return Dispatch(conditions, strategy);
+  }
+  // Intersect in sorted-key order so the running bitset after k-1 steps is
+  // exactly the prefix entry (the count is order-independent either way).
+  ++stats_.bitset_counts;
+  scratch_ = MembersOf(key[0]);
+  for (size_t i = 1; i + 1 < key.size(); ++i) {
+    scratch_.AndWith(MembersOf(key[i]));
+  }
+  const size_t count = scratch_.AndCount(MembersOf(key.back()));
+  shared->InsertPrefix(prefix_key, scratch_);
+  return count;
 }
 
 CountingStrategy CubeCounter::Choose(
@@ -201,6 +244,12 @@ std::vector<uint32_t> CubeCounter::CoveredPoints(
   return current;
 }
 
-void CubeCounter::ClearCache() { cache_.clear(); }
+void CubeCounter::ClearCache() {
+  if (!cache_.empty()) {
+    stats_.cache_evictions += cache_.size();
+    ++stats_.cache_clears;
+  }
+  cache_.clear();
+}
 
 }  // namespace hido

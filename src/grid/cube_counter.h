@@ -13,6 +13,7 @@
 
 #include "common/bitset.h"
 #include "grid/grid_model.h"
+#include "grid/shared_cube_cache.h"
 
 namespace hido {
 
@@ -26,27 +27,64 @@ enum class CountingStrategy {
 
 /// Counts points covered by conjunctions of grid conditions.
 ///
-/// Not thread-safe (the cache and scratch buffers are mutable); use one
-/// counter per thread.
+/// Threading contract: one CubeCounter instance serves one thread (its
+/// statistics, private cache, and scratch bitset are unsynchronized
+/// mutable state). Concurrent searches use one counter per worker, and the
+/// workers' counters may all attach to a single SharedCubeCache
+/// (Options::shared_cache) — the shared table is lock-striped and
+/// thread-safe, and it *replaces* the private per-counter memo table so
+/// every worker reuses every other worker's computed counts.
+///
+/// Determinism: a cube count is a pure function of the grid and the
+/// conditions, so caching (private, shared, or off) can change which code
+/// path produces a count but never its value. Results are bit-identical
+/// across cache configurations and thread counts; only speed and the
+/// serving-path statistics below move. See DESIGN.md "Shared cube-count
+/// cache" for the full argument.
 class CubeCounter {
  public:
   struct Options {
     CountingStrategy strategy = CountingStrategy::kAuto;
-    /// Maximum cached cubes; the cache is wholesale-cleared when full
-    /// (0 disables caching).
+    /// Maximum privately cached cubes; the private cache is wholesale-
+    /// cleared when full (0 disables private caching). Ignored while
+    /// `shared_cache` is attached.
     size_t cache_capacity = 1u << 18;
+    /// When set, memoization goes through this shared table instead of the
+    /// private cache (read-through/write-through), and k-cube queries may
+    /// be finished from a cached (k-1)-prefix intersection with a single
+    /// AND+popcount. Non-owning; must outlive the counter. Copying these
+    /// Options propagates the attachment, which is how a search hands one
+    /// shared cache to all of its per-worker counters.
+    SharedCubeCache* shared_cache = nullptr;
   };
 
   /// Counters for introspection and the micro benchmarks. Invariant:
-  /// queries == cache_hits + bitset_counts + posting_counts + naive_counts
-  /// (every query is either served from the cache or dispatched to exactly
-  /// one strategy — including queries made through CountUncached).
+  ///
+  ///   queries == cache_hits + shared_hits + prefix_counts
+  ///              + bitset_counts + posting_counts + naive_counts
+  ///
+  /// — every query is served from exactly one source: the private cache,
+  /// the shared cache's count table, a cached prefix finished by one
+  /// AND+popcount, or a full computation by exactly one strategy
+  /// (including queries made through CountUncached).
+  ///
+  /// A wholesale clear of the full private cache costs `cache_evictions`
+  /// recomputations in the worst case (every dropped entry that would have
+  /// been re-queried); `cache_clears` counts the clear events themselves
+  /// (capacity overflows plus explicit ClearCache calls), so
+  /// cache_evictions / cache_clears is the average table size at clear
+  /// time. Shared-cache eviction accounting lives in SharedCubeCache::Stats
+  /// (it is cache-wide, not per-worker).
   struct Stats {
     uint64_t queries = 0;
-    uint64_t cache_hits = 0;
+    uint64_t cache_hits = 0;      ///< served by the private memo table
+    uint64_t shared_hits = 0;     ///< served by the shared count table
+    uint64_t prefix_counts = 0;   ///< finished from a cached (k-1)-prefix
     uint64_t bitset_counts = 0;
     uint64_t posting_counts = 0;
     uint64_t naive_counts = 0;
+    uint64_t cache_evictions = 0;  ///< private entries dropped by clears
+    uint64_t cache_clears = 0;     ///< private wholesale-clear events
 
     /// Element-wise accumulation (for merging per-thread counters).
     Stats& operator+=(const Stats& other);
@@ -76,6 +114,8 @@ class CubeCounter {
   /// counter, so totals stay truthful under concurrency.
   void AbsorbStats(const Stats& other) { stats_ += other; }
 
+  /// Drops the private memo table (counted in cache_evictions /
+  /// cache_clears). Does not touch an attached shared cache.
   void ClearCache();
 
   const GridModel& grid() const { return *grid_; }
@@ -84,22 +124,22 @@ class CubeCounter {
  private:
   size_t Dispatch(const std::vector<DimRange>& conditions,
                   CountingStrategy strategy);
+  /// As Dispatch, but first tries to finish the cube from a shared cached
+  /// (k-1)-prefix bitset, and stores the prefix it computes on a miss.
+  size_t DispatchWithPrefix(const std::vector<DimRange>& conditions,
+                            const CubeKey& key, CountingStrategy strategy);
   size_t CountBitset(const std::vector<DimRange>& conditions);
   size_t CountPostings(const std::vector<DimRange>& conditions) const;
   size_t CountNaive(const std::vector<DimRange>& conditions) const;
   CountingStrategy Choose(const std::vector<DimRange>& conditions) const;
-  static std::vector<uint64_t> CacheKey(
-      const std::vector<DimRange>& conditions);
-
-  struct KeyHash {
-    size_t operator()(const std::vector<uint64_t>& key) const;
-  };
+  /// The membership bitset of one packed key element.
+  const DynamicBitset& MembersOf(uint64_t packed) const;
 
   const GridModel* grid_;
   Options options_;
   Stats stats_;
   DynamicBitset scratch_;
-  std::unordered_map<std::vector<uint64_t>, size_t, KeyHash> cache_;
+  std::unordered_map<CubeKey, size_t, CubeKeyHash> cache_;
 };
 
 }  // namespace hido

@@ -1,0 +1,189 @@
+#include "grid/shared_cube_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace hido {
+
+namespace {
+
+// Smallest power of two >= n (n >= 1).
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t CubeKeyHash::operator()(const CubeKey& key) const {
+  // FNV-1a over the packed conditions.
+  uint64_t h = 1469598103934665603ULL;
+  for (uint64_t v : key) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+CubeKey PackCubeKey(const std::vector<DimRange>& conditions) {
+  CubeKey key;
+  key.reserve(conditions.size());
+  for (const DimRange& c : conditions) {
+    key.push_back((static_cast<uint64_t>(c.dim) << 32) | c.cell);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+SharedCubeCache::SharedCubeCache() : SharedCubeCache(Options()) {}
+
+SharedCubeCache::SharedCubeCache(const Options& options) : options_(options) {
+  const size_t shards = RoundUpPowerOfTwo(std::max<size_t>(1, options.num_shards));
+  shard_mask_ = shards - 1;
+  // Per-shard budgets: distribute the totals, at least one entry per shard
+  // so a tiny capacity still caches (the tables are disabled by a *zero*
+  // total, never by rounding).
+  count_per_shard_ =
+      options.capacity == 0 ? 0 : std::max<size_t>(1, options.capacity / shards);
+  prefix_per_shard_ = options.prefix_capacity == 0
+                          ? 0
+                          : std::max<size_t>(1, options.prefix_capacity / shards);
+  shards_ = std::make_unique<Shard[]>(shards);
+}
+
+SharedCubeCache::Shard& SharedCubeCache::ShardFor(const CubeKey& key) {
+  return shards_[CubeKeyHash()(key) & shard_mask_];
+}
+
+bool SharedCubeCache::LookupCount(const CubeKey& key, size_t* count) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  if (count_per_shard_ != 0) {
+    const auto it = shard.counts.find(key);
+    if (it != shard.counts.end() &&
+        it->second.generation == shard.generation) {
+      ++shard.stats.hits;
+      *count = it->second.count;
+      return true;
+    }
+  }
+  ++shard.stats.misses;
+  return false;
+}
+
+void SharedCubeCache::InsertCount(const CubeKey& key, size_t count) {
+  if (count_per_shard_ == 0) return;
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  const auto [it, inserted] =
+      shard.counts.try_emplace(key, CountEntry{count, shard.generation});
+  if (inserted) {
+    ++shard.live;
+    ++shard.stats.insertions;
+  } else if (it->second.generation != shard.generation) {
+    // Revive a stale slot: counts as an insertion of a live entry.
+    it->second = CountEntry{count, shard.generation};
+    ++shard.live;
+    ++shard.stats.insertions;
+  } else {
+    // Concurrent compute of the same cube: counts are pure, so the values
+    // agree and the overwrite is a no-op in effect.
+    it->second.count = count;
+  }
+  if (shard.live >= count_per_shard_) {
+    // Generation-clear: O(1) logical drop of every live entry. Stale slots
+    // are revived lazily; the map itself is rebuilt only when it has
+    // accumulated two generations' worth of slots (rare, amortized).
+    ++shard.generation;
+    shard.stats.evictions += shard.live;
+    shard.live = 0;
+    if (shard.counts.size() >= 2 * count_per_shard_) {
+      shard.counts.clear();
+    }
+  }
+}
+
+std::shared_ptr<const DynamicBitset> SharedCubeCache::LookupPrefix(
+    const CubeKey& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  if (prefix_per_shard_ != 0) {
+    const auto it = shard.prefixes.find(key);
+    if (it != shard.prefixes.end()) {
+      ++shard.stats.prefix_hits;
+      return it->second;
+    }
+  }
+  ++shard.stats.prefix_misses;
+  return nullptr;
+}
+
+void SharedCubeCache::InsertPrefix(const CubeKey& key, DynamicBitset bits) {
+  if (prefix_per_shard_ == 0) return;
+  auto entry = std::make_shared<const DynamicBitset>(std::move(bits));
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  if (shard.prefixes.size() >= prefix_per_shard_ &&
+      shard.prefixes.find(key) == shard.prefixes.end()) {
+    // Prefix entries hold one bit per point — a real clear releases that
+    // memory, unlike the count table's generation trick.
+    shard.stats.prefix_evictions += shard.prefixes.size();
+    shard.prefixes.clear();
+  }
+  const auto [it, inserted] = shard.prefixes.try_emplace(key, entry);
+  if (inserted) {
+    ++shard.stats.prefix_insertions;
+  } else {
+    it->second = std::move(entry);  // idempotent: same pure-function bits
+  }
+}
+
+void SharedCubeCache::Clear() {
+  for (size_t s = 0; s <= shard_mask_; ++s) {
+    Shard& shard = shards_[s];
+    MutexLock lock(shard.mu);
+    shard.stats.evictions += shard.live;
+    shard.stats.prefix_evictions += shard.prefixes.size();
+    shard.counts.clear();
+    shard.prefixes.clear();
+    shard.generation = 0;
+    shard.live = 0;
+  }
+}
+
+SharedCubeCache::Stats SharedCubeCache::stats() const {
+  Stats total;
+  for (size_t s = 0; s <= shard_mask_; ++s) {
+    const Shard& shard = shards_[s];
+    MutexLock lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.insertions += shard.stats.insertions;
+    total.evictions += shard.stats.evictions;
+    total.prefix_hits += shard.stats.prefix_hits;
+    total.prefix_misses += shard.stats.prefix_misses;
+    total.prefix_insertions += shard.stats.prefix_insertions;
+    total.prefix_evictions += shard.stats.prefix_evictions;
+  }
+  return total;
+}
+
+void PublishSharedCubeCacheMetrics(const SharedCubeCache::Stats& stats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("cube.cache.shared.hits").Add(stats.hits);
+  registry.GetCounter("cube.cache.shared.misses").Add(stats.misses);
+  registry.GetCounter("cube.cache.shared.insertions").Add(stats.insertions);
+  registry.GetCounter("cube.cache.shared.evictions").Add(stats.evictions);
+  registry.GetCounter("cube.cache.shared.prefix_hits")
+      .Add(stats.prefix_hits);
+  registry.GetCounter("cube.cache.shared.prefix_insertions")
+      .Add(stats.prefix_insertions);
+  registry.GetCounter("cube.cache.shared.prefix_evictions")
+      .Add(stats.prefix_evictions);
+}
+
+}  // namespace hido

@@ -1,0 +1,160 @@
+#ifndef HIDO_GRID_SHARED_CUBE_CACHE_H_
+#define HIDO_GRID_SHARED_CUBE_CACHE_H_
+
+// A process-wide concurrent memo table for cube counts, shared by the
+// per-worker CubeCounters of a parallel search. The evolutionary search's
+// restarts re-evaluate the same recurring sub-combinations (that reuse is
+// what the paper's GA is built around, §5), but private per-worker caches
+// recount them once per worker; attaching every worker's counter to one
+// SharedCubeCache makes each distinct cube cost one computation per search
+// instead of one per worker.
+//
+// Two tables live behind the same lock striping:
+//
+//  * The *count* table maps a packed, sorted condition key to its point
+//    count. Entries are dropped with a cheap generation-clear: a full shard
+//    bumps its generation counter (O(1)) and stale entries are treated as
+//    missing and lazily overwritten, instead of rebuilding the
+//    unordered_map on every overflow.
+//  * The *prefix* table maps the first k-1 conditions of a k-cube to their
+//    intersection bitset, so a query whose (k-1)-prefix was seen before is
+//    finished with a single AND+popcount (see CubeCounter::Count). Prefix
+//    entries are heavy (one bit per point), so this table is small and is
+//    really cleared when full, releasing the memory.
+//
+// Concurrency: N lock-striped shards (common::Mutex, checked by Clang TSA);
+// a lookup or insert locks exactly one shard. Determinism: cube counts are
+// pure functions of the grid, so a cache can change *which* path computes
+// a count but never its value — results are bit-identical with the cache
+// shared, private, or disabled; only speed and the (documented) scheduling-
+// dependent statistics move. See DESIGN.md "Shared cube-count cache".
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "grid/grid_model.h"
+
+namespace hido {
+
+/// A cube's identity: one uint64 per condition, (dim << 32) | cell, sorted
+/// ascending. Sorted packing makes the key order-insensitive and makes the
+/// first k-1 elements of a k-cube's key exactly its (k-1)-prefix key.
+using CubeKey = std::vector<uint64_t>;
+
+/// FNV-1a over the packed conditions (shared by CubeCounter's private
+/// table and SharedCubeCache's shards).
+struct CubeKeyHash {
+  size_t operator()(const CubeKey& key) const;
+};
+
+/// Packs `conditions` into a sorted CubeKey.
+CubeKey PackCubeKey(const std::vector<DimRange>& conditions);
+
+/// Thread-safe sharded memo table of cube counts + prefix bitsets.
+class SharedCubeCache {
+ public:
+  struct Options {
+    /// Total count entries across all shards (0 disables the count table;
+    /// lookups miss and inserts are dropped).
+    size_t capacity = 1u << 18;
+    /// Lock stripes; rounded up to a power of two, at least 1. 16 covers
+    /// the pool sizes the searches deploy.
+    size_t num_shards = 16;
+    /// Total prefix-bitset entries across all shards (0 disables prefix
+    /// memoization). Each entry holds one bit per grid point, so keep this
+    /// orders of magnitude below `capacity`.
+    size_t prefix_capacity = 1u << 12;
+  };
+
+  /// Aggregated shard statistics. Scheduling-dependent by design: which
+  /// worker probes first decides who takes the miss, so these totals move
+  /// between runs/thread counts while the served counts never do.
+  struct Stats {
+    uint64_t hits = 0;        ///< count-table lookups served
+    uint64_t misses = 0;      ///< count-table lookups that missed
+    uint64_t insertions = 0;  ///< entries added (or revived over stale ones)
+    uint64_t evictions = 0;   ///< live entries dropped by generation-clears
+    uint64_t prefix_hits = 0;        ///< prefix probes served
+    uint64_t prefix_misses = 0;      ///< prefix probes that missed
+    uint64_t prefix_insertions = 0;  ///< prefix bitsets stored
+    uint64_t prefix_evictions = 0;   ///< prefix bitsets dropped by clears
+  };
+
+  SharedCubeCache();
+  explicit SharedCubeCache(const Options& options);
+  SharedCubeCache(const SharedCubeCache&) = delete;
+  SharedCubeCache& operator=(const SharedCubeCache&) = delete;
+
+  /// Fetches the count stored for `key`. Returns false (and records a
+  /// miss) when absent or stale.
+  bool LookupCount(const CubeKey& key, size_t* count);
+
+  /// Stores `count` for `key` (write-through from a worker that computed
+  /// it). Idempotent: concurrent inserts of the same key store the same
+  /// pure-function value.
+  void InsertCount(const CubeKey& key, size_t count);
+
+  /// Fetches the intersection bitset stored for the prefix `key`, or null
+  /// on a miss. The returned bitset is immutable and safe to read while
+  /// other workers insert.
+  std::shared_ptr<const DynamicBitset> LookupPrefix(const CubeKey& key);
+
+  /// Stores the intersection bitset for the prefix `key`.
+  void InsertPrefix(const CubeKey& key, DynamicBitset bits);
+
+  /// True when prefix memoization is enabled (prefix_capacity > 0).
+  bool prefix_enabled() const { return prefix_per_shard_ > 0; }
+
+  /// Drops every entry (both tables) and counts the drops as evictions.
+  void Clear();
+
+  /// Sums the per-shard statistics. Loses no updates, but concurrent
+  /// writers can make the sum momentarily inconsistent across fields;
+  /// quiesced reads are exact.
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct CountEntry {
+    size_t count = 0;
+    uint64_t generation = 0;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<CubeKey, CountEntry, CubeKeyHash> counts
+        HIDO_GUARDED_BY(mu);
+    /// Entries whose generation != this are logically absent.
+    uint64_t generation HIDO_GUARDED_BY(mu) = 0;
+    /// Number of current-generation entries in `counts`.
+    size_t live HIDO_GUARDED_BY(mu) = 0;
+    std::unordered_map<CubeKey, std::shared_ptr<const DynamicBitset>,
+                       CubeKeyHash>
+        prefixes HIDO_GUARDED_BY(mu);
+    Stats stats HIDO_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const CubeKey& key);
+
+  Options options_;
+  size_t shard_mask_ = 0;        ///< num_shards - 1 (power of two)
+  size_t count_per_shard_ = 0;   ///< live-entry capacity per shard
+  size_t prefix_per_shard_ = 0;  ///< prefix-entry capacity per shard
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Publishes `stats` to the global metrics registry as the
+/// cube.cache.shared.* counter family. Call once per cache lifetime (the
+/// registry accumulates across runs); the Detector facade does this after
+/// each Detect that ran with a shared cache.
+void PublishSharedCubeCacheMetrics(const SharedCubeCache::Stats& stats);
+
+}  // namespace hido
+
+#endif  // HIDO_GRID_SHARED_CUBE_CACHE_H_

@@ -10,10 +10,15 @@
 //
 // Determinism contract: for a fixed seed and complete run, the `config`,
 // `counters`, `histograms`, and `results` sections are byte-identical at
-// any thread count, *except* counters documented as scheduling-dependent
-// (cube-counter cache/strategy breakdowns, kNN pruning, pool.* gauges).
-// Wall-clock lives only in `timing` and in explicitly "_seconds"-named
-// result fields, so consumers can diff everything above it.
+// any thread count *and any cube cache mode*, *except* counters documented
+// as scheduling-dependent: the cube-counter serving-path breakdowns
+// (counter.cache_hits / shared_hits / prefix_counts / bitset_counts /
+// posting_counts / naive_counts / cache_evictions / cache_clears), the
+// whole cube.cache.shared.* family, kNN pruning, and pool.* gauges.
+// counter.queries itself is invariant — every query increments it exactly
+// once no matter which path serves it. Wall-clock lives only in `timing`
+// and in explicitly "_seconds"-named result fields, so consumers can diff
+// everything above it.
 
 #include <cstdint>
 #include <string>

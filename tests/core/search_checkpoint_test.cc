@@ -51,7 +51,7 @@ void ExpectSameResult(const EvolutionResult& a, const EvolutionResult& b) {
   EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
   // Cumulative operator tallies must survive interrupt/resume: a resumed
   // run reports the same totals as an uninterrupted one (telemetry
-  // continuity, checkpoint format v2 `ops` line).
+  // continuity, checkpoint format `ops` line, v2+).
   EXPECT_EQ(a.stats.crossovers, b.stats.crossovers);
   EXPECT_EQ(a.stats.mutations, b.stats.mutations);
   EXPECT_EQ(a.stats.selections, b.stats.selections);
@@ -130,14 +130,15 @@ TEST(SearchCheckpointTest, SerializeParseRoundTripsExactly) {
 TEST(SearchCheckpointTest, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseCheckpoint("").ok());
   EXPECT_FALSE(ParseCheckpoint("not a checkpoint").ok());
-  EXPECT_FALSE(ParseCheckpoint("hido-checkpoint v2\nseed oops\n").ok());
+  EXPECT_FALSE(ParseCheckpoint("hido-checkpoint v3\nseed oops\n").ok());
 }
 
 TEST(SearchCheckpointTest, ParseRejectsOldFormatVersion) {
-  // v1 files lack the per-restart `ops` tallies; checkpoints are
-  // short-lived scratch state, so old versions are rejected outright
-  // rather than migrated.
+  // v1 files lack the per-restart `ops` tallies and v2 the widened
+  // counter_stats breakdown; checkpoints are short-lived scratch state,
+  // so old versions are rejected outright rather than migrated.
   EXPECT_FALSE(ParseCheckpoint("hido-checkpoint v1\nseed 17\n").ok());
+  EXPECT_FALSE(ParseCheckpoint("hido-checkpoint v2\nseed 17\n").ok());
 }
 
 TEST(SearchCheckpointTest, LoadMissingFileFails) {

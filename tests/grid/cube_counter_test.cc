@@ -91,6 +91,50 @@ TEST(CubeCounterTest, ClearCacheForgets) {
   counter.ClearCache();
   counter.Count({{0, 0}});
   EXPECT_EQ(counter.stats().cache_hits, 0u);
+  // The drop is accounted, not silent: one clear event, one entry lost.
+  EXPECT_EQ(counter.stats().cache_clears, 1u);
+  EXPECT_EQ(counter.stats().cache_evictions, 1u);
+}
+
+TEST(CubeCounterTest, WholesaleClearOnFullIsAccounted) {
+  const GridModel grid = MakeGrid(300, 4, 3, 7);
+  CubeCounter::Options opts;
+  opts.cache_capacity = 2;
+  CubeCounter counter(grid, opts);
+  // Three distinct queries: the third finds the table full, clears the two
+  // residents (counted), and caches itself.
+  counter.Count({{0, 0}});
+  counter.Count({{0, 1}});
+  counter.Count({{0, 2}});
+  EXPECT_EQ(counter.stats().cache_clears, 1u);
+  EXPECT_EQ(counter.stats().cache_evictions, 2u);
+  // The newest entry survived the clear; the evicted ones recompute.
+  counter.Count({{0, 2}});
+  EXPECT_EQ(counter.stats().cache_hits, 1u);
+  counter.Count({{0, 0}});
+  EXPECT_EQ(counter.stats().cache_hits, 1u);
+  // Every query is still served by exactly one path.
+  const CubeCounter::Stats& s = counter.stats();
+  EXPECT_EQ(s.queries, s.cache_hits + s.shared_hits + s.prefix_counts +
+                           s.bitset_counts + s.posting_counts +
+                           s.naive_counts);
+}
+
+TEST(CubeCounterTest, SharedModeBypassesPrivateCache) {
+  const GridModel grid = MakeGrid(300, 4, 3, 7);
+  SharedCubeCache cache;
+  CubeCounter::Options opts;
+  opts.shared_cache = &cache;
+  CubeCounter counter(grid, opts);
+  const std::vector<DimRange> conditions = {{0, 0}, {1, 1}};
+  const size_t first = counter.Count(conditions);
+  EXPECT_EQ(counter.Count(conditions), first);
+  EXPECT_EQ(counter.stats().cache_hits, 0u);
+  EXPECT_EQ(counter.stats().shared_hits, 1u);
+  // A second counter on the same cache reuses the first one's work.
+  CubeCounter other(grid, opts);
+  EXPECT_EQ(other.Count(conditions), first);
+  EXPECT_EQ(other.stats().shared_hits, 1u);
 }
 
 TEST(CubeCounterTest, CoveredPointsMatchCount) {

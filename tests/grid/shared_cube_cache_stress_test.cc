@@ -1,0 +1,170 @@
+// Concurrency stress for SharedCubeCache: many ParallelFor workers, each
+// with its own CubeCounter, hammer one shared cache. Run under
+// ThreadSanitizer (cmake -DHIDO_SANITIZE=thread) to check the lock
+// striping; under any build it checks the accounting identities:
+//
+//   * every worker's counts match a single-threaded reference counter,
+//   * cache hits + misses == total lookups issued,
+//   * absorbed per-worker stats sum exactly (no lost updates).
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "data/generators/synthetic.h"
+#include "grid/cube_counter.h"
+#include "grid/shared_cube_cache.h"
+
+namespace hido {
+namespace {
+
+GridModel MakeGrid(size_t n, size_t d, size_t phi, uint64_t seed) {
+  GridModel::Options opts;
+  opts.phi = phi;
+  return GridModel::Build(GenerateUniform(n, d, seed), opts);
+}
+
+std::vector<DimRange> RandomConditions(const GridModel& grid, size_t k,
+                                       Rng& rng) {
+  std::vector<DimRange> conditions;
+  const std::vector<size_t> dims =
+      rng.SampleWithoutReplacement(grid.num_dims(), k);
+  for (size_t d : dims) {
+    conditions.push_back({static_cast<uint32_t>(d),
+                          static_cast<uint32_t>(rng.UniformIndex(grid.phi()))});
+  }
+  return conditions;
+}
+
+TEST(SharedCubeCacheStressTest, ManyWorkersOneCacheExactTotals) {
+  constexpr size_t kWorkers = 8;
+  constexpr size_t kTasks = 64;
+  constexpr size_t kQueriesPerTask = 200;
+
+  const GridModel grid = MakeGrid(500, 8, 4, 11);
+
+  // A fixed pool of condition sets shared by all workers, so the same keys
+  // collide across threads constantly (the worst case for the striping).
+  std::vector<std::vector<DimRange>> pool;
+  Rng pool_rng(5);
+  for (int i = 0; i < 40; ++i) {
+    pool.push_back(RandomConditions(grid, 1 + pool_rng.UniformIndex(4),
+                                    pool_rng));
+  }
+  CubeCounter reference(grid);
+  std::vector<size_t> expected(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    expected[i] = reference.Count(pool[i]);
+  }
+
+  SharedCubeCache::Options cache_options;
+  cache_options.capacity = 1u << 10;
+  cache_options.num_shards = 4;  // fewer stripes = more lock contention
+  SharedCubeCache cache(cache_options);
+
+  CubeCounter::Options counter_options;
+  counter_options.shared_cache = &cache;
+  std::vector<std::unique_ptr<CubeCounter>> counters;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    counters.push_back(std::make_unique<CubeCounter>(grid, counter_options));
+  }
+
+  std::atomic<uint64_t> mismatches{0};
+  ParallelFor(kTasks, kWorkers, [&](size_t task, size_t worker) {
+    CubeCounter& counter = *counters[worker];
+    Rng rng(1000 + task);
+    for (size_t q = 0; q < kQueriesPerTask; ++q) {
+      const size_t i = rng.UniformIndex(pool.size());
+      if (counter.Count(pool[i]) != expected[i]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Exact accounting. Every Count either hit the shared table or missed
+  // and computed; the cache saw exactly one lookup per non-prefix-served
+  // query, and the per-worker stats absorb without loss.
+  CubeCounter::Stats total;
+  for (const auto& counter : counters) total += counter->stats();
+  EXPECT_EQ(total.queries, kTasks * kQueriesPerTask);
+  EXPECT_EQ(total.queries, total.cache_hits + total.shared_hits +
+                               total.prefix_counts + total.bitset_counts +
+                               total.posting_counts + total.naive_counts);
+  EXPECT_EQ(total.cache_hits, 0u);  // shared mode bypasses private tables
+
+  const SharedCubeCache::Stats cache_stats = cache.stats();
+  EXPECT_EQ(cache_stats.hits + cache_stats.misses, total.queries);
+  EXPECT_EQ(cache_stats.hits, total.shared_hits);
+  // Every miss computed (the serving-path tallies account for each one) —
+  // but concurrent misses on the same key insert idempotently, so distinct
+  // insertions are bounded by the key pool, not by the miss count.
+  EXPECT_EQ(cache_stats.misses, total.prefix_counts + total.bitset_counts +
+                                    total.posting_counts + total.naive_counts);
+  EXPECT_EQ(cache_stats.evictions, 0u);  // capacity far above the pool
+  EXPECT_LE(cache_stats.insertions, pool.size());
+  EXPECT_GE(cache_stats.insertions, 1u);
+
+  // AbsorbStats folds the workers into a caller's counter truthfully.
+  CubeCounter absorber(grid, counter_options);
+  for (const auto& counter : counters) absorber.AbsorbStats(counter->stats());
+  EXPECT_EQ(absorber.stats().queries, total.queries);
+  EXPECT_EQ(absorber.stats().shared_hits, total.shared_hits);
+}
+
+// Concurrent writers racing generation-clears on a tiny cache: the values
+// served must still all be correct (stale entries are never served across
+// a generation bump) and eviction accounting must stay consistent.
+TEST(SharedCubeCacheStressTest, ThrashingTinyCacheStaysCorrect) {
+  constexpr size_t kWorkers = 8;
+  constexpr size_t kTasks = 32;
+
+  const GridModel grid = MakeGrid(300, 6, 4, 23);
+  std::vector<std::vector<DimRange>> pool;
+  Rng pool_rng(9);
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(RandomConditions(grid, 1 + pool_rng.UniformIndex(3),
+                                    pool_rng));
+  }
+  CubeCounter reference(grid);
+  std::vector<size_t> expected(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    expected[i] = reference.Count(pool[i]);
+  }
+
+  SharedCubeCache::Options cache_options;
+  cache_options.capacity = 16;  // far below the working set: thrash
+  cache_options.prefix_capacity = 4;
+  cache_options.num_shards = 2;
+  SharedCubeCache cache(cache_options);
+  CubeCounter::Options counter_options;
+  counter_options.shared_cache = &cache;
+  std::vector<std::unique_ptr<CubeCounter>> counters;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    counters.push_back(std::make_unique<CubeCounter>(grid, counter_options));
+  }
+
+  std::atomic<uint64_t> mismatches{0};
+  ParallelFor(kTasks, kWorkers, [&](size_t task, size_t worker) {
+    CubeCounter& counter = *counters[worker];
+    Rng rng(2000 + task);
+    for (size_t q = 0; q < 100; ++q) {
+      const size_t i = rng.UniformIndex(pool.size());
+      if (counter.Count(pool[i]) != expected[i]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const SharedCubeCache::Stats cache_stats = cache.stats();
+  EXPECT_GT(cache_stats.evictions, 0u);  // the clears really happened
+  EXPECT_LE(cache_stats.evictions, cache_stats.insertions);
+}
+
+}  // namespace
+}  // namespace hido

@@ -1,0 +1,229 @@
+#include "grid/shared_cube_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators/synthetic.h"
+#include "grid/cube_counter.h"
+
+namespace hido {
+namespace {
+
+GridModel MakeGrid(size_t n, size_t d, size_t phi, uint64_t seed) {
+  GridModel::Options opts;
+  opts.phi = phi;
+  return GridModel::Build(GenerateUniform(n, d, seed), opts);
+}
+
+std::vector<DimRange> RandomConditions(const GridModel& grid, size_t k,
+                                       Rng& rng) {
+  std::vector<DimRange> conditions;
+  const std::vector<size_t> dims =
+      rng.SampleWithoutReplacement(grid.num_dims(), k);
+  for (size_t d : dims) {
+    conditions.push_back({static_cast<uint32_t>(d),
+                          static_cast<uint32_t>(rng.UniformIndex(grid.phi()))});
+  }
+  return conditions;
+}
+
+TEST(PackCubeKeyTest, SortsAndPacks) {
+  const CubeKey key = PackCubeKey({{3, 2}, {0, 1}, {2, 0}});
+  ASSERT_EQ(key.size(), 3u);
+  EXPECT_EQ(key[0], (uint64_t{0} << 32) | 1);
+  EXPECT_EQ(key[1], (uint64_t{2} << 32) | 0);
+  EXPECT_EQ(key[2], (uint64_t{3} << 32) | 2);
+  // Order-insensitive: any permutation packs to the same key.
+  EXPECT_EQ(key, PackCubeKey({{0, 1}, {2, 0}, {3, 2}}));
+  EXPECT_EQ(key, PackCubeKey({{2, 0}, {3, 2}, {0, 1}}));
+}
+
+TEST(SharedCubeCacheTest, LookupInsertRoundTrip) {
+  SharedCubeCache cache;
+  const CubeKey key = PackCubeKey({{0, 1}, {1, 2}});
+  size_t count = 0;
+  EXPECT_FALSE(cache.LookupCount(key, &count));
+  cache.InsertCount(key, 41);
+  ASSERT_TRUE(cache.LookupCount(key, &count));
+  EXPECT_EQ(count, 41u);
+
+  const SharedCubeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(SharedCubeCacheTest, ZeroCapacityDisablesTables) {
+  SharedCubeCache::Options options;
+  options.capacity = 0;
+  options.prefix_capacity = 0;
+  SharedCubeCache cache(options);
+  EXPECT_FALSE(cache.prefix_enabled());
+
+  const CubeKey key = PackCubeKey({{0, 0}});
+  cache.InsertCount(key, 7);
+  size_t count = 0;
+  EXPECT_FALSE(cache.LookupCount(key, &count));
+  cache.InsertPrefix(key, DynamicBitset(8));
+  EXPECT_EQ(cache.LookupPrefix(key), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().prefix_insertions, 0u);
+}
+
+TEST(SharedCubeCacheTest, GenerationClearEvictsAndAccounts) {
+  SharedCubeCache::Options options;
+  options.capacity = 4;
+  options.num_shards = 1;  // all keys share one shard: overflow is exact
+  SharedCubeCache cache(options);
+
+  for (uint32_t cell = 0; cell < 4; ++cell) {
+    cache.InsertCount(PackCubeKey({{0, cell}}), cell);
+  }
+  // The 4th insert filled the shard and triggered a generation-clear:
+  // every previously live entry is now logically absent.
+  SharedCubeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 4u);
+  EXPECT_EQ(stats.evictions, 4u);
+  size_t count = 0;
+  EXPECT_FALSE(cache.LookupCount(PackCubeKey({{0, 0}}), &count));
+
+  // Stale slots are revived in place and count as insertions again.
+  cache.InsertCount(PackCubeKey({{0, 0}}), 99);
+  ASSERT_TRUE(cache.LookupCount(PackCubeKey({{0, 0}}), &count));
+  EXPECT_EQ(count, 99u);
+  EXPECT_EQ(cache.stats().insertions, 5u);
+}
+
+TEST(SharedCubeCacheTest, ClearDropsEverything) {
+  SharedCubeCache cache;
+  const CubeKey key = PackCubeKey({{0, 1}, {1, 0}});
+  cache.InsertCount(key, 3);
+  cache.InsertPrefix(key, DynamicBitset(16));
+  cache.Clear();
+  size_t count = 0;
+  EXPECT_FALSE(cache.LookupCount(key, &count));
+  EXPECT_EQ(cache.LookupPrefix(key), nullptr);
+  const SharedCubeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.prefix_evictions, 1u);
+}
+
+TEST(SharedCubeCacheTest, PrefixStoreRoundTrip) {
+  SharedCubeCache cache;
+  DynamicBitset bits(10);
+  bits.Set(3);
+  bits.Set(7);
+  const CubeKey key = PackCubeKey({{0, 0}, {1, 1}});
+  EXPECT_EQ(cache.LookupPrefix(key), nullptr);
+  cache.InsertPrefix(key, bits);
+  const std::shared_ptr<const DynamicBitset> stored = cache.LookupPrefix(key);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(*stored, bits);
+  const SharedCubeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.prefix_hits, 1u);
+  EXPECT_EQ(stats.prefix_misses, 1u);
+  EXPECT_EQ(stats.prefix_insertions, 1u);
+}
+
+TEST(SharedCubeCacheTest, PrefixTableReallyClearsWhenFull) {
+  SharedCubeCache::Options options;
+  options.prefix_capacity = 2;
+  options.num_shards = 1;
+  SharedCubeCache cache(options);
+  for (uint32_t cell = 0; cell < 3; ++cell) {
+    cache.InsertPrefix(PackCubeKey({{0, cell}}), DynamicBitset(8));
+  }
+  // Third insert found the table full and cleared the two residents first.
+  const SharedCubeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.prefix_insertions, 3u);
+  EXPECT_EQ(stats.prefix_evictions, 2u);
+  EXPECT_EQ(cache.LookupPrefix(PackCubeKey({{0, 0}})), nullptr);
+  EXPECT_NE(cache.LookupPrefix(PackCubeKey({{0, 2}})), nullptr);
+}
+
+// The determinism contract, as a property test: for randomized grids and
+// condition lists, Count is identical whether memoization is private,
+// shared (with prefix memoization), shared with a tiny thrashing capacity,
+// or off — and each counter's serving-path stats sum back to its queries.
+TEST(SharedCubeCachePropertyTest, CountsAgreeAcrossCacheModes) {
+  Rng rng(271);
+  for (int round = 0; round < 8; ++round) {
+    const size_t n = 100 + rng.UniformIndex(400);
+    const size_t d = 4 + rng.UniformIndex(5);
+    const size_t phi = 3 + rng.UniformIndex(4);
+    const GridModel grid = MakeGrid(n, d, phi, 1000 + round);
+
+    CubeCounter::Options off;
+    off.cache_capacity = 0;
+    CubeCounter private_counter(grid);
+    CubeCounter off_counter(grid, off);
+
+    SharedCubeCache shared_cache;
+    CubeCounter::Options shared_opts;
+    shared_opts.shared_cache = &shared_cache;
+    CubeCounter shared_counter(grid, shared_opts);
+
+    SharedCubeCache::Options tiny;
+    tiny.capacity = 8;
+    tiny.prefix_capacity = 2;
+    tiny.num_shards = 1;
+    SharedCubeCache tiny_cache(tiny);
+    CubeCounter::Options tiny_opts;
+    tiny_opts.shared_cache = &tiny_cache;
+    CubeCounter tiny_counter(grid, tiny_opts);
+
+    // Draw from a small pool of condition sets so revisits exercise the
+    // hit paths, not just cold misses.
+    std::vector<std::vector<DimRange>> pool;
+    for (int i = 0; i < 12; ++i) {
+      pool.push_back(RandomConditions(grid, 1 + rng.UniformIndex(4), rng));
+    }
+    for (int trial = 0; trial < 120; ++trial) {
+      const std::vector<DimRange>& conditions =
+          pool[rng.UniformIndex(pool.size())];
+      const size_t expected = private_counter.Count(conditions);
+      EXPECT_EQ(shared_counter.Count(conditions), expected);
+      EXPECT_EQ(tiny_counter.Count(conditions), expected);
+      EXPECT_EQ(off_counter.Count(conditions), expected);
+    }
+
+    for (const CubeCounter* counter :
+         {&private_counter, &shared_counter, &tiny_counter, &off_counter}) {
+      const CubeCounter::Stats& s = counter->stats();
+      EXPECT_EQ(s.queries, s.cache_hits + s.shared_hits + s.prefix_counts +
+                               s.bitset_counts + s.posting_counts +
+                               s.naive_counts);
+    }
+    // The shared counter really served queries from the shared table.
+    EXPECT_GT(shared_counter.stats().shared_hits, 0u);
+    EXPECT_EQ(off_counter.stats().cache_hits, 0u);
+    EXPECT_EQ(off_counter.stats().shared_hits, 0u);
+  }
+}
+
+// Prefix memoization kicks in for k >= 3 once a (k-1)-prefix recurs with a
+// different final condition, and the finished count matches the full
+// computation.
+TEST(SharedCubeCacheTest, PrefixMemoizationServesRecurringPrefixes) {
+  const GridModel grid = MakeGrid(600, 6, 4, 77);
+  SharedCubeCache cache;
+  CubeCounter::Options opts;
+  opts.shared_cache = &cache;
+  opts.strategy = CountingStrategy::kBitset;
+  CubeCounter counter(grid, opts);
+  CubeCounter reference(grid);
+
+  // Same 2-dim prefix, varying third condition: the first query stores the
+  // prefix bitset, every later one finishes from it.
+  for (uint32_t cell = 0; cell < grid.phi(); ++cell) {
+    const std::vector<DimRange> conditions = {{0, 1}, {1, 2}, {2, cell}};
+    EXPECT_EQ(counter.Count(conditions), reference.Count(conditions));
+  }
+  EXPECT_EQ(counter.stats().prefix_counts, grid.phi() - 1);
+  EXPECT_EQ(cache.stats().prefix_insertions, 1u);
+  EXPECT_EQ(cache.stats().prefix_hits, grid.phi() - 1);
+}
+
+}  // namespace
+}  // namespace hido

@@ -132,11 +132,43 @@ TEST(NoRawMutexRule, FlagsStdMutexFamilyOutsideCommon) {
       LintContent("src/grid/e.cc", "std::shared_mutex rw;\n"), "no-raw-mutex"));
 }
 
-TEST(NoRawMutexRule, AllowedUnderCommon) {
-  // common/mutex.h wraps std::mutex; the whole of src/common/ is exempt so
-  // the wrapper itself (and the thread pool internals) can exist.
+TEST(NoRawMutexRule, AllowedOnlyInTheWrapperFile) {
+  // The allowlist is an exact file, not a directory prefix: only
+  // src/common/mutex.h may own raw primitives (it IS the wrapper).
   EXPECT_TRUE(
-      LintContent("src/common/mutex.cc", "std::mutex mu_;\n").empty());
+      LintContent("src/common/mutex.h",
+                  "#ifndef HIDO_COMMON_MUTEX_H_\n"
+                  "#define HIDO_COMMON_MUTEX_H_\n"
+                  "std::mutex mu_;\n"
+                  "#endif  // HIDO_COMMON_MUTEX_H_\n")
+          .empty());
+}
+
+TEST(NoRawMutexRule, ExactFileAllowlistDoesNotLeakToSiblings) {
+  // A new file dropped beside the wrapper gets no free pass — this is the
+  // difference between allowed_files and allowed_prefixes.
+  EXPECT_TRUE(HasRule(
+      LintContent("src/common/mutex.cc", "std::mutex mu_;\n"),
+      "no-raw-mutex"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/common/mutex_extras.h", "std::mutex mu_;\n"),
+      "no-raw-mutex"));
+  // Nor does it match on a bare suffix from another directory.
+  EXPECT_TRUE(HasRule(
+      LintContent("src/grid/src/common/mutex.h", "std::mutex mu_;\n"),
+      "no-raw-mutex"));
+}
+
+TEST(NoRawMutexRule, SharedCubeCacheStaysOnTheWrapper) {
+  // The concurrent cube cache is the newest heavily-locked component; it
+  // must keep using common::Mutex with zero escapes.
+  const std::string clean =
+      "common::Mutex mu;\n"
+      "common::MutexLock lock(&mu);\n";
+  EXPECT_TRUE(LintContent("src/grid/shared_cube_cache.cc", clean).empty());
+  EXPECT_TRUE(HasRule(
+      LintContent("src/grid/shared_cube_cache.cc", "std::mutex mu_;\n"),
+      "no-raw-mutex"));
 }
 
 TEST(NoRawMutexRule, AnnotatedWrapperIsClean) {

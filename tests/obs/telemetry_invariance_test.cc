@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/run_control.h"
+#include "common/string_util.h"
 #include "core/detector.h"
 #include "core/search_checkpoint.h"
 #include "data/generators/synthetic.h"
@@ -23,17 +24,41 @@ namespace {
 // Counters documented as scheduling-dependent (see obs/telemetry.h): the
 // cube-counter per-worker caches restart cold and its strategy dispatch
 // depends on which worker claims a query, so their breakdowns move between
-// schedules while their total (counter.queries) does not.
+// schedules while their total (counter.queries) does not. The whole
+// serving-path family (private hits, shared hits, prefix finishes,
+// evictions) and the shared-cache table's own statistics are variant for
+// the same reason.
 bool IsThreadVariant(const std::string& name) {
-  return name == "counter.cache_hits" || name == "counter.bitset_counts" ||
-         name == "counter.posting_counts" || name == "counter.naive_counts";
+  return name == "counter.cache_hits" || name == "counter.shared_hits" ||
+         name == "counter.prefix_counts" || name == "counter.bitset_counts" ||
+         name == "counter.posting_counts" || name == "counter.naive_counts" ||
+         name == "counter.cache_evictions" || name == "counter.cache_clears" ||
+         name.rfind("cube.cache.shared.", 0) == 0;
+}
+
+// Flattens a report to bytes so runs can be compared for the documented
+// bit-identical-results contract.
+std::string SerializeReport(const OutlierReport& report) {
+  std::string out;
+  for (const ScoredProjection& s : report.projections) {
+    out += s.projection.ToString();
+    out += StrFormat("|count=%zu|sparsity=%.17g\n", s.count, s.sparsity);
+  }
+  for (const OutlierRecord& o : report.outliers) {
+    out += StrFormat("row=%zu|best=%.17g|covering=", o.row, o.best_sparsity);
+    for (size_t id : o.projection_ids) out += StrFormat("%zu,", id);
+    out += "\n";
+  }
+  return out;
 }
 
 // Runs one full detection at `threads` workers against a clean registry
 // and returns the serialized thread-invariant counter + histogram
 // sections.
-std::string DetectAndSerializeInvariantSections(const Dataset& data,
-                                                size_t threads) {
+std::string DetectAndSerializeInvariantSections(
+    const Dataset& data, size_t threads,
+    CubeCacheMode cache_mode = CubeCacheMode::kPrivate,
+    std::string* report_bytes = nullptr) {
   MetricsRegistry::Global().ResetForTest();
   Tracer::Global().Reset();
 
@@ -47,8 +72,10 @@ std::string DetectAndSerializeInvariantSections(const Dataset& data,
   config.evolution.restarts = 2;
   config.seed = 29;
   config.num_threads = threads;
+  config.cache_mode = cache_mode;
   const DetectionResult result = OutlierDetector(config).Detect(data);
   EXPECT_TRUE(result.completed);
+  if (report_bytes != nullptr) *report_bytes = SerializeReport(result.report);
 
   RunTelemetry telemetry = CaptureRunTelemetry("invariance test");
   RunTelemetry filtered;
@@ -76,6 +103,31 @@ TEST(TelemetryInvarianceTest, InvariantCountersAreByteIdenticalAcrossThreads) {
   EXPECT_NE(at_one.find("search.crossovers"), std::string::npos);
   EXPECT_NE(at_one.find("counter.queries"), std::string::npos);
   EXPECT_NE(at_one.find("search.restart_generations"), std::string::npos);
+}
+
+// The shared-cache acceptance criterion: the outlier report and the
+// invariant telemetry sections are byte-identical for every cache mode ×
+// thread count combination — memoization changes which code path computes
+// a count, never its value.
+TEST(TelemetryInvarianceTest,
+     ReportAndInvariantCountersAreIdenticalAcrossCacheModes) {
+  const Dataset data = GenerateUniform(300, 8, 13);
+  std::string baseline_report;
+  const std::string baseline = DetectAndSerializeInvariantSections(
+      data, 1, CubeCacheMode::kPrivate, &baseline_report);
+  ASSERT_FALSE(baseline_report.empty());
+  for (const CubeCacheMode mode :
+       {CubeCacheMode::kPrivate, CubeCacheMode::kShared, CubeCacheMode::kOff}) {
+    for (const size_t threads : {1u, 2u, 8u}) {
+      std::string report;
+      const std::string sections =
+          DetectAndSerializeInvariantSections(data, threads, mode, &report);
+      EXPECT_EQ(sections, baseline)
+          << "mode=" << CubeCacheModeToString(mode) << " threads=" << threads;
+      EXPECT_EQ(report, baseline_report)
+          << "mode=" << CubeCacheModeToString(mode) << " threads=" << threads;
+    }
+  }
 }
 
 uint64_t CounterValue(const MetricsSnapshot& snapshot,

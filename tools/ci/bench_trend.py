@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Cross-commit bench trend gate.
+
+Compares the current run's bench telemetry JSON (BENCH_counting.json,
+BENCH_table1.json — written by bench/micro_counting and
+bench/table1_performance through obs::RunTelemetry) against the previous
+successful run's artifacts, and fails on silent regressions beyond a
+tolerance band.
+
+Usage:
+  bench_trend.py --previous PREV_DIR --current CUR_DIR [--tolerance 0.30]
+  bench_trend.py --self-test
+
+Per-file comparison keys and metrics:
+  * tool "micro_counting":      rows keyed by "benchmark";
+                                items_per_second (higher is better), falling
+                                back to real_time_ns (lower is better).
+  * tool "table1_performance":  rows keyed by "dataset"; gen_seconds /
+                                gen_opt_seconds and gen_evaluations /
+                                gen_opt_evaluations (all lower is better;
+                                brute_seconds only when both runs completed
+                                within budget).
+
+A missing previous artifact (first run, expired retention, new benchmark
+name) is a pass-with-note, never a failure: the gate only rejects a
+*measured* regression against a *measured* baseline. Exit status: 0 = pass,
+1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_results(path):
+    """Returns (tool, {key: row}) from one RunTelemetry JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    tool = doc.get("tool", "")
+    key_field = "benchmark" if tool == "micro_counting" else "dataset"
+    rows = {}
+    for row in doc.get("results", []):
+        if key_field in row:
+            rows[str(row[key_field])] = row
+    return tool, rows
+
+
+def metric_pairs(tool, prev_row, cur_row):
+    """Yields (metric_name, prev, cur, higher_is_better) comparisons."""
+    if tool == "micro_counting":
+        if "items_per_second" in prev_row and "items_per_second" in cur_row:
+            yield ("items_per_second", prev_row["items_per_second"],
+                   cur_row["items_per_second"], True)
+        elif "real_time_ns" in prev_row and "real_time_ns" in cur_row:
+            yield ("real_time_ns", prev_row["real_time_ns"],
+                   cur_row["real_time_ns"], False)
+        return
+    if tool == "table1_performance":
+        for name in ("gen_seconds", "gen_opt_seconds", "gen_evaluations",
+                     "gen_opt_evaluations"):
+            if name in prev_row and name in cur_row:
+                yield (name, prev_row[name], cur_row[name], False)
+        # Brute-force time only means anything when both runs finished
+        # within their budget (a "-" row carries the budget, not the cost).
+        if prev_row.get("brute_completed") and cur_row.get("brute_completed"):
+            if "brute_seconds" in prev_row and "brute_seconds" in cur_row:
+                yield ("brute_seconds", prev_row["brute_seconds"],
+                       cur_row["brute_seconds"], False)
+
+
+def compare_docs(tool, prev_rows, cur_rows, tolerance, report):
+    """Appends lines to `report`; returns the number of regressions."""
+    regressions = 0
+    for key in sorted(cur_rows):
+        if key not in prev_rows:
+            report.append(f"  NEW      {key}: no previous measurement")
+            continue
+        for name, prev, cur, higher_better in metric_pairs(
+                tool, prev_rows[key], cur_rows[key]):
+            if not isinstance(prev, (int, float)) or prev <= 0:
+                continue
+            # Normalize so `change` > 0 always means "got worse".
+            change = (prev - cur) / prev if higher_better else (cur - prev) / prev
+            worse = change > tolerance
+            tag = "REGRESS" if worse else ("ok     " if change <= 0 else "drift  ")
+            report.append(
+                f"  {tag}  {key} {name}: {prev:.6g} -> {cur:.6g} "
+                f"({'+' if change > 0 else ''}{change * 100:.1f}% "
+                f"{'worse' if change > 0 else 'better'})")
+            if worse:
+                regressions += 1
+    for key in sorted(set(prev_rows) - set(cur_rows)):
+        report.append(f"  GONE     {key}: present previously, missing now")
+    return regressions
+
+
+def run_compare(previous_dir, current_dir, tolerance):
+    if not os.path.isdir(current_dir):
+        print(f"bench_trend: current dir '{current_dir}' not found",
+              file=sys.stderr)
+        return 2
+    current_files = sorted(
+        f for f in os.listdir(current_dir) if f.endswith(".json"))
+    if not current_files:
+        print(f"bench_trend: no *.json under '{current_dir}'", file=sys.stderr)
+        return 2
+
+    total_regressions = 0
+    compared = 0
+    for name in current_files:
+        cur_path = os.path.join(current_dir, name)
+        prev_path = os.path.join(previous_dir, name) if previous_dir else None
+        tool, cur_rows = load_results(cur_path)
+        print(f"{name} (tool={tool}, {len(cur_rows)} rows)")
+        if prev_path is None or not os.path.isfile(prev_path):
+            print("  PASS (note): no previous artifact — this run becomes "
+                  "the baseline")
+            continue
+        prev_tool, prev_rows = load_results(prev_path)
+        if prev_tool != tool:
+            print(f"  PASS (note): previous artifact is from tool "
+                  f"'{prev_tool}', skipping comparison")
+            continue
+        report = []
+        total_regressions += compare_docs(tool, prev_rows, cur_rows,
+                                          tolerance, report)
+        compared += 1
+        print("\n".join(report))
+
+    if total_regressions:
+        print(f"bench_trend: FAIL — {total_regressions} metric(s) regressed "
+              f"beyond {tolerance * 100:.0f}% tolerance")
+        return 1
+    print(f"bench_trend: PASS ({compared} file(s) compared against the "
+          f"previous run, tolerance {tolerance * 100:.0f}%)")
+    return 0
+
+
+def self_test():
+    """In-memory checks of the comparison logic."""
+    tol = 0.30
+
+    def check(name, cond):
+        if not cond:
+            print(f"self-test FAILED: {name}", file=sys.stderr)
+            sys.exit(1)
+
+    # Higher-is-better: a 50% throughput drop regresses, 20% does not,
+    # and an improvement never does.
+    prev = {"a": {"benchmark": "a", "items_per_second": 100.0}}
+
+    def n_reg(cur):
+        report = []
+        return compare_docs("micro_counting", prev, cur, tol, report)
+
+    check("ips drop 50% fails",
+          n_reg({"a": {"benchmark": "a", "items_per_second": 50.0}}) == 1)
+    check("ips drop 20% passes",
+          n_reg({"a": {"benchmark": "a", "items_per_second": 80.0}}) == 0)
+    check("ips gain passes",
+          n_reg({"a": {"benchmark": "a", "items_per_second": 400.0}}) == 0)
+
+    # Lower-is-better table1 metrics, including the brute gating.
+    p = {"d": {"dataset": "d", "gen_seconds": 1.0, "gen_evaluations": 1000,
+               "brute_completed": True, "brute_seconds": 2.0}}
+    c_bad = {"d": {"dataset": "d", "gen_seconds": 1.5, "gen_evaluations": 1000,
+                   "brute_completed": True, "brute_seconds": 2.0}}
+    c_ok = {"d": {"dataset": "d", "gen_seconds": 1.1, "gen_evaluations": 900,
+                  "brute_completed": False, "brute_seconds": 5.0}}
+    check("gen_seconds +50% fails",
+          compare_docs("table1_performance", p, c_bad, tol, []) == 1)
+    check("incomplete brute is not compared",
+          compare_docs("table1_performance", p, c_ok, tol, []) == 0)
+
+    # Structural cases: new/gone benchmarks are notes, not failures.
+    check("new benchmark passes",
+          n_reg({"a": {"benchmark": "a", "items_per_second": 100.0},
+                 "b": {"benchmark": "b", "items_per_second": 1.0}}) == 0)
+    check("gone benchmark passes", n_reg({}) == 0)
+
+    print("bench_trend self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--previous", help="directory with the previous "
+                        "run's BENCH_*.json artifacts (may not exist)")
+    parser.add_argument("--current", help="directory with this run's "
+                        "BENCH_*.json files")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="relative worsening allowed before failing "
+                        "(default 0.30)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run internal logic checks and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.current:
+        parser.error("--current is required (or use --self-test)")
+    return run_compare(args.previous, args.current, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -174,6 +174,13 @@ int RunDetect(const std::vector<std::string>& args) {
                "worker threads for the search (0: all hardware threads); "
                "results are seed-deterministic for any value");
   flags.AddInt("seed", 42, "random seed");
+  flags.AddString("cache-mode", "private",
+                  "cube-count memoization: private (per-worker tables) | "
+                  "shared (one concurrent table + prefix memo for all "
+                  "workers) | off; reports are bit-identical across modes");
+  flags.AddInt("cache-capacity", 0,
+               "cube cache entry budget for the selected --cache-mode "
+               "(0: mode default)");
   flags.AddDouble("deadline", 0.0,
                   "wall-clock budget in seconds (0: none); an expired run "
                   "still reports its best-so-far projections");
@@ -213,6 +220,10 @@ int RunDetect(const std::vector<std::string>& args) {
   config.sparsity_target = flags.GetDouble("s");
   config.num_projections = static_cast<size_t>(flags.GetInt("m"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (!ParseCubeCacheMode(flags.GetString("cache-mode"), &config.cache_mode)) {
+    return Fail(Status::InvalidArgument("unknown --cache-mode"));
+  }
+  config.cache_capacity = static_cast<size_t>(flags.GetInt("cache-capacity"));
   const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
   config.num_threads = threads == 0 ? HardwareThreads() : threads;
   if (flags.GetString("algorithm") == "brute-force") {
@@ -334,6 +345,8 @@ int RunDetect(const std::vector<std::string>& args) {
       {"expectation", flags.GetString("expectation")},
       {"seed", static_cast<uint64_t>(config.seed)},
       {"threads", static_cast<uint64_t>(config.num_threads)},
+      {"cache_mode", CubeCacheModeToString(config.cache_mode)},
+      {"cache_capacity", static_cast<uint64_t>(config.cache_capacity)},
       {"resumed", config.evolution.resume != nullptr},
   };
   obs::TelemetryRow result_row{

@@ -45,6 +45,10 @@ struct TokenRule {
   std::regex pattern;
   // Paths where the construct is legitimate (prefix match); empty = none.
   std::vector<std::string> allowed_prefixes;
+  // Exact repo-relative paths where the construct is legitimate. Tighter
+  // than a prefix: new files beside an allowed one are NOT exempt and must
+  // either use the sanctioned wrapper or carry a per-line escape.
+  std::vector<std::string> allowed_files;
   // When non-empty, the rule only applies under these prefixes.
   std::vector<std::string> only_under;
   const char* message;
@@ -59,6 +63,7 @@ const std::vector<TokenRule>& TokenRules() {
        std::regex(R"(\bthrow\b|\btry\s*\{|\bcatch\s*\()"),
        {},
        {},
+       {},
        "exception construct; use hido::Status / hido::Result<T> instead"},
       {"no-raw-random",
        "all randomness flows through seeded hido::Rng streams "
@@ -66,6 +71,7 @@ const std::vector<TokenRule>& TokenRules() {
        std::regex(R"(\bstd::mt19937(_64)?\b|\bstd::random_device\b)"
                   R"(|\bs?rand\s*\(|\b(std::)?time\s*\(\s*(nullptr|NULL|0)\s*\))"),
        {"src/common/rng."},
+       {},
        {},
        "raw randomness/time seed; draw from hido::Rng (common/rng.h) with "
        "an explicit seed"},
@@ -75,7 +81,12 @@ const std::vector<TokenRule>& TokenRules() {
        std::regex(R"(\bstd::(recursive_|shared_|timed_)?mutex\b)"
                   R"(|\bstd::condition_variable(_any)?\b)"
                   R"(|\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b)"),
-       {"src/common/"},
+       {},
+       // Exactly the wrapper that owns the raw primitives. Everything else
+       // in src/common/ — and every new concurrent component, e.g.
+       // src/grid/shared_cube_cache.cc — uses common::Mutex like the rest
+       // of the repo.
+       {"src/common/mutex.h"},
        {},
        "raw std::mutex/lock; use common::Mutex / MutexLock / CondVar "
        "(common/mutex.h) so the thread-safety analysis applies"},
@@ -85,6 +96,7 @@ const std::vector<TokenRule>& TokenRules() {
        std::regex(R"(\b(printf|fprintf|sprintf|puts)\s*\()"
                   R"(|\bstd::(cout|cerr|clog)\b)"),
        {},
+       {},
        {"src/core/"},
        "direct stdio in src/core; use HIDO_LOG_* (common/logging.h) or "
        "return a Status"},
@@ -92,6 +104,7 @@ const std::vector<TokenRule>& TokenRules() {
        "allocations are owned by containers or smart pointers; a bare new "
        "needs a per-line justification",
        std::regex(R"(\bnew\b)"),
+       {},
        {},
        {},
        "naked new; use std::make_unique/containers, or suppress with a "
@@ -341,6 +354,9 @@ std::vector<Finding> LintContent(const std::string& path,
     bool allowed = false;
     for (const std::string& prefix : rule.allowed_prefixes) {
       if (PathStartsWith(path, prefix)) allowed = true;
+    }
+    for (const std::string& file : rule.allowed_files) {
+      if (path == file) allowed = true;
     }
     if (allowed) continue;
     for (size_t i = 0; i < code_lines.size(); ++i) {

@@ -13,9 +13,12 @@
 //                    time(nullptr) outside common/rng.* — all randomness
 //                    flows through seeded hido::Rng streams, the backbone
 //                    of the bit-determinism contract.
-//   no-raw-mutex     std::mutex & friends outside src/common/ — locking
-//                    goes through the annotated common::Mutex so Clang
-//                    Thread Safety Analysis sees every critical section.
+//   no-raw-mutex     std::mutex & friends anywhere but the one wrapper
+//                    file src/common/mutex.h — locking goes through the
+//                    annotated common::Mutex so Clang Thread Safety
+//                    Analysis sees every critical section. The allowlist
+//                    is exact-file, not prefix: a new file dropped beside
+//                    mutex.h gets no free pass.
 //   no-stdio-in-core printf/std::cout/std::cerr inside src/core/ — library
 //                    code reports through HIDO_LOG_* / Status, never by
 //                    writing to the process's streams.
