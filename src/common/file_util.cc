@@ -1,10 +1,35 @@
 #include "common/file_util.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 namespace hido {
+
+namespace {
+
+std::atomic<int> g_write_failpoint{
+    static_cast<int>(internal::WriteFailStep::kNone)};
+
+// Consumes the one-shot failpoint if it is armed for `step`.
+bool FailpointFires(internal::WriteFailStep step) {
+  int expected = static_cast<int>(step);
+  return g_write_failpoint.compare_exchange_strong(
+      expected, static_cast<int>(internal::WriteFailStep::kNone),
+      std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace internal {
+
+void ArmWriteFailpointForTest(WriteFailStep step) {
+  g_write_failpoint.store(static_cast<int>(step),
+                          std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -21,23 +46,43 @@ Result<std::string> ReadFileToString(const std::string& path) {
 
 Status WriteFileAtomic(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
+  Status failure = Status::Ok();
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
+      // Nothing was created, so there is no temporary to clean up.
       return Status::IoError("cannot open for writing: " + tmp);
     }
-    out << content;
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return Status::IoError("write failure: " + tmp);
+    if (FailpointFires(internal::WriteFailStep::kOpen)) {
+      failure = Status::IoError("cannot open for writing: " + tmp +
+                                " (failpoint)");
+    } else {
+      out << content;
+      out.flush();
+      if (!out || FailpointFires(internal::WriteFailStep::kWrite)) {
+        failure = Status::IoError("write failure: " + tmp);
+      }
     }
+    // The stream closes here, before any remove: deleting a still-open
+    // file is undefined on non-POSIX platforms and previously left the
+    // stale `.tmp` behind exactly on the failure paths that needed the
+    // cleanup most.
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (!failure.ok()) {
+    std::remove(tmp.c_str());
+    return failure;
+  }
+  if (FailpointFires(internal::WriteFailStep::kRename) ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IoError("rename failure: " + tmp + " -> " + path);
   }
   return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
 }
 
 }  // namespace hido

@@ -2,7 +2,8 @@
 #define HIDO_COMMON_FILE_UTIL_H_
 
 // Small file helpers shared by the persistence layers (models,
-// checkpoints): whole-file reads and crash-tolerant atomic writes.
+// checkpoints, snapshots): whole-file reads and crash-tolerant atomic
+// writes.
 
 #include <string>
 
@@ -17,8 +18,30 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// rename, so a crash mid-write can never leave a truncated or interleaved
 /// file at `path` — readers observe either the previous complete content or
 /// the new one. The temporary is `path` + ".tmp"; concurrent writers of the
-/// same path must be externally serialized.
+/// same path must be externally serialized. Every error path removes the
+/// temporary (after closing it), so a failed write never leaves a stale
+/// `.tmp` beside the target.
 Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+namespace internal {
+
+/// Fault-injection points inside WriteFileAtomic, in execution order.
+enum class WriteFailStep {
+  kNone = 0,
+  kOpen,    ///< the temporary opened but is treated as an open failure
+  kWrite,   ///< the content write/flush is treated as failed
+  kRename,  ///< the final rename is treated as failed (file stays old)
+};
+
+/// Arms a one-shot failpoint for the next WriteFileAtomic call (tests
+/// only; kNone disarms). The injected failure takes the same cleanup path
+/// as the real one, so tests can assert no `.tmp` survives.
+void ArmWriteFailpointForTest(WriteFailStep step);
+
+}  // namespace internal
 
 }  // namespace hido
 

@@ -1,0 +1,192 @@
+#include "common/socket.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace hido {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+void OwnedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> ListenTcp(const std::string& host, int port,
+                              int backlog) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  // Best-effort: rebinding a recently closed port should not fail.
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  TcpListener listener;
+  listener.fd = std::move(fd);
+  listener.port = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<OwnedFd> AcceptClient(int listener_fd) {
+  while (true) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return OwnedFd(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return OwnedFd();
+    return Errno("accept");
+  }
+}
+
+Result<OwnedFd> ConnectTcp(const std::string& host, int port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Result<size_t> WriteSome(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-write surfaces as EPIPE, not a
+    // process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return written;
+    return Errno("write");
+  }
+  return written;
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::Ok();
+}
+
+Result<ReadOutcome> ReadAvailable(int fd, std::string* buffer,
+                                  size_t max_bytes) {
+  char chunk[4096];
+  ReadOutcome outcome;
+  size_t total = 0;
+  while (total < max_bytes) {
+    const size_t want =
+        std::min(sizeof(chunk), max_bytes - total);
+    const ssize_t n = ::read(fd, chunk, want);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      total += static_cast<size_t>(n);
+      if (static_cast<size_t>(n) < want) break;  // drained for now
+      continue;
+    }
+    if (n == 0) {
+      outcome.bytes = total > 0 ? static_cast<ssize_t>(total) : 0;
+      return outcome;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      outcome.bytes = total > 0 ? static_cast<ssize_t>(total) : -1;
+      return outcome;
+    }
+    return Errno("read");
+  }
+  outcome.bytes = static_cast<ssize_t>(total);
+  return outcome;
+}
+
+Result<std::string> ReadLine(int fd, std::string* carry) {
+  while (true) {
+    const size_t pos = carry->find('\n');
+    if (pos != std::string::npos) {
+      std::string line = carry->substr(0, pos);
+      carry->erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd, chunk, sizeof(chunk));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("read");
+    if (n == 0) return Status::IoError("connection closed mid-line");
+    carry->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace hido

@@ -1,0 +1,104 @@
+#ifndef HIDO_COMMON_SOCKET_H_
+#define HIDO_COMMON_SOCKET_H_
+
+// Thin POSIX TCP helpers for the serving front end (src/serve/): an RAII
+// fd owner, listener/connect constructors, non-blocking mode, and
+// write-all / read-line convenience used by clients and tests. Everything
+// reports through Status/Result (no exceptions, no errno leaking to
+// callers beyond the message text).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hido {
+
+/// Owns a file descriptor; closes it on destruction. Movable, not
+/// copyable (exactly one owner per fd).
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { Reset(); }
+
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held fd (if any).
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound-and-listening TCP socket plus the port it actually landed on
+/// (useful with port 0, where the kernel assigns one).
+struct TcpListener {
+  OwnedFd fd;
+  int port = 0;
+};
+
+/// Binds `host:port` (port 0 = kernel-assigned) and listens. The listener
+/// fd is left in blocking mode; flip it with SetNonBlocking for an event
+/// loop. `host` must be a numeric IPv4 address (e.g. "127.0.0.1").
+Result<TcpListener> ListenTcp(const std::string& host, int port,
+                              int backlog = 64);
+
+/// Accepts one pending connection. On a non-blocking listener with no
+/// pending connection, returns an invalid OwnedFd (not an error).
+Result<OwnedFd> AcceptClient(int listener_fd);
+
+/// Connects to `host:port` (numeric IPv4), blocking.
+Result<OwnedFd> ConnectTcp(const std::string& host, int port);
+
+/// Puts the fd in non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Writes all of `data`, retrying on short writes and EINTR. On a
+/// non-blocking fd, EAGAIN returns the number of bytes written so far via
+/// Result (callers keep the rest buffered); other errors are IoError.
+Result<size_t> WriteSome(int fd, std::string_view data);
+
+/// Blocking write of the entire buffer (EINTR-retried).
+Status WriteAll(int fd, std::string_view data);
+
+/// Reads whatever is available (up to `max_bytes`) and appends it to
+/// `*buffer`. Returns the number of bytes read; 0 means orderly EOF. On a
+/// non-blocking fd with nothing pending, returns -1 with an OK-equivalent
+/// meaning "try later" — callers distinguish it from EOF.
+struct ReadOutcome {
+  ssize_t bytes = 0;    ///< >0 read, 0 EOF, -1 nothing available (EAGAIN)
+};
+Result<ReadOutcome> ReadAvailable(int fd, std::string* buffer,
+                                  size_t max_bytes = 64 * 1024);
+
+/// Blocking helper for clients/tests: reads from `fd` into `*carry` until
+/// it holds a full '\n'-terminated line, then returns the line without the
+/// terminator (a trailing '\r' is stripped). EOF before a newline is an
+/// IoError.
+Result<std::string> ReadLine(int fd, std::string* carry);
+
+}  // namespace hido
+
+#endif  // HIDO_COMMON_SOCKET_H_

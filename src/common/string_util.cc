@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -47,19 +48,44 @@ std::string Join(const std::vector<std::string>& parts,
   return out;
 }
 
+namespace {
+
+// Strips one optional leading '+' (std::from_chars only accepts '-').
+// Rejects a '+' followed by another sign so "+-5" cannot sneak through as
+// "-5" after the strip.
+bool StripPlus(std::string_view& body) {
+  if (body.empty() || body.front() != '+') return true;
+  body.remove_prefix(1);
+  return !body.empty() && body.front() != '+' && body.front() != '-';
+}
+
+}  // namespace
+
 Result<double> ParseDouble(std::string_view text) {
   const std::string_view trimmed = Trim(text);
   if (trimmed.empty()) {
     return Status::ParseError("empty string is not a number");
   }
-  const std::string buf(trimmed);
-  char* end = nullptr;
-  const double value = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) {
-    return Status::ParseError("not a number: '" + buf + "'");
+  // std::from_chars: locale-independent ('.' is always the decimal point,
+  // unlike strtod under an LC_NUMERIC locale) and overflow is reported
+  // instead of silently saturating to +-HUGE_VAL on ERANGE.
+  std::string_view body = trimmed;
+  if (!StripPlus(body)) {
+    return Status::ParseError("not a number: '" + std::string(trimmed) + "'");
+  }
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("number out of range: '" +
+                              std::string(trimmed) + "'");
+  }
+  if (ec != std::errc() || ptr != body.data() + body.size()) {
+    return Status::ParseError("not a number: '" + std::string(trimmed) + "'");
   }
   if (!std::isfinite(value)) {
-    return Status::ParseError("non-finite number: '" + buf + "'");
+    return Status::ParseError("non-finite number: '" + std::string(trimmed) +
+                              "'");
   }
   return value;
 }
@@ -69,13 +95,25 @@ Result<int64_t> ParseInt(std::string_view text) {
   if (trimmed.empty()) {
     return Status::ParseError("empty string is not an integer");
   }
-  const std::string buf(trimmed);
-  char* end = nullptr;
-  const long long value = std::strtoll(buf.c_str(), &end, 10);
-  if (end != buf.c_str() + buf.size()) {
-    return Status::ParseError("not an integer: '" + buf + "'");
+  // std::from_chars reports overflow; the strtoll it replaces silently
+  // saturated "9223372036854775808" and beyond to LLONG_MAX on ERANGE.
+  std::string_view body = trimmed;
+  if (!StripPlus(body)) {
+    return Status::ParseError("not an integer: '" + std::string(trimmed) +
+                              "'");
   }
-  return static_cast<int64_t>(value);
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("integer out of range: '" +
+                              std::string(trimmed) + "'");
+  }
+  if (ec != std::errc() || ptr != body.data() + body.size()) {
+    return Status::ParseError("not an integer: '" + std::string(trimmed) +
+                              "'");
+  }
+  return value;
 }
 
 bool IsMissingToken(std::string_view text) {

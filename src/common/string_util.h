@@ -23,9 +23,13 @@ std::string Join(const std::vector<std::string>& parts,
                  std::string_view sep);
 
 /// Parses a finite double from the whole of `text` (after trimming).
+/// Locale-independent ('.' is the decimal point regardless of LC_NUMERIC);
+/// trailing junk ("1.5abc") and out-of-range magnitudes ("1e999") are
+/// distinct ParseErrors, never silently saturated.
 Result<double> ParseDouble(std::string_view text);
 
-/// Parses an integer from the whole of `text` (after trimming).
+/// Parses an integer from the whole of `text` (after trimming). Trailing
+/// junk and values outside int64_t are ParseErrors (no strtoll saturation).
 Result<int64_t> ParseInt(std::string_view text);
 
 /// True if `text` equals "" / "?" / "na" / "nan" / "null" case-insensitively

@@ -33,6 +33,7 @@ enum class SearchAlgorithm {
 enum class CubeCacheMode {
   kPrivate,  ///< per-worker memo tables (the historical default)
   kShared,   ///< one lock-striped table for all workers + prefix memo
+             ///< (the default since bench-trend soak confirmed it)
   kOff,      ///< no memoization; every query recomputes
 };
 
@@ -61,10 +62,11 @@ struct DetectorConfig {
   /// Brute-force knobs; target_dim/num_projections are overridden.
   BruteForceOptions brute_force;
   uint64_t seed = 42;
-  /// Cube-count memoization mode. kShared builds one SharedCubeCache per
-  /// Detect call, attaches every search worker's counter to it, and
-  /// publishes its statistics as cube.cache.shared.* when done.
-  CubeCacheMode cache_mode = CubeCacheMode::kPrivate;
+  /// Cube-count memoization mode. kShared (the default) builds one
+  /// SharedCubeCache per Detect call, attaches every search worker's
+  /// counter to it, and publishes its statistics as cube.cache.shared.*
+  /// when done; reports are bit-identical in every mode.
+  CubeCacheMode cache_mode = CubeCacheMode::kShared;
   /// Capacity override for whichever cache `cache_mode` selects (private
   /// per-worker tables or the shared table). 0 keeps the mode's default;
   /// ignored when cache_mode == kOff.

@@ -192,6 +192,30 @@ void MetricsRegistry::ResetForTest() {
   for (const auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+double HistogramQuantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.total_count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(snapshot.total_count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < snapshot.counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(snapshot.counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i >= snapshot.upper_bounds.size()) {
+        // Overflow bucket has no finite upper edge; report the last bound.
+        return snapshot.upper_bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : snapshot.upper_bounds[i - 1];
+      const double upper = snapshot.upper_bounds[i];
+      const double fraction = (target - cumulative) / in_bucket;
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.upper_bounds.back();
+}
+
 bool IsValidMetricName(const std::string& name) {
   if (name.empty()) return false;
   bool segment_start = true;

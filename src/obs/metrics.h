@@ -168,6 +168,13 @@ class MetricsRegistry {
       HIDO_GUARDED_BY(mu_);
 };
 
+/// Estimated value at quantile `q` in [0, 1] (e.g. 0.5/0.99 for p50/p99)
+/// by linear interpolation inside the bucket that crosses the target rank,
+/// taking 0 as the first bucket's lower edge. Observations in the overflow
+/// bucket report the last finite bound (a lower bound on the true value).
+/// Returns 0 for an empty histogram.
+double HistogramQuantile(const Histogram::Snapshot& snapshot, double q);
+
 /// True when `name` follows the metric-naming convention: dot-separated
 /// lowercase segments of [a-z0-9_], each starting with a letter.
 bool IsValidMetricName(const std::string& name);

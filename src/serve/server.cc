@@ -1,0 +1,160 @@
+#include "serve/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+namespace hido {
+namespace serve {
+
+SocketServer::SocketServer(ScoreService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Status SocketServer::Start() {
+  Result<TcpListener> listener = ListenTcp(options_.host, options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener.value());
+  return SetNonBlocking(listener_.fd.get());
+}
+
+void SocketServer::FrameLines(size_t conn_index,
+                              std::vector<size_t>* request_conns,
+                              std::vector<ServeRequest>* requests) {
+  Connection& conn = connections_[conn_index];
+  size_t start = 0;
+  while (request_conns->size() < options_.max_batch) {
+    const size_t eol = conn.in.find('\n', start);
+    if (eol == std::string::npos) break;
+    std::string line = conn.in.substr(start, eol - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = eol + 1;
+    request_conns->push_back(conn_index);
+    requests->push_back(service_.MakeRequest(std::move(line)));
+  }
+  conn.in.erase(0, start);
+  if (conn.in.size() > options_.max_line_bytes) {
+    conn.out += "err line too long\n";
+    conn.in.clear();
+    conn.closing = true;
+  }
+}
+
+Status SocketServer::FlushWrites(Connection* conn) {
+  if (conn->out.empty()) return Status::Ok();
+  Result<size_t> written = WriteSome(conn->fd.get(), conn->out);
+  if (!written.ok()) return written.status();
+  conn->out.erase(0, written.value());
+  return Status::Ok();
+}
+
+Status SocketServer::Run() {
+  if (!listener_.fd.valid()) {
+    return Status::InvalidArgument("server not started");
+  }
+  bool draining = false;  // shutdown seen: flush replies, then exit
+  while (true) {
+    if (options_.stop != nullptr && options_.stop->ShouldStop()) {
+      return Status::Ok();
+    }
+    if (draining) {
+      const bool pending = std::any_of(
+          connections_.begin(), connections_.end(),
+          [](const Connection& conn) {
+            return conn.fd.valid() && !conn.out.empty();
+          });
+      if (!pending) return Status::Ok();
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({listener_.fd.get(), POLLIN, 0});
+    std::vector<size_t> fd_conn;  // fds[i + 1] -> connections_[fd_conn[i]]
+    for (size_t i = 0; i < connections_.size(); ++i) {
+      Connection& conn = connections_[i];
+      if (!conn.fd.valid()) continue;
+      short events = 0;
+      if (!conn.closing) events |= POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      if (events == 0 && conn.closing) {
+        conn.fd.Reset();  // drained: close now
+        continue;
+      }
+      fds.push_back({conn.fd.get(), events, 0});
+      fd_conn.push_back(i);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(),
+                             options_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError("poll failed");
+    }
+    if (ready <= 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0 && !draining) {
+      while (true) {
+        Result<OwnedFd> client = AcceptClient(listener_.fd.get());
+        if (!client.ok()) return client.status();
+        if (!client.value().valid()) break;  // accept queue drained
+        const Status status = SetNonBlocking(client.value().get());
+        if (!status.ok()) return status;
+        Connection conn;
+        conn.fd = std::move(client.value());
+        // Reuse a closed slot so long-lived servers don't grow the table.
+        auto slot = std::find_if(
+            connections_.begin(), connections_.end(),
+            [](const Connection& c) { return !c.fd.valid(); });
+        if (slot == connections_.end()) {
+          connections_.push_back(std::move(conn));
+        } else {
+          *slot = std::move(conn);
+        }
+      }
+    }
+
+    std::vector<size_t> request_conns;
+    std::vector<ServeRequest> requests;
+    for (size_t fd_index = 1; fd_index < fds.size(); ++fd_index) {
+      Connection& conn = connections_[fd_conn[fd_index - 1]];
+      const short revents = fds[fd_index].revents;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        conn.fd.Reset();
+        continue;
+      }
+      if ((revents & POLLIN) != 0) {
+        Result<ReadOutcome> outcome = ReadAvailable(conn.fd.get(), &conn.in);
+        if (!outcome.ok() || outcome.value().bytes == 0) {
+          // Error or orderly EOF: answer what was already framed, but read
+          // no further.
+          conn.closing = true;
+        }
+        FrameLines(fd_conn[fd_index - 1], &request_conns, &requests);
+      }
+      if ((revents & POLLOUT) != 0) {
+        if (!FlushWrites(&conn).ok()) conn.fd.Reset();
+      }
+    }
+
+    if (!requests.empty()) {
+      std::vector<std::string> responses =
+          service_.Process(std::move(requests));
+      for (size_t i = 0; i < responses.size(); ++i) {
+        Connection& conn = connections_[request_conns[i]];
+        if (!conn.fd.valid()) continue;  // client vanished mid-batch
+        conn.out += responses[i];
+        conn.out += '\n';
+      }
+      // Opportunistic flush: most clients are waiting on these bytes, and
+      // the sockets are almost always writable.
+      for (const size_t conn_index : request_conns) {
+        Connection& conn = connections_[conn_index];
+        if (conn.fd.valid() && !FlushWrites(&conn).ok()) conn.fd.Reset();
+      }
+      if (service_.shutdown_requested()) draining = true;
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace hido

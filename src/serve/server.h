@@ -1,0 +1,87 @@
+#ifndef HIDO_SERVE_SERVER_H_
+#define HIDO_SERVE_SERVER_H_
+
+// The line-protocol TCP front end for ScoreService: a single-threaded
+// poll(2) event loop that accepts connections, frames '\n'-delimited
+// requests, and batches everything readable in one poll round into a
+// single ScoreService::Process call (which fans the batch onto the shared
+// ThreadPool). Responses are written back in request order per
+// connection, buffered through non-blocking writes so one slow client
+// never stalls the loop.
+//
+// Shutdown: the loop exits when (a) a client sends `shutdown` (the `ok
+// bye` response is still flushed), or (b) the caller's StopToken fires
+// (SIGINT / --deadline), checked once per poll round.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/run_control.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "serve/score_service.h"
+
+namespace hido {
+namespace serve {
+
+struct ServerOptions {
+  /// Numeric IPv4 address to bind.
+  std::string host = "127.0.0.1";
+  /// 0 asks the kernel for a free port; see SocketServer::port().
+  int port = 0;
+  /// Largest request batch handed to ScoreService per poll round; readable
+  /// lines beyond the cap stay buffered for the next round.
+  size_t max_batch = 256;
+  /// A connection whose pending line exceeds this is answered with an
+  /// error and closed (protects the loop from unframed floods).
+  size_t max_line_bytes = 1 << 20;
+  /// Poll timeout; bounds how stale a StopToken check can get when the
+  /// server is idle.
+  int poll_interval_ms = 200;
+  /// External stop (nullable): fires -> the loop drains and returns.
+  const StopToken* stop = nullptr;
+};
+
+/// One server bound to one ScoreService. Not thread-safe: Start and Run
+/// are called from the owning thread; concurrency happens inside
+/// ScoreService::Process.
+class SocketServer {
+ public:
+  SocketServer(ScoreService& service, ServerOptions options);
+
+  /// Binds and listens. After an OK return, port() is the live port.
+  Status Start();
+
+  /// The bound port (kernel-assigned when options.port was 0).
+  int port() const { return listener_.port; }
+
+  /// Serves until shutdown/stop; returns the reason serving ended.
+  /// Requires Start() to have succeeded.
+  Status Run();
+
+ private:
+  struct Connection {
+    OwnedFd fd;
+    std::string in;    ///< bytes read, not yet framed into lines
+    std::string out;   ///< responses awaiting a writable socket
+    bool closing = false;  ///< drain `out`, then close
+  };
+
+  /// Frames complete lines out of conn->in; each becomes one request
+  /// tagged with the connection index.
+  void FrameLines(size_t conn_index, std::vector<size_t>* request_conns,
+                  std::vector<ServeRequest>* requests);
+  /// Flushes as much of conn->out as the socket accepts.
+  Status FlushWrites(Connection* conn);
+
+  ScoreService& service_;
+  const ServerOptions options_;
+  TcpListener listener_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace serve
+}  // namespace hido
+
+#endif  // HIDO_SERVE_SERVER_H_

@@ -1,0 +1,132 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "core/detector.h"
+
+namespace hido {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[] = "hido-snapshot";
+constexpr char kVersion[] = "v1";
+
+}  // namespace
+
+ModelSnapshot MakeSnapshot(const DetectionResult& result,
+                           const Dataset& data, uint64_t seed) {
+  ModelSnapshot snapshot;
+  snapshot.model = MakeModel(result, data);
+  snapshot.info.algorithm =
+      result.algorithm == SearchAlgorithm::kBruteForce ? "brute-force"
+                                                       : "evolutionary";
+  snapshot.info.seed = seed;
+  snapshot.info.phi = result.phi;
+  snapshot.info.target_dim = result.target_dim;
+  return snapshot;
+}
+
+std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
+  std::string out = StrFormat("%s %s\n", kMagic, kVersion);
+  out += StrFormat("algorithm %s\n", snapshot.info.algorithm.c_str());
+  out += StrFormat("seed %llu",
+                   static_cast<unsigned long long>(snapshot.info.seed));
+  out += "\n";
+  out += StrFormat("phi %llu\n",
+                   static_cast<unsigned long long>(snapshot.info.phi));
+  out += StrFormat(
+      "target_dim %llu\n",
+      static_cast<unsigned long long>(snapshot.info.target_dim));
+  out += "model\n";
+  out += SerializeModel(snapshot.model);
+  return out;
+}
+
+Result<ModelSnapshot> ParseSnapshot(const std::string& text) {
+  auto fail = [](const std::string& what) -> Status {
+    return Status::ParseError("snapshot: " + what);
+  };
+
+  // Header lines up to the bare "model" marker; the rest is the embedded
+  // model text handled by core/model_io.h.
+  size_t cursor = 0;
+  auto next_line = [&](std::string* line) -> bool {
+    if (cursor >= text.size()) return false;
+    const size_t eol = text.find('\n', cursor);
+    if (eol == std::string::npos) {
+      *line = text.substr(cursor);
+      cursor = text.size();
+    } else {
+      *line = text.substr(cursor, eol - cursor);
+      cursor = eol + 1;
+    }
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(&line)) return fail("empty input");
+  const std::vector<std::string> magic = Split(std::string(Trim(line)), ' ');
+  if (magic.size() != 2 || magic[0] != kMagic) return fail("bad magic");
+  if (magic[1] != kVersion) {
+    return fail(StrFormat("unsupported version '%s' (this build reads %s)",
+                          magic[1].c_str(), kVersion));
+  }
+
+  ModelSnapshot snapshot;
+  bool saw_model = false;
+  while (next_line(&line)) {
+    const std::string trimmed(Trim(line));
+    if (trimmed == "model") {
+      saw_model = true;
+      break;
+    }
+    const size_t space = trimmed.find(' ');
+    if (space == std::string::npos) {
+      return fail("malformed header line '" + trimmed + "'");
+    }
+    const std::string key = trimmed.substr(0, space);
+    const std::string value = trimmed.substr(space + 1);
+    if (key == "algorithm") {
+      if (value != "evolutionary" && value != "brute-force") {
+        return fail("unknown algorithm '" + value + "'");
+      }
+      snapshot.info.algorithm = value;
+    } else if (key == "seed" || key == "phi" || key == "target_dim") {
+      const Result<int64_t> parsed = ParseInt(value);
+      if (!parsed.ok() || parsed.value() < 0) {
+        return fail("bad " + key + " '" + value + "'");
+      }
+      const uint64_t v = static_cast<uint64_t>(parsed.value());
+      if (key == "seed") snapshot.info.seed = v;
+      if (key == "phi") snapshot.info.phi = v;
+      if (key == "target_dim") snapshot.info.target_dim = v;
+    }
+    // Unknown keys are ignored: additive header extensions stay readable.
+  }
+  if (!saw_model) return fail("missing model section");
+
+  Result<SparseModel> model = ParseModel(text.substr(cursor));
+  if (!model.ok()) return model.status();
+  snapshot.model = std::move(model.value());
+  return snapshot;
+}
+
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
+  return WriteFileAtomic(path, SerializeSnapshot(snapshot));
+}
+
+Result<std::shared_ptr<ModelSnapshot>> LoadSnapshot(
+    const std::string& path) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  Result<ModelSnapshot> parsed = ParseSnapshot(text.value());
+  if (!parsed.ok()) return parsed.status();
+  return std::make_shared<ModelSnapshot>(std::move(parsed.value()));
+}
+
+}  // namespace serve
+}  // namespace hido

@@ -1,0 +1,74 @@
+#ifndef HIDO_SERVE_SNAPSHOT_H_
+#define HIDO_SERVE_SNAPSHOT_H_
+
+// The immutable model snapshot produced by `hido fit` and consumed by
+// `hido serve` / the ScoreService: a versioned envelope around the
+// persistable SparseModel (core/model_io.h) plus the fit provenance needed
+// to audit what is being served. A snapshot is written once (atomic
+// write-rename) and never mutated; refits publish a *new* snapshot and the
+// service swaps a shared_ptr (see serve/score_service.h).
+//
+// Format (text, one header block then the embedded model):
+//
+//   hido-snapshot v1
+//   algorithm evolutionary
+//   seed 42
+//   phi 10
+//   target_dim 3
+//   model
+//   <core/model_io.h text format to EOF>
+//
+// Any other version line is rejected (forward compatibility stays
+// explicit), as is a missing or malformed model section.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/model_io.h"
+
+namespace hido {
+
+struct DetectionResult;  // core/detector.h
+class Dataset;           // data/dataset.h
+
+namespace serve {
+
+/// Fit provenance carried alongside the model.
+struct SnapshotInfo {
+  std::string algorithm = "evolutionary";  ///< "evolutionary"|"brute-force"
+  uint64_t seed = 0;
+  uint64_t phi = 0;         ///< ranges per attribute used at fit time
+  uint64_t target_dim = 0;  ///< projection dimensionality used at fit time
+};
+
+/// One immutable fitted model plus provenance. `generation` is assigned
+/// when a ScoreService publishes the snapshot; it is not serialized.
+struct ModelSnapshot {
+  SnapshotInfo info;
+  SparseModel model;
+  uint64_t generation = 0;
+};
+
+/// Builds a snapshot from a finished detection run (fit path). `data`
+/// supplies the column names and must be the dataset that was fitted on.
+ModelSnapshot MakeSnapshot(const DetectionResult& result,
+                           const Dataset& data, uint64_t seed);
+
+/// Canonical text form (deterministic bytes for a given snapshot).
+std::string SerializeSnapshot(const ModelSnapshot& snapshot);
+
+/// Parses the text form. Unknown versions and malformed content are
+/// ParseErrors; unknown *header keys* are ignored so v1 readers tolerate
+/// additive extensions.
+Result<ModelSnapshot> ParseSnapshot(const std::string& text);
+
+/// File convenience wrappers (atomic write-rename on save).
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
+Result<std::shared_ptr<ModelSnapshot>> LoadSnapshot(const std::string& path);
+
+}  // namespace serve
+}  // namespace hido
+
+#endif  // HIDO_SERVE_SNAPSHOT_H_

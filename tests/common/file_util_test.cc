@@ -1,0 +1,87 @@
+#include "common/file_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hido {
+namespace {
+
+using internal::ArmWriteFailpointForTest;
+using internal::WriteFailStep;
+
+class FileUtilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/file_util_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    tmp_ = path_ + ".tmp";
+    std::remove(path_.c_str());
+    std::remove(tmp_.c_str());
+  }
+
+  void TearDown() override {
+    ArmWriteFailpointForTest(WriteFailStep::kNone);
+    std::remove(path_.c_str());
+    std::remove(tmp_.c_str());
+  }
+
+  std::string path_;
+  std::string tmp_;
+};
+
+TEST_F(FileUtilTest, RoundTrip) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "hello\nworld\n").ok());
+  const Result<std::string> read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "hello\nworld\n");
+  EXPECT_FALSE(FileExists(tmp_)) << "temporary left after a clean write";
+}
+
+TEST_F(FileUtilTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadFileToString(path_ + ".does-not-exist").ok());
+}
+
+TEST_F(FileUtilTest, OpenFailureToBadDirectory) {
+  const std::string bad = path_ + ".no-such-dir/file";
+  EXPECT_FALSE(WriteFileAtomic(bad, "x").ok());
+  EXPECT_FALSE(FileExists(bad + ".tmp"));
+}
+
+// Each injected failure must (a) report the error, (b) leave the previous
+// content at `path` untouched, and (c) leave no stale `path` + ".tmp".
+TEST_F(FileUtilTest, FailpointsLeaveNoStaleTmpAndPreserveOldContent) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "old content").ok());
+  for (const WriteFailStep step :
+       {WriteFailStep::kOpen, WriteFailStep::kWrite,
+        WriteFailStep::kRename}) {
+    ArmWriteFailpointForTest(step);
+    const Status written = WriteFileAtomic(path_, "new content");
+    EXPECT_FALSE(written.ok()) << static_cast<int>(step);
+    EXPECT_FALSE(FileExists(tmp_))
+        << "stale .tmp after failure step " << static_cast<int>(step);
+    const Result<std::string> read = ReadFileToString(path_);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), "old content")
+        << "target clobbered by failed write, step "
+        << static_cast<int>(step);
+  }
+}
+
+TEST_F(FileUtilTest, FailpointIsOneShot) {
+  ArmWriteFailpointForTest(WriteFailStep::kWrite);
+  EXPECT_FALSE(WriteFileAtomic(path_, "first").ok());
+  ASSERT_TRUE(WriteFileAtomic(path_, "second").ok());
+  EXPECT_EQ(ReadFileToString(path_).value(), "second");
+}
+
+TEST_F(FileUtilTest, FirstWriteFailureLeavesNoTargetFile) {
+  ArmWriteFailpointForTest(WriteFailStep::kRename);
+  EXPECT_FALSE(WriteFileAtomic(path_, "never lands").ok());
+  EXPECT_FALSE(FileExists(path_));
+  EXPECT_FALSE(FileExists(tmp_));
+}
+
+}  // namespace
+}  // namespace hido

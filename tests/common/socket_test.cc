@@ -1,0 +1,105 @@
+#include "common/socket.h"
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace hido {
+namespace {
+
+TEST(SocketTest, ListenAssignsPortAndAcceptsConnections) {
+  Result<TcpListener> listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener.value().port, 0);
+
+  Result<OwnedFd> client =
+      ConnectTcp("127.0.0.1", listener.value().port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<OwnedFd> accepted = AcceptClient(listener.value().fd.get());
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  ASSERT_TRUE(accepted.value().valid());
+
+  // Round trip a line each way.
+  ASSERT_TRUE(WriteAll(client.value().get(), "hello\n").ok());
+  std::string carry;
+  Result<std::string> line = ReadLine(accepted.value().get(), &carry);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line.value(), "hello");
+
+  ASSERT_TRUE(WriteAll(accepted.value().get(), "world\r\n").ok());
+  carry.clear();
+  line = ReadLine(client.value().get(), &carry);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line.value(), "world");  // \r stripped
+}
+
+TEST(SocketTest, NonBlockingAcceptReturnsInvalidWhenIdle) {
+  Result<TcpListener> listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  ASSERT_TRUE(SetNonBlocking(listener.value().fd.get()).ok());
+  Result<OwnedFd> accepted = AcceptClient(listener.value().fd.get());
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_FALSE(accepted.value().valid());
+}
+
+TEST(SocketTest, ReadAvailableDistinguishesEagainFromEof) {
+  Result<TcpListener> listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Result<OwnedFd> client = ConnectTcp("127.0.0.1", listener.value().port);
+  ASSERT_TRUE(client.ok());
+  Result<OwnedFd> accepted = AcceptClient(listener.value().fd.get());
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(SetNonBlocking(accepted.value().get()).ok());
+
+  std::string buffer;
+  Result<ReadOutcome> outcome =
+      ReadAvailable(accepted.value().get(), &buffer);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().bytes, -1);  // nothing pending yet
+  EXPECT_TRUE(buffer.empty());
+
+  ASSERT_TRUE(WriteAll(client.value().get(), "abc").ok());
+  // The bytes may take a moment to land; poll until they do.
+  for (int i = 0; i < 1000 && buffer.empty(); ++i) {
+    outcome = ReadAvailable(accepted.value().get(), &buffer);
+    ASSERT_TRUE(outcome.ok());
+  }
+  EXPECT_EQ(buffer, "abc");
+
+  client.value().Reset();  // close -> EOF on the server side
+  for (int i = 0; i < 1000; ++i) {
+    outcome = ReadAvailable(accepted.value().get(), &buffer);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome.value().bytes == 0) break;
+  }
+  EXPECT_EQ(outcome.value().bytes, 0);
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind a port, learn its number, close it, then connect to the corpse.
+  int dead_port = 0;
+  {
+    Result<TcpListener> listener = ListenTcp("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener.value().port;
+  }
+  EXPECT_FALSE(ConnectTcp("127.0.0.1", dead_port).ok());
+}
+
+TEST(SocketTest, NonNumericHostRejected) {
+  EXPECT_FALSE(ListenTcp("not-a-host", 0).ok());
+}
+
+TEST(SocketTest, OwnedFdMoveTransfersOwnership) {
+  Result<TcpListener> listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  OwnedFd a = std::move(listener.value().fd);
+  EXPECT_TRUE(a.valid());
+  OwnedFd b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+}
+
+}  // namespace
+}  // namespace hido

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace hido {
 namespace {
 
@@ -51,12 +53,59 @@ TEST(ParseDoubleTest, InvalidInputs) {
   EXPECT_FALSE(ParseDouble("nan").ok());
 }
 
+TEST(ParseDoubleTest, TrailingJunkRejected) {
+  const Result<double> r = ParseDouble("1.5abc");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("not a number"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParseDoubleTest, OverflowIsARangeErrorNotSaturation) {
+  // strtod saturated these to +-HUGE_VAL with errno == ERANGE; the parse
+  // must reject them with a distinct out-of-range message instead.
+  for (const char* text : {"1e999", "-1e999", "1e99999"}) {
+    const Result<double> r = ParseDouble(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.status().message().find("out of range"), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(ParseDoubleTest, LocaleIndependentDecimalPoint) {
+  // '.' must be the decimal point no matter what LC_NUMERIC says, and a
+  // locale's ',' separator must never be accepted. (from_chars guarantees
+  // the "C" locale; this pins the contract even if the host set another.)
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_FALSE(ParseDouble("1,5").ok());
+}
+
+TEST(ParseDoubleTest, ExplicitPlusSign) {
+  EXPECT_DOUBLE_EQ(ParseDouble("+2.5").value(), 2.5);
+  EXPECT_FALSE(ParseDouble("+").ok());
+  EXPECT_FALSE(ParseDouble("+-1.5").ok());
+  EXPECT_FALSE(ParseDouble("++1").ok());
+}
+
 TEST(ParseIntTest, ValidAndInvalid) {
   EXPECT_EQ(ParseInt("42").value(), 42);
   EXPECT_EQ(ParseInt(" -7 ").value(), -7);
+  EXPECT_EQ(ParseInt("+7").value(), 7);
   EXPECT_FALSE(ParseInt("").ok());
   EXPECT_FALSE(ParseInt("4.5").ok());
   EXPECT_FALSE(ParseInt("x").ok());
+  EXPECT_FALSE(ParseInt("+-7").ok());
+}
+
+TEST(ParseIntTest, OverflowIsARangeErrorNotSaturation) {
+  EXPECT_EQ(ParseInt("9223372036854775807").value(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseInt("-9223372036854775808").value(),
+            std::numeric_limits<int64_t>::min());
+  // strtoll saturated these to LLONG_MAX/LLONG_MIN with ERANGE.
+  for (const char* text :
+       {"9223372036854775808", "-9223372036854775809", "1e999"}) {
+    EXPECT_FALSE(ParseInt(text).ok()) << text;
+  }
 }
 
 TEST(IsMissingTokenTest, RecognizedSpellings) {

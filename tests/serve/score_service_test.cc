@@ -1,0 +1,229 @@
+#include "serve/score_service.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace serve {
+namespace {
+
+GeneratedDataset MakeData() {
+  SubspaceOutlierConfig config;
+  config.num_points = 300;
+  config.num_dims = 8;
+  config.num_groups = 3;
+  config.num_outliers = 3;
+  config.seed = 9;
+  return GenerateSubspaceOutliers(config);
+}
+
+std::shared_ptr<ModelSnapshot> FitSnapshot(const GeneratedDataset& g,
+                                           uint64_t seed = 3) {
+  DetectorConfig config;
+  config.phi = 5;
+  config.target_dim = 2;
+  config.num_projections = 8;
+  config.evolution.restarts = 4;
+  config.seed = seed;
+  return std::make_shared<ModelSnapshot>(
+      MakeSnapshot(OutlierDetector(config).Detect(g.data), g.data, seed));
+}
+
+std::string CsvRow(const Dataset& data, size_t row) {
+  std::vector<std::string> fields;
+  for (const double v : data.Row(row)) {
+    fields.push_back(StrFormat("%.17g", v));
+  }
+  return Join(fields, ",");
+}
+
+TEST(ScoreServiceTest, NoModelPublishedIsAnError) {
+  ScoreService service;
+  EXPECT_EQ(service.Handle("score 1,2,3"), "err no model published");
+  EXPECT_EQ(service.generation(), 0u);
+  EXPECT_EQ(service.Current(), nullptr);
+}
+
+TEST(ScoreServiceTest, ScoreMatchesDirectModelScore) {
+  const GeneratedDataset g = MakeData();
+  std::shared_ptr<ModelSnapshot> snapshot = FitSnapshot(g);
+  const SparseModel model = snapshot->model;  // copy before publishing
+  ScoreService service;
+  EXPECT_EQ(service.Publish(std::move(snapshot)), 1u);
+
+  for (size_t row = 0; row < g.data.num_rows(); row += 17) {
+    const PointScore expected = model.Score(g.data.Row(row));
+    EXPECT_EQ(service.Handle("score " + CsvRow(g.data, row)),
+              StrFormat("ok score=%.17g covering=%zu gen=1",
+                        expected.sparsity_score,
+                        expected.covering_projections))
+        << "row " << row;
+  }
+}
+
+TEST(ScoreServiceTest, ProtocolErrorsAndPing) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+
+  EXPECT_EQ(service.Handle("ping"), "ok pong");
+  EXPECT_EQ(service.Handle("score 1,2"), "err expected 8 values, got 2");
+  const std::string bad = service.Handle("score 1,2,3,4,5,6,7,junk");
+  EXPECT_EQ(bad.substr(0, 3), "err") << bad;
+  EXPECT_EQ(service.Handle("bogus"), "err unknown command 'bogus'");
+  EXPECT_FALSE(service.shutdown_requested());
+
+  // Missing-value spellings become NaN coordinates (valid, not errors).
+  const std::string missing = service.Handle("score 1,2,3,4,5,6,7,?");
+  EXPECT_EQ(missing.substr(0, 8), "ok score") << missing;
+}
+
+TEST(ScoreServiceTest, InfoReportsProvenance) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g, /*seed=*/3));
+  const std::string info = service.Handle("info");
+  EXPECT_NE(info.find("ok gen=1"), std::string::npos) << info;
+  EXPECT_NE(info.find("dims=8"), std::string::npos) << info;
+  EXPECT_NE(info.find("algorithm=evolutionary"), std::string::npos) << info;
+  EXPECT_NE(info.find("seed=3"), std::string::npos) << info;
+}
+
+TEST(ScoreServiceTest, BatchResponsesAreByteIdenticalAcrossThreadCounts) {
+  const GeneratedDataset g = MakeData();
+  std::vector<std::string> lines;
+  for (size_t row = 0; row < g.data.num_rows(); ++row) {
+    lines.push_back("score " + CsvRow(g.data, row));
+  }
+
+  std::vector<std::vector<std::string>> per_thread_count;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ScoreServiceOptions options;
+    options.num_threads = threads;
+    ScoreService service(options);
+    service.Publish(FitSnapshot(g));
+    std::vector<ServeRequest> batch;
+    for (const std::string& line : lines) {
+      batch.push_back(service.MakeRequest(line));
+    }
+    per_thread_count.push_back(service.Process(std::move(batch)));
+  }
+  EXPECT_EQ(per_thread_count[0], per_thread_count[1]);
+  EXPECT_EQ(per_thread_count[0], per_thread_count[2]);
+  EXPECT_EQ(per_thread_count[0].front().substr(0, 8), "ok score");
+}
+
+TEST(ScoreServiceTest, ExpiredDeadlineAnswersErrDeadline) {
+  const GeneratedDataset g = MakeData();
+  FakeClock clock(100.0);
+  ScoreServiceOptions options;
+  options.request_deadline_seconds = 5.0;
+  options.clock = &clock;
+  ScoreService service(options);
+  service.Publish(FitSnapshot(g));
+
+  const std::string line = "score " + CsvRow(g.data, 0);
+  std::vector<ServeRequest> batch;
+  batch.push_back(service.MakeRequest(line));   // deadline at t=105
+  batch.push_back(service.MakeRequest("ping"));  // admin: no deadline shed
+  clock.Advance(10.0);  // t=110: expired
+
+  const std::vector<std::string> responses =
+      service.Process(std::move(batch));
+  EXPECT_EQ(responses[0], "err deadline");
+  EXPECT_EQ(responses[1], "ok pong");
+
+  // A fresh request after the advance is still inside its own budget.
+  EXPECT_EQ(service.Handle(line).substr(0, 8), "ok score");
+}
+
+TEST(ScoreServiceTest, SwapPublishesNewGenerationZeroDowntime) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g, /*seed=*/3));
+  ASSERT_EQ(service.generation(), 1u);
+
+  const std::string path = ::testing::TempDir() + "/swap_snapshot.hido";
+  ASSERT_TRUE(SaveSnapshot(*FitSnapshot(g, /*seed=*/7), path).ok());
+  const std::string swapped = service.Handle("swap " + path);
+  EXPECT_EQ(swapped.substr(0, 18), "ok swapped gen=2 d") << swapped;
+  EXPECT_EQ(service.generation(), 2u);
+  EXPECT_EQ(service.Current()->info.seed, 7u);
+
+  // A bad path answers err and keeps the current snapshot serving.
+  EXPECT_EQ(service.Handle("swap /no/such/file").substr(0, 3), "err");
+  EXPECT_EQ(service.generation(), 2u);
+  std::remove(path.c_str());
+}
+
+// The RCU contract: score requests racing an arbitrary number of model
+// swaps never fail and never observe a torn model — every response is a
+// well-formed `ok score=... gen=<g>` where <g> is one of the published
+// generations.
+TEST(ScoreServiceTest, ConcurrentSwapsLoseNoRequests) {
+  const GeneratedDataset g = MakeData();
+  ScoreServiceOptions options;
+  options.num_threads = 4;
+  ScoreService service(options);
+  service.Publish(FitSnapshot(g, 3));
+
+  std::shared_ptr<ModelSnapshot> next = FitSnapshot(g, 7);
+  std::atomic<bool> done{false};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> scorers;
+  for (int t = 0; t < 4; ++t) {
+    scorers.emplace_back([&, t] {
+      size_t row = static_cast<size_t>(t);
+      while (!done.load(std::memory_order_acquire)) {
+        const std::string response =
+            service.Handle("score " + CsvRow(g.data, row));
+        if (response.compare(0, 9, "ok score=") != 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        row = (row + 7) % g.data.num_rows();
+      }
+    });
+  }
+  for (int swap = 0; swap < 50; ++swap) {
+    service.Publish(std::make_shared<ModelSnapshot>(*next));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& scorer : scorers) scorer.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(service.generation(), 51u);
+}
+
+TEST(ScoreServiceTest, ShutdownSetsFlagAndAcknowledges) {
+  ScoreService service;
+  EXPECT_FALSE(service.shutdown_requested());
+  EXPECT_EQ(service.Handle("shutdown"), "ok bye");
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(ScoreServiceTest, StatsReportsCountersAndQuantiles) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  for (int i = 0; i < 5; ++i) {
+    service.Handle("score " + CsvRow(g.data, static_cast<size_t>(i)));
+  }
+  const std::string stats = service.Handle("stats");
+  EXPECT_EQ(stats.substr(0, 12), "ok requests=") << stats;
+  EXPECT_NE(stats.find("score_p50_seconds="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("score_p99_seconds="), std::string::npos) << stats;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace hido

@@ -1,0 +1,225 @@
+#include "serve/server.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/socket.h"
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "data/generators/synthetic.h"
+#include "serve/snapshot.h"
+
+namespace hido {
+namespace serve {
+namespace {
+
+GeneratedDataset MakeData() {
+  SubspaceOutlierConfig config;
+  config.num_points = 300;
+  config.num_dims = 8;
+  config.num_groups = 3;
+  config.num_outliers = 3;
+  config.seed = 9;
+  return GenerateSubspaceOutliers(config);
+}
+
+std::shared_ptr<ModelSnapshot> FitSnapshot(const GeneratedDataset& g,
+                                           uint64_t seed = 3) {
+  DetectorConfig config;
+  config.phi = 5;
+  config.target_dim = 2;
+  config.num_projections = 8;
+  config.evolution.restarts = 4;
+  config.seed = seed;
+  return std::make_shared<ModelSnapshot>(
+      MakeSnapshot(OutlierDetector(config).Detect(g.data), g.data, seed));
+}
+
+std::string CsvRow(const Dataset& data, size_t row) {
+  std::vector<std::string> fields;
+  for (const double v : data.Row(row)) {
+    fields.push_back(StrFormat("%.17g", v));
+  }
+  return Join(fields, ",");
+}
+
+// A server running on its own thread for the duration of a test, always
+// shut down (via the protocol or the stop token) before teardown.
+class ServerFixture {
+ public:
+  ServerFixture(ScoreService& service, const StopToken* stop = nullptr)
+      : server_(service, MakeOptions(stop)) {
+    const Status started = server_.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    thread_ = std::thread([this] { run_status_ = server_.Run(); });
+  }
+
+  ~ServerFixture() {
+    if (thread_.joinable()) thread_.join();
+    EXPECT_TRUE(run_status_.ok()) << run_status_.ToString();
+  }
+
+  int port() const { return server_.port(); }
+
+  OwnedFd Connect() {
+    Result<OwnedFd> client = ConnectTcp("127.0.0.1", server_.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client.value());
+  }
+
+ private:
+  static ServerOptions MakeOptions(const StopToken* stop) {
+    ServerOptions options;
+    options.stop = stop;
+    options.poll_interval_ms = 20;
+    return options;
+  }
+
+  SocketServer server_;
+  std::thread thread_;
+  Status run_status_;
+};
+
+std::string Request(int fd, const std::string& line, std::string* carry) {
+  EXPECT_TRUE(WriteAll(fd, line + "\n").ok());
+  Result<std::string> response = ReadLine(fd, carry);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return response.ok() ? response.value() : std::string();
+}
+
+TEST(ServerTest, ServesScoresAndShutsDownOverTheProtocol) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  ServerFixture server(service);
+
+  OwnedFd client = server.Connect();
+  std::string carry;
+  EXPECT_EQ(Request(client.get(), "ping", &carry), "ok pong");
+  const std::string score =
+      Request(client.get(), "score " + CsvRow(g.data, 0), &carry);
+  EXPECT_EQ(score.substr(0, 9), "ok score=") << score;
+  EXPECT_EQ(Request(client.get(), "shutdown", &carry), "ok bye");
+  // ~ServerFixture joins: Run() must return once shutdown was answered.
+}
+
+TEST(ServerTest, PipelinedBatchAnswersInOrder) {
+  const GeneratedDataset g = MakeData();
+  ScoreServiceOptions options;
+  options.num_threads = 4;
+  ScoreService service(options);
+  service.Publish(FitSnapshot(g));
+  ServerFixture server(service);
+
+  OwnedFd client = server.Connect();
+  // One write carrying many requests: the loop must frame and answer all
+  // of them, in order, whatever batching poll() happens to see.
+  std::string burst;
+  for (size_t row = 0; row < 40; ++row) {
+    burst += "score " + CsvRow(g.data, row) + "\n";
+  }
+  ASSERT_TRUE(WriteAll(client.get(), burst).ok());
+
+  std::string carry;
+  std::vector<std::string> responses;
+  for (size_t row = 0; row < 40; ++row) {
+    Result<std::string> line = ReadLine(client.get(), &carry);
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    responses.push_back(line.value());
+  }
+  // In-order and identical to the single-request answers.
+  for (size_t row = 0; row < 40; ++row) {
+    EXPECT_EQ(responses[row],
+              service.Handle("score " + CsvRow(g.data, row)))
+        << row;
+  }
+  ASSERT_TRUE(WriteAll(client.get(), "shutdown\n").ok());
+  Result<std::string> bye = ReadLine(client.get(), &carry);
+  ASSERT_TRUE(bye.ok());
+}
+
+TEST(ServerTest, SwapMidStreamLosesNoRequests) {
+  const GeneratedDataset g = MakeData();
+  ScoreServiceOptions options;
+  options.num_threads = 2;
+  ScoreService service(options);
+  service.Publish(FitSnapshot(g, 3));
+  ServerFixture server(service);
+
+  const std::string path = ::testing::TempDir() + "/server_swap.hido";
+  ASSERT_TRUE(SaveSnapshot(*FitSnapshot(g, 7), path).ok());
+
+  OwnedFd scorer = server.Connect();
+  OwnedFd admin = server.Connect();
+  std::string scorer_carry;
+  std::string admin_carry;
+  size_t failures = 0;
+  bool saw_new_generation = false;
+  for (size_t i = 0; i < 120; ++i) {
+    if (i == 40) {
+      const std::string swapped =
+          Request(admin.get(), "swap " + path, &admin_carry);
+      EXPECT_EQ(swapped.substr(0, 10), "ok swapped") << swapped;
+    }
+    const std::string response = Request(
+        scorer.get(), "score " + CsvRow(g.data, i % g.data.num_rows()),
+        &scorer_carry);
+    if (response.compare(0, 9, "ok score=") != 0) ++failures;
+    if (response.find("gen=2") != std::string::npos) {
+      saw_new_generation = true;
+    }
+  }
+  EXPECT_EQ(failures, 0u);
+  EXPECT_TRUE(saw_new_generation);
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(WriteAll(admin.get(), "shutdown\n").ok());
+  Result<std::string> bye = ReadLine(admin.get(), &admin_carry);
+  ASSERT_TRUE(bye.ok());
+}
+
+TEST(ServerTest, StopTokenEndsTheLoop) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  {
+    ServerFixture server(service, &stop);
+    OwnedFd client = server.Connect();
+    std::string carry;
+    EXPECT_EQ(Request(client.get(), "ping", &carry), "ok pong");
+    stop.RequestCancel();
+    // ~ServerFixture joins: Run() must notice the token and return OK.
+  }
+}
+
+TEST(ServerTest, OverlongUnframedLineIsRejected) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;  // server_test owns shutdown here: no protocol shutdown
+  {
+    ServerFixture server(service, &stop);
+    OwnedFd client = server.Connect();
+    // Default max_line_bytes is 1 MiB; stream 2 MiB without a newline.
+    const std::string junk(64 * 1024, 'x');
+    for (int i = 0; i < 32; ++i) {
+      if (!WriteAll(client.get(), junk).ok()) break;  // server may close
+    }
+    std::string carry;
+    Result<std::string> response = ReadLine(client.get(), &carry);
+    if (response.ok()) {
+      EXPECT_EQ(response.value(), "err line too long");
+    }  // else: the server already closed the connection, also acceptable
+    stop.RequestCancel();
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace hido

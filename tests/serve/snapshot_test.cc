@@ -1,0 +1,134 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "core/scoring.h"
+#include "data/generators/synthetic.h"
+
+namespace hido {
+namespace serve {
+namespace {
+
+GeneratedDataset MakeData() {
+  SubspaceOutlierConfig config;
+  config.num_points = 400;
+  config.num_dims = 12;
+  config.num_groups = 3;
+  config.num_outliers = 4;
+  config.seed = 6;
+  return GenerateSubspaceOutliers(config);
+}
+
+DetectionResult Fit(const GeneratedDataset& g, size_t num_threads = 1) {
+  DetectorConfig config;
+  config.phi = 5;
+  config.target_dim = 2;
+  config.num_projections = 10;
+  config.evolution.restarts = 6;
+  config.seed = 3;
+  config.num_threads = num_threads;
+  return OutlierDetector(config).Detect(g.data);
+}
+
+TEST(SnapshotTest, RoundTripPreservesInfoAndModel) {
+  const GeneratedDataset g = MakeData();
+  const DetectionResult result = Fit(g);
+  const ModelSnapshot snapshot = MakeSnapshot(result, g.data, /*seed=*/3);
+  EXPECT_EQ(snapshot.info.algorithm, "evolutionary");
+  EXPECT_EQ(snapshot.info.seed, 3u);
+  EXPECT_EQ(snapshot.info.phi, result.phi);
+  EXPECT_EQ(snapshot.info.target_dim, result.target_dim);
+
+  const Result<ModelSnapshot> back =
+      ParseSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().info.algorithm, snapshot.info.algorithm);
+  EXPECT_EQ(back.value().info.seed, snapshot.info.seed);
+  EXPECT_EQ(back.value().info.phi, snapshot.info.phi);
+  EXPECT_EQ(back.value().info.target_dim, snapshot.info.target_dim);
+  EXPECT_EQ(back.value().model.projections.size(),
+            snapshot.model.projections.size());
+  // The serialized form is canonical: one more round trip is a fixpoint.
+  EXPECT_EQ(SerializeSnapshot(back.value()), SerializeSnapshot(snapshot));
+}
+
+// The serving contract (DESIGN.md "Serving"): scoring a training row out of
+// a saved-and-reloaded snapshot is *byte-identical* (%.17g) to scoring it
+// straight out of the in-process detection result, for every thread count
+// used at fit time.
+TEST(SnapshotTest, ReloadedSnapshotScoresByteIdenticalAcrossThreadCounts) {
+  const GeneratedDataset g = MakeData();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const DetectionResult result = Fit(g, threads);
+    const ModelSnapshot snapshot = MakeSnapshot(result, g.data, 3);
+
+    const std::string path = ::testing::TempDir() +
+                             StrFormat("/snapshot_rt_%zu.hido", threads);
+    ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+    const Result<std::shared_ptr<ModelSnapshot>> loaded =
+        LoadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    std::remove(path.c_str());
+
+    for (size_t row = 0; row < g.data.num_rows(); ++row) {
+      const std::vector<double> values = g.data.Row(row);
+      const PointScore direct =
+          ScoreNewPoint(result.grid, result.report.projections, values);
+      const PointScore served = loaded.value()->model.Score(values);
+      EXPECT_EQ(StrFormat("%.17g", served.sparsity_score),
+                StrFormat("%.17g", direct.sparsity_score))
+          << "row " << row << " threads " << threads;
+      EXPECT_EQ(served.covering_projections, direct.covering_projections)
+          << "row " << row << " threads " << threads;
+    }
+  }
+}
+
+TEST(SnapshotTest, UnknownVersionRejectedWithClearMessage) {
+  const GeneratedDataset g = MakeData();
+  const ModelSnapshot snapshot = MakeSnapshot(Fit(g), g.data, 3);
+  std::string text = SerializeSnapshot(snapshot);
+  const size_t pos = text.find("v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "v2");
+  const Result<ModelSnapshot> parsed = ParseSnapshot(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unsupported version 'v2'"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(SnapshotTest, UnknownHeaderKeysAreIgnored) {
+  const GeneratedDataset g = MakeData();
+  const ModelSnapshot snapshot = MakeSnapshot(Fit(g), g.data, 3);
+  std::string text = SerializeSnapshot(snapshot);
+  const size_t pos = text.find("algorithm");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "future_key future value\n");
+  EXPECT_TRUE(ParseSnapshot(text).ok());
+}
+
+TEST(SnapshotTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseSnapshot("").ok());
+  EXPECT_FALSE(ParseSnapshot("not-a-snapshot v1").ok());
+  EXPECT_FALSE(ParseSnapshot("hido-snapshot v1\nalgorithm evolutionary\n")
+                   .ok());  // no model section
+  EXPECT_FALSE(
+      ParseSnapshot("hido-snapshot v1\nalgorithm quantum\nmodel\n").ok());
+  EXPECT_FALSE(
+      ParseSnapshot("hido-snapshot v1\nseed -12x\nmodel\n").ok());
+}
+
+TEST(SnapshotTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadSnapshot("/no/such/snapshot.hido").ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace hido

@@ -2,12 +2,17 @@
 //
 // Subcommands:
 //   hido detect    --input data.csv [options]   run the detector
+//   hido fit       --input data.csv --out m     freeze a serveable snapshot
+//   hido serve     --snapshot m [options]       serve score queries over TCP
 //   hido advise    --rows N --dims D [options]  print §2.4 parameter advice
 //   hido baselines --input data.csv [options]   run kNN / LOF / DB(k,λ)
 //   hido describe  --input data.csv             dataset summary
 //
 // `detect` prints the abnormal projections and flagged rows, explains the
 // strongest ones, and optionally writes machine-readable CSVs via --output.
+// `fit` + `serve` split the same pipeline across processes: fit runs the
+// search once and writes an immutable snapshot; serve loads it and answers
+// line-protocol score requests (see src/serve/score_service.h).
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +38,9 @@
 #include "eval/table.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "serve/score_service.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
 
 namespace hido {
 namespace {
@@ -154,11 +162,9 @@ class ScopedRunControl {
   StopToken token_;
 };
 
-// ---------------------------------------------------------------- detect --
-
-int RunDetect(const std::vector<std::string>& args) {
-  FlagParser flags("hido detect", "find outliers by sparse projections");
-  AddInputFlags(flags);
+// Search flags shared by `detect` and `fit` (they configure the same
+// offline pipeline; only the output artifact differs).
+void AddSearchFlags(FlagParser& flags) {
   flags.AddInt("phi", 0, "ranges per attribute (0: auto per paper sec 2.4)");
   flags.AddInt("k", 0, "projection dimensionality (0: k* rule)");
   flags.AddDouble("s", -3.0, "target sparsity level for the k* rule");
@@ -174,16 +180,71 @@ int RunDetect(const std::vector<std::string>& args) {
                "worker threads for the search (0: all hardware threads); "
                "results are seed-deterministic for any value");
   flags.AddInt("seed", 42, "random seed");
-  flags.AddString("cache-mode", "private",
-                  "cube-count memoization: private (per-worker tables) | "
-                  "shared (one concurrent table + prefix memo for all "
-                  "workers) | off; reports are bit-identical across modes");
+  flags.AddString("cache-mode", "shared",
+                  "cube-count memoization: shared (default; one concurrent "
+                  "table + prefix memo for all workers) | private "
+                  "(per-worker tables) | off; reports are bit-identical "
+                  "across modes");
   flags.AddInt("cache-capacity", 0,
                "cube cache entry budget for the selected --cache-mode "
                "(0: mode default)");
   flags.AddDouble("deadline", 0.0,
                   "wall-clock budget in seconds (0: none); an expired run "
                   "still reports its best-so-far projections");
+}
+
+// Translates the AddSearchFlags values into a DetectorConfig (everything
+// except stop/checkpoint/resume, which stay subcommand-specific).
+Status SearchConfigFromFlags(const FlagParser& flags,
+                             DetectorConfig* config) {
+  config->phi = static_cast<size_t>(flags.GetInt("phi"));
+  config->target_dim = static_cast<size_t>(flags.GetInt("k"));
+  config->sparsity_target = flags.GetDouble("s");
+  config->num_projections = static_cast<size_t>(flags.GetInt("m"));
+  config->seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  if (!ParseCubeCacheMode(flags.GetString("cache-mode"),
+                          &config->cache_mode)) {
+    return Status::InvalidArgument("unknown --cache-mode");
+  }
+  config->cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity"));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
+  config->num_threads = threads == 0 ? HardwareThreads() : threads;
+  if (flags.GetString("algorithm") == "brute-force") {
+    config->algorithm = SearchAlgorithm::kBruteForce;
+  } else if (flags.GetString("algorithm") != "evolutionary") {
+    return Status::InvalidArgument("unknown --algorithm");
+  }
+  if (flags.GetString("binning") == "equi-width") {
+    config->binning = BinningMode::kEquiWidth;
+  } else if (flags.GetString("binning") != "equi-depth") {
+    return Status::InvalidArgument("unknown --binning");
+  }
+  if (flags.GetString("expectation") == "empirical") {
+    config->expectation = ExpectationModel::kEmpiricalMarginals;
+  } else if (flags.GetString("expectation") != "uniform") {
+    return Status::InvalidArgument("unknown --expectation");
+  }
+  config->evolution.population_size =
+      static_cast<size_t>(flags.GetInt("population"));
+  config->evolution.max_generations =
+      static_cast<size_t>(flags.GetInt("generations"));
+  config->evolution.restarts =
+      static_cast<size_t>(flags.GetInt("restarts"));
+  if (flags.GetString("crossover") == "two-point") {
+    config->evolution.crossover = CrossoverKind::kTwoPoint;
+  } else if (flags.GetString("crossover") != "optimized") {
+    return Status::InvalidArgument("unknown --crossover");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- detect --
+
+int RunDetect(const std::vector<std::string>& args) {
+  FlagParser flags("hido detect", "find outliers by sparse projections");
+  AddInputFlags(flags);
+  AddSearchFlags(flags);
   flags.AddString("checkpoint", "",
                   "periodically save evolutionary search state to this path "
                   "(atomic write; survives crashes and Ctrl-C)");
@@ -215,42 +276,8 @@ int RunDetect(const std::vector<std::string>& args) {
   if (!data.ok()) return Fail(data.status());
 
   DetectorConfig config;
-  config.phi = static_cast<size_t>(flags.GetInt("phi"));
-  config.target_dim = static_cast<size_t>(flags.GetInt("k"));
-  config.sparsity_target = flags.GetDouble("s");
-  config.num_projections = static_cast<size_t>(flags.GetInt("m"));
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  if (!ParseCubeCacheMode(flags.GetString("cache-mode"), &config.cache_mode)) {
-    return Fail(Status::InvalidArgument("unknown --cache-mode"));
-  }
-  config.cache_capacity = static_cast<size_t>(flags.GetInt("cache-capacity"));
-  const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
-  config.num_threads = threads == 0 ? HardwareThreads() : threads;
-  if (flags.GetString("algorithm") == "brute-force") {
-    config.algorithm = SearchAlgorithm::kBruteForce;
-  } else if (flags.GetString("algorithm") != "evolutionary") {
-    return Fail(Status::InvalidArgument("unknown --algorithm"));
-  }
-  if (flags.GetString("binning") == "equi-width") {
-    config.binning = BinningMode::kEquiWidth;
-  } else if (flags.GetString("binning") != "equi-depth") {
-    return Fail(Status::InvalidArgument("unknown --binning"));
-  }
-  if (flags.GetString("expectation") == "empirical") {
-    config.expectation = ExpectationModel::kEmpiricalMarginals;
-  } else if (flags.GetString("expectation") != "uniform") {
-    return Fail(Status::InvalidArgument("unknown --expectation"));
-  }
-  config.evolution.population_size =
-      static_cast<size_t>(flags.GetInt("population"));
-  config.evolution.max_generations =
-      static_cast<size_t>(flags.GetInt("generations"));
-  config.evolution.restarts = static_cast<size_t>(flags.GetInt("restarts"));
-  if (flags.GetString("crossover") == "two-point") {
-    config.evolution.crossover = CrossoverKind::kTwoPoint;
-  } else if (flags.GetString("crossover") != "optimized") {
-    return Fail(Status::InvalidArgument("unknown --crossover"));
-  }
+  const Status configured = SearchConfigFromFlags(flags, &config);
+  if (!configured.ok()) return Fail(configured);
 
   config.evolution.checkpoint_path = flags.GetString("checkpoint");
   config.evolution.checkpoint_every_generations =
@@ -360,6 +387,158 @@ int RunDetect(const std::vector<std::string>& args) {
       {"dims", static_cast<uint64_t>(data.value().num_cols())},
   };
   return EmitTelemetry(flags, "hido detect", std::move(telemetry_config),
+                       {std::move(result_row)});
+}
+
+// ------------------------------------------------------------------- fit --
+
+int RunFit(const std::vector<std::string>& args) {
+  FlagParser flags("hido fit",
+                   "run the offline search once and freeze quantizer + "
+                   "report into an immutable snapshot for `hido serve`");
+  AddInputFlags(flags);
+  AddSearchFlags(flags);
+  flags.AddString("out", "", "snapshot output path (atomic write)",
+                  /*required=*/true);
+  AddTelemetryFlags(flags);
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+
+  const ScopedRunControl control(flags.GetDouble("deadline"));
+  Result<Dataset> data = [&] {
+    const obs::TraceSpan span("load_input");
+    return LoadInput(flags, &control.token());
+  }();
+  if (!data.ok()) return Fail(data.status());
+
+  DetectorConfig config;
+  const Status configured = SearchConfigFromFlags(flags, &config);
+  if (!configured.ok()) return Fail(configured);
+  config.stop = &control.token();
+
+  const OutlierDetector detector(config);
+  const DetectionResult result = [&] {
+    const obs::TraceSpan span("fit");
+    return detector.Detect(data.value());
+  }();
+  control.ReportIfStopped();
+
+  // A stopped run still snapshots its best-so-far report: an interrupted
+  // refit should degrade, not produce nothing to serve.
+  const serve::ModelSnapshot snapshot =
+      serve::MakeSnapshot(result, data.value(), config.seed);
+  const Status saved = serve::SaveSnapshot(snapshot, flags.GetString("out"));
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote snapshot to %s (%zu projections over %zu dims, "
+              "phi=%zu, %s%s)\n",
+              flags.GetString("out").c_str(),
+              snapshot.model.projections.size(),
+              snapshot.model.quantizer.num_cols(), result.phi,
+              snapshot.info.algorithm.c_str(),
+              result.completed ? "" : ", incomplete");
+
+  obs::TelemetryRow telemetry_config{
+      {"input", flags.GetString("input")},
+      {"out", flags.GetString("out")},
+      {"algorithm", snapshot.info.algorithm},
+      {"phi", static_cast<uint64_t>(result.phi)},
+      {"target_dim", static_cast<uint64_t>(result.target_dim)},
+      {"seed", static_cast<uint64_t>(config.seed)},
+      {"threads", static_cast<uint64_t>(config.num_threads)},
+  };
+  obs::TelemetryRow result_row{
+      {"completed", result.completed},
+      {"stop_cause", StopCauseToString(result.stop_cause)},
+      {"projections_reported",
+       static_cast<uint64_t>(snapshot.model.projections.size())},
+      {"rows", static_cast<uint64_t>(data.value().num_rows())},
+      {"dims", static_cast<uint64_t>(data.value().num_cols())},
+  };
+  return EmitTelemetry(flags, "hido fit", std::move(telemetry_config),
+                       {std::move(result_row)});
+}
+
+// ----------------------------------------------------------------- serve --
+
+int RunServe(const std::vector<std::string>& args) {
+  FlagParser flags("hido serve",
+                   "serve score queries from a snapshot over a "
+                   "line-delimited TCP socket (protocol: "
+                   "src/serve/score_service.h)");
+  flags.AddString("snapshot", "", "snapshot file from `hido fit`",
+                  /*required=*/true);
+  flags.AddString("host", "127.0.0.1", "numeric IPv4 address to bind");
+  flags.AddInt("port", 0,
+               "TCP port (0: kernel-assigned; printed on startup)");
+  flags.AddInt("threads", 1,
+               "worker threads per request batch (0: all hardware "
+               "threads); responses are byte-identical for any value");
+  flags.AddDouble("request-deadline", 0.0,
+                  "per-request budget in seconds, measured from arrival; "
+                  "expired requests answer `err deadline` (0: none)");
+  flags.AddInt("max-batch", 256,
+               "max requests scored per event-loop round");
+  flags.AddDouble("deadline", 0.0,
+                  "stop serving after this many seconds (0: run until a "
+                  "`shutdown` request or Ctrl-C)");
+  AddTelemetryFlags(flags);
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+
+  const ScopedRunControl control(flags.GetDouble("deadline"));
+
+  serve::ScoreServiceOptions service_options;
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
+  service_options.num_threads =
+      threads == 0 ? HardwareThreads() : threads;
+  service_options.request_deadline_seconds =
+      flags.GetDouble("request-deadline");
+  serve::ScoreService service(service_options);
+  const Status published =
+      service.PublishFromFile(flags.GetString("snapshot"));
+  if (!published.ok()) return Fail(published);
+
+  serve::ServerOptions server_options;
+  server_options.host = flags.GetString("host");
+  server_options.port = static_cast<int>(flags.GetInt("port"));
+  server_options.max_batch =
+      static_cast<size_t>(flags.GetInt("max-batch"));
+  server_options.stop = &control.token();
+  serve::SocketServer server(service, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  // Smoke scripts block on this line to learn the kernel-assigned port;
+  // flush so it is visible through a pipe before the loop blocks in poll.
+  std::printf("listening on %s:%d (gen %llu)\n",
+              server_options.host.c_str(), server.port(),
+              static_cast<unsigned long long>(service.generation()));
+  std::fflush(stdout);
+
+  const Status served = [&] {
+    const obs::TraceSpan span("serve");
+    return server.Run();
+  }();
+  if (!served.ok()) return Fail(served);
+  control.ReportIfStopped();
+  std::printf("serve loop exited (%s)\n",
+              service.shutdown_requested() ? "shutdown request"
+                                           : "stop signal");
+
+  obs::TelemetryRow telemetry_config{
+      {"snapshot", flags.GetString("snapshot")},
+      {"host", server_options.host},
+      {"port", static_cast<uint64_t>(server.port())},
+      {"threads", static_cast<uint64_t>(service_options.num_threads)},
+      {"request_deadline",
+       service_options.request_deadline_seconds},
+      {"max_batch", static_cast<uint64_t>(server_options.max_batch)},
+  };
+  obs::TelemetryRow result_row{
+      {"generation", service.generation()},
+      {"shutdown_requested", service.shutdown_requested()},
+  };
+  return EmitTelemetry(flags, "hido serve", std::move(telemetry_config),
                        {std::move(result_row)});
 }
 
@@ -556,8 +735,11 @@ int RunDescribe(const std::vector<std::string>& args) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: hido <detect|score|advise|baselines|describe> [--flags]\n"
+      "usage: hido <detect|fit|serve|score|advise|baselines|describe> "
+      "[--flags]\n"
       "  detect     find outliers by sparse subspace projections\n"
+      "  fit        freeze a fitted model into a serveable snapshot\n"
+      "  serve      answer score queries from a snapshot over TCP\n"
       "  score      score new rows against a model saved by detect\n"
       "  advise     print the paper's parameter recommendation\n"
       "  baselines  run the kNN / LOF / DB(k,lambda) comparators\n"
@@ -575,6 +757,8 @@ int Main(int argc, char** argv) {
   }
 
   if (command == "detect") return RunDetect(args);
+  if (command == "fit") return RunFit(args);
+  if (command == "serve") return RunServe(args);
   if (command == "score") return RunScore(args);
   if (command == "advise") return RunAdvise(args);
   if (command == "baselines") return RunBaselines(args);
