@@ -6,11 +6,16 @@
 #include <cerrno>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace hido {
 namespace serve {
 
 SocketServer::SocketServer(ScoreService& service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service),
+      options_(std::move(options)),
+      accept_errors_(
+          &obs::MetricsRegistry::Global().GetCounter("serve.accept.errors")) {}
 
 Status SocketServer::Start() {
   Result<TcpListener> listener = ListenTcp(options_.host, options_.port);
@@ -34,8 +39,17 @@ void SocketServer::FrameLines(size_t conn_index,
     requests->push_back(service_.MakeRequest(std::move(line)));
   }
   conn.in.erase(0, start);
-  if (conn.in.size() > options_.max_line_bytes) {
-    conn.out += "err line too long\n";
+  // Only the unterminated tail counts against the line limit: complete
+  // lines left over from the max_batch cap are legitimate backlog, not a
+  // protocol violation.
+  const size_t last_eol = conn.in.rfind('\n');
+  const size_t tail = last_eol == std::string::npos
+                          ? conn.in.size()
+                          : conn.in.size() - last_eol - 1;
+  if (tail > options_.max_line_bytes) {
+    // The error line is queued later (after this round's responses) so the
+    // client still receives answers to requests it sent before the flood.
+    conn.overflowed = true;
     conn.in.clear();
     conn.closing = true;
   }
@@ -67,72 +81,118 @@ Status SocketServer::Run() {
       if (!pending) return Status::Ok();
     }
 
+    // Frame lines left buffered by earlier rounds before polling: after a
+    // burst larger than max_batch, the kernel buffer is empty, so POLLIN
+    // alone would never surface the excess and the client would hang.
+    std::vector<size_t> request_conns;
+    std::vector<ServeRequest> requests;
+    if (!draining) {
+      for (size_t i = 0; i < connections_.size(); ++i) {
+        Connection& conn = connections_[i];
+        if (conn.fd.valid() && conn.in.find('\n') != std::string::npos) {
+          FrameLines(i, &request_conns, &requests);
+        }
+      }
+    }
+    std::vector<char> inflight(connections_.size(), 0);
+    for (const size_t conn_index : request_conns) inflight[conn_index] = 1;
+
+    // While draining, the listener leaves the poll set: accepts are
+    // refused anyway, and a knocking client would otherwise make poll()
+    // return instantly every iteration (a busy-spin until drained).
+    const bool accepting = !draining;
     std::vector<pollfd> fds;
-    fds.push_back({listener_.fd.get(), POLLIN, 0});
-    std::vector<size_t> fd_conn;  // fds[i + 1] -> connections_[fd_conn[i]]
+    if (accepting) fds.push_back({listener_.fd.get(), POLLIN, 0});
+    const size_t conn_base = fds.size();
+    std::vector<size_t> fd_conn;  // fds[conn_base + i] -> fd_conn[i]
     for (size_t i = 0; i < connections_.size(); ++i) {
       Connection& conn = connections_[i];
       if (!conn.fd.valid()) continue;
       short events = 0;
       if (!conn.closing) events |= POLLIN;
       if (!conn.out.empty()) events |= POLLOUT;
-      if (events == 0 && conn.closing) {
-        conn.fd.Reset();  // drained: close now
+      if (events == 0 && conn.closing && inflight[i] == 0 &&
+          conn.in.find('\n') == std::string::npos && !conn.overflowed) {
+        conn.fd.Reset();  // everything owed was sent: close now
         continue;
       }
+      // events may be 0 for a closing connection that still has framed or
+      // frameable requests; keep the fd so its responses can be queued.
       fds.push_back({conn.fd.get(), events, 0});
       fd_conn.push_back(i);
     }
 
-    const int ready = ::poll(fds.data(), fds.size(),
-                             options_.poll_interval_ms);
+    // Don't block while framed requests are waiting to be processed.
+    const int timeout = requests.empty() ? options_.poll_interval_ms : 0;
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
     if (ready < 0 && errno != EINTR) {
       return Status::IoError("poll failed");
     }
-    if (ready <= 0) continue;
+    if (ready <= 0 && requests.empty()) continue;
 
-    if ((fds[0].revents & POLLIN) != 0 && !draining) {
-      while (true) {
-        Result<OwnedFd> client = AcceptClient(listener_.fd.get());
-        if (!client.ok()) return client.status();
-        if (!client.value().valid()) break;  // accept queue drained
-        const Status status = SetNonBlocking(client.value().get());
-        if (!status.ok()) return status;
-        Connection conn;
-        conn.fd = std::move(client.value());
-        // Reuse a closed slot so long-lived servers don't grow the table.
-        auto slot = std::find_if(
-            connections_.begin(), connections_.end(),
-            [](const Connection& c) { return !c.fd.valid(); });
-        if (slot == connections_.end()) {
-          connections_.push_back(std::move(conn));
-        } else {
-          *slot = std::move(conn);
+    if (ready > 0 && accepting) {
+      // The listener itself failing is the one fatal accept-side error.
+      if ((fds[0].revents & (POLLERR | POLLNVAL)) != 0) {
+        return Status::IoError("listener socket failed");
+      }
+      if ((fds[0].revents & POLLIN) != 0) {
+        while (true) {
+          Result<OwnedFd> client = AcceptClient(listener_.fd.get());
+          if (!client.ok()) {
+            // Per-client conditions (ECONNABORTED mid-handshake, EMFILE
+            // under fd pressure, ...) must not take down every established
+            // connection; count it and retry on the next poll round.
+            accept_errors_->Add(1);
+            HIDO_LOG_WARNING("serve: accept failed: %s",
+                             client.status().ToString().c_str());
+            break;
+          }
+          if (!client.value().valid()) break;  // accept queue drained
+          const Status status = SetNonBlocking(client.value().get());
+          if (!status.ok()) {
+            accept_errors_->Add(1);
+            HIDO_LOG_WARNING("serve: rejecting client: %s",
+                             status.ToString().c_str());
+            continue;  // OwnedFd closes the client; keep accepting
+          }
+          Connection conn;
+          conn.fd = std::move(client.value());
+          // Reuse a closed slot so long-lived servers don't grow the table.
+          auto slot = std::find_if(
+              connections_.begin(), connections_.end(),
+              [](const Connection& c) { return !c.fd.valid(); });
+          if (slot == connections_.end()) {
+            connections_.push_back(std::move(conn));
+          } else {
+            *slot = std::move(conn);
+          }
         }
       }
     }
 
-    std::vector<size_t> request_conns;
-    std::vector<ServeRequest> requests;
-    for (size_t fd_index = 1; fd_index < fds.size(); ++fd_index) {
-      Connection& conn = connections_[fd_conn[fd_index - 1]];
-      const short revents = fds[fd_index].revents;
-      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-          (revents & POLLIN) == 0) {
-        conn.fd.Reset();
-        continue;
-      }
-      if ((revents & POLLIN) != 0) {
-        Result<ReadOutcome> outcome = ReadAvailable(conn.fd.get(), &conn.in);
-        if (!outcome.ok() || outcome.value().bytes == 0) {
-          // Error or orderly EOF: answer what was already framed, but read
-          // no further.
-          conn.closing = true;
+    if (ready > 0) {
+      for (size_t fd_index = conn_base; fd_index < fds.size(); ++fd_index) {
+        Connection& conn = connections_[fd_conn[fd_index - conn_base]];
+        const short revents = fds[fd_index].revents;
+        if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (revents & POLLIN) == 0) {
+          conn.fd.Reset();
+          continue;
         }
-        FrameLines(fd_conn[fd_index - 1], &request_conns, &requests);
-      }
-      if ((revents & POLLOUT) != 0) {
-        if (!FlushWrites(&conn).ok()) conn.fd.Reset();
+        if ((revents & POLLIN) != 0) {
+          Result<ReadOutcome> outcome =
+              ReadAvailable(conn.fd.get(), &conn.in);
+          if (!outcome.ok() || outcome.value().bytes == 0) {
+            // Error or orderly EOF: answer what was already framed (and
+            // any complete buffered lines), but read no further.
+            conn.closing = true;
+          }
+          FrameLines(fd_conn[fd_index - conn_base], &request_conns,
+                     &requests);
+        }
+        if ((revents & POLLOUT) != 0) {
+          if (!FlushWrites(&conn).ok()) conn.fd.Reset();
+        }
       }
     }
 
@@ -145,13 +205,23 @@ Status SocketServer::Run() {
         conn.out += responses[i];
         conn.out += '\n';
       }
+      if (service_.shutdown_requested()) draining = true;
+    }
+    // Deferred protocol errors go out only after this round's responses,
+    // preserving per-connection response order.
+    for (Connection& conn : connections_) {
+      if (conn.overflowed && conn.fd.valid()) {
+        conn.out += "err line too long\n";
+        conn.overflowed = false;
+      }
+    }
+    if (!request_conns.empty()) {
       // Opportunistic flush: most clients are waiting on these bytes, and
       // the sockets are almost always writable.
       for (const size_t conn_index : request_conns) {
         Connection& conn = connections_[conn_index];
         if (conn.fd.valid() && !FlushWrites(&conn).ok()) conn.fd.Reset();
       }
-      if (service_.shutdown_requested()) draining = true;
     }
   }
 }

@@ -20,6 +20,7 @@
 #include "common/run_control.h"
 #include "common/socket.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serve/score_service.h"
 
 namespace hido {
@@ -66,6 +67,10 @@ class SocketServer {
     std::string in;    ///< bytes read, not yet framed into lines
     std::string out;   ///< responses awaiting a writable socket
     bool closing = false;  ///< drain `out`, then close
+    /// An overlong unframed line was seen; the error line is queued only
+    /// after the responses to requests framed before it, so the client
+    /// never sees the error ahead of answers it is still owed.
+    bool overflowed = false;
   };
 
   /// Frames complete lines out of conn->in; each becomes one request
@@ -79,6 +84,9 @@ class SocketServer {
   const ServerOptions options_;
   TcpListener listener_;
   std::vector<Connection> connections_;
+  /// Transient accept/SetNonBlocking failures (ECONNABORTED, EMFILE, ...);
+  /// these are counted and survived, never fatal to the loop.
+  obs::Counter* accept_errors_;
 };
 
 }  // namespace serve

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -53,7 +54,10 @@ std::string CsvRow(const Dataset& data, size_t row) {
 class ServerFixture {
  public:
   ServerFixture(ScoreService& service, const StopToken* stop = nullptr)
-      : server_(service, MakeOptions(stop)) {
+      : ServerFixture(service, MakeOptions(stop)) {}
+
+  ServerFixture(ScoreService& service, ServerOptions options)
+      : server_(service, std::move(options)) {
     const Status started = server_.Start();
     EXPECT_TRUE(started.ok()) << started.ToString();
     thread_ = std::thread([this] { run_status_ = server_.Run(); });
@@ -141,6 +145,68 @@ TEST(ServerTest, PipelinedBatchAnswersInOrder) {
   ASSERT_TRUE(WriteAll(client.get(), "shutdown\n").ok());
   Result<std::string> bye = ReadLine(client.get(), &carry);
   ASSERT_TRUE(bye.ok());
+}
+
+TEST(ServerTest, BurstLargerThanMaxBatchDrainsWithoutNewBytes) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  ServerOptions options;
+  options.stop = &stop;
+  options.poll_interval_ms = 20;
+  options.max_batch = 4;  // force several rounds of buffered backlog
+  {
+    ServerFixture server(service, options);
+    OwnedFd client = server.Connect();
+    // One write, many more lines than max_batch: once the kernel buffer is
+    // drained, POLLIN never fires again, so the loop must keep framing the
+    // user-space backlog on its own or the tail of this burst hangs.
+    std::string burst;
+    for (size_t row = 0; row < 25; ++row) {
+      burst += "score " + CsvRow(g.data, row) + "\n";
+    }
+    ASSERT_TRUE(WriteAll(client.get(), burst).ok());
+    std::string carry;
+    for (size_t row = 0; row < 25; ++row) {
+      Result<std::string> line = ReadLine(client.get(), &carry);
+      ASSERT_TRUE(line.ok()) << line.status().ToString();
+      EXPECT_EQ(line.value(),
+                service.Handle("score " + CsvRow(g.data, row)))
+          << row;
+    }
+    stop.RequestCancel();
+  }
+}
+
+TEST(ServerTest, OverlongLineErrorArrivesAfterEarlierResponses) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  ServerOptions options;
+  options.stop = &stop;
+  options.poll_interval_ms = 20;
+  options.max_line_bytes = 256;  // small enough to overflow in one read
+  {
+    ServerFixture server(service, options);
+    OwnedFd client = server.Connect();
+    // Two well-formed requests followed by an unterminated flood, all in
+    // one write: the client is owed both answers *before* the error line.
+    const std::string junk(1024, 'x');
+    ASSERT_TRUE(WriteAll(client.get(), "ping\nping\n" + junk).ok());
+    std::string carry;
+    Result<std::string> first = ReadLine(client.get(), &carry);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_EQ(first.value(), "ok pong");
+    Result<std::string> second = ReadLine(client.get(), &carry);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_EQ(second.value(), "ok pong");
+    Result<std::string> error = ReadLine(client.get(), &carry);
+    ASSERT_TRUE(error.ok()) << error.status().ToString();
+    EXPECT_EQ(error.value(), "err line too long");
+    stop.RequestCancel();
+  }
 }
 
 TEST(ServerTest, SwapMidStreamLosesNoRequests) {
