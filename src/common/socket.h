@@ -8,9 +8,11 @@
 // callers beyond the message text).
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -98,6 +100,82 @@ Result<ReadOutcome> ReadAvailable(int fd, std::string* buffer,
 /// terminator (a trailing '\r' is stripped). EOF before a newline is an
 /// IoError.
 Result<std::string> ReadLine(int fd, std::string* carry);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. Returns true when
+/// readable (or at EOF/error — a subsequent read will not block), false on
+/// timeout. EINTR is retried against the remaining budget.
+Result<bool> WaitReadable(int fd, int timeout_ms);
+
+/// Waits up to `timeout_ms` for `fd` to accept writes; same contract as
+/// WaitReadable.
+Result<bool> WaitWritable(int fd, int timeout_ms);
+
+/// Deterministic, scripted fault injection for the socket helpers above —
+/// the I/O analogue of StopToken::ArmFailpoint. A script names which call,
+/// counted per operation from installation, fails and how:
+///
+///   "read@2=EINTR;write@3=short:5;accept@4=EMFILE;write@6..9=EAGAIN"
+///
+/// Grammar: entries separated by ';', each `op@N=fault` or `op@A..B=fault`
+/// (inclusive 1-based call range; `op@A..=fault` is open-ended). Ops are
+/// `accept`, `read`, `write`. A fault is either an errno name (EINTR,
+/// EAGAIN, ECONNRESET, ECONNABORTED, EPIPE, EMFILE, ENFILE, ETIMEDOUT,
+/// EIO) — the helper behaves exactly as if the syscall failed with it — or
+/// `short:K`, which clamps the byte count handed to the kernel to K
+/// (a scripted short read/write; K is clamped up to 1).
+///
+/// Injectors are installed per thread (`InstallOnThisThread`), so a test
+/// can arm the server's event-loop thread while its own client I/O, going
+/// through the very same helpers, stays undisturbed. When no injector is
+/// installed the helpers pay one thread-local pointer load — zero cost in
+/// production. A FaultInjector is not thread-safe; it must only be used by
+/// the thread it is installed on.
+class FaultInjector {
+ public:
+  /// The three injectable syscall families.
+  enum class Op : int { kAccept = 0, kRead = 1, kWrite = 2 };
+
+  /// One scheduled fault: an errno to fail with, or (when errno_value is
+  /// 0) a clamp on the byte count for a scripted short transfer.
+  struct Fault {
+    int errno_value = 0;
+    size_t clamp_bytes = 0;
+  };
+
+  /// Parses the script grammar documented above.
+  static Result<FaultInjector> Parse(const std::string& script);
+
+  /// Installs `injector` for the calling thread (nullptr disarms). The
+  /// injector must outlive its installation.
+  static void InstallOnThisThread(FaultInjector* injector);
+
+  /// The injector installed on the calling thread, or nullptr.
+  static FaultInjector* CurrentForThisThread();
+
+  /// Called by the helpers before each syscall attempt: bumps the per-op
+  /// call count and reports whether a fault is scheduled for this call.
+  bool Next(Op op, Fault* fault);
+
+  /// Syscall attempts seen for `op` since installation.
+  uint64_t calls(Op op) const {
+    return calls_[static_cast<int>(op)];
+  }
+
+  /// Total faults fired across all ops.
+  uint64_t fired() const { return fired_; }
+
+ private:
+  /// A scripted fault covering calls `first..last` (inclusive, 1-based).
+  struct Entry {
+    uint64_t first = 0;
+    uint64_t last = 0;
+    Fault fault;
+  };
+
+  std::vector<Entry> entries_[3];
+  uint64_t calls_[3] = {0, 0, 0};
+  uint64_t fired_ = 0;
+};
 
 }  // namespace hido
 

@@ -19,6 +19,13 @@
 // once no matter which path serves it. Wall-clock lives only in `timing`
 // and in explicitly "_seconds"-named result fields, so consumers can diff
 // everything above it.
+//
+// The serve.* family is client-dependent rather than thread-dependent:
+// request/shed/eviction counters are deterministic for a scripted client
+// schedule (the CI chaos job asserts exact values), but depend on how the
+// kernel coalesces reads when clients race — serve.shed.requests for an
+// unsynchronized flood is reproducible only in distribution. serve.conn.
+// active reads 0 after a clean drain.
 
 #include <cstdint>
 #include <string>

@@ -50,6 +50,7 @@
 namespace hido {
 namespace serve {
 
+/// Tunables for ScoreService; the defaults serve inline with no deadline.
 struct ScoreServiceOptions {
   /// Worker threads a batch fans out onto (1 = score inline).
   size_t num_threads = 1;
@@ -65,14 +66,19 @@ struct ScoreServiceOptions {
 /// One request in flight: the raw line plus the arrival-armed StopToken
 /// that carries its deadline. Move-only.
 struct ServeRequest {
-  std::string line;
-  double arrival_seconds = 0.0;
+  std::string line;              ///< the raw protocol line, no terminator
+  double arrival_seconds = 0.0;  ///< clock reading at MakeRequest time
   /// Null when no deadline is configured.
   std::unique_ptr<StopToken> stop;
 };
 
+/// The transport-independent request handler behind `hido serve`: parses
+/// protocol lines, scores against the current snapshot (RCU-swapped via
+/// Publish), and answers admin requests. Thread-compatible: Process may
+/// fan out internally, but callers drive one batch at a time.
 class ScoreService {
  public:
+  /// Instruments are registered on construction; see obs/metrics.h.
   explicit ScoreService(ScoreServiceOptions options = {});
 
   /// Publishes a new current snapshot (RCU swap) and returns its assigned
@@ -114,6 +120,7 @@ class ScoreService {
   /// Convenience wrapper: one fresh request through Process.
   std::string Handle(std::string line);
 
+  /// The options this service was constructed with.
   const ScoreServiceOptions& options() const { return options_; }
 
  private:

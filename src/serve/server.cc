@@ -14,8 +14,17 @@ namespace serve {
 SocketServer::SocketServer(ScoreService& service, ServerOptions options)
     : service_(service),
       options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : &Clock::Real()),
       accept_errors_(
-          &obs::MetricsRegistry::Global().GetCounter("serve.accept.errors")) {}
+          &obs::MetricsRegistry::Global().GetCounter("serve.accept.errors")),
+      shed_connections_(&obs::MetricsRegistry::Global().GetCounter(
+          "serve.shed.connections")),
+      shed_requests_(&obs::MetricsRegistry::Global().GetCounter(
+          "serve.shed.requests")),
+      evictions_(
+          &obs::MetricsRegistry::Global().GetCounter("serve.evictions")),
+      conn_active_(
+          &obs::MetricsRegistry::Global().GetGauge("serve.conn.active")) {}
 
 Status SocketServer::Start() {
   Result<TcpListener> listener = ListenTcp(options_.host, options_.port);
@@ -52,6 +61,28 @@ void SocketServer::FrameLines(size_t conn_index,
     conn.overflowed = true;
     conn.in.clear();
     conn.closing = true;
+    return;
+  }
+  // Overload budget: complete lines buffered beyond max_pending are shed
+  // newest-first, so the oldest requests (the ones the client has waited
+  // longest on) keep their slot. Each shed line is owed an
+  // `err overloaded` reply, queued only after every kept line has been
+  // answered; reads stay suppressed until then, so per-connection response
+  // order is preserved.
+  size_t backlog = 0;
+  for (size_t eol = conn.in.find('\n'); eol != std::string::npos;
+       eol = conn.in.find('\n', eol + 1)) {
+    ++backlog;
+  }
+  while (backlog > options_.max_pending) {
+    const size_t last_eol = conn.in.rfind('\n');
+    const size_t prev_eol =
+        last_eol == 0 ? std::string::npos : conn.in.rfind('\n', last_eol - 1);
+    const size_t line_begin = prev_eol == std::string::npos ? 0 : prev_eol + 1;
+    conn.in.erase(line_begin, last_eol - line_begin + 1);
+    ++conn.overload_owed;
+    shed_requests_->Add(1);
+    --backlog;
   }
 }
 
@@ -60,7 +91,66 @@ Status SocketServer::FlushWrites(Connection* conn) {
   Result<size_t> written = WriteSome(conn->fd.get(), conn->out);
   if (!written.ok()) return written.status();
   conn->out.erase(0, written.value());
+  // Any progress re-arms the stall clock; EvictOverLimits restarts it on
+  // the next round if output is still pending.
+  if (written.value() > 0) conn->stall_since_seconds = -1.0;
   return Status::Ok();
+}
+
+void SocketServer::Evict(Connection* conn, const char* reason) {
+  // The socket is usually backed up at this point: the notice is best
+  // effort, and whatever the kernel refuses is simply lost with the fd.
+  WriteSome(conn->fd.get(), std::string("err ") + reason + "\n");
+  conn->fd.Reset();
+  conn->in.clear();
+  conn->out.clear();
+  conn->overload_owed = 0;
+  evictions_->Add(1);
+}
+
+void SocketServer::EvictOverLimits(double now_seconds) {
+  for (Connection& conn : connections_) {
+    if (!conn.fd.valid()) continue;
+    if (conn.out.empty()) {
+      conn.stall_since_seconds = -1.0;
+    } else if (conn.stall_since_seconds < 0.0) {
+      conn.stall_since_seconds = now_seconds;
+    }
+    if (conn.out.size() > options_.max_out_bytes) {
+      Evict(&conn, "evicted");
+      continue;
+    }
+    if (options_.write_stall_ms > 0 && conn.stall_since_seconds >= 0.0 &&
+        (now_seconds - conn.stall_since_seconds) * 1000.0 >=
+            static_cast<double>(options_.write_stall_ms)) {
+      Evict(&conn, "evicted");
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0 && conn.out.empty() && !conn.closing &&
+        conn.overload_owed == 0 &&
+        (now_seconds - conn.last_activity_seconds) * 1000.0 >=
+            static_cast<double>(options_.idle_timeout_ms)) {
+      Evict(&conn, "idle timeout");
+    }
+  }
+}
+
+size_t SocketServer::CountActive() const {
+  size_t active = 0;
+  for (const Connection& conn : connections_) {
+    if (conn.fd.valid()) ++active;
+  }
+  return active;
+}
+
+void SocketServer::CloseAllConnections() {
+  for (Connection& conn : connections_) {
+    conn.fd.Reset();
+    conn.in.clear();
+    conn.out.clear();
+    conn.overload_owed = 0;
+  }
+  conn_active_->Set(0);
 }
 
 Status SocketServer::Run() {
@@ -70,6 +160,7 @@ Status SocketServer::Run() {
   bool draining = false;  // shutdown seen: flush replies, then exit
   while (true) {
     if (options_.stop != nullptr && options_.stop->ShouldStop()) {
+      CloseAllConnections();
       return Status::Ok();
     }
     if (draining) {
@@ -78,8 +169,17 @@ Status SocketServer::Run() {
           [](const Connection& conn) {
             return conn.fd.valid() && !conn.out.empty();
           });
-      if (!pending) return Status::Ok();
+      if (!pending) {
+        CloseAllConnections();
+        return Status::Ok();
+      }
     }
+
+    // Overload limits first, so a connection over its budget neither polls
+    // nor frames this round. Runs while draining too: a stalled client
+    // must not be able to hold the drain open forever.
+    EvictOverLimits(clock_->NowSeconds());
+    conn_active_->Set(static_cast<int64_t>(CountActive()));
 
     // Frame lines left buffered by earlier rounds before polling: after a
     // burst larger than max_batch, the kernel buffer is empty, so POLLIN
@@ -109,9 +209,12 @@ Status SocketServer::Run() {
       Connection& conn = connections_[i];
       if (!conn.fd.valid()) continue;
       short events = 0;
-      if (!conn.closing) events |= POLLIN;
+      // While `err overloaded` replies are owed, reading stops: TCP
+      // backpressure keeps newer requests from leapfrogging the errors.
+      if (!conn.closing && conn.overload_owed == 0) events |= POLLIN;
       if (!conn.out.empty()) events |= POLLOUT;
       if (events == 0 && conn.closing && inflight[i] == 0 &&
+          conn.overload_owed == 0 &&
           conn.in.find('\n') == std::string::npos && !conn.overflowed) {
         conn.fd.Reset();  // everything owed was sent: close now
         continue;
@@ -148,6 +251,14 @@ Status SocketServer::Run() {
             break;
           }
           if (!client.value().valid()) break;  // accept queue drained
+          if (CountActive() >= options_.max_connections) {
+            // Admission control: shed at accept time with the documented
+            // error so the client fails fast instead of queueing blind.
+            // The notice is best-effort on the still-blocking fd.
+            WriteSome(client.value().get(), "err busy\n");
+            shed_connections_->Add(1);
+            continue;  // OwnedFd closes the client; keep draining accepts
+          }
           const Status status = SetNonBlocking(client.value().get());
           if (!status.ok()) {
             accept_errors_->Add(1);
@@ -157,6 +268,7 @@ Status SocketServer::Run() {
           }
           Connection conn;
           conn.fd = std::move(client.value());
+          conn.last_activity_seconds = clock_->NowSeconds();
           // Reuse a closed slot so long-lived servers don't grow the table.
           auto slot = std::find_if(
               connections_.begin(), connections_.end(),
@@ -186,6 +298,8 @@ Status SocketServer::Run() {
             // Error or orderly EOF: answer what was already framed (and
             // any complete buffered lines), but read no further.
             conn.closing = true;
+          } else if (outcome.value().bytes > 0) {
+            conn.last_activity_seconds = clock_->NowSeconds();
           }
           FrameLines(fd_conn[fd_index - conn_base], &request_conns,
                      &requests);
@@ -213,6 +327,16 @@ Status SocketServer::Run() {
       if (conn.overflowed && conn.fd.valid()) {
         conn.out += "err line too long\n";
         conn.overflowed = false;
+      }
+      // Owed overload errors flush once the kept backlog is exhausted:
+      // every line framed so far was answered above, and no complete line
+      // remains buffered, so the shed tail's errors land in exactly the
+      // position its requests held.
+      if (conn.overload_owed > 0 && conn.fd.valid() &&
+          conn.in.find('\n') == std::string::npos) {
+        for (; conn.overload_owed > 0; --conn.overload_owed) {
+          conn.out += "err overloaded\n";
+        }
       }
     }
     if (!request_conns.empty()) {

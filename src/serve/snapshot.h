@@ -38,7 +38,7 @@ namespace serve {
 /// Fit provenance carried alongside the model.
 struct SnapshotInfo {
   std::string algorithm = "evolutionary";  ///< "evolutionary"|"brute-force"
-  uint64_t seed = 0;
+  uint64_t seed = 0;        ///< detector seed the fit ran with
   uint64_t phi = 0;         ///< ranges per attribute used at fit time
   uint64_t target_dim = 0;  ///< projection dimensionality used at fit time
 };
@@ -46,9 +46,9 @@ struct SnapshotInfo {
 /// One immutable fitted model plus provenance. `generation` is assigned
 /// when a ScoreService publishes the snapshot; it is not serialized.
 struct ModelSnapshot {
-  SnapshotInfo info;
-  SparseModel model;
-  uint64_t generation = 0;
+  SnapshotInfo info;        ///< fit provenance
+  SparseModel model;        ///< quantizer + abnormal projections
+  uint64_t generation = 0;  ///< publish order, 1-based; 0 = unpublished
 };
 
 /// Builds a snapshot from a finished detection run (fit path). `data`
@@ -64,8 +64,9 @@ std::string SerializeSnapshot(const ModelSnapshot& snapshot);
 /// additive extensions.
 Result<ModelSnapshot> ParseSnapshot(const std::string& text);
 
-/// File convenience wrappers (atomic write-rename on save).
+/// File convenience wrapper: serialize + atomic write-rename.
 Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
+/// File convenience wrapper: read + parse.
 Result<std::shared_ptr<ModelSnapshot>> LoadSnapshot(const std::string& path);
 
 }  // namespace serve

@@ -325,6 +325,132 @@ TEST(IncludeOrderRule, SuppressedByAllowComment) {
 }
 
 // ---------------------------------------------------------------------------
+// doc-comment
+
+namespace {
+const char kServeHeaderPrologue[] =
+    "#ifndef HIDO_SERVE_WIDGET_H_\n"
+    "#define HIDO_SERVE_WIDGET_H_\n"
+    "namespace hido {\n"
+    "namespace serve {\n";
+const char kServeHeaderEpilogue[] =
+    "}  // namespace serve\n"
+    "}  // namespace hido\n"
+    "#endif  // HIDO_SERVE_WIDGET_H_\n";
+
+std::vector<Finding> LintServeHeader(const std::string& body) {
+  return LintContent("src/serve/widget.h",
+                     kServeHeaderPrologue + body + kServeHeaderEpilogue);
+}
+}  // namespace
+
+TEST(DocCommentRule, FlagsUndocumentedPublicDeclarations) {
+  // An undocumented class at namespace scope and an undocumented public
+  // method are two separate findings.
+  const std::vector<Finding> findings = LintServeHeader(
+      "class Widget {\n"
+      " public:\n"
+      "  int Size() const;\n"
+      "};\n");
+  const std::vector<std::string> names = RuleNames(findings);
+  EXPECT_EQ(
+      std::count(names.begin(), names.end(), std::string("doc-comment")), 2);
+}
+
+TEST(DocCommentRule, AcceptsAdjacentAndTrailingDocs) {
+  EXPECT_TRUE(LintServeHeader(
+                  "/// A documented widget.\n"
+                  "class Widget {\n"
+                  " public:\n"
+                  "  /// Its size.\n"
+                  "  int Size() const;\n"
+                  "  int count = 0;  ///< trailing member doc\n"
+                  "};\n"
+                  "/// Free function doc.\n"
+                  "int MakeWidget();\n")
+                  .empty());
+}
+
+TEST(DocCommentRule, PlainCommentDoesNotCount) {
+  EXPECT_TRUE(HasRule(LintServeHeader("// not a doc comment\n"
+                                      "int MakeWidget();\n"),
+                      "doc-comment"));
+}
+
+TEST(DocCommentRule, PrivateAndNestedHiddenScopesAreExempt) {
+  // Private members, members of a struct nested in a private section, and
+  // function-local code need no docs.
+  EXPECT_TRUE(LintServeHeader(
+                  "/// Documented.\n"
+                  "class Widget {\n"
+                  " public:\n"
+                  "  /// Documented accessor (the body line is exempt).\n"
+                  "  int Size() const {\n"
+                  "    int local = 0;\n"
+                  "    return local;\n"
+                  "  }\n"
+                  "\n"
+                  " private:\n"
+                  "  struct Impl {\n"
+                  "    int undocumented_field = 0;\n"
+                  "  };\n"
+                  "  int size_ = 0;\n"
+                  "};\n")
+                  .empty());
+}
+
+TEST(DocCommentRule, StructuralNoiseIsExempt) {
+  // Access labels, defaulted/deleted members, friends, using-aliases,
+  // forward declarations, and multi-line continuations produce no
+  // findings of their own.
+  EXPECT_TRUE(LintServeHeader(
+                  "class Helper;\n"
+                  "/// Documented.\n"
+                  "class Widget {\n"
+                  " public:\n"
+                  "  Widget() = default;\n"
+                  "  Widget(const Widget&) = delete;\n"
+                  "  using Ptr = Widget*;\n"
+                  "  friend class Helper;\n"
+                  "  /// Spans lines: only the first line is checked.\n"
+                  "  int Measure(int a,\n"
+                  "              int b) const;\n"
+                  "};\n")
+                  .empty());
+}
+
+TEST(DocCommentRule, OnlyAppliesToServeHeaders) {
+  const std::string undocumented =
+      "#ifndef HIDO_CORE_WIDGET_H_\n"
+      "#define HIDO_CORE_WIDGET_H_\n"
+      "namespace hido {\n"
+      "int Undocumented();\n"
+      "}  // namespace hido\n"
+      "#endif  // HIDO_CORE_WIDGET_H_\n";
+  EXPECT_TRUE(LintContent("src/core/widget.h", undocumented).empty());
+  // .cc files under serve are exempt too: the rule covers the API surface.
+  EXPECT_TRUE(
+      LintContent("src/serve/widget.cc", "int Undocumented() { return 0; }\n")
+          .empty());
+  // The testdata fixture path contains src/serve/, so it IS covered.
+  EXPECT_TRUE(HasRule(
+      LintContent("tests/lint/testdata/src/serve/widget.h",
+                  "#ifndef HIDO_TESTS_LINT_TESTDATA_SRC_SERVE_WIDGET_H_\n"
+                  "#define HIDO_TESTS_LINT_TESTDATA_SRC_SERVE_WIDGET_H_\n"
+                  "namespace hido {\n"
+                  "int Undocumented();\n"
+                  "}  // namespace hido\n"
+                  "#endif\n"),
+      "doc-comment"));
+}
+
+TEST(DocCommentRule, SuppressedByAllowComment) {
+  EXPECT_TRUE(LintServeHeader(
+                  "int Odd();  // hido-lint: allow(doc-comment)\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Stripper
 
 TEST(StripCommentsAndStrings, RemovesCommentsPreservingLines) {
@@ -379,7 +505,7 @@ TEST(RuleTable, ListsEveryRuleOnce) {
   const std::vector<std::string> expected = {
       "no-exceptions",    "no-raw-random", "no-raw-mutex",
       "no-stdio-in-core", "no-naked-new",  "header-guard",
-      "include-order"};
+      "include-order",    "doc-comment"};
   EXPECT_EQ(names, expected);
 }
 

@@ -1,0 +1,23 @@
+#ifndef HIDO_TESTS_LINT_TESTDATA_SRC_SERVE_BAD_DOC_COMMENT_H_
+#define HIDO_TESTS_LINT_TESTDATA_SRC_SERVE_BAD_DOC_COMMENT_H_
+
+// Deliberate doc-comment violation: the path contains src/serve/, so the
+// public method below must carry a /// doc comment — this plain // block
+// does not count.
+
+namespace hido {
+namespace serve {
+
+/// Documented class: the class line itself is clean.
+class BadDocComment {
+ public:
+  int Undocumented() const { return 0; }
+
+ private:
+  int hidden_ = 0;  // private members need no docs
+};
+
+}  // namespace serve
+}  // namespace hido
+
+#endif  // HIDO_TESTS_LINT_TESTDATA_SRC_SERVE_BAD_DOC_COMMENT_H_

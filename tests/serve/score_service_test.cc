@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/detector.h"
 #include "data/generators/synthetic.h"
@@ -164,6 +165,52 @@ TEST(ScoreServiceTest, SwapPublishesNewGenerationZeroDowntime) {
   EXPECT_EQ(service.Handle("swap /no/such/file").substr(0, 3), "err");
   EXPECT_EQ(service.generation(), 2u);
   std::remove(path.c_str());
+}
+
+// Swap-fault hardening: whatever is wrong with the snapshot on disk —
+// missing, truncated mid-stream, or outright garbage — the answer is an
+// `err ...` line and the served generation (and scores) are untouched.
+TEST(ScoreServiceTest, SwapFaultsLeaveServedGenerationUntouched) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g, /*seed=*/3));
+  ASSERT_EQ(service.generation(), 1u);
+  const std::string line = "score " + CsvRow(g.data, 0);
+  const std::string baseline = service.Handle(line);
+  ASSERT_EQ(baseline.substr(0, 8), "ok score");
+
+  const std::string good_path = ::testing::TempDir() + "/swap_good.hido";
+  ASSERT_TRUE(SaveSnapshot(*FitSnapshot(g, /*seed=*/7), good_path).ok());
+  Result<std::string> bytes = ReadFileToString(good_path);
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string truncated_path =
+      ::testing::TempDir() + "/swap_truncated.hido";
+  ASSERT_TRUE(WriteFileAtomic(truncated_path,
+                              bytes.value().substr(0, bytes.value().size() / 2))
+                  .ok());
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/swap_corrupt.hido";
+  std::string corrupt = bytes.value();
+  for (size_t i = 0; i < corrupt.size(); i += 3) corrupt[i] ^= 0x5a;
+  ASSERT_TRUE(WriteFileAtomic(corrupt_path, corrupt).ok());
+
+  for (const std::string& bad :
+       {std::string("/no/such/dir/snapshot.hido"), truncated_path,
+        corrupt_path}) {
+    const std::string response = service.Handle("swap " + bad);
+    EXPECT_EQ(response.substr(0, 4), "err ") << bad << " -> " << response;
+    EXPECT_EQ(service.generation(), 1u) << bad;
+    EXPECT_EQ(service.Handle(line), baseline) << bad;
+  }
+
+  // The service is not wedged: the intact snapshot still swaps in.
+  EXPECT_EQ(service.Handle("swap " + good_path).substr(0, 16),
+            "ok swapped gen=2");
+  EXPECT_EQ(service.generation(), 2u);
+  std::remove(good_path.c_str());
+  std::remove(truncated_path.c_str());
+  std::remove(corrupt_path.c_str());
 }
 
 // The RCU contract: score requests racing an arbitrary number of model

@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -50,17 +52,24 @@ std::string CsvRow(const Dataset& data, size_t row) {
 }
 
 // A server running on its own thread for the duration of a test, always
-// shut down (via the protocol or the stop token) before teardown.
+// shut down (via the protocol or the stop token) before teardown. An
+// optional FaultInjector is installed on the server thread only, so the
+// test's own client I/O through the same helpers stays undisturbed.
 class ServerFixture {
  public:
   ServerFixture(ScoreService& service, const StopToken* stop = nullptr)
       : ServerFixture(service, MakeOptions(stop)) {}
 
-  ServerFixture(ScoreService& service, ServerOptions options)
+  ServerFixture(ScoreService& service, ServerOptions options,
+                FaultInjector* injector = nullptr)
       : server_(service, std::move(options)) {
     const Status started = server_.Start();
     EXPECT_TRUE(started.ok()) << started.ToString();
-    thread_ = std::thread([this] { run_status_ = server_.Run(); });
+    thread_ = std::thread([this, injector] {
+      FaultInjector::InstallOnThisThread(injector);
+      run_status_ = server_.Run();
+      FaultInjector::InstallOnThisThread(nullptr);
+    });
   }
 
   ~ServerFixture() {
@@ -261,6 +270,213 @@ TEST(ServerTest, StopTokenEndsTheLoop) {
     EXPECT_EQ(Request(client.get(), "ping", &carry), "ok pong");
     stop.RequestCancel();
     // ~ServerFixture joins: Run() must notice the token and return OK.
+  }
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).Value();
+}
+
+// Polls (with a real-time bound) until the named counter reaches `target`;
+// FakeClock-driven evictions land on the server's next poll round, so the
+// test must wait for the round, not for wall-clock time.
+bool WaitForCounter(const char* name, uint64_t target) {
+  for (int i = 0; i < 500; ++i) {
+    if (CounterValue(name) >= target) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return CounterValue(name) >= target;
+}
+
+// Reads until EOF (or an error), returning everything seen. Used by shed
+// and eviction tests where the server closes the connection.
+std::string ReadUntilClosed(int fd) {
+  std::string all;
+  std::string carry;
+  while (true) {
+    Result<std::string> line = ReadLine(fd, &carry);
+    if (!line.ok()) break;
+    all += line.value();
+    all += '\n';
+  }
+  return all;
+}
+
+TEST(ServerTest, AcceptShedBeyondMaxConnectionsAnswersErrBusy) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  ServerOptions options;
+  options.stop = &stop;
+  options.poll_interval_ms = 20;
+  options.max_connections = 2;
+  const uint64_t shed_before = CounterValue("serve.shed.connections");
+  {
+    ServerFixture server(service, options);
+    OwnedFd first = server.Connect();
+    OwnedFd second = server.Connect();
+    std::string carry1;
+    std::string carry2;
+    // Round-trip both so they are accepted before the third knocks.
+    EXPECT_EQ(Request(first.get(), "ping", &carry1), "ok pong");
+    EXPECT_EQ(Request(second.get(), "ping", &carry2), "ok pong");
+
+    OwnedFd third = server.Connect();
+    EXPECT_EQ(ReadUntilClosed(third.get()), "err busy\n");
+    EXPECT_EQ(CounterValue("serve.shed.connections"), shed_before + 1);
+    // The admitted connections are untouched by the shed...
+    EXPECT_EQ(Request(first.get(), "ping", &carry1), "ok pong");
+    EXPECT_EQ(Request(second.get(), "ping", &carry2), "ok pong");
+    // ...and the gauge reports exactly the two of them.
+    EXPECT_EQ(
+        obs::MetricsRegistry::Global().GetGauge("serve.conn.active").Value(),
+        2);
+
+    // A freed slot re-admits: close one, wait for the server to reap it
+    // (the gauge dropping is the signal), and a newcomer gets served.
+    first.Reset();
+    obs::Gauge& active =
+        obs::MetricsRegistry::Global().GetGauge("serve.conn.active");
+    for (int i = 0; i < 500 && active.Value() > 1; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(active.Value(), 1);
+    OwnedFd fourth = server.Connect();
+    std::string carry4;
+    EXPECT_EQ(Request(fourth.get(), "ping", &carry4), "ok pong");
+    stop.RequestCancel();
+  }
+}
+
+TEST(ServerTest, OverloadShedsNewestRequestsWithErrOverloaded) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  ServerOptions options;
+  options.stop = &stop;
+  options.poll_interval_ms = 20;
+  options.max_batch = 2;    // several framing rounds per burst
+  options.max_pending = 3;  // backlog budget beyond the current batch
+  const uint64_t shed_before = CounterValue("serve.shed.requests");
+  {
+    ServerFixture server(service, options);
+    OwnedFd client = server.Connect();
+    std::string carry;
+    // Settle the connection so the burst is the only traffic in flight.
+    EXPECT_EQ(Request(client.get(), "ping", &carry), "ok pong");
+
+    // One send, ten requests: the first round frames 2 (max_batch) and
+    // sheds the newest 5 of the remaining 8 (max_pending 3). The kept
+    // five answer first — in order — then the shed tail's errors.
+    std::string burst;
+    for (int i = 0; i < 10; ++i) burst += "ping\n";
+    ASSERT_TRUE(WriteAll(client.get(), burst).ok());
+    std::vector<std::string> responses;
+    for (int i = 0; i < 10; ++i) {
+      Result<std::string> line = ReadLine(client.get(), &carry);
+      ASSERT_TRUE(line.ok()) << line.status().ToString();
+      responses.push_back(line.value());
+    }
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(responses[i], "ok pong") << i;
+    for (int i = 5; i < 10; ++i) {
+      EXPECT_EQ(responses[i], "err overloaded") << i;
+    }
+    EXPECT_EQ(CounterValue("serve.shed.requests"), shed_before + 5);
+
+    // The connection survives shedding: later requests are answered.
+    EXPECT_EQ(Request(client.get(), "ping", &carry), "ok pong");
+    stop.RequestCancel();
+  }
+}
+
+TEST(ServerTest, SlowClientEvictedWhenOutBufferExceedsLimit) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  ServerOptions options;
+  options.stop = &stop;
+  options.poll_interval_ms = 20;
+  options.max_out_bytes = 16;  // three pong lines overflow it
+  // Every server-side write hits EAGAIN, as if the client's receive
+  // window never opens: responses pile up in `out` deterministically.
+  Result<FaultInjector> injector = FaultInjector::Parse("write@1..=EAGAIN");
+  ASSERT_TRUE(injector.ok());
+  const uint64_t evictions_before = CounterValue("serve.evictions");
+  {
+    ServerFixture server(service, options, &injector.value());
+    OwnedFd client = server.Connect();
+    ASSERT_TRUE(WriteAll(client.get(), "ping\nping\nping\n").ok());
+    // 3 * "ok pong\n" = 24 buffered bytes > 16: the client is evicted.
+    EXPECT_TRUE(WaitForCounter("serve.evictions", evictions_before + 1));
+    EXPECT_EQ(CounterValue("serve.evictions"), evictions_before + 1);
+    // The eviction notice is best-effort and the write path is dead, so
+    // the client simply observes the close.
+    EXPECT_EQ(ReadUntilClosed(client.get()), "");
+    stop.RequestCancel();
+  }
+}
+
+TEST(ServerTest, StalledWriterEvictedAfterWriteStallTimeout) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  FakeClock clock(0.0);
+  ServerOptions options;
+  options.stop = &stop;
+  options.poll_interval_ms = 20;
+  options.write_stall_ms = 1000;
+  options.clock = &clock;
+  Result<FaultInjector> injector = FaultInjector::Parse("write@1..=EAGAIN");
+  ASSERT_TRUE(injector.ok());
+  const uint64_t evictions_before = CounterValue("serve.evictions");
+  {
+    ServerFixture server(service, options, &injector.value());
+    OwnedFd client = server.Connect();
+    ASSERT_TRUE(WriteAll(client.get(), "ping\n").ok());
+    // The response is queued but unwritable; well under max_out_bytes, so
+    // only the stall clock can evict. Step fake time until the server's
+    // next round observes a stall older than write_stall_ms.
+    for (int i = 0; i < 500; ++i) {
+      if (CounterValue("serve.evictions") > evictions_before) break;
+      clock.Advance(10.0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(CounterValue("serve.evictions"), evictions_before + 1);
+    EXPECT_EQ(ReadUntilClosed(client.get()), "");
+    stop.RequestCancel();
+  }
+}
+
+TEST(ServerTest, IdleConnectionEvictedAfterTimeoutWithNotice) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g));
+  StopToken stop;
+  FakeClock clock(0.0);
+  ServerOptions options;
+  options.stop = &stop;
+  options.poll_interval_ms = 20;
+  options.idle_timeout_ms = 500;
+  options.clock = &clock;
+  const uint64_t evictions_before = CounterValue("serve.evictions");
+  {
+    ServerFixture server(service, options);
+    OwnedFd client = server.Connect();
+    std::string carry;
+    EXPECT_EQ(Request(client.get(), "ping", &carry), "ok pong");
+    clock.Advance(10.0);  // well past the 500ms idle budget
+    EXPECT_TRUE(WaitForCounter("serve.evictions", evictions_before + 1));
+    // Writes are healthy here, so the documented notice is delivered
+    // before the close.
+    Result<std::string> notice = ReadLine(client.get(), &carry);
+    ASSERT_TRUE(notice.ok()) << notice.status().ToString();
+    EXPECT_EQ(notice.value(), "err idle timeout");
+    EXPECT_EQ(ReadUntilClosed(client.get()), "");
+    stop.RequestCancel();
   }
 }
 

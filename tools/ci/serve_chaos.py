@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI client for the `hido serve` chaos job.
+
+Drives the overload-protection machinery to exact, scripted counter
+values so the workflow can assert on the server's telemetry afterwards:
+
+  1. floods the server to its --max-connections cap and verifies every
+     admitted connection still serves;
+  2. two over-cap connects must each read exactly `err busy` + EOF
+     (-> serve.shed.connections == 2);
+  3. closing one admitted connection frees its slot for a new client;
+  4. one pipelined over-budget burst on a surviving connection must
+     answer the oldest max-batch + max-pending requests normally (the
+     budget counts complete lines beyond the batch being framed) and
+     each shed request with `err overloaded`, in order, on a connection
+     that keeps working (-> serve.shed.requests == 64 exactly);
+  5. a model swap mid-stream must not disturb concurrent scoring;
+  6. a protocol shutdown must answer `ok bye` and drain cleanly.
+
+Runs after the loadgen passes, because it shuts the server down.
+"""
+
+import argparse
+import socket
+import sys
+import time
+
+
+class LineClient:
+    """One request line -> one response line over a TCP socket."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.buf = b""
+
+    def request(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+        return self.read_line()
+
+    def read_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("server closed the connection mid-line")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def close(self):
+        self.sock.close()
+
+
+def read_until_eof(port):
+    """Connects and returns everything the server sends before closing."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            sock.close()
+            return data
+        data += chunk
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--input", required=True, help="CSV scored mid-swap")
+    parser.add_argument("--refit-snapshot", required=True,
+                        help="snapshot swapped in mid-stream")
+    parser.add_argument("--max-connections", type=int, required=True,
+                        help="the server's --max-connections (flooded to)")
+    parser.add_argument("--max-pending", type=int, required=True,
+                        help="the server's --max-pending (overflowed by 64)")
+    parser.add_argument("--max-batch", type=int, required=True,
+                        help="the server's --max-batch (the framing round "
+                             "consumes this many lines before the pending "
+                             "budget applies)")
+    args = parser.parse_args()
+
+    with open(args.input) as f:
+        rows = [line.strip() for line in f if line.strip()]
+    rows = rows[1:]  # header
+    assert rows, "no data rows in %s" % args.input
+
+    # Phase 1: fill every slot; each admitted connection must serve.
+    # Earlier clients (the loadgen passes) closed their connections before
+    # this script runs; the server reaps a closed fd on its next poll
+    # round, so after the settle sleep every slot is genuinely free. Any
+    # `err busy` below is therefore a real failure, never a race — which
+    # keeps serve.shed.connections at an exact, assertable 2.
+    time.sleep(0.5)
+    flood = [LineClient(args.port) for _ in range(args.max_connections)]
+    for i, client in enumerate(flood):
+        assert client.request("ping") == "ok pong", "flood conn %d" % i
+
+    # Phase 2: over-cap connects are shed with exactly `err busy` + EOF.
+    for i in range(2):
+        data = read_until_eof(args.port)
+        assert data == b"err busy\n", "over-cap connect %d got %r" % (i, data)
+
+    # Phase 3: closing one admitted connection frees its slot (same
+    # reap-within-a-round argument as phase 1, hence a single asserted
+    # connect rather than a shed-counting retry loop).
+    flood[0].close()
+    time.sleep(0.5)
+    freed = LineClient(args.port)
+    assert freed.request("ping") == "ok pong", "freed slot was not reusable"
+
+    # Phase 4: one burst of max_batch + max_pending + 64 pings on a
+    # surviving connection. The first framing round consumes max_batch
+    # lines and sheds everything beyond max_pending of the remainder, so
+    # exactly 64 are shed: the oldest `kept` answer `ok pong`, the shed
+    # tail answers `err overloaded`, strictly in that order, and the
+    # connection keeps serving afterwards.
+    kept = args.max_batch + args.max_pending
+    burst_size = kept + 64
+    victim = flood[1]
+    victim.sock.sendall(b"ping\n" * burst_size)
+    responses = [victim.read_line() for _ in range(burst_size)]
+    assert responses[:kept] == ["ok pong"] * kept, \
+        "served prefix broken: %r" % responses[:kept][-5:]
+    assert responses[kept:] == ["err overloaded"] * 64, \
+        "shed tail broken: %r" % responses[kept:][:5]
+    assert victim.request("ping") == "ok pong", "victim did not survive shed"
+
+    # Phase 5: swap mid-stream while another connection scores.
+    scorer = flood[2]
+    admin = freed
+    gens = set()
+    for i, row in enumerate(rows[:40]):
+        if i == 20:
+            response = admin.request("swap " + args.refit_snapshot)
+            assert response.startswith("ok swapped gen=2"), response
+        response = scorer.request("score " + row)
+        assert response.startswith("ok score="), response
+        gens.add(response.rsplit("gen=", 1)[1])
+    assert gens == {"1", "2"}, gens
+
+    # Phase 6: protocol shutdown, clean drain.
+    assert admin.request("shutdown") == "ok bye"
+
+    print("serve chaos OK: %d-conn flood, 2 shed, slot reuse, "
+          "%d/%d overload shed, swap mid-stream, shutdown"
+          % (args.max_connections, 64, burst_size))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,13 +81,36 @@ def main():
         gens.add(response.rsplit("gen=", 1)[1])
     assert swapped and gens == {"1", "2"}, gens
 
+    # Swap-fault hardening: a missing file, a truncated snapshot, and a
+    # corrupted snapshot must each answer `err ...`, leave the served
+    # generation untouched, and leave scoring bit-identical.
+    with open(args.refit_snapshot, "rb") as f:
+        snap = f.read()
+    truncated = args.refit_snapshot + ".truncated"
+    with open(truncated, "wb") as f:
+        f.write(snap[: len(snap) // 2])
+    corrupt = args.refit_snapshot + ".corrupt"
+    garbled = bytearray(snap)
+    for i in range(0, len(garbled), 3):
+        garbled[i] ^= 0x5A
+    with open(corrupt, "wb") as f:
+        f.write(bytes(garbled))
+    info_before = admin.request("info")
+    assert info_before.startswith("ok gen=2 "), info_before
+    score_before = client.request(requests[0])
+    for bad in (args.refit_snapshot + ".does-not-exist", truncated, corrupt):
+        response = admin.request("swap " + bad)
+        assert response.startswith("err "), (bad, response)
+        assert admin.request("info") == info_before, bad
+        assert client.request(requests[0]) == score_before, bad
+
     stats = client.request("stats")
     assert stats.startswith("ok requests="), stats
     assert "score_p50_seconds=" in stats and "score_p99_seconds=" in stats
 
     assert client.request("shutdown") == "ok bye"
-    print("serve smoke OK: %d rows x 3 passes, swap mid-stream, %s"
-          % (len(rows), stats))
+    print("serve smoke OK: %d rows x 3 passes, swap mid-stream, "
+          "3 swap faults rejected, %s" % (len(rows), stats))
     return 0
 
 

@@ -4,6 +4,7 @@
 //   hido detect    --input data.csv [options]   run the detector
 //   hido fit       --input data.csv --out m     freeze a serveable snapshot
 //   hido serve     --snapshot m [options]       serve score queries over TCP
+//   hido loadgen   --port P [options]           drive a serve with traffic
 //   hido advise    --rows N --dims D [options]  print §2.4 parameter advice
 //   hido baselines --input data.csv [options]   run kNN / LOF / DB(k,λ)
 //   hido describe  --input data.csv             dataset summary
@@ -15,8 +16,12 @@
 // line-protocol score requests (see src/serve/score_service.h).
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/db_outlier.h"
@@ -24,7 +29,9 @@
 #include "baselines/lof.h"
 #include "common/flags.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "common/run_control.h"
+#include "common/socket.h"
 #include "common/string_util.h"
 #include "core/detector.h"
 #include "core/model_io.h"
@@ -481,6 +488,25 @@ int RunServe(const std::vector<std::string>& args) {
   flags.AddDouble("deadline", 0.0,
                   "stop serving after this many seconds (0: run until a "
                   "`shutdown` request or Ctrl-C)");
+  flags.AddInt("max-connections", 256,
+               "connection cap; accepts beyond it answer `err busy` and "
+               "count under serve.shed.connections");
+  flags.AddInt("max-out-bytes", 4 << 20,
+               "per-connection outbound buffer cap in bytes; slower "
+               "readers are evicted (serve.evictions)");
+  flags.AddInt("write-stall-ms", 5000,
+               "evict a connection whose writes make no progress for this "
+               "long (0: never)");
+  flags.AddInt("idle-timeout-ms", 0,
+               "evict a connection idle this long with `err idle timeout` "
+               "(0: never)");
+  flags.AddInt("max-pending", 1024,
+               "per-connection buffered-request cap; newest excess lines "
+               "answer `err overloaded` (serve.shed.requests)");
+  flags.AddString("fault-script", "",
+                  "deterministic fault injection for the serve loop, e.g. "
+                  "\"read@2=EINTR;write@3=short:5\" (see common/socket.h); "
+                  "testing only");
   AddTelemetryFlags(flags);
   const int parse_outcome = ParseOrReport(flags, args);
   if (parse_outcome >= 0) return parse_outcome;
@@ -503,7 +529,29 @@ int RunServe(const std::vector<std::string>& args) {
   server_options.port = static_cast<int>(flags.GetInt("port"));
   server_options.max_batch =
       static_cast<size_t>(flags.GetInt("max-batch"));
+  server_options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections"));
+  server_options.max_out_bytes =
+      static_cast<size_t>(flags.GetInt("max-out-bytes"));
+  server_options.write_stall_ms =
+      static_cast<int>(flags.GetInt("write-stall-ms"));
+  server_options.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle-timeout-ms"));
+  server_options.max_pending =
+      static_cast<size_t>(flags.GetInt("max-pending"));
   server_options.stop = &control.token();
+
+  FaultInjector fault_injector;
+  const std::string fault_script = flags.GetString("fault-script");
+  if (!fault_script.empty()) {
+    Result<FaultInjector> parsed_script = FaultInjector::Parse(fault_script);
+    if (!parsed_script.ok()) return Fail(parsed_script.status());
+    fault_injector = std::move(parsed_script.value());
+    // Run() executes on this thread, so arming here scopes the faults to
+    // the serve loop; the CLI does no other socket I/O meanwhile.
+    FaultInjector::InstallOnThisThread(&fault_injector);
+  }
+
   serve::SocketServer server(service, server_options);
   const Status started = server.Start();
   if (!started.ok()) return Fail(started);
@@ -519,6 +567,7 @@ int RunServe(const std::vector<std::string>& args) {
     const obs::TraceSpan span("serve");
     return server.Run();
   }();
+  FaultInjector::InstallOnThisThread(nullptr);
   if (!served.ok()) return Fail(served);
   control.ReportIfStopped();
   std::printf("serve loop exited (%s)\n",
@@ -537,9 +586,459 @@ int RunServe(const std::vector<std::string>& args) {
   obs::TelemetryRow result_row{
       {"generation", service.generation()},
       {"shutdown_requested", service.shutdown_requested()},
+      {"faults_fired", fault_injector.fired()},
   };
   return EmitTelemetry(flags, "hido serve", std::move(telemetry_config),
                        {std::move(result_row)});
+}
+
+// --------------------------------------------------------------- loadgen --
+//
+// A deterministic line-protocol load generator against `hido serve`,
+// built on the same common/socket helpers the server uses. Four traffic
+// modes exercise the overload/fault machinery from the client side:
+//
+//   serial       one request in flight; every response compared against a
+//                fault-free warmup pass
+//   pipeline     whole passes written as one burst; responses must come
+//                back complete, in order, byte-identical
+//   flaky        serial, but every Kth request is cut mid-line with a hard
+//                close, then retried on a fresh connection
+//   slow-reader  pipelined burst read at a crawl; with --expect evicted the
+//                run succeeds only if the server gives up on us
+//
+// Failed exchanges retry with exponential backoff + jitter (seeded Rng, so
+// reruns take the same schedule). Exit status: 0 iff the --expect
+// criterion held.
+
+/// Outcome tallies for one loadgen run; printed as the summary line and
+/// emitted through --metrics-json for CI assertions.
+struct LoadgenStats {
+  size_t responses = 0;    ///< well-formed lines read back
+  size_t mismatches = 0;   ///< responses differing from the warmup oracle
+  size_t retries = 0;      ///< failed exchanges retried after backoff
+  size_t reconnects = 0;   ///< connections re-established after the first
+  bool evicted = false;    ///< server closed on us / said `err evicted`
+};
+
+/// One client connection: a non-blocking fd plus its read carry buffer.
+struct LoadgenConn {
+  OwnedFd fd;
+  std::string carry;
+};
+
+/// Tunables shared by every mode, lifted from flags once.
+struct LoadgenConfig {
+  std::string host;
+  int port = 0;
+  double timeout_seconds = 5.0;
+  int max_retries = 5;
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 1000;
+  int read_delay_ms = 0;
+  size_t disconnect_every = 13;
+};
+
+Status LoadgenConnect(const LoadgenConfig& config, LoadgenConn* conn) {
+  Result<OwnedFd> fd = ConnectTcp(config.host, config.port);
+  if (!fd.ok()) return fd.status();
+  const Status nonblocking = SetNonBlocking(fd.value().get());
+  if (!nonblocking.ok()) return nonblocking;
+  conn->fd = std::move(fd.value());
+  conn->carry.clear();
+  return Status::Ok();
+}
+
+void LoadgenDrop(LoadgenConn* conn) {
+  conn->fd.Reset();
+  conn->carry.clear();
+}
+
+/// Sleeps min(max, base * 2^attempt) ms, jittered to [50%, 100%] so
+/// concurrent clients do not thunder back in lockstep.
+void LoadgenBackoff(Rng& rng, int attempt, const LoadgenConfig& config) {
+  const int shift = std::min(attempt, 20);
+  double delay_ms =
+      std::min<double>(config.backoff_max_ms,
+                       static_cast<double>(config.backoff_base_ms) *
+                           static_cast<double>(uint64_t{1} << shift));
+  delay_ms *= 0.5 + 0.5 * rng.UniformDouble();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+/// Writes all of `data` to the non-blocking fd within the deadline.
+Status LoadgenSendAll(int fd, std::string_view data, double timeout_seconds) {
+  const Clock& clock = Clock::Real();
+  const double deadline = clock.NowSeconds() + timeout_seconds;
+  size_t sent = 0;
+  while (sent < data.size()) {
+    Result<size_t> wrote = WriteSome(fd, data.substr(sent));
+    if (!wrote.ok()) return wrote.status();
+    sent += wrote.value();
+    if (sent >= data.size()) break;
+    const double remaining = deadline - clock.NowSeconds();
+    if (remaining <= 0.0) return Status::DeadlineExceeded("send timed out");
+    const int wait_ms =
+        static_cast<int>(std::min(remaining * 1000.0 + 1.0, 250.0));
+    Result<bool> writable = WaitWritable(fd, wait_ms);
+    if (!writable.ok()) return writable.status();
+  }
+  return Status::Ok();
+}
+
+/// Reads one '\n'-terminated line (CR stripped) within the deadline.
+Result<std::string> LoadgenReadLine(LoadgenConn* conn,
+                                    double timeout_seconds) {
+  const Clock& clock = Clock::Real();
+  const double deadline = clock.NowSeconds() + timeout_seconds;
+  while (true) {
+    const size_t eol = conn->carry.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = conn->carry.substr(0, eol);
+      conn->carry.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const double remaining = deadline - clock.NowSeconds();
+    if (remaining <= 0.0) {
+      return Status::DeadlineExceeded("response timed out");
+    }
+    const int wait_ms =
+        static_cast<int>(std::min(remaining * 1000.0 + 1.0, 250.0));
+    Result<bool> ready = WaitReadable(conn->fd.get(), wait_ms);
+    if (!ready.ok()) return ready.status();
+    if (!ready.value()) continue;
+    Result<ReadOutcome> outcome = ReadAvailable(conn->fd.get(), &conn->carry);
+    if (!outcome.ok()) return outcome.status();
+    if (outcome.value().bytes == 0) {
+      return Status::IoError("connection closed");
+    }
+  }
+}
+
+/// One request/response exchange with reconnect-and-resend retries. A
+/// failed exchange drops the connection first: once pairing is in doubt
+/// the only safe resume point is a fresh stream.
+Result<std::string> LoadgenExchange(const LoadgenConfig& config,
+                                    LoadgenConn* conn,
+                                    const std::string& line, Rng& rng,
+                                    LoadgenStats* stats) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= config.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats->retries;
+      LoadgenBackoff(rng, attempt - 1, config);
+    }
+    if (!conn->fd.valid()) {
+      last = LoadgenConnect(config, conn);
+      if (!last.ok()) continue;
+      ++stats->reconnects;
+    }
+    last = LoadgenSendAll(conn->fd.get(), line + "\n",
+                          config.timeout_seconds);
+    if (last.ok()) {
+      Result<std::string> response =
+          LoadgenReadLine(conn, config.timeout_seconds);
+      if (response.ok()) return response;
+      last = response.status();
+    }
+    LoadgenDrop(conn);
+  }
+  return last;
+}
+
+/// Serial and flaky modes: one exchange at a time; in flaky mode every
+/// `disconnect_every`th request is first cut mid-line with a hard close,
+/// which the retry path must absorb without losing the request.
+Status RunSerialPass(const LoadgenConfig& config, LoadgenConn* conn,
+                     const std::vector<std::string>& lines,
+                     const std::vector<std::string>& expected, bool flaky,
+                     Rng& rng, LoadgenStats* stats) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (flaky && (i + 1) % config.disconnect_every == 0 && conn->fd.valid()) {
+      const std::string full = lines[i] + "\n";
+      (void)LoadgenSendAll(conn->fd.get(), full.substr(0, full.size() / 2),
+                           config.timeout_seconds);
+      LoadgenDrop(conn);  // the server sees a torn line and EOF
+    }
+    Result<std::string> response =
+        LoadgenExchange(config, conn, lines[i], rng, stats);
+    if (!response.ok()) return response.status();
+    ++stats->responses;
+    if (response.value() == "err evicted" ||
+        response.value() == "err idle timeout") {
+      stats->evicted = true;
+    }
+    if (!expected.empty() && response.value() != expected[i]) {
+      ++stats->mismatches;
+    }
+  }
+  return Status::Ok();
+}
+
+/// Pipeline and slow-reader modes: the whole pass goes out as one burst,
+/// then responses are read back in order (slow-reader inserts
+/// `read_delay_ms` between them). A dead connection mid-pass reconnects
+/// and resends from the first unanswered request — answered prefixes are
+/// never replayed, so duplicates cannot be produced.
+Status RunPipelinePass(const LoadgenConfig& config, LoadgenConn* conn,
+                       const std::vector<std::string>& lines,
+                       const std::vector<std::string>& expected, Rng& rng,
+                       LoadgenStats* stats) {
+  size_t next = 0;  // first request still awaiting its response
+  int consecutive_failures = 0;
+  while (next < lines.size()) {
+    if (consecutive_failures > config.max_retries) {
+      return Status::IoError(
+          StrFormat("pipeline pass stuck at request %zu after %d retries",
+                    next, config.max_retries));
+    }
+    if (consecutive_failures > 0) {
+      ++stats->retries;
+      LoadgenBackoff(rng, consecutive_failures - 1, config);
+    }
+    if (!conn->fd.valid()) {
+      if (!LoadgenConnect(config, conn).ok()) {
+        ++consecutive_failures;
+        continue;
+      }
+      ++stats->reconnects;
+    }
+    std::string burst;
+    for (size_t i = next; i < lines.size(); ++i) burst += lines[i] + "\n";
+    if (!LoadgenSendAll(conn->fd.get(), burst, config.timeout_seconds)
+             .ok()) {
+      LoadgenDrop(conn);
+      ++consecutive_failures;
+      continue;
+    }
+    while (next < lines.size()) {
+      Result<std::string> response =
+          LoadgenReadLine(conn, config.timeout_seconds);
+      if (!response.ok()) {
+        LoadgenDrop(conn);
+        ++consecutive_failures;
+        break;
+      }
+      consecutive_failures = 0;
+      ++stats->responses;
+      if (response.value() == "err evicted" ||
+          response.value() == "err idle timeout") {
+        stats->evicted = true;
+      }
+      if (!expected.empty() && response.value() != expected[next]) {
+        ++stats->mismatches;
+      }
+      ++next;
+      if (config.read_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config.read_delay_ms));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+/// slow-reader + --expect evicted: floods the server with one pipelined
+/// burst while reading nothing at all — the pathological slow reader —
+/// then lingers `read_delay_ms` to let a stall/idle timer expire before
+/// draining whatever arrived. Success is the server giving up on us: a
+/// mid-send reset, an `err evicted` notice, or EOF. A response timeout is
+/// NOT an eviction (the server was just slow) and fails the run.
+Status RunEvictionProbe(const LoadgenConfig& config, LoadgenConn* conn,
+                        const std::vector<std::string>& lines,
+                        LoadgenStats* stats) {
+  std::string burst;
+  for (const std::string& line : lines) burst += line + "\n";
+  // The send budget is generous: the probe's job is to outlive the write
+  // side and starve the read side.
+  const Status sent = LoadgenSendAll(conn->fd.get(), burst,
+                                     std::max(config.timeout_seconds, 30.0));
+  if (!sent.ok()) {
+    stats->evicted = true;  // the eviction arrived while we were writing
+    LoadgenDrop(conn);
+    return Status::Ok();
+  }
+  if (config.read_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.read_delay_ms));
+  }
+  // Drain at full speed: the damage is done, now we only need to observe
+  // the verdict buried in (or after) the backlog.
+  while (true) {
+    Result<std::string> response =
+        LoadgenReadLine(conn, config.timeout_seconds);
+    if (!response.ok()) {
+      if (response.status().code() == StatusCode::kDeadlineExceeded) {
+        return response.status();
+      }
+      stats->evicted = true;  // reset or EOF: the server dropped us
+      LoadgenDrop(conn);
+      return Status::Ok();
+    }
+    ++stats->responses;
+    if (response.value() == "err evicted" ||
+        response.value() == "err idle timeout") {
+      stats->evicted = true;
+    }
+  }
+}
+
+int RunLoadgen(const std::vector<std::string>& args) {
+  FlagParser flags("hido loadgen",
+                   "drive a running `hido serve` with scripted traffic "
+                   "(serial, pipelined, flaky, slow-reader) and verify "
+                   "responses arrive complete, in order, and "
+                   "byte-identical");
+  flags.AddString("host", "127.0.0.1", "server address");
+  flags.AddInt("port", 0, "server port", /*required=*/true);
+  flags.AddString("mode", "pipeline",
+                  "traffic shape: serial | pipeline | flaky | slow-reader");
+  flags.AddInt("requests", 200, "requests per pass");
+  flags.AddInt("passes", 1, "times to repeat the request list");
+  flags.AddString("input", "",
+                  "CSV whose rows become `score` requests (cycled); "
+                  "without it every request is `ping`");
+  flags.AddBool("header", true, "first CSV line is a header");
+  flags.AddDouble("timeout", 5.0, "per-response deadline in seconds");
+  flags.AddInt("max-retries", 5,
+               "reconnect-and-resend attempts per stuck exchange");
+  flags.AddInt("backoff-base-ms", 10, "first retry delay");
+  flags.AddInt("backoff-max-ms", 1000, "retry delay ceiling");
+  flags.AddInt("seed", 42, "jitter RNG seed (reruns repeat the schedule)");
+  flags.AddInt("read-delay-ms", 20,
+               "slow-reader: pause between responses (with --expect "
+               "evicted: one post-send linger before draining)");
+  flags.AddInt("disconnect-every", 13,
+               "flaky: hard-close mid-request every Kth request");
+  flags.AddString("expect", "all",
+                  "success criterion: `all` (every response correct) or "
+                  "`evicted` (the server must drop this client)");
+  AddTelemetryFlags(flags);
+  const int parse_outcome = ParseOrReport(flags, args);
+  if (parse_outcome >= 0) return parse_outcome;
+
+  const std::string mode = flags.GetString("mode");
+  if (mode != "serial" && mode != "pipeline" && mode != "flaky" &&
+      mode != "slow-reader") {
+    return Fail(Status::InvalidArgument("unknown --mode " + mode));
+  }
+  const std::string expect = flags.GetString("expect");
+  if (expect != "all" && expect != "evicted") {
+    return Fail(Status::InvalidArgument("unknown --expect " + expect));
+  }
+  if (expect == "evicted" && mode != "slow-reader") {
+    return Fail(Status::InvalidArgument(
+        "--expect evicted requires --mode slow-reader"));
+  }
+
+  LoadgenConfig config;
+  config.host = flags.GetString("host");
+  config.port = static_cast<int>(flags.GetInt("port"));
+  config.timeout_seconds = flags.GetDouble("timeout");
+  config.max_retries = static_cast<int>(flags.GetInt("max-retries"));
+  config.backoff_base_ms = static_cast<int>(flags.GetInt("backoff-base-ms"));
+  config.backoff_max_ms = static_cast<int>(flags.GetInt("backoff-max-ms"));
+  config.read_delay_ms =
+      mode == "slow-reader" ? static_cast<int>(flags.GetInt("read-delay-ms"))
+                            : 0;
+  config.disconnect_every = std::max<size_t>(
+      1, static_cast<size_t>(flags.GetInt("disconnect-every")));
+
+  // Build the request list: `score <row>` lines cycled from --input (their
+  // responses differ row to row, so reordering is detectable), or bare
+  // pings.
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests"));
+  std::vector<std::string> lines;
+  lines.reserve(requests);
+  if (!flags.GetString("input").empty()) {
+    CsvReadOptions csv_options;
+    csv_options.has_header = flags.GetBool("header");
+    Result<Dataset> data = ReadCsv(flags.GetString("input"), csv_options);
+    if (!data.ok()) return Fail(data.status());
+    if (data.value().num_rows() == 0) {
+      return Fail(Status::InvalidArgument("--input has no rows"));
+    }
+    for (size_t i = 0; i < requests; ++i) {
+      std::vector<std::string> fields;
+      const auto row = data.value().Row(i % data.value().num_rows());
+      for (const double v : row) fields.push_back(StrFormat("%.17g", v));
+      lines.push_back("score " + Join(fields, ","));
+    }
+  } else {
+    lines.assign(requests, "ping");
+  }
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  LoadgenStats stats;
+  LoadgenConn conn;
+  const Status connected = LoadgenConnect(config, &conn);
+  if (!connected.ok()) return Fail(connected);
+
+  // Warmup oracle: each distinct request answered once, serially, before
+  // any chaos. Later passes must reproduce these bytes exactly. The
+  // eviction probe skips it — its only assertion is the eviction itself.
+  std::vector<std::string> expected;
+  if (expect == "all") {
+    LoadgenStats warmup_stats;
+    expected.reserve(lines.size());
+    for (const std::string& line : lines) {
+      Result<std::string> response =
+          LoadgenExchange(config, &conn, line, rng, &warmup_stats);
+      if (!response.ok()) return Fail(response.status());
+      expected.push_back(response.value());
+    }
+  }
+
+  const size_t passes =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("passes")));
+  Status run = Status::Ok();
+  for (size_t pass = 0; pass < passes && run.ok(); ++pass) {
+    if (expect == "evicted") {
+      run = RunEvictionProbe(config, &conn, lines, &stats);
+    } else if (mode == "serial" || mode == "flaky") {
+      run = RunSerialPass(config, &conn, lines, expected, mode == "flaky",
+                          rng, &stats);
+    } else {
+      run = RunPipelinePass(config, &conn, lines, expected, rng, &stats);
+    }
+  }
+  if (!run.ok()) return Fail(run);
+
+  const size_t total = lines.size() * passes;
+  const bool ok =
+      expect == "evicted"
+          ? stats.evicted
+          : (stats.mismatches == 0 && stats.responses == total);
+  std::printf("loadgen %s: requests=%zu responses=%zu mismatches=%zu "
+              "retries=%zu reconnects=%zu evicted=%d -> %s\n",
+              mode.c_str(), total, stats.responses, stats.mismatches,
+              stats.retries, stats.reconnects, stats.evicted ? 1 : 0,
+              ok ? "OK" : "FAILED");
+
+  obs::TelemetryRow telemetry_config{
+      {"host", config.host},
+      {"port", static_cast<uint64_t>(config.port)},
+      {"mode", mode},
+      {"expect", expect},
+      {"requests", static_cast<uint64_t>(total)},
+      {"passes", static_cast<uint64_t>(passes)},
+      {"seed", static_cast<uint64_t>(flags.GetInt("seed"))},
+  };
+  obs::TelemetryRow result_row{
+      {"responses", static_cast<uint64_t>(stats.responses)},
+      {"mismatches", static_cast<uint64_t>(stats.mismatches)},
+      {"retries", static_cast<uint64_t>(stats.retries)},
+      {"reconnects", static_cast<uint64_t>(stats.reconnects)},
+      {"evicted", stats.evicted},
+      {"ok", ok},
+  };
+  const int telemetry_exit =
+      EmitTelemetry(flags, "hido loadgen", std::move(telemetry_config),
+                    {std::move(result_row)});
+  if (telemetry_exit != 0) return telemetry_exit;
+  return ok ? 0 : 1;
 }
 
 // ----------------------------------------------------------------- score --
@@ -735,11 +1234,14 @@ int RunDescribe(const std::vector<std::string>& args) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: hido <detect|fit|serve|score|advise|baselines|describe> "
+      "usage: hido "
+      "<detect|fit|serve|loadgen|score|advise|baselines|describe> "
       "[--flags]\n"
       "  detect     find outliers by sparse subspace projections\n"
       "  fit        freeze a fitted model into a serveable snapshot\n"
       "  serve      answer score queries from a snapshot over TCP\n"
+      "  loadgen    drive a running serve with scripted traffic and "
+      "verify responses\n"
       "  score      score new rows against a model saved by detect\n"
       "  advise     print the paper's parameter recommendation\n"
       "  baselines  run the kNN / LOF / DB(k,lambda) comparators\n"
@@ -759,6 +1261,7 @@ int Main(int argc, char** argv) {
   if (command == "detect") return RunDetect(args);
   if (command == "fit") return RunFit(args);
   if (command == "serve") return RunServe(args);
+  if (command == "loadgen") return RunLoadgen(args);
   if (command == "score") return RunScore(args);
   if (command == "advise") return RunAdvise(args);
   if (command == "baselines") return RunBaselines(args);

@@ -182,6 +182,121 @@ void CheckIncludeOrder(const std::string& path,
   }
 }
 
+// Trims ASCII whitespace from both ends (the lint library deliberately
+// has no dependency on hido_common, so no string_util here).
+std::string TrimCopy(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool StartsWithWord(const std::string& code, const char* word) {
+  const size_t n = std::string(word).size();
+  return code.compare(0, n, word) == 0 &&
+         (code.size() == n ||
+          !(std::isalnum(static_cast<unsigned char>(code[n])) ||
+            code[n] == '_'));
+}
+
+// Structural `///` doc-comment check for serving headers: every
+// declaration that starts at namespace scope or in a public class section
+// must be introduced by an adjacent `///` line (or carry a trailing
+// `///<`). Scoped by *substring* "src/serve/", not prefix, so the
+// deliberate-violation fixture under tests/lint/testdata/src/serve/
+// exercises the rule through the normal testdata harness. The walk is
+// token-level like every other rule here — brace-tracked scopes and
+// paren-tracked continuations — with the noise cases exempt: access
+// labels, preprocessor lines, closing braces, forward declarations,
+// friends, using-aliases, static_asserts, and `= default` / `= delete`
+// special members.
+void CheckDocComments(const std::string& path,
+                      const std::vector<std::string>& code_lines,
+                      const std::vector<std::string>& raw_lines,
+                      std::vector<Finding>& findings) {
+  if (!IsHeader(path) || path.find("src/serve/") == std::string::npos) {
+    return;
+  }
+  enum class Scope { kNamespace, kClassPublic, kClassHidden, kOther };
+  // File scope holds only guards/includes (preprocessor-exempt), so it
+  // behaves like kOther; docs are demanded once inside a namespace.
+  std::vector<Scope> stack = {Scope::kOther};
+  static const std::regex forward_decl_re(
+      R"(^(class|struct|enum(\s+class)?)\s+\w+\s*;)");
+  int paren_depth = 0;
+  bool continuation = false;
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string code = TrimCopy(code_lines[i]);
+    if (code.empty()) continue;     // blank or comment-only line
+    if (code[0] == '#') continue;   // preprocessor
+    const bool is_label =
+        code == "public:" || code == "private:" || code == "protected:";
+
+    if (!continuation && paren_depth == 0 &&
+        (stack.back() == Scope::kNamespace ||
+         stack.back() == Scope::kClassPublic)) {
+      const bool exempt =
+          is_label || code[0] == '}' || code == "{" ||
+          StartsWithWord(code, "namespace") ||
+          StartsWithWord(code, "using") ||
+          StartsWithWord(code, "typedef") ||
+          StartsWithWord(code, "friend") ||
+          StartsWithWord(code, "static_assert") ||
+          code.find("= default") != std::string::npos ||
+          code.find("= delete") != std::string::npos ||
+          std::regex_search(code, forward_decl_re);
+      if (!exempt) {
+        const bool documented =
+            raw_lines[i].find("///") != std::string::npos ||
+            (i > 0 && TrimCopy(raw_lines[i - 1]).compare(0, 3, "///") == 0);
+        if (!documented && !IsSuppressed(raw_lines[i], "doc-comment")) {
+          findings.push_back(
+              {"doc-comment", path, i + 1,
+               "public declaration in a serve header without a /// doc "
+               "comment (adjacent /// line or trailing ///<)"});
+        }
+      }
+    }
+
+    if (is_label && (stack.back() == Scope::kClassPublic ||
+                     stack.back() == Scope::kClassHidden)) {
+      stack.back() =
+          code == "public:" ? Scope::kClassPublic : Scope::kClassHidden;
+    }
+
+    // Classify what the FIRST '{' on this line would open; later braces
+    // on the same line are bodies/initializers (kOther). A class nested
+    // somewhere not externally visible (a private section, a function
+    // body) opens kOther: its members are implementation detail whatever
+    // their access, so labels inside it must not resurrect the check.
+    const bool parent_visible = stack.back() == Scope::kNamespace ||
+                                stack.back() == Scope::kClassPublic;
+    Scope opening = Scope::kOther;
+    if (StartsWithWord(code, "namespace")) {
+      opening = Scope::kNamespace;
+    } else if (!StartsWithWord(code, "enum") && parent_visible) {
+      if (StartsWithWord(code, "struct")) opening = Scope::kClassPublic;
+      if (StartsWithWord(code, "class")) opening = Scope::kClassHidden;
+    }
+    bool first_open = true;
+    for (const char c : code) {
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+      } else if (c == '{') {
+        stack.push_back(first_open ? opening : Scope::kOther);
+        first_open = false;
+      } else if (c == '}') {
+        if (stack.size() > 1) stack.pop_back();
+      }
+    }
+    const char last = code.back();
+    continuation = paren_depth > 0 ||
+                   (last != ';' && last != '{' && last != '}' && last != ':');
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -204,6 +319,9 @@ const std::vector<RuleInfo>& Rules() {
       {"header-guard", ".h files carry the canonical HIDO_<PATH>_H_ guard"},
       {"include-order",
        "each contiguous #include block is sorted and style-pure"},
+      {"doc-comment",
+       "public declarations in src/serve/ headers carry /// doc comments "
+       "(the serving API is the repo's external surface)"},
   };
   return *rules;
 }
@@ -368,6 +486,7 @@ std::vector<Finding> LintContent(const std::string& path,
 
   CheckHeaderGuard(path, stripped, raw_lines, findings);
   CheckIncludeOrder(path, code_lines, raw_lines, findings);
+  CheckDocComments(path, code_lines, raw_lines, findings);
   return findings;
 }
 

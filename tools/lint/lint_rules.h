@@ -30,6 +30,10 @@
 //   header-guard     .h files carry the canonical HIDO_<PATH>_H_ guard.
 //   include-order    each contiguous #include block is internally sorted
 //                    and does not mix <system> with "project" includes.
+//   doc-comment      public declarations (namespace scope or public class
+//                    sections) in src/serve/ headers carry a /// doc
+//                    comment — the serving API is the repo's external
+//                    surface, and its docs are load-bearing.
 //
 // Escape hatch: a finding on line N is suppressed when line N contains
 //   // hido-lint: allow(<rule-name>)
