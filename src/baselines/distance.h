@@ -22,16 +22,19 @@ namespace hido {
 /// present dimension is +infinity.
 class DistanceMetric {
  public:
+  /// Normalization choices applied before distances are taken.
   struct Options {
     double p = 2.0;         ///< Lp exponent (p >= 1)
     bool normalize = true;  ///< min-max normalize each column first
   };
 
+  /// Precomputes per-column scales over `data` as configured.
   DistanceMetric(const Dataset& data, const Options& options);
+  /// Same, with default options.
   explicit DistanceMetric(const Dataset& data);
 
-  size_t num_points() const { return num_points_; }
-  size_t num_dims() const { return num_dims_; }
+  size_t num_points() const { return num_points_; }  ///< rows n
+  size_t num_dims() const { return num_dims_; }      ///< attributes d
 
   /// Distance between rows `a` and `b`.
   double Distance(size_t a, size_t b) const;

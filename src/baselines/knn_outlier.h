@@ -40,7 +40,7 @@ struct KnnOutlierOptions {
 
 /// One reported outlier.
 struct KnnOutlier {
-  size_t row;
+  size_t row;  ///< dataset row index
   double kth_distance;  ///< distance to the k-th nearest neighbour
 };
 

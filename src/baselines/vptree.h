@@ -16,8 +16,8 @@ namespace hido {
 
 /// One nearest-neighbour answer.
 struct Neighbor {
-  uint32_t index;
-  double distance;
+  uint32_t index;   ///< dataset row of the neighbour
+  double distance;  ///< distance to the query point
 
   friend bool operator<(const Neighbor& a, const Neighbor& b) {
     return a.distance != b.distance ? a.distance < b.distance

@@ -25,7 +25,7 @@ class DynamicBitset {
   DynamicBitset(DynamicBitset&&) = default;
   DynamicBitset& operator=(DynamicBitset&&) = default;
 
-  size_t size() const { return size_; }
+  size_t size() const { return size_; }  ///< bits tracked
 
   /// Sets bit `i`. Precondition: i < size().
   void Set(size_t i);

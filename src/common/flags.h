@@ -24,10 +24,13 @@ class FlagParser {
   /// Declares a flag of each supported type. `name` without leading dashes.
   void AddString(const std::string& name, const std::string& default_value,
                  const std::string& help, bool required = false);
+  /// Registers an integer flag.
   void AddInt(const std::string& name, int64_t default_value,
               const std::string& help, bool required = false);
+  /// Registers a floating-point flag.
   void AddDouble(const std::string& name, double default_value,
                  const std::string& help, bool required = false);
+  /// Registers a boolean flag (--name / --name=false).
   void AddBool(const std::string& name, bool default_value,
                const std::string& help);
 
@@ -37,10 +40,10 @@ class FlagParser {
 
   /// Typed accessors; abort on unknown name or type mismatch (programmer
   /// error — the flag must have been declared with the matching Add*).
-  std::string GetString(const std::string& name) const;
-  int64_t GetInt(const std::string& name) const;
-  double GetDouble(const std::string& name) const;
-  bool GetBool(const std::string& name) const;
+  std::string GetString(const std::string& name) const;  ///< typed lookup
+  int64_t GetInt(const std::string& name) const;         ///< typed lookup
+  double GetDouble(const std::string& name) const;       ///< typed lookup
+  bool GetBool(const std::string& name) const;           ///< typed lookup
 
   /// True when the flag was explicitly set on the command line.
   bool WasSet(const std::string& name) const;

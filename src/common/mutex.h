@@ -31,9 +31,9 @@ class HIDO_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() HIDO_ACQUIRE() { mu_.lock(); }
-  void Unlock() HIDO_RELEASE() { mu_.unlock(); }
-  bool TryLock() HIDO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() HIDO_ACQUIRE() { mu_.lock(); }        ///< blocks until held
+  void Unlock() HIDO_RELEASE() { mu_.unlock(); }    ///< releases the lock
+  bool TryLock() HIDO_TRY_ACQUIRE(true) { return mu_.try_lock(); }  ///< non-blocking
 
  private:
   friend class CondVar;
@@ -44,7 +44,9 @@ class HIDO_CAPABILITY("mutex") Mutex {
 /// lifetime of the scope.
 class HIDO_SCOPED_CAPABILITY MutexLock {
  public:
+  /// Acquires `mu` for the lifetime of the guard.
   explicit MutexLock(Mutex& mu) HIDO_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  /// Releases the mutex.
   ~MutexLock() HIDO_RELEASE() { mu_.Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -59,6 +61,7 @@ class HIDO_SCOPED_CAPABILITY MutexLock {
 /// loop, exactly as with std::condition_variable.
 class CondVar {
  public:
+  /// A condition variable bound to `mu` (non-owning; must outlive this).
   explicit CondVar(Mutex* mu) : mu_(mu) {}
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
@@ -72,8 +75,8 @@ class CondVar {
     lock.release();  // ownership stays with the caller's MutexLock
   }
 
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void NotifyOne() { cv_.notify_one(); }  ///< wakes one waiter
+  void NotifyAll() { cv_.notify_all(); }  ///< wakes every waiter
 
  private:
   std::condition_variable cv_;

@@ -20,9 +20,9 @@ namespace hido {
 /// normal variate), for checkpoint/resume of randomized runs: restoring a
 /// saved state continues the exact variate stream of the original run.
 struct RngState {
-  uint64_t s[4] = {0, 0, 0, 0};
-  double spare_normal = 0.0;
-  bool has_spare_normal = false;
+  uint64_t s[4] = {0, 0, 0, 0};   ///< xoshiro256++ state words
+  double spare_normal = 0.0;      ///< banked Box-Muller variate
+  bool has_spare_normal = false;  ///< spare_normal valid?
 };
 
 /// xoshiro256** PRNG with convenience sampling methods.
@@ -37,11 +37,12 @@ class Rng {
   /// Seeds the generator. Any seed (including 0) yields a good state.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() { return ~0ULL; }
+  static constexpr result_type min() { return 0; }      ///< UniformRandomBitGenerator
+  static constexpr result_type max() { return ~0ULL; }  ///< UniformRandomBitGenerator
 
   /// Next raw 64 random bits.
-  uint64_t operator()() { return Next64(); }
+  uint64_t operator()() { return Next64(); }  ///< UniformRandomBitGenerator
+  /// The next 64 raw bits from the stream.
   uint64_t Next64();
 
   /// Uniform integer in [0, bound). Precondition: bound > 0.

@@ -61,9 +61,11 @@ class Clock {
 /// without sleeping. Thread-safe.
 class FakeClock final : public Clock {
  public:
+  /// Starts at `start`; each NowSeconds() advances by `step_per_read`.
   explicit FakeClock(double start = 0.0, double step_per_read = 0.0)
       : now_(start), step_(step_per_read) {}
 
+  /// The scripted time; auto-advances by the configured step.
   double NowSeconds() const override {
     MutexLock lock(mu_);
     const double now = now_;
@@ -71,11 +73,13 @@ class FakeClock final : public Clock {
     return now;
   }
 
+  /// Moves the scripted time forward by `seconds`.
   void Advance(double seconds) {
     MutexLock lock(mu_);
     now_ += seconds;
   }
 
+  /// Jumps the scripted time to an absolute value.
   void Set(double seconds) {
     MutexLock lock(mu_);
     now_ = seconds;
@@ -161,7 +165,7 @@ class StopToken {
   /// Number of ShouldStop() polls so far (for tests/introspection).
   uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
 
-  const Clock& clock() const { return *clock_; }
+  const Clock& clock() const { return *clock_; }  ///< the time source
 
  private:
   const Clock* clock_;
@@ -174,8 +178,8 @@ class StopToken {
 /// Outcome marker shared by every cancellable entry point: did the run see
 /// all of its input, and if not, why it stopped.
 struct RunStatus {
-  bool completed = true;
-  StopCause stop_cause = StopCause::kNone;
+  bool completed = true;                    ///< ran to natural completion?
+  StopCause stop_cause = StopCause::kNone;  ///< why it stopped early
 };
 
 /// The single polling contract used by the searches: combines an optional
@@ -194,6 +198,7 @@ class StopPoller {
     local_.SetDeadline(budget_seconds);
   }
 
+  /// True once the external token or the local budget fired; latches.
   bool ShouldStop() const {
     if (stopped_.load(std::memory_order_acquire)) return true;
     if ((external_ != nullptr && external_->ShouldStop()) ||
@@ -204,6 +209,7 @@ class StopPoller {
     return false;
   }
 
+  /// Has a stop been latched?
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
   /// The cause that fired (the external token wins when both did); kNone

@@ -23,12 +23,16 @@ namespace hido {
 class OwnedFd {
  public:
   OwnedFd() = default;
+  /// Takes ownership of `fd` (-1 for none).
   explicit OwnedFd(int fd) : fd_(fd) {}
+  /// Closes the held fd.
   ~OwnedFd() { Reset(); }
 
   OwnedFd(const OwnedFd&) = delete;
   OwnedFd& operator=(const OwnedFd&) = delete;
+  /// Move transfers ownership; the source is left invalid.
   OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  /// Move-assign closes the current fd, then takes the source's.
   OwnedFd& operator=(OwnedFd&& other) noexcept {
     if (this != &other) {
       Reset();
@@ -37,8 +41,8 @@ class OwnedFd {
     return *this;
   }
 
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_; }          ///< the raw fd (-1 if none)
+  bool valid() const { return fd_ >= 0; }  ///< holds an open fd?
 
   /// Gives up ownership without closing.
   int Release() {
@@ -57,8 +61,8 @@ class OwnedFd {
 /// A bound-and-listening TCP socket plus the port it actually landed on
 /// (useful with port 0, where the kernel assigns one).
 struct TcpListener {
-  OwnedFd fd;
-  int port = 0;
+  OwnedFd fd;    ///< the listening socket
+  int port = 0;  ///< the bound port (kernel-assigned when asked for 0)
 };
 
 /// Binds `host:port` (port 0 = kernel-assigned) and listens. The listener
@@ -92,6 +96,7 @@ Status WriteAll(int fd, std::string_view data);
 struct ReadOutcome {
   ssize_t bytes = 0;    ///< >0 read, 0 EOF, -1 nothing available (EAGAIN)
 };
+/// See the contract above ReadOutcome.
 Result<ReadOutcome> ReadAvailable(int fd, std::string* buffer,
                                   size_t max_bytes = 64 * 1024);
 
@@ -138,8 +143,8 @@ class FaultInjector {
   /// One scheduled fault: an errno to fail with, or (when errno_value is
   /// 0) a clamp on the byte count for a scripted short transfer.
   struct Fault {
-    int errno_value = 0;
-    size_t clamp_bytes = 0;
+    int errno_value = 0;     ///< errno to fail with (0 = short transfer)
+    size_t clamp_bytes = 0;  ///< byte clamp when errno_value is 0
   };
 
   /// Parses the script grammar documented above.

@@ -16,15 +16,15 @@ class RunningMoments {
   /// Folds one observation into the accumulator.
   void Add(double x);
 
-  size_t count() const { return count_; }
+  size_t count() const { return count_; }  ///< samples seen
   /// Mean of the observations so far; 0 when empty.
   double mean() const { return mean_; }
   /// Unbiased sample variance; 0 when fewer than two observations.
   double variance() const;
   /// sqrt(variance()).
   double stddev() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
+  double min() const { return min_; }  ///< smallest sample
+  double max() const { return max_; }  ///< largest sample
 
  private:
   size_t count_ = 0;

@@ -49,42 +49,52 @@ class Status {
   Status(Status&&) = default;
   Status& operator=(Status&&) = default;
 
-  /// Factory helpers for the common codes.
+  /// Factory helper for the OK status.
   static Status Ok() { return Status(); }
+  /// Factory helper for kInvalidArgument.
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
+  /// Factory helper for kNotFound.
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  /// Factory helper for kOutOfRange.
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  /// Factory helper for kFailedPrecondition.
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  /// Factory helper for kIoError.
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  /// Factory helper for kParseError.
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  /// Factory helper for kResourceExhausted.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// Factory helper for kDeadlineExceeded.
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  /// Factory helper for kCancelled.
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// Factory helper for kInternal.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  bool ok() const { return code_ == StatusCode::kOk; }  ///< true iff kOk
+  StatusCode code() const { return code_; }  ///< the error category
+  const std::string& message() const { return message_; }  ///< detail text
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -114,7 +124,7 @@ class Result {
                    "Result constructed from OK status without a value");
   }
 
-  bool ok() const { return std::holds_alternative<T>(payload_); }
+  bool ok() const { return std::holds_alternative<T>(payload_); }  ///< value present?
 
   /// Returns the carried status; OK when a value is present.
   Status status() const {
@@ -127,11 +137,13 @@ class Result {
                    std::get<Status>(payload_).ToString().c_str());
     return std::get<T>(payload_);
   }
+  /// Mutable overload of value(). Precondition: ok().
   T& value() & {
     HIDO_CHECK_MSG(ok(), "Result::value() on error: %s",
                    std::get<Status>(payload_).ToString().c_str());
     return std::get<T>(payload_);
   }
+  /// Rvalue overload of value(); moves the value out. Precondition: ok().
   T&& value() && {
     HIDO_CHECK_MSG(ok(), "Result::value() on error: %s",
                    std::get<Status>(payload_).ToString().c_str());

@@ -31,7 +31,9 @@ class ThreadPool {
  public:
   /// Starts `num_workers` background threads (0 is allowed: every
   /// ParallelFor then runs inline on the calling thread).
+  /// Starts `num_workers` worker threads.
   explicit ThreadPool(size_t num_workers);
+  /// Drains outstanding work and joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -49,6 +51,7 @@ class ThreadPool {
     uint64_t tasks_executed = 0;    ///< queue entries run by workers
     uint64_t queue_high_water = 0;  ///< deepest pending queue observed
   };
+  /// A snapshot of the pool's execution counters.
   Stats stats() const {
     return {tasks_executed_.load(std::memory_order_relaxed),
             queue_high_water_.load(std::memory_order_relaxed)};

@@ -10,6 +10,7 @@ namespace hido {
 /// Monotonic stopwatch; starts running at construction.
 class StopWatch {
  public:
+  /// Starts timing at construction.
   StopWatch() : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.

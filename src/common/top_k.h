@@ -49,9 +49,9 @@ class TopK {
     return heap_.size() < capacity_ || cmp_(item, heap_.front());
   }
 
-  size_t size() const { return heap_.size(); }
-  bool empty() const { return heap_.empty(); }
-  size_t capacity() const { return capacity_; }
+  size_t size() const { return heap_.size(); }   ///< entries held
+  bool empty() const { return heap_.empty(); }   ///< no entries yet?
+  size_t capacity() const { return capacity_; }  ///< k, the cap
 
   /// The worst retained item. Precondition: !empty().
   const T& Worst() const {

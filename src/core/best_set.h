@@ -49,9 +49,9 @@ class BestSet {
   /// candidate enters is decided by its projection key in Offer.
   bool WouldAccept(double sparsity) const;
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }  ///< entries held
+  bool empty() const { return entries_.empty(); }  ///< no entries yet?
+  size_t capacity() const { return capacity_; }    ///< m, the cap
 
   /// Retained projections, most negative sparsity first (exact ties in
   /// ascending PackedKey order).

@@ -37,8 +37,8 @@ namespace hido {
 struct BruteForceOptions {
   size_t target_dim = 3;       ///< k: dimensionality of reported cubes
   size_t num_projections = 20; ///< m: cubes to report
-  bool require_non_empty = true;
-  bool prune_empty_subtrees = true;
+  bool require_non_empty = true;    ///< skip empty-cube projections
+  bool prune_empty_subtrees = true; ///< skip subtrees under empty prefixes
   /// Abort after this many seconds and report the best found so far
   /// (0 = unlimited). The paper could not finish musk (160 dims) this way.
   double time_budget_seconds = 0.0;
@@ -74,14 +74,14 @@ struct BruteForceStats {
   /// Why the run stopped early: kDeadline for the time budget/deadline,
   /// kCancelled/kFailpoint for an external stop. kNone with
   /// completed == false means the cube budget (`max_cubes`) expired.
-  StopCause stop_cause = StopCause::kNone;
-  double seconds = 0.0;
+  StopCause stop_cause = StopCause::kNone;  ///< why the run stopped early
+  double seconds = 0.0;                     ///< wall-clock for the run
 };
 
 /// Result of a search run (shared with the evolutionary algorithm).
 struct BruteForceResult {
   std::vector<ScoredProjection> best;  ///< most negative sparsity first
-  BruteForceStats stats;
+  BruteForceStats stats;               ///< counters for this run
 };
 
 /// Runs the exhaustive search. `objective` supplies grid and scoring.

@@ -28,7 +28,7 @@ namespace hido {
 struct CandidateSearchOptions {
   size_t target_dim = 3;        ///< k
   size_t num_projections = 20;  ///< m
-  bool require_non_empty = true;
+  bool require_non_empty = true;  ///< skip empty-cube projections
   /// Hard cap on any |R_i|; exceeded => the run stops and reports failure
   /// (0 = unlimited, at your own risk).
   uint64_t max_candidates = 20'000'000;
@@ -40,14 +40,14 @@ struct CandidateSearchStats {
   std::vector<uint64_t> level_sizes;
   /// Peak bytes held by candidate sets (conditions only).
   uint64_t peak_candidate_bytes = 0;
-  bool completed = false;
-  double seconds = 0.0;
+  bool completed = false;  ///< ran all levels without stopping early
+  double seconds = 0.0;    ///< wall-clock for the search
 };
 
 /// Result of a run.
 struct CandidateSearchResult {
   std::vector<ScoredProjection> best;  ///< most negative sparsity first
-  CandidateSearchStats stats;
+  CandidateSearchStats stats;          ///< counters for this run
 };
 
 /// Runs the materialized bottom-up search. Returns completed=false (with an

@@ -53,15 +53,15 @@ struct DetectorConfig {
   double sparsity_target = -3.0;
   /// Number of abnormal projections to report (the paper's m).
   size_t num_projections = 20;
-  SearchAlgorithm algorithm = SearchAlgorithm::kEvolutionary;
-  BinningMode binning = BinningMode::kEquiDepth;
-  ExpectationModel expectation = ExpectationModel::kUniform;
+  SearchAlgorithm algorithm = SearchAlgorithm::kEvolutionary;  ///< search to run
+  BinningMode binning = BinningMode::kEquiDepth;  ///< discretization mode
+  ExpectationModel expectation = ExpectationModel::kUniform;  ///< E[count] model
   /// Evolutionary knobs; target_dim/num_projections/seed are overridden
   /// from the fields above.
   EvolutionaryOptions evolution;
   /// Brute-force knobs; target_dim/num_projections are overridden.
   BruteForceOptions brute_force;
-  uint64_t seed = 42;
+  uint64_t seed = 42;  ///< master RNG seed for the whole run
   /// Cube-count memoization mode. kShared (the default) builds one
   /// SharedCubeCache per Detect call, attaches every search worker's
   /// counter to it, and publishes its statistics as cube.cache.shared.*
@@ -86,12 +86,12 @@ struct DetectorConfig {
 
 /// Everything produced by one detection run.
 struct DetectionResult {
-  OutlierReport report;
+  OutlierReport report;  ///< flagged points + their sparse projections
   /// The fitted grid (kept so outliers can be explained against the data).
   GridModel grid;
   size_t phi = 0;          ///< parameters actually used
-  size_t target_dim = 0;
-  SearchAlgorithm algorithm = SearchAlgorithm::kEvolutionary;
+  size_t target_dim = 0;   ///< projection dimensionality actually used
+  SearchAlgorithm algorithm = SearchAlgorithm::kEvolutionary;  ///< as run
   double seconds = 0.0;    ///< total wall-clock of Detect
   /// False when the search stopped early (deadline, cancel, or an
   /// exhausted cube budget); the report then ranks everything found up to
@@ -108,13 +108,15 @@ struct DetectionResult {
 /// time per instance; distinct instances are independent.
 class OutlierDetector {
  public:
+  /// A detector with default configuration.
   OutlierDetector();
+  /// A detector with validated `config` (invalid values are clamped).
   explicit OutlierDetector(const DetectorConfig& config);
 
   /// Runs detection on `data` (num_rows >= 1, num_cols >= 1).
   DetectionResult Detect(const Dataset& data) const;
 
-  const DetectorConfig& config() const { return config_; }
+  const DetectorConfig& config() const { return config_; }  ///< as constructed
 
  private:
   DetectorConfig config_;

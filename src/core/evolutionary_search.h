@@ -28,11 +28,11 @@ struct EvolutionaryOptions {
   size_t target_dim = 3;        ///< k
   size_t num_projections = 20;  ///< m
   size_t population_size = 100; ///< p
-  CrossoverKind crossover = CrossoverKind::kOptimized;
+  CrossoverKind crossover = CrossoverKind::kOptimized;  ///< recombination op
   MutationOptions mutation;     ///< p1 = p2 per the paper
   /// De Jong gene-convergence threshold (0.95 in the original).
   double convergence_threshold = 0.95;
-  size_t max_generations = 200;
+  size_t max_generations = 200;  ///< hard generation cap per restart
   /// Stop when the best set has not improved for this many generations
   /// (0 disables).
   size_t stagnation_generations = 30;
@@ -74,8 +74,8 @@ struct EvolutionaryOptions {
   /// uninterrupted run at any thread count. Counter cache-hit breakdowns
   /// may differ (caches restart cold); results never depend on them.
   const EvolutionCheckpoint* resume = nullptr;
-  bool require_non_empty = true;
-  uint64_t seed = 42;
+  bool require_non_empty = true;  ///< skip empty-cube projections
+  uint64_t seed = 42;             ///< master seed for all restart streams
   /// Worker threads (0 = hardware concurrency). Parallelism is exploited
   /// along two axes on the shared ThreadPool: restarts run as independent
   /// tasks, and within a restart the population's fitness evaluations fan
@@ -112,17 +112,17 @@ struct EvolutionStats {
   /// restart ran its course; `best` still holds everything found so far.
   bool completed = true;
   /// Which stop source fired when completed == false (kNone otherwise).
-  StopCause stop_cause = StopCause::kNone;
-  double seconds = 0.0;
+  StopCause stop_cause = StopCause::kNone;  ///< why the batch stopped early
+  double seconds = 0.0;                     ///< wall-clock for the batch
   uint64_t evaluations = 0;  ///< objective evaluations consumed by this run
   /// Genetic-operator totals, summed across restarts. Selections count
   /// individuals drawn by rank-roulette; crossovers count pairings;
   /// mutations count individuals actually changed (and re-evaluated).
   /// Deterministic for a fixed seed at any thread count, and a resumed run
   /// reports the same cumulative totals as the uninterrupted one.
-  uint64_t crossovers = 0;
-  uint64_t mutations = 0;
-  uint64_t selections = 0;
+  uint64_t crossovers = 0;  ///< crossover operations performed
+  uint64_t mutations = 0;   ///< mutation operations performed
+  uint64_t selections = 0;  ///< selection operations performed
   /// Restarts that ran to their natural stopping rule (not interrupted).
   size_t restarts_completed = 0;
 };
@@ -130,7 +130,7 @@ struct EvolutionStats {
 /// Result of an evolutionary run.
 struct EvolutionResult {
   std::vector<ScoredProjection> best;  ///< most negative sparsity first
-  EvolutionStats stats;
+  EvolutionStats stats;                ///< counters for this batch
 };
 
 /// Per-generation observer (for traces/tests): generation index, current

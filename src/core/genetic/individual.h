@@ -15,11 +15,11 @@ namespace hido {
 
 /// A candidate solution with cached fitness.
 struct Individual {
-  Projection projection;
+  Projection projection;  ///< the encoded solution
   /// S(D) of the cube; +infinity for infeasible or unevaluated strings.
   double sparsity = std::numeric_limits<double>::infinity();
-  size_t count = 0;
-  bool feasible = false;
+  size_t count = 0;       ///< points in the cube at evaluation
+  bool feasible = false;  ///< passed the non-empty constraint?
 
   /// Lower sparsity coefficient = fitter.
   friend bool FitterThan(const Individual& a, const Individual& b) {

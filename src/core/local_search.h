@@ -34,7 +34,7 @@ enum class LocalSearchMethod {
 
 /// Options for LocalSearch.
 struct LocalSearchOptions {
-  LocalSearchMethod method = LocalSearchMethod::kHillClimbing;
+  LocalSearchMethod method = LocalSearchMethod::kHillClimbing;  ///< algorithm
   size_t target_dim = 3;        ///< k
   size_t num_projections = 20;  ///< m
   /// Total objective evaluations (the budget matched against GA runs).
@@ -44,24 +44,24 @@ struct LocalSearchOptions {
   size_t stall_limit = 64;
   /// Simulated annealing: initial temperature (in sparsity-coefficient
   /// units) and per-step geometric cooling factor.
-  double initial_temperature = 2.0;
-  double cooling = 0.9995;
-  bool require_non_empty = true;
-  uint64_t seed = 42;
+  double initial_temperature = 2.0;  ///< annealing start temperature
+  double cooling = 0.9995;           ///< geometric cooling factor
+  bool require_non_empty = true;     ///< skip empty-cube projections
+  uint64_t seed = 42;                ///< RNG seed
 };
 
 /// Outcome counters.
 struct LocalSearchStats {
-  uint64_t evaluations = 0;
+  uint64_t evaluations = 0;  ///< objective evaluations performed
   size_t restarts = 0;       ///< hill climbing restarts taken
-  uint64_t accepted_moves = 0;
-  double seconds = 0.0;
+  uint64_t accepted_moves = 0;  ///< neighbour moves accepted
+  double seconds = 0.0;         ///< wall-clock spent searching
 };
 
 /// Result of a run.
 struct LocalSearchResult {
   std::vector<ScoredProjection> best;  ///< most negative sparsity first
-  LocalSearchStats stats;
+  LocalSearchStats stats;              ///< counters for this run
 };
 
 /// Runs the selected single-solution search against `objective`.

@@ -25,12 +25,12 @@ struct DetectionResult;  // core/detector.h
 
 /// A self-contained, serializable detection model.
 struct SparseModel {
-  Quantizer quantizer;
+  Quantizer quantizer;  ///< the fitted discretization
   /// Training-set size (kept for interpreting the sparsity coefficients).
   size_t num_points = 0;
   /// Column names, parallel to the quantizer's columns ("c<i>" default).
   std::vector<std::string> column_names;
-  std::vector<ScoredProjection> projections;
+  std::vector<ScoredProjection> projections;  ///< the abnormal projections
 
   /// Scores a point against the model (same semantics as ScoreNewPoint:
   /// NaN coordinates never match). `values` must have one entry per column.
@@ -49,6 +49,7 @@ Result<SparseModel> ParseModel(const std::string& text);
 
 /// File convenience wrappers.
 Status SaveModel(const SparseModel& model, const std::string& path);
+/// Reads and parses a model file (IO or parse errors as Result).
 Result<SparseModel> LoadModel(const std::string& path);
 
 }  // namespace hido

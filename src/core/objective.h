@@ -25,15 +25,15 @@ enum class ExpectationModel {
 
 /// A projection together with its evaluation.
 struct ScoredProjection {
-  Projection projection;
+  Projection projection;  ///< the subspace cube
   size_t count = 0;       ///< n(D): points inside the cube
   double sparsity = 0.0;  ///< S(D), Equation 1
 };
 
 /// Evaluation of one cube.
 struct CubeEvaluation {
-  size_t count = 0;
-  double sparsity = 0.0;
+  size_t count = 0;        ///< points falling in the cube
+  double sparsity = 0.0;   ///< the paper's sparsity coefficient
 };
 
 /// Computes sparsity coefficients over a grid model. Holds a reference to a
@@ -53,10 +53,10 @@ class SparsityObjective {
   /// Convenience: wraps Evaluate into a ScoredProjection.
   ScoredProjection Score(Projection projection);
 
-  const SparsityModel& model() const { return model_; }
-  const GridModel& grid() const { return counter_->grid(); }
-  CubeCounter& counter() { return *counter_; }
-  ExpectationModel expectation() const { return expectation_; }
+  const SparsityModel& model() const { return model_; }  ///< E[count] model
+  const GridModel& grid() const { return counter_->grid(); }  ///< the grid
+  CubeCounter& counter() { return *counter_; }  ///< the counting backend
+  ExpectationModel expectation() const { return expectation_; }  ///< as built
 
   /// Total number of cube evaluations performed through this objective.
   uint64_t num_evaluations() const { return num_evaluations_; }

@@ -18,7 +18,7 @@ namespace hido {
 
 /// One detected outlier.
 struct OutlierRecord {
-  size_t row = 0;
+  size_t row = 0;  ///< dataset row index
   /// Indices into OutlierReport::projections of the cubes covering the row.
   std::vector<size_t> projection_ids;
   /// Most negative sparsity among those cubes (the outlier's strength).
@@ -27,7 +27,7 @@ struct OutlierRecord {
 
 /// Projections plus the outliers they cover.
 struct OutlierReport {
-  std::vector<ScoredProjection> projections;
+  std::vector<ScoredProjection> projections;  ///< the reported cubes
   /// Sorted ascending by best_sparsity (strongest outliers first).
   std::vector<OutlierRecord> outliers;
 };

@@ -35,11 +35,12 @@ class Projection {
   static Projection FromConditions(size_t num_dims,
                                    const std::vector<DimRange>& conditions);
 
-  size_t num_dims() const { return cells_.size(); }
+  size_t num_dims() const { return cells_.size(); }  ///< total dims d
 
   /// Number of specified (non-*) positions — the cube's dimensionality.
   size_t Dimensionality() const { return specified_; }
 
+  /// Does the projection constrain `dim` (non-star position)?
   bool IsSpecified(size_t dim) const {
     HIDO_DCHECK(dim < cells_.size());
     return cells_[dim] != kDontCare;

@@ -20,7 +20,7 @@ namespace hido {
 
 /// Score of one point.
 struct PointScore {
-  size_t row = 0;
+  size_t row = 0;  ///< dataset row index
   /// Most negative sparsity among covering cubes; 0 when uncovered.
   double sparsity_score = 0.0;
   /// Number of reported cubes covering the point.

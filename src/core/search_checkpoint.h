@@ -42,28 +42,29 @@ namespace hido {
 
 /// Snapshot of one restart of the batch.
 struct RestartCheckpoint {
+  /// Progress of this restart (see the state table in the file comment).
   enum class State { kUnstarted, kPartial, kDone };
-  State state = State::kUnstarted;
+  State state = State::kUnstarted;  ///< which phase this restart is in
 
   // kPartial and kDone:
   std::vector<ScoredProjection> best;  ///< restart-local best set, sorted
   uint64_t evaluations = 0;            ///< objective evaluations so far
   // Genetic-operator totals so far, carried across interruptions so a
   // resumed run's telemetry counters equal the uninterrupted run's.
-  uint64_t crossovers = 0;
-  uint64_t mutations = 0;
-  uint64_t selections = 0;
-  CubeCounter::Stats counter_stats;
+  uint64_t crossovers = 0;              ///< crossover operations so far
+  uint64_t mutations = 0;               ///< mutation operations so far
+  uint64_t selections = 0;              ///< selection operations so far
+  CubeCounter::Stats counter_stats;     ///< cube-counter totals so far
   /// kDone: generations the restart ran; kPartial: the generation index the
   /// resumed run continues at (its draws have not happened yet).
   size_t generation = 0;
 
-  // kDone only:
+  /// kDone only: why the restart stopped.
   StopReason stop_reason = StopReason::kMaxGenerations;
 
   // kPartial only:
-  size_t stagnant_generations = 0;
-  RngState rng;
+  size_t stagnant_generations = 0;  ///< generations without improvement
+  RngState rng;                     ///< stream position at the boundary
   /// The evaluated population entering `generation` (fitness cached, so
   /// resume performs no extra evaluations).
   std::vector<Individual> population;
@@ -72,26 +73,27 @@ struct RestartCheckpoint {
 /// A whole-search snapshot: configuration fingerprint + one entry per
 /// restart.
 struct EvolutionCheckpoint {
-  // Fingerprint of the options and grid the snapshot belongs to.
-  uint64_t seed = 0;
-  size_t restarts = 0;
-  size_t population_size = 0;
-  size_t max_generations = 0;
-  size_t stagnation_generations = 0;
-  double convergence_threshold = 0.0;
-  size_t elitism = 0;
-  int crossover = 0;
-  double mutation_p1 = 0.0;
-  double mutation_p2 = 0.0;
-  size_t target_dim = 0;
-  size_t num_projections = 0;
-  bool require_non_empty = true;
-  int expectation = 0;
-  size_t num_dims = 0;
-  size_t phi = 0;
-  size_t num_points = 0;
+  // Fingerprint of the options and grid the snapshot belongs to; resume
+  // rejects a checkpoint whose fingerprint differs in any field.
+  uint64_t seed = 0;                   ///< master seed of the batch
+  size_t restarts = 0;                 ///< restarts in the batch
+  size_t population_size = 0;          ///< individuals per generation
+  size_t max_generations = 0;          ///< generation cap per restart
+  size_t stagnation_generations = 0;   ///< stagnation stopping rule
+  double convergence_threshold = 0.0;  ///< convergence stopping rule
+  size_t elitism = 0;                  ///< elites carried per generation
+  int crossover = 0;                   ///< crossover operator id
+  double mutation_p1 = 0.0;            ///< mutation probability p1
+  double mutation_p2 = 0.0;            ///< mutation probability p2
+  size_t target_dim = 0;               ///< projection dimensionality k
+  size_t num_projections = 0;          ///< best-set capacity m
+  bool require_non_empty = true;       ///< skip empty-cube projections
+  int expectation = 0;                 ///< ExpectationModel as int
+  size_t num_dims = 0;                 ///< dataset dimensionality d
+  size_t phi = 0;                      ///< grid ranges per dimension
+  size_t num_points = 0;               ///< dataset rows n
 
-  std::vector<RestartCheckpoint> runs;
+  std::vector<RestartCheckpoint> runs;  ///< one entry per restart
 };
 
 /// An all-unstarted checkpoint fingerprinting `options` over `grid`.
@@ -115,6 +117,7 @@ Status ValidateCheckpoint(const EvolutionCheckpoint& checkpoint,
 /// File wrappers. Saving uses an atomic write-rename.
 Status SaveCheckpointAtomic(const EvolutionCheckpoint& checkpoint,
                             const std::string& path);
+/// Reads and parses a checkpoint file (IO or parse errors as Result).
 Result<EvolutionCheckpoint> LoadCheckpoint(const std::string& path);
 
 }  // namespace hido

@@ -15,11 +15,11 @@ namespace hido {
 struct ColumnStats {
   size_t count = 0;    ///< non-missing cells
   size_t missing = 0;  ///< missing cells
-  double min = 0.0;
-  double max = 0.0;
-  double mean = 0.0;
+  double min = 0.0;    ///< smallest present value
+  double max = 0.0;    ///< largest present value
+  double mean = 0.0;   ///< arithmetic mean of present values
   double stddev = 0.0;    ///< unbiased sample stddev
-  double median = 0.0;
+  double median = 0.0;    ///< lower median of present values
   size_t distinct = 0;  ///< number of distinct non-missing values
 };
 

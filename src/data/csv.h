@@ -15,7 +15,7 @@ namespace hido {
 
 /// Options for ReadCsv.
 struct CsvReadOptions {
-  char delimiter = ',';
+  char delimiter = ',';  ///< field separator
   /// Treat the first line as column names.
   bool has_header = true;
   /// Column index holding the class label, or -1 for none. The label column
@@ -40,8 +40,8 @@ struct CsvReadOptions {
 
 /// Options for WriteCsv.
 struct CsvWriteOptions {
-  char delimiter = ',';
-  bool write_header = true;
+  char delimiter = ',';      ///< field separator
+  bool write_header = true;  ///< emit the column-name row?
   /// Spelling used for missing cells.
   std::string missing_token = "?";
   /// Append the label column (named "label") when the dataset has labels.

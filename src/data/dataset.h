@@ -40,8 +40,8 @@ class Dataset {
   static Dataset FromRows(const std::vector<std::vector<double>>& rows,
                           std::vector<std::string> column_names = {});
 
-  size_t num_rows() const { return num_rows_; }
-  size_t num_cols() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }       ///< rows n
+  size_t num_cols() const { return columns_.size(); }  ///< attributes d
 
   /// Cell value. Precondition: in range and not missing.
   double Get(size_t row, size_t col) const {
@@ -61,6 +61,7 @@ class Dataset {
   /// Marks a cell missing.
   void SetMissing(size_t row, size_t col);
 
+  /// Was this cell missing in the source data?
   bool IsMissing(size_t row, size_t col) const {
     HIDO_DCHECK(row < num_rows_ && col < columns_.size());
     return !missing_[col].empty() && missing_[col][row] != 0;
@@ -93,6 +94,7 @@ class Dataset {
   /// Name of column `col` ("c<col>" when never set).
   const std::string& ColumnName(size_t col) const;
 
+  /// Replaces the name of column `col`.
   void SetColumnName(size_t col, std::string name);
 
   /// Index of the column named `name`, or num_cols() when absent.
@@ -100,7 +102,7 @@ class Dataset {
 
   // --- Labels (evaluation only) ------------------------------------------
 
-  bool has_labels() const { return !labels_.empty(); }
+  bool has_labels() const { return !labels_.empty(); }  ///< ground truth?
 
   /// Class label of `row`. Precondition: has_labels().
   int32_t Label(size_t row) const {
@@ -112,6 +114,7 @@ class Dataset {
   /// Installs labels; size must equal num_rows().
   void SetLabels(std::vector<int32_t> labels);
 
+  /// Ground-truth labels (empty when unlabeled); 1 = outlier.
   const std::vector<int32_t>& labels() const { return labels_; }
 
   // --- Projections of the table ------------------------------------------

@@ -32,8 +32,8 @@ struct CategoricalMapping {
 
 /// A dataset plus the categorical mappings applied to it.
 struct EncodedDataset {
-  Dataset data;
-  std::vector<CategoricalMapping> categorical;
+  Dataset data;  ///< all-numeric rows
+  std::vector<CategoricalMapping> categorical;  ///< per-encoded-column maps
 
   /// Looks up the original string for an encoded cell; "" when `column` is
   /// not categorical or the code is out of range.

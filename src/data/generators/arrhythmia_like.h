@@ -30,20 +30,20 @@ namespace hido {
 /// Configuration for GenerateArrhythmiaLike. Defaults mirror the real
 /// dataset's shape and Table 2's class distribution.
 struct ArrhythmiaLikeConfig {
-  size_t num_rows = 452;
-  size_t num_dims = 279;
+  size_t num_rows = 452;  ///< rows (the UCI dataset's size)
+  size_t num_dims = 279;  ///< attributes (the UCI dataset's width)
   /// Correlated attribute groups (each of 2 dims).
   size_t num_groups = 60;
   /// Joint modes per group. The default divides 452 exactly, which keeps
   /// equi-depth range boundaries in the gaps between modes.
   size_t modes_per_group = 4;
-  double mode_sigma = 0.02;
+  double mode_sigma = 0.02;  ///< spread of each mode
   /// Class codes considered rare (< 5%), Table 2 row 2.
   std::vector<int32_t> rare_classes = {3, 4, 5, 7, 8, 9, 14, 15};
   /// Number of planted gross recording errors (labelled with a common
   /// class — they are errors, not diseases).
   size_t num_recording_errors = 2;
-  uint64_t seed = 2001;
+  uint64_t seed = 2001;  ///< RNG seed
 };
 
 /// Generated arrhythmia-like data plus ground truth for evaluation.

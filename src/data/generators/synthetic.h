@@ -42,12 +42,12 @@ struct SubspaceOutlierConfig {
   size_t outlier_subspace_dims = 2;
   /// Fraction of cells set missing uniformly at random (0 disables).
   double missing_fraction = 0.0;
-  uint64_t seed = 42;
+  uint64_t seed = 42;  ///< RNG seed
 };
 
 /// A generated dataset plus its planted ground truth.
 struct GeneratedDataset {
-  Dataset data;
+  Dataset data;  ///< the generated rows
   /// Row ids of the planted anomalies.
   std::vector<size_t> outlier_rows;
   /// For each planted anomaly (parallel to outlier_rows), the dimensions of

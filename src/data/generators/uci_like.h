@@ -21,7 +21,7 @@ namespace hido {
 /// Shape and structure of one Table 1 dataset stand-in.
 struct UciLikePreset {
   std::string name;       ///< dataset name as printed in Table 1
-  size_t num_rows = 0;
+  size_t num_rows = 0;    ///< rows to generate
   size_t num_dims = 0;    ///< the figure in parentheses in Table 1
   /// True for the datasets where the paper could not run brute force
   /// ("musk": 160 dimensions, marked "-" in Table 1).

@@ -18,7 +18,7 @@ namespace hido {
 
 /// Outcome of one search run, normalized across algorithms.
 struct SearchRun {
-  double seconds = 0.0;
+  double seconds = 0.0;  ///< wall-clock for this run
   /// Mean sparsity coefficient of the returned projections — the paper's
   /// Table 1 "quality" (best 20 non-empty cubes).
   double mean_quality = 0.0;
@@ -29,23 +29,23 @@ struct SearchRun {
   uint64_t cubes_examined = 0;
   /// False when a time/work budget expired first (brute force on musk).
   bool completed = true;
-  std::vector<ScoredProjection> best;
+  std::vector<ScoredProjection> best;  ///< best set found by the run
 };
 
 /// Common parameters of a search experiment.
 struct ExperimentParams {
-  size_t phi = 5;
-  size_t target_dim = 3;
+  size_t phi = 5;         ///< grid ranges per dimension
+  size_t target_dim = 3;  ///< projection dimensionality k
   size_t num_projections = 20;  ///< m
   /// Brute-force wall-clock budget in seconds (0 = unlimited).
   double brute_force_budget_seconds = 60.0;
   /// Brute-force worker threads.
   size_t brute_force_threads = 1;
   /// Evolutionary knobs.
-  size_t population_size = 100;
-  size_t max_generations = 150;
-  size_t restarts = 1;
-  uint64_t seed = 42;
+  size_t population_size = 100;  ///< evolutionary population p
+  size_t max_generations = 150;  ///< generation cap per restart
+  size_t restarts = 1;           ///< independent restarts
+  uint64_t seed = 42;            ///< master RNG seed
 };
 
 /// Runs the exhaustive search (Figure 2) over `data`.

@@ -41,10 +41,12 @@ enum class CountingStrategy {
 /// across cache configurations and thread counts; only speed and the
 /// serving-path statistics below move. See DESIGN.md "Shared cube-count
 /// cache" for the full argument.
+/// Counts dataset points falling in grid cubes under a chosen strategy.
 class CubeCounter {
  public:
+  /// Strategy selection and cache sizing knobs.
   struct Options {
-    CountingStrategy strategy = CountingStrategy::kAuto;
+    CountingStrategy strategy = CountingStrategy::kAuto;  ///< counting path
     /// Maximum privately cached cubes; the private cache is wholesale-
     /// cleared when full (0 disables private caching). Ignored while
     /// `shared_cache` is attached.
@@ -76,13 +78,13 @@ class CubeCounter {
   /// time. Shared-cache eviction accounting lives in SharedCubeCache::Stats
   /// (it is cache-wide, not per-worker).
   struct Stats {
-    uint64_t queries = 0;
+    uint64_t queries = 0;         ///< total Count() calls on any path
     uint64_t cache_hits = 0;      ///< served by the private memo table
     uint64_t shared_hits = 0;     ///< served by the shared count table
     uint64_t prefix_counts = 0;   ///< finished from a cached (k-1)-prefix
-    uint64_t bitset_counts = 0;
-    uint64_t posting_counts = 0;
-    uint64_t naive_counts = 0;
+    uint64_t bitset_counts = 0;   ///< answered by bitset intersection
+    uint64_t posting_counts = 0;  ///< answered by posting-list merge
+    uint64_t naive_counts = 0;    ///< answered by a full point scan
     uint64_t cache_evictions = 0;  ///< private entries dropped by clears
     uint64_t cache_clears = 0;     ///< private wholesale-clear events
 
@@ -92,6 +94,7 @@ class CubeCounter {
 
   /// `grid` must outlive the counter. Default options: kAuto + caching.
   explicit CubeCounter(const GridModel& grid);
+  /// Same, with explicit strategy/cache options.
   CubeCounter(const GridModel& grid, const Options& options);
 
   /// Number of points satisfying all `conditions`.
@@ -107,7 +110,7 @@ class CubeCounter {
   std::vector<uint32_t> CoveredPoints(
       const std::vector<DimRange>& conditions) const;
 
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const { return stats_; }  ///< query/path totals
 
   /// Folds another counter's statistics into this one. Used to aggregate
   /// the private per-thread counters of a parallel search into the caller's
@@ -118,8 +121,8 @@ class CubeCounter {
   /// cache_clears). Does not touch an attached shared cache.
   void ClearCache();
 
-  const GridModel& grid() const { return *grid_; }
-  const Options& options() const { return options_; }
+  const GridModel& grid() const { return *grid_; }  ///< the indexed grid
+  const Options& options() const { return options_; }  ///< as constructed
 
  private:
   size_t Dispatch(const std::vector<DimRange>& conditions,

@@ -24,8 +24,8 @@ namespace hido {
 
 /// One grid condition: "dimension `dim` falls in range `cell`".
 struct DimRange {
-  uint32_t dim;
-  uint32_t cell;
+  uint32_t dim;   ///< attribute index
+  uint32_t cell;  ///< range index in that attribute (0..phi-1)
 
   friend bool operator==(const DimRange& a, const DimRange& b) {
     return a.dim == b.dim && a.cell == b.cell;
@@ -42,9 +42,10 @@ class GridModel {
   static constexpr uint32_t kMissingCell =
       std::numeric_limits<uint32_t>::max();
 
+  /// Discretization parameters.
   struct Options {
     size_t phi = 10;                           ///< ranges per attribute
-    BinningMode mode = BinningMode::kEquiDepth;
+    BinningMode mode = BinningMode::kEquiDepth;  ///< equi-depth/equi-width
   };
 
   /// Creates an empty model; use Build to obtain a usable one.
@@ -61,9 +62,9 @@ class GridModel {
   static Result<GridModel> Build(const Dataset& data, const Options& options,
                                  const StopToken* stop);
 
-  size_t num_points() const { return num_points_; }
-  size_t num_dims() const { return cells_.size(); }
-  size_t phi() const { return quantizer_.num_ranges(); }
+  size_t num_points() const { return num_points_; }  ///< indexed rows n
+  size_t num_dims() const { return cells_.size(); }   ///< attributes d
+  size_t phi() const { return quantizer_.num_ranges(); }  ///< ranges per dim
 
   /// Discretized cell of a point (kMissingCell when the value is missing).
   uint32_t Cell(size_t row, size_t dim) const {
@@ -84,7 +85,7 @@ class GridModel {
   /// True when a point satisfies all conditions (missing never matches).
   bool Covers(size_t row, const std::vector<DimRange>& conditions) const;
 
-  const Quantizer& quantizer() const { return quantizer_; }
+  const Quantizer& quantizer() const { return quantizer_; }  ///< bin edges
 
  private:
   size_t num_points_ = 0;

@@ -32,9 +32,10 @@ enum class BinningMode {
 /// for.
 class Quantizer {
  public:
+  /// Discretization parameters.
   struct Options {
     size_t num_ranges = 10;  ///< phi
-    BinningMode mode = BinningMode::kEquiDepth;
+    BinningMode mode = BinningMode::kEquiDepth;  ///< cut-point placement
   };
 
   /// Creates an empty (unfitted) quantizer; use Fit to obtain a usable one.
@@ -53,9 +54,9 @@ class Quantizer {
                             std::vector<double> col_min,
                             std::vector<double> col_max);
 
-  size_t num_ranges() const { return num_ranges_; }
-  size_t num_cols() const { return cuts_.size(); }
-  BinningMode mode() const { return mode_; }
+  size_t num_ranges() const { return num_ranges_; }  ///< phi
+  size_t num_cols() const { return cuts_.size(); }   ///< fitted columns
+  BinningMode mode() const { return mode_; }         ///< as fitted
 
   /// Cell index of `value` on column `col`, in [0, num_ranges).
   uint32_t CellOf(size_t col, double value) const;

@@ -49,7 +49,7 @@ using CubeKey = std::vector<uint64_t>;
 /// FNV-1a over the packed conditions (shared by CubeCounter's private
 /// table and SharedCubeCache's shards).
 struct CubeKeyHash {
-  size_t operator()(const CubeKey& key) const;
+  size_t operator()(const CubeKey& key) const;  ///< FNV-1a over the ranges
 };
 
 /// Packs `conditions` into a sorted CubeKey.
@@ -58,6 +58,7 @@ CubeKey PackCubeKey(const std::vector<DimRange>& conditions);
 /// Thread-safe sharded memo table of cube counts + prefix bitsets.
 class SharedCubeCache {
  public:
+  /// Capacity limits for the two tables.
   struct Options {
     /// Total count entries across all shards (0 disables the count table;
     /// lookups miss and inserts are dropped).
@@ -85,7 +86,9 @@ class SharedCubeCache {
     uint64_t prefix_evictions = 0;   ///< prefix bitsets dropped by clears
   };
 
+  /// A cache with default capacities.
   SharedCubeCache();
+  /// A cache with explicit capacities.
   explicit SharedCubeCache(const Options& options);
   SharedCubeCache(const SharedCubeCache&) = delete;
   SharedCubeCache& operator=(const SharedCubeCache&) = delete;
@@ -118,7 +121,7 @@ class SharedCubeCache {
   /// quiesced reads are exact.
   Stats stats() const;
 
-  const Options& options() const { return options_; }
+  const Options& options() const { return options_; }  ///< as constructed
 
  private:
   struct CountEntry {

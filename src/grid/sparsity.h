@@ -23,8 +23,8 @@ class SparsityModel {
   /// Preconditions: num_points >= 1, phi >= 2.
   SparsityModel(size_t num_points, size_t phi);
 
-  size_t num_points() const { return num_points_; }
-  size_t phi() const { return phi_; }
+  size_t num_points() const { return num_points_; }  ///< n
+  size_t phi() const { return phi_; }                ///< ranges per dim
 
   /// Expected number of points in a k-dimensional cube: N·f^k. k >= 1.
   double ExpectedCount(size_t k) const;

@@ -35,22 +35,22 @@ class JsonWriter {
   /// snapshots are meant to be diffed and read by humans too).
   explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
 
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
+  void BeginObject();  ///< emits '{' and opens a scope
+  void EndObject();    ///< closes the current object
+  void BeginArray();   ///< emits '[' and opens a scope
+  void EndArray();     ///< closes the current array
 
   /// Emits the key of the next object member. Must be inside an object and
   /// must be followed by exactly one value (or container).
   void Key(std::string_view key);
 
-  void String(std::string_view value);
-  void Int(int64_t value);
-  void UInt(uint64_t value);
+  void String(std::string_view value);  ///< escaped JSON string
+  void Int(int64_t value);              ///< decimal integer
+  void UInt(uint64_t value);            ///< decimal unsigned integer
   /// Shortest round-trip decimal form; NaN/±inf serialize as null.
   void Double(double value);
-  void Bool(bool value);
-  void Null();
+  void Bool(bool value);  ///< `true` / `false`
+  void Null();            ///< `null`
 
   /// The finished document. The root value must be complete (every Begin
   /// matched by its End) — checked.

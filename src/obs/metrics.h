@@ -47,9 +47,10 @@ class Counter {
   Counter(const Counter&) = delete;
   Counter& operator=(const Counter&) = delete;
 
+  /// Adds `delta` to the calling thread's shard (wait-free).
   void Add(uint64_t delta = 1);
-  uint64_t Value() const;
-  void Reset();
+  uint64_t Value() const;  ///< sum over all shards (snapshot path)
+  void Reset();            ///< zeroes every shard (test path)
 
  private:
   struct alignas(64) Shard {
@@ -65,12 +66,12 @@ class Gauge {
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 
-  void Set(int64_t value);
-  void Add(int64_t delta);
+  void Set(int64_t value);  ///< last-writer-wins store
+  void Add(int64_t delta);  ///< relaxed add (level up/down tracking)
   /// Raises the gauge to `value` if it is larger (CAS loop; never lowers).
   void UpdateMax(int64_t value);
-  int64_t Value() const;
-  void Reset();
+  int64_t Value() const;  ///< current level
+  void Reset();           ///< back to zero (test path)
 
  private:
   std::atomic<int64_t> value_{0};
@@ -87,19 +88,21 @@ class Histogram {
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
+  /// Records one observation: two relaxed atomic adds (bucket + sum).
   void Observe(double value);
 
+  /// Aggregated bucket contents at one instant.
   struct Snapshot {
-    std::vector<double> upper_bounds;
+    std::vector<double> upper_bounds;  ///< the registered bounds
     std::vector<uint64_t> counts;  ///< upper_bounds.size() + 1 entries
-    uint64_t total_count = 0;
+    uint64_t total_count = 0;      ///< sum of counts
     /// Sum of observations. Exact (order-independent) for integer-valued
     /// observations below 2^53; concurrent fractional observations may
     /// differ in the last ulp between schedules.
     double sum = 0.0;
   };
-  Snapshot TakeSnapshot() const;
-  void Reset();
+  Snapshot TakeSnapshot() const;  ///< consistent-enough quiesced read
+  void Reset();                   ///< zeroes buckets and sum (test path)
 
  private:
   const std::vector<double> upper_bounds_;
@@ -107,26 +110,28 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
-/// One aggregated instrument in a registry snapshot.
+/// One aggregated counter in a registry snapshot.
 struct CounterSample {
-  std::string name;
-  uint64_t value = 0;
+  std::string name;     ///< registered instrument name
+  uint64_t value = 0;   ///< shard-summed total
 };
+/// One aggregated gauge in a registry snapshot.
 struct GaugeSample {
-  std::string name;
-  int64_t value = 0;
+  std::string name;     ///< registered instrument name
+  int64_t value = 0;    ///< level at capture
 };
+/// One aggregated histogram in a registry snapshot.
 struct HistogramSample {
-  std::string name;
-  Histogram::Snapshot snapshot;
+  std::string name;              ///< registered instrument name
+  Histogram::Snapshot snapshot;  ///< buckets at capture
 };
 
 /// Everything the registry holds at one instant, each section sorted by
 /// instrument name.
 struct MetricsSnapshot {
-  std::vector<CounterSample> counters;
-  std::vector<GaugeSample> gauges;
-  std::vector<HistogramSample> histograms;
+  std::vector<CounterSample> counters;      ///< sorted by name
+  std::vector<GaugeSample> gauges;          ///< sorted by name
+  std::vector<HistogramSample> histograms;  ///< sorted by name
 };
 
 /// The registry. All methods are thread-safe; the returned references stay
@@ -144,11 +149,14 @@ class MetricsRegistry {
   /// must not be requested as another; a histogram's bounds must match its
   /// first registration. Both are programmer errors (abort).
   Counter& GetCounter(const std::string& name) HIDO_LOCKS_EXCLUDED(mu_);
+  /// See GetCounter; same contract for gauges.
   Gauge& GetGauge(const std::string& name) HIDO_LOCKS_EXCLUDED(mu_);
+  /// See GetCounter; `upper_bounds` must equal the first registration's.
   Histogram& GetHistogram(const std::string& name,
                           const std::vector<double>& upper_bounds)
       HIDO_LOCKS_EXCLUDED(mu_);
 
+  /// Aggregates every instrument, each section sorted by name.
   MetricsSnapshot TakeSnapshot() const HIDO_LOCKS_EXCLUDED(mu_);
 
   /// Zeroes every instrument's value but keeps the instruments themselves,

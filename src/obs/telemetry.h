@@ -10,22 +10,91 @@
 //
 // Determinism contract: for a fixed seed and complete run, the `config`,
 // `counters`, `histograms`, and `results` sections are byte-identical at
-// any thread count *and any cube cache mode*, *except* counters documented
-// as scheduling-dependent: the cube-counter serving-path breakdowns
-// (counter.cache_hits / shared_hits / prefix_counts / bitset_counts /
-// posting_counts / naive_counts / cache_evictions / cache_clears), the
-// whole cube.cache.shared.* family, kNN pruning, and pool.* gauges.
-// counter.queries itself is invariant — every query increments it exactly
-// once no matter which path serves it. Wall-clock lives only in `timing`
-// and in explicitly "_seconds"-named result fields, so consumers can diff
-// everything above it.
+// any thread count *and any cube cache mode*, *except* instruments
+// declared `variant` in the machine-readable contract block below —
+// scheduling-dependent breakdowns (which cube-counter path served a
+// query, the shared-cache family, the kNN scored/pruned split, pool.*
+// gauges) and the client-dependent serve.* family. counter.queries itself
+// is invariant — every query increments it exactly once no matter which
+// path serves it. The serve.* family is client-dependent rather than
+// thread-dependent: deterministic for a scripted client schedule (the CI
+// chaos job asserts exact values) but dependent on kernel read coalescing
+// when clients race. Wall-clock lives only in `timing` and in explicitly
+// "_seconds"-named result fields, so consumers can diff everything above
+// it. telemetry_invariance_test.cc enforces the invariant set.
 //
-// The serve.* family is client-dependent rather than thread-dependent:
-// request/shed/eviction counters are deterministic for a scripted client
-// schedule (the CI chaos job asserts exact values), but depend on how the
-// kernel coalesces reads when clients race — serve.shed.requests for an
-// unsynchronized flood is reproducible only in distribution. serve.conn.
-// active reads 0 after a clean drain.
+// The block between the markers is the metric contract, machine-checked
+// by hido_lint's metric-contract rule: every Counter/Gauge/Histogram name
+// registered under src/ must appear here with its kind and variance, and
+// every entry here must be registered somewhere — dead documentation
+// fails lint. Entry format:
+//   // <counter|gauge|histogram> <name> <invariant|variant> [note...]
+// A `<placeholder>` segment matches one runtime-chosen segment
+// (serve.<endpoint>.requests, run.stops.<cause>).
+//
+// METRIC-CONTRACT-BEGIN
+//   counter baseline.db.outliers_flagged invariant
+//   counter baseline.db.points_judged invariant
+//   counter baseline.knn.points_pruned variant scored/pruned split races on the shared cutoff
+//   counter baseline.knn.points_scored variant scored/pruned split races on the shared cutoff
+//   counter baseline.lof.points_scored invariant
+//   counter brute.cubes_evaluated invariant
+//   counter brute.nodes_visited invariant
+//   counter brute.runs invariant
+//   counter brute.subtrees_pruned invariant
+//   counter checkpoint.resumes invariant
+//   counter checkpoint.save_failures invariant
+//   counter checkpoint.saves invariant
+//   counter counter.bitset_counts variant serving-path breakdown
+//   counter counter.cache_clears variant serving-path breakdown
+//   counter counter.cache_evictions variant serving-path breakdown
+//   counter counter.cache_hits variant serving-path breakdown
+//   counter counter.naive_counts variant serving-path breakdown
+//   counter counter.posting_counts variant serving-path breakdown
+//   counter counter.prefix_counts variant serving-path breakdown
+//   counter counter.queries invariant one increment per query on every path
+//   counter counter.shared_hits variant serving-path breakdown
+//   counter cube.cache.shared.evictions variant worker-interleaving dependent
+//   counter cube.cache.shared.hits variant worker-interleaving dependent
+//   counter cube.cache.shared.insertions variant worker-interleaving dependent
+//   counter cube.cache.shared.misses variant worker-interleaving dependent
+//   counter cube.cache.shared.prefix_evictions variant worker-interleaving dependent
+//   counter cube.cache.shared.prefix_hits variant worker-interleaving dependent
+//   counter cube.cache.shared.prefix_insertions variant worker-interleaving dependent
+//   counter data.columns_encoded invariant
+//   counter data.csv_loads invariant
+//   counter data.csv_rows invariant
+//   counter detect.points_flagged invariant
+//   counter detect.projections_reported invariant
+//   counter detect.runs invariant
+//   counter grid.builds invariant
+//   counter grid.cells_indexed invariant
+//   counter grid.points_indexed invariant
+//   counter run.stops.<cause> invariant omitted for clean completion
+//   counter search.crossovers invariant
+//   counter search.evaluations invariant
+//   counter search.generations invariant
+//   counter search.mutations invariant
+//   counter search.restarts_completed invariant
+//   counter search.runs invariant
+//   counter search.selections invariant
+//   counter serve.accept.errors variant client-dependent
+//   counter serve.errors variant client-dependent
+//   counter serve.evictions variant client-dependent
+//   counter serve.model.swaps variant client-dependent
+//   counter serve.shed.connections variant client-dependent
+//   counter serve.shed.requests variant client-dependent
+//   counter serve.timeouts variant client-dependent
+//   counter serve.<endpoint>.requests variant client-dependent
+//   gauge pool.queue_high_water variant scheduling-dependent
+//   gauge pool.tasks_executed variant scheduling-dependent
+//   gauge pool.workers variant configuration of the shared pool at capture
+//   gauge serve.conn.active variant client-dependent; 0 after a clean drain
+//   gauge serve.model.generation variant client-dependent
+//   histogram search.restart_generations invariant
+//   histogram serve.batch.size variant client-dependent
+//   histogram serve.<endpoint>.latency_seconds variant wall-clock
+// METRIC-CONTRACT-END
 
 #include <cstdint>
 #include <string>
@@ -43,22 +112,32 @@ namespace obs {
 /// A tagged scalar for config/result entries.
 class TelemetryValue {
  public:
+  /// Implicit converting constructors, one per tagged kind, so row
+  /// literals like {"seed", 42} read naturally.
   TelemetryValue(std::string value)  // NOLINT(google-explicit-constructor)
       : kind_(Kind::kString), string_(std::move(value)) {}
+  /// String-literal overload (avoids the bool conversion trap).
   TelemetryValue(const char* value)  // NOLINT(google-explicit-constructor)
       : kind_(Kind::kString), string_(value) {}
+  /// Tags as a signed integer.
   TelemetryValue(int value)  // NOLINT(google-explicit-constructor)
       : kind_(Kind::kInt), int_(value) {}
+  /// Tags as a signed integer.
   TelemetryValue(int64_t value)  // NOLINT(google-explicit-constructor)
       : kind_(Kind::kInt), int_(value) {}
+  /// Tags as an unsigned integer (counter values).
   TelemetryValue(uint64_t value)  // NOLINT(google-explicit-constructor)
       : kind_(Kind::kUInt), uint_(value) {}
+  /// Tags as a double (serialized with %.17g round-tripping).
   TelemetryValue(double value)  // NOLINT(google-explicit-constructor)
       : kind_(Kind::kDouble), double_(value) {}
+  /// Tags as a boolean.
   TelemetryValue(bool value)  // NOLINT(google-explicit-constructor)
       : kind_(Kind::kBool), bool_(value) {}
 
+  /// Appends this value to `writer` with its native JSON type.
   void WriteTo(JsonWriter& writer) const;
+  /// Human-readable rendering for --stats summaries.
   std::string ToDisplayString() const;
 
  private:
@@ -76,12 +155,12 @@ using TelemetryRow = std::vector<std::pair<std::string, TelemetryValue>>;
 
 /// The full snapshot of one run.
 struct RunTelemetry {
-  int schema_version = 1;
-  std::string tool;
-  TelemetryRow config;
-  MetricsSnapshot metrics;
-  std::vector<TelemetryRow> results;
-  TraceNode timing;
+  int schema_version = 1;              ///< bumped on layout changes
+  std::string tool;                    ///< producing binary, e.g. "hido"
+  TelemetryRow config;                 ///< resolved run configuration
+  MetricsSnapshot metrics;             ///< counters/gauges/histograms
+  std::vector<TelemetryRow> results;   ///< tool-specific result rows
+  TraceNode timing;                    ///< wall-clock trace tree
 };
 
 /// Snapshots the global registry, the global tracer, and the shared

@@ -41,9 +41,9 @@ namespace obs {
 /// closed at this path. Children are keyed (and serialized) by name, so
 /// the tree's structure is deterministic even though its times are not.
 struct TraceNode {
-  double seconds = 0.0;
-  uint64_t calls = 0;
-  std::map<std::string, TraceNode> children;
+  double seconds = 0.0;  ///< total wall-clock in this span
+  uint64_t calls = 0;    ///< times the span was entered
+  std::map<std::string, TraceNode> children;  ///< nested spans by name
 };
 
 /// The process-wide span collector.
@@ -53,12 +53,14 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
+  /// The process-wide tracer TraceSpan reports to.
   static Tracer& Global();
 
   /// Spans started while disabled record nothing (their close is free too).
-  void SetEnabled(bool enabled);
-  bool enabled() const;
+  void SetEnabled(bool enabled);  ///< turns span recording on/off
+  bool enabled() const;           ///< recording on?
 
+  /// A copy of the current timing tree.
   TraceNode TakeSnapshot() const HIDO_LOCKS_EXCLUDED(mu_);
 
   /// Clears the tree. Call between runs with no spans open; a span closing
@@ -79,7 +81,9 @@ class Tracer {
 /// span is open). Non-copyable, stack-scoped.
 class TraceSpan {
  public:
+  /// Opens span `name` (must be a literal; stored by pointer).
   explicit TraceSpan(const char* name);
+  /// Closes the span and records its elapsed time.
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;

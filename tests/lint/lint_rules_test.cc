@@ -419,7 +419,7 @@ TEST(DocCommentRule, StructuralNoiseIsExempt) {
                   .empty());
 }
 
-TEST(DocCommentRule, OnlyAppliesToServeHeaders) {
+TEST(DocCommentRule, AppliesToEverySrcHeaderButNotSourcesOrTools) {
   const std::string undocumented =
       "#ifndef HIDO_CORE_WIDGET_H_\n"
       "#define HIDO_CORE_WIDGET_H_\n"
@@ -427,12 +427,19 @@ TEST(DocCommentRule, OnlyAppliesToServeHeaders) {
       "int Undocumented();\n"
       "}  // namespace hido\n"
       "#endif  // HIDO_CORE_WIDGET_H_\n";
-  EXPECT_TRUE(LintContent("src/core/widget.h", undocumented).empty());
-  // .cc files under serve are exempt too: the rule covers the API surface.
+  // Every src/ header is covered, not just src/serve/.
+  EXPECT_TRUE(
+      HasRule(LintContent("src/core/widget.h", undocumented), "doc-comment"));
+  EXPECT_TRUE(
+      HasRule(LintContent("src/serve/widget.h", undocumented), "doc-comment"));
+  // .cc files are exempt: the rule covers the API surface.
   EXPECT_TRUE(
       LintContent("src/serve/widget.cc", "int Undocumented() { return 0; }\n")
           .empty());
-  // The testdata fixture path contains src/serve/, so it IS covered.
+  // Headers outside any src/ segment are exempt (tools, tests harnesses).
+  EXPECT_FALSE(HasRule(LintContent("tools/lint/widget.h", undocumented),
+                       "doc-comment"));
+  // The testdata fixture path contains src/, so it IS covered.
   EXPECT_TRUE(HasRule(
       LintContent("tests/lint/testdata/src/serve/widget.h",
                   "#ifndef HIDO_TESTS_LINT_TESTDATA_SRC_SERVE_WIDGET_H_\n"
@@ -442,6 +449,23 @@ TEST(DocCommentRule, OnlyAppliesToServeHeaders) {
                   "}  // namespace hido\n"
                   "#endif\n"),
       "doc-comment"));
+}
+
+TEST(DocCommentRule, IgnoresBackslashContinuedMacroBodies) {
+  // A multi-line #define's continuation lines are part of the directive,
+  // not namespace-scope declarations.
+  const std::string macro_header =
+      "#ifndef HIDO_CORE_M_H_\n"
+      "#define HIDO_CORE_M_H_\n"
+      "namespace hido {\n"
+      "#define HIDO_RETRY(expr)   \\\n"
+      "  do {                     \\\n"
+      "    (void)(expr);          \\\n"
+      "  } while (0)\n"
+      "}  // namespace hido\n"
+      "#endif  // HIDO_CORE_M_H_\n";
+  EXPECT_FALSE(HasRule(LintContent("src/core/m.h", macro_header),
+                       "doc-comment"));
 }
 
 TEST(DocCommentRule, SuppressedByAllowComment) {
@@ -505,7 +529,8 @@ TEST(RuleTable, ListsEveryRuleOnce) {
   const std::vector<std::string> expected = {
       "no-exceptions",    "no-raw-random", "no-raw-mutex",
       "no-stdio-in-core", "no-naked-new",  "header-guard",
-      "include-order",    "doc-comment"};
+      "include-order",    "doc-comment",   "layering",
+      "metric-contract"};
   EXPECT_EQ(names, expected);
 }
 

@@ -1,0 +1,17 @@
+#ifndef HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_COMMON_BAD_UPWARD_H_
+#define HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_COMMON_BAD_UPWARD_H_
+
+// Deliberate layering violation: this file maps to the `common` layer
+// (rightmost src/ boundary), and common may not reach `core` in the DAG —
+// the include below is an upward include.
+
+#include "core/fixture_core.h"
+
+namespace hido {
+
+/// Uses the core-layer symbol from the lowest layer: illegal.
+inline int BadUpwardValue() { return FixtureCoreValue(); }
+
+}  // namespace hido
+
+#endif  // HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_COMMON_BAD_UPWARD_H_

@@ -1,0 +1,14 @@
+#ifndef HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_CORE_FIXTURE_CORE_H_
+#define HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_CORE_FIXTURE_CORE_H_
+
+// The upward-include target: a clean core-layer header the common-layer
+// fixture below it illegally includes.
+
+namespace hido {
+
+/// A core-layer symbol for the layering fixture.
+int FixtureCoreValue();
+
+}  // namespace hido
+
+#endif  // HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_CORE_FIXTURE_CORE_H_

@@ -1,0 +1,10 @@
+#ifndef HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_GRID_CYCLE_A_H_
+#define HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_GRID_CYCLE_A_H_
+
+// Half of a deliberate include cycle: a -> b -> a. Both files sit in the
+// same layer (grid), so the DAG check alone would pass — the cycle is
+// caught by the SCC pass.
+
+#include "grid/cycle_b.h"
+
+#endif  // HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_GRID_CYCLE_A_H_

@@ -1,0 +1,8 @@
+#ifndef HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_GRID_CYCLE_B_H_
+#define HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_GRID_CYCLE_B_H_
+
+// The other half of the deliberate include cycle (see cycle_a.h).
+
+#include "grid/cycle_a.h"
+
+#endif  // HIDO_TESTS_LINT_TESTDATA_LAYERING_SRC_GRID_CYCLE_B_H_

@@ -1,0 +1,17 @@
+// Deliberate metric-contract violations, one per line below:
+//   * "fixture.undeclared" is registered but absent from the contract
+//     block in ../obs/telemetry.h;
+//   * "BadName" fails the dotted grammar (uppercase, single segment).
+// "fixture.registered" is the clean control matching its contract entry.
+
+namespace hido {
+
+void Counter(const char*);
+
+void RegisterFixtureMetrics() {
+  Counter("fixture.registered");
+  Counter("fixture.undeclared");
+  Counter("BadName");
+}
+
+}  // namespace hido

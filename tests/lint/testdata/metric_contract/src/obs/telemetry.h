@@ -1,0 +1,14 @@
+#ifndef HIDO_TESTS_LINT_TESTDATA_METRIC_CONTRACT_SRC_OBS_TELEMETRY_H_
+#define HIDO_TESTS_LINT_TESTDATA_METRIC_CONTRACT_SRC_OBS_TELEMETRY_H_
+
+// Fixture contract header: the path ends with src/obs/telemetry.h, so the
+// metric-contract rule reads this block when the fixture tree is linted on
+// its own. `fixture.declared` is never registered anywhere in the tree —
+// a deliberate dead entry.
+//
+// METRIC-CONTRACT-BEGIN
+//   counter fixture.declared invariant dead on purpose
+//   counter fixture.registered invariant
+// METRIC-CONTRACT-END
+
+#endif  // HIDO_TESTS_LINT_TESTDATA_METRIC_CONTRACT_SRC_OBS_TELEMETRY_H_

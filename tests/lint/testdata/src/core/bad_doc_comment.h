@@ -1,0 +1,17 @@
+#ifndef HIDO_TESTS_LINT_TESTDATA_SRC_CORE_BAD_DOC_COMMENT_H_
+#define HIDO_TESTS_LINT_TESTDATA_SRC_CORE_BAD_DOC_COMMENT_H_
+
+// Deliberate doc-comment violation outside src/serve/: the rule covers
+// every src/ header, so this core-layer fixture must fail the same way
+// the serve one does.
+
+namespace hido {
+
+/// Documented struct: the struct line itself is clean.
+struct BadCoreDocComment {
+  int undocumented_field = 0;
+};
+
+}  // namespace hido
+
+#endif  // HIDO_TESTS_LINT_TESTDATA_SRC_CORE_BAD_DOC_COMMENT_H_

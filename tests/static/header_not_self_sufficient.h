@@ -1,0 +1,16 @@
+#ifndef HIDO_TESTS_STATIC_HEADER_NOT_SELF_SUFFICIENT_H_
+#define HIDO_TESTS_STATIC_HEADER_NOT_SELF_SUFFICIENT_H_
+
+// Deliberately NOT self-sufficient: uses std::string without including
+// <string>. The header_self_sufficient_fail ctest compiles this file the
+// same way the per-header self-sufficiency tests compile every src/
+// header, and is marked WILL_FAIL — proving the harness rejects a header
+// that leans on its includers for declarations.
+
+namespace hido {
+
+std::string MissingIncludeForThisReturnType();  // hido-lint: allow(doc-comment)
+
+}  // namespace hido
+
+#endif  // HIDO_TESTS_STATIC_HEADER_NOT_SELF_SUFFICIENT_H_

@@ -199,12 +199,12 @@ bool StartsWithWord(const std::string& code, const char* word) {
             code[n] == '_'));
 }
 
-// Structural `///` doc-comment check for serving headers: every
+// Structural `///` doc-comment check for library headers: every
 // declaration that starts at namespace scope or in a public class section
 // must be introduced by an adjacent `///` line (or carry a trailing
-// `///<`). Scoped by *substring* "src/serve/", not prefix, so the
-// deliberate-violation fixture under tests/lint/testdata/src/serve/
-// exercises the rule through the normal testdata harness. The walk is
+// `///<`). Scoped by *substring* "src/", not prefix, so the
+// deliberate-violation fixtures under tests/lint/testdata/src/
+// exercise the rule through the normal testdata harness. The walk is
 // token-level like every other rule here — brace-tracked scopes and
 // paren-tracked continuations — with the noise cases exempt: access
 // labels, preprocessor lines, closing braces, forward declarations,
@@ -214,7 +214,8 @@ void CheckDocComments(const std::string& path,
                       const std::vector<std::string>& code_lines,
                       const std::vector<std::string>& raw_lines,
                       std::vector<Finding>& findings) {
-  if (!IsHeader(path) || path.find("src/serve/") == std::string::npos) {
+  if (!IsHeader(path) || (path.compare(0, 4, "src/") != 0 &&
+                          path.find("/src/") == std::string::npos)) {
     return;
   }
   enum class Scope { kNamespace, kClassPublic, kClassHidden, kOther };
@@ -225,10 +226,18 @@ void CheckDocComments(const std::string& path,
       R"(^(class|struct|enum(\s+class)?)\s+\w+\s*;)");
   int paren_depth = 0;
   bool continuation = false;
+  bool in_directive = false;  // inside a backslash-continued #define etc.
   for (size_t i = 0; i < code_lines.size(); ++i) {
     const std::string code = TrimCopy(code_lines[i]);
+    if (in_directive) {  // a directive spans every backslash-continued line
+      in_directive = !code.empty() && code.back() == '\\';
+      continue;
+    }
     if (code.empty()) continue;     // blank or comment-only line
-    if (code[0] == '#') continue;   // preprocessor
+    if (code[0] == '#') {           // preprocessor
+      in_directive = code.back() == '\\';
+      continue;
+    }
     const bool is_label =
         code == "public:" || code == "private:" || code == "protected:";
 
@@ -252,7 +261,7 @@ void CheckDocComments(const std::string& path,
         if (!documented && !IsSuppressed(raw_lines[i], "doc-comment")) {
           findings.push_back(
               {"doc-comment", path, i + 1,
-               "public declaration in a serve header without a /// doc "
+               "public declaration in a src/ header without a /// doc "
                "comment (adjacent /// line or trailing ///<)"});
         }
       }
@@ -320,8 +329,14 @@ const std::vector<RuleInfo>& Rules() {
       {"include-order",
        "each contiguous #include block is sorted and style-pure"},
       {"doc-comment",
-       "public declarations in src/serve/ headers carry /// doc comments "
-       "(the serving API is the repo's external surface)"},
+       "public declarations in src/ headers carry /// doc comments (every "
+       "library header is API surface for the layer above)"},
+      {"layering",
+       "the include graph respects the dependency DAG in "
+       "tools/lint/layers.txt (no upward or cyclic includes)"},
+      {"metric-contract",
+       "metric name literals parse against the dotted grammar and match "
+       "the obs/telemetry.h contract block both ways"},
   };
   return *rules;
 }
@@ -331,7 +346,13 @@ bool IsSuppressed(const std::string& raw_line, const std::string& rule) {
   return raw_line.find(tag) != std::string::npos;
 }
 
-std::string StripCommentsAndStrings(const std::string& source) {
+namespace {
+
+// Shared stripper behind StripCommentsAndStrings / StripComments.
+// `keep_strings` preserves "..."/'...' contents (escapes included); raw
+// strings always collapse to "" so their multi-line bodies never leak
+// into line-oriented scans.
+std::string StripImpl(const std::string& source, bool keep_strings) {
   std::string out;
   out.reserve(source.size());
   enum class State {
@@ -400,6 +421,10 @@ std::string StripCommentsAndStrings(const std::string& source) {
         break;
       case State::kString:
         if (c == '\\' && next != '\0') {
+          if (keep_strings) {
+            out.push_back(c);
+            out.push_back(next);
+          }
           ++i;
         } else if (c == '"') {
           state = State::kCode;
@@ -407,10 +432,16 @@ std::string StripCommentsAndStrings(const std::string& source) {
         } else if (c == '\n') {
           out.push_back(c);  // unterminated; keep line structure
           state = State::kCode;
+        } else if (keep_strings) {
+          out.push_back(c);
         }
         break;
       case State::kChar:
         if (c == '\\' && next != '\0') {
+          if (keep_strings) {
+            out.push_back(c);
+            out.push_back(next);
+          }
           ++i;
         } else if (c == '\'') {
           state = State::kCode;
@@ -418,6 +449,8 @@ std::string StripCommentsAndStrings(const std::string& source) {
         } else if (c == '\n') {
           out.push_back(c);
           state = State::kCode;
+        } else if (keep_strings) {
+          out.push_back(c);
         }
         break;
       case State::kRawString: {
@@ -436,6 +469,16 @@ std::string StripCommentsAndStrings(const std::string& source) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  return StripImpl(source, /*keep_strings=*/false);
+}
+
+std::string StripComments(const std::string& source) {
+  return StripImpl(source, /*keep_strings=*/true);
 }
 
 std::string ExpectedHeaderGuard(const std::string& path) {

@@ -31,9 +31,20 @@
 //   include-order    each contiguous #include block is internally sorted
 //                    and does not mix <system> with "project" includes.
 //   doc-comment      public declarations (namespace scope or public class
-//                    sections) in src/serve/ headers carry a /// doc
-//                    comment — the serving API is the repo's external
-//                    surface, and its docs are load-bearing.
+//                    sections) in src/ headers carry a /// doc comment —
+//                    every library header is API surface for the layer
+//                    above it, and its docs are load-bearing.
+//
+// Two further rules are *cross-file* and live in the project model
+// (tools/lint/project_model.h + cross_file_rules.h) because they need the
+// whole index, not one file:
+//
+//   layering         the include graph respects the dependency DAG spec in
+//                    tools/lint/layers.txt (no upward or cyclic includes).
+//   metric-contract  every Counter/Gauge/Histogram name literal parses
+//                    against the dotted-naming grammar and is declared in
+//                    src/obs/telemetry.h's contract block, and every
+//                    contract entry is registered somewhere (no dead docs).
 //
 // Escape hatch: a finding on line N is suppressed when line N contains
 //   // hido-lint: allow(<rule-name>)
@@ -74,6 +85,12 @@ bool IsSuppressed(const std::string& raw_line, const std::string& rule);
 /// //-comments, /*...*/ (multi-line), "..."/'...' with escapes, and
 /// R"delim(...)delim" raw strings.
 std::string StripCommentsAndStrings(const std::string& source);
+
+/// Like StripCommentsAndStrings but keeps string/char literal contents
+/// (raw strings are still collapsed to "" because their multi-line bodies
+/// would corrupt line-oriented scans). Used by the project model to read
+/// metric-name literals out of registration calls.
+std::string StripComments(const std::string& source);
 
 /// Lints one in-memory file. `path` must be repo-relative with '/'
 /// separators (e.g. "src/core/detector.cc"); rules use it to scope

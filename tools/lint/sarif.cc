@@ -1,0 +1,79 @@
+#include "tools/lint/sarif.h"
+
+namespace hido {
+namespace lint {
+
+namespace {
+
+// JSON string escaping: control characters, quote, backslash.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"hido_lint\","
+      "\"informationUri\":\"tools/lint/lint_rules.h\",\"rules\":[";
+  const std::vector<RuleInfo>& rules = Rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"id\":\"" + JsonEscape(rules[i].name) +
+           "\",\"shortDescription\":{\"text\":\"" +
+           JsonEscape(rules[i].what) + "\"}}";
+  }
+  out += "]}},\"results\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ",";
+    out += "{\"ruleId\":\"" + JsonEscape(f.rule) +
+           "\",\"level\":\"error\",\"message\":{\"text\":\"" +
+           JsonEscape(f.message) +
+           "\"},\"locations\":[{\"physicalLocation\":{"
+           "\"artifactLocation\":{\"uri\":\"" +
+           JsonEscape(f.path) + "\"}";
+    if (f.line > 0) {
+      out += ",\"region\":{\"startLine\":" + std::to_string(f.line) + "}";
+    }
+    out += "}}]}";
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+}  // namespace lint
+}  // namespace hido

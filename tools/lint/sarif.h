@@ -1,0 +1,26 @@
+#ifndef HIDO_TOOLS_LINT_SARIF_H_
+#define HIDO_TOOLS_LINT_SARIF_H_
+
+// Minimal SARIF 2.1.0 serialization for hido_lint findings, so CI can
+// upload the report as an artifact and annotate pull requests inline.
+// Hand-rolled like obs/json_writer (the lint library stays dependency-
+// free): one run, one driver, the rule table as reportingDescriptors, and
+// one result per finding with a physicalLocation region. Deterministic
+// bytes for a given finding list.
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint_rules.h"
+
+namespace hido {
+namespace lint {
+
+/// Serializes `findings` (with the rule table for metadata) as a SARIF
+/// 2.1.0 document. Ends with '\n'.
+std::string SarifReport(const std::vector<Finding>& findings);
+
+}  // namespace lint
+}  // namespace hido
+
+#endif  // HIDO_TOOLS_LINT_SARIF_H_
