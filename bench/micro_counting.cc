@@ -204,6 +204,44 @@ BENCHMARK(BM_GaCachePrivate)->Arg(1)->Arg(2)->Arg(4);
 BENCHMARK(BM_GaCacheShared)->Arg(1)->Arg(2)->Arg(4);
 BENCHMARK(BM_GaCacheSharedNoPrefix)->Arg(1)->Arg(2)->Arg(4);
 
+// ---------------------------------------------------------------------------
+// Ensemble fan-out: E members run SEQUENTIALLY (the EnsembleDetector
+// contract), each with its own CubeCounter over a heavily overlapping
+// query pool. With private caches, member i+1 recomputes everything member
+// i already counted; with one SharedCubeCache, later members start fully
+// warm. items/sec counts member-evaluated queries, so shared-vs-private at
+// the same E is the ensemble's cache amplification, and scaling E shows
+// the marginal member approaching cache-hit cost.
+
+void BM_EnsembleWorkload(benchmark::State& state, bool shared_cache) {
+  const size_t members = static_cast<size_t>(state.range(0));
+  BenchFixture fixture(100000, 32, 10);
+  const auto queries = MakeGaQueries(fixture.grid, 5, 64, 8);
+  for (auto _ : state) {
+    // Fresh per iteration: each iteration is one cold ensemble fit.
+    SharedCubeCache shared;
+    uint64_t sum = 0;
+    for (size_t member = 0; member < members; ++member) {
+      CubeCounter::Options options;
+      if (shared_cache) options.shared_cache = &shared;
+      CubeCounter counter(fixture.grid, options);
+      for (const auto& query : queries) sum += counter.Count(query);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(members * queries.size()));
+}
+
+void BM_EnsembleSharedCache(benchmark::State& state) {
+  BM_EnsembleWorkload(state, true);
+}
+void BM_EnsemblePrivateCaches(benchmark::State& state) {
+  BM_EnsembleWorkload(state, false);
+}
+BENCHMARK(BM_EnsembleSharedCache)->Arg(1)->Arg(3)->Arg(5);
+BENCHMARK(BM_EnsemblePrivateCaches)->Arg(1)->Arg(3)->Arg(5);
+
 void BM_GridBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dataset data = GenerateUniform(n, 32, 11);

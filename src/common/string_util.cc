@@ -116,6 +116,34 @@ Result<int64_t> ParseInt(std::string_view text) {
   return value;
 }
 
+Result<uint64_t> ParseUInt(std::string_view text) {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::ParseError("empty string is not an unsigned integer");
+  }
+  std::string_view body = trimmed;
+  if (!StripPlus(body)) {
+    return Status::ParseError("not an unsigned integer: '" +
+                              std::string(trimmed) + "'");
+  }
+  if (!body.empty() && body.front() == '-') {
+    return Status::ParseError("negative value is not an unsigned integer: '" +
+                              std::string(trimmed) + "'");
+  }
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("unsigned integer out of range: '" +
+                              std::string(trimmed) + "'");
+  }
+  if (ec != std::errc() || ptr != body.data() + body.size()) {
+    return Status::ParseError("not an unsigned integer: '" +
+                              std::string(trimmed) + "'");
+  }
+  return value;
+}
+
 bool IsMissingToken(std::string_view text) {
   const std::string_view t = Trim(text);
   if (t.empty() || t == "?") return true;

@@ -3,6 +3,7 @@
 
 // Small string helpers shared by the CSV reader and the table printers.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,11 @@ Result<double> ParseDouble(std::string_view text);
 /// Parses an integer from the whole of `text` (after trimming). Trailing
 /// junk and values outside int64_t are ParseErrors (no strtoll saturation).
 Result<int64_t> ParseInt(std::string_view text);
+
+/// Parses a full-range uint64_t from the whole of `text` (after trimming).
+/// Needed where int64_t truncates: RNG-derived seeds use all 64 bits.
+/// Negative values, trailing junk, and overflow are ParseErrors.
+Result<uint64_t> ParseUInt(std::string_view text);
 
 /// True if `text` equals "" / "?" / "na" / "nan" / "null" case-insensitively
 /// — the missing-value spellings accepted by the CSV reader.

@@ -1,0 +1,43 @@
+#include "ensemble/ensemble_model.h"
+
+#include "obs/metrics.h"
+
+namespace hido {
+namespace ensemble {
+
+size_t EnsembleModel::num_dims() const {
+  return members.empty() ? 0 : members.front().model.quantizer.num_cols();
+}
+
+size_t EnsembleModel::num_projections() const {
+  size_t total = 0;
+  for (const EnsembleMemberModel& member : members) {
+    total += member.model.projections.size();
+  }
+  return total;
+}
+
+size_t EnsembleModel::num_points() const {
+  return members.empty() ? 0 : members.front().model.num_points;
+}
+
+EnsemblePointScore EnsembleModel::Score(
+    const std::vector<double>& values) const {
+  // GetCounter locks a map; the returned reference is stable for the
+  // process, so resolve it once and keep the per-score hot path lock-free.
+  static obs::Counter& points_scored =
+      obs::MetricsRegistry::Global().GetCounter("ensemble.points_scored");
+  std::vector<PointScore> member_scores;
+  std::vector<double> scales;
+  member_scores.reserve(members.size());
+  scales.reserve(members.size());
+  for (const EnsembleMemberModel& member : members) {
+    member_scores.push_back(member.model.Score(values));
+    scales.push_back(member.score_scale);
+  }
+  points_scored.Add();
+  return CombinePoint(combiner, member_scores, scales);
+}
+
+}  // namespace ensemble
+}  // namespace hido

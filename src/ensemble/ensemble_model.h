@@ -1,0 +1,62 @@
+#ifndef HIDO_ENSEMBLE_ENSEMBLE_MODEL_H_
+#define HIDO_ENSEMBLE_ENSEMBLE_MODEL_H_
+
+// The persistable/servable form of a fitted ensemble: E member models (each
+// a self-contained core/model_io.h SparseModel plus its provenance and
+// normalization scale) and the combiner they were fitted under. This is
+// what a v2 snapshot (serve/snapshot.h) embeds and what `hido serve` scores
+// against when an ensemble generation is published.
+//
+// Scoring semantics match fit time: each member scores the point against
+// its own projections, and the per-member scores fold through the same
+// combiner (ensemble/combiner.h). The one asymmetry — kBreadthFirst has no
+// population to rank a single point against and degrades to kMax — is
+// documented on CombinePoint.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model_io.h"
+#include "ensemble/combiner.h"
+#include "ensemble/member.h"
+
+namespace hido {
+namespace ensemble {
+
+/// One fitted ensemble member: its strategy, seed, normalization scale,
+/// and self-contained scoring model.
+struct EnsembleMemberModel {
+  MemberKind kind = MemberKind::kGa;  ///< strategy the member ran
+  uint64_t seed = 0;                  ///< the member's derived seed
+  /// Fit-time MemberScoreScale (max training abnormality; >= 1e-300).
+  double score_scale = 1.0;
+  SparseModel model;                  ///< quantizer + abnormal projections
+};
+
+/// A complete servable ensemble. Copyable value type; ScoreService wraps it
+/// in an immutable snapshot for RCU swapping.
+struct EnsembleModel {
+  /// Combiner the ensemble was fitted (and must be served) with.
+  CombinerKind combiner = CombinerKind::kMeanNormalized;
+  std::vector<EnsembleMemberModel> members;  ///< the E fitted members
+
+  /// Input dimensionality every member expects (0 for an empty ensemble).
+  size_t num_dims() const;
+
+  /// Total abnormal projections across all members.
+  size_t num_projections() const;
+
+  /// Training-set size recorded by the members (0 for an empty ensemble).
+  size_t num_points() const;
+
+  /// Scores an out-of-sample point against every member and combines.
+  /// `values` must hold num_dims() coordinates; NaN marks missing (never
+  /// matches a condition, same as SparseModel::Score). Publishes one
+  /// ensemble.points_scored increment per call.
+  EnsemblePointScore Score(const std::vector<double>& values) const;
+};
+
+}  // namespace ensemble
+}  // namespace hido
+
+#endif  // HIDO_ENSEMBLE_ENSEMBLE_MODEL_H_

@@ -1,0 +1,72 @@
+#include "ensemble/member.h"
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace hido {
+namespace ensemble {
+
+const char* MemberKindToString(MemberKind kind) {
+  switch (kind) {
+    case MemberKind::kGa: return "ga";
+    case MemberKind::kRandomSubspace: return "random-subspace";
+    case MemberKind::kHillClimb: return "hill-climb";
+    case MemberKind::kAnneal: return "anneal";
+  }
+  HIDO_CHECK_MSG(false, "unreachable member kind");
+  return "ga";
+}
+
+bool ParseMemberKind(const std::string& name, MemberKind* kind) {
+  if (name == "ga") {
+    *kind = MemberKind::kGa;
+  } else if (name == "random-subspace") {
+    *kind = MemberKind::kRandomSubspace;
+  } else if (name == "hill-climb") {
+    *kind = MemberKind::kHillClimb;
+  } else if (name == "anneal") {
+    *kind = MemberKind::kAnneal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Result<std::vector<MemberKind>> ParseMemberMix(const std::string& spec) {
+  std::vector<MemberKind> mix;
+  for (const std::string& field : Split(spec, ',')) {
+    const std::string name(Trim(field));
+    MemberKind kind;
+    if (!ParseMemberKind(name, &kind)) {
+      return Status::InvalidArgument("unknown ensemble member kind '" + name +
+                                     "' (ga, random-subspace, hill-climb, "
+                                     "anneal)");
+    }
+    mix.push_back(kind);
+  }
+  if (mix.empty()) {
+    return Status::InvalidArgument("empty ensemble member mix");
+  }
+  return mix;
+}
+
+std::vector<MemberKind> ResolveMemberKinds(const std::vector<MemberKind>& mix,
+                                           size_t num_members) {
+  std::vector<MemberKind> kinds(num_members, MemberKind::kGa);
+  if (!mix.empty()) {
+    for (size_t i = 0; i < num_members; ++i) kinds[i] = mix[i % mix.size()];
+  }
+  return kinds;
+}
+
+uint64_t DeriveMemberSeed(uint64_t seed, size_t member_index) {
+  // ForStream avalanches (seed, stream) into a decorrelated generator; the
+  // first draw of that stream is the member's seed. Stream 0 is left to the
+  // non-ensemble detector, so member 0 never aliases a plain run.
+  return Rng::ForStream(seed, static_cast<uint64_t>(member_index) + 1)
+      .Next64();
+}
+
+}  // namespace ensemble
+}  // namespace hido

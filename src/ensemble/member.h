@@ -1,0 +1,59 @@
+#ifndef HIDO_ENSEMBLE_MEMBER_H_
+#define HIDO_ENSEMBLE_MEMBER_H_
+
+// Ensemble member descriptors: which search strategy a member runs and how
+// its RNG stream is derived from the ensemble seed.
+//
+// He et al.'s unified subspace-ensemble framework and Liu & Fokoué's random
+// subspace learning both get their lift from *diversity*: members must
+// explore different regions of the projection lattice. Diversity here comes
+// from two axes — the strategy (GA restart, random-subspace sampling, hill
+// climbing, annealing; all over the shared Projection/SparsityObjective
+// encoding) and a decorrelated per-member seed (Rng::ForStream), so an
+// all-GA ensemble still behaves like a batch of independent restarts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hido {
+namespace ensemble {
+
+/// Which search strategy one ensemble member runs.
+enum class MemberKind {
+  kGa,              ///< one evolutionary-search run (distinct seed)
+  kRandomSubspace,  ///< Liu & Fokoué: random cubes inside a sampled dim pool
+  kHillClimb,       ///< LocalSearch kHillClimbing over the same encoding
+  kAnneal,          ///< LocalSearch kSimulatedAnnealing
+};
+
+/// Canonical lowercase name ("ga", "random-subspace", "hill-climb",
+/// "anneal").
+const char* MemberKindToString(MemberKind kind);
+
+/// Inverse of MemberKindToString. Returns false on unknown names.
+bool ParseMemberKind(const std::string& name, MemberKind* kind);
+
+/// Parses a comma-separated mix spec ("ga,random-subspace,anneal") into a
+/// kind cycle. Empty or whitespace-only specs are InvalidArguments, as is
+/// any unknown kind name.
+Result<std::vector<MemberKind>> ParseMemberMix(const std::string& spec);
+
+/// Expands a kind cycle to `num_members` concrete member kinds: member i
+/// runs mix[i % mix.size()]. An empty mix defaults to all-GA (a batch of
+/// decorrelated GA restarts, the strongest single-strategy ensemble).
+std::vector<MemberKind> ResolveMemberKinds(const std::vector<MemberKind>& mix,
+                                           size_t num_members);
+
+/// Deterministic per-member seed: the same (ensemble seed, member index)
+/// pair always yields the same member seed, and distinct members get
+/// decorrelated streams. Members therefore never share RNG state with each
+/// other or with a plain single run at the same seed.
+uint64_t DeriveMemberSeed(uint64_t seed, size_t member_index);
+
+}  // namespace ensemble
+}  // namespace hido
+
+#endif  // HIDO_ENSEMBLE_MEMBER_H_

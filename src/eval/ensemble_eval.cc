@@ -1,0 +1,85 @@
+#include "eval/ensemble_eval.h"
+
+#include <vector>
+
+#include "core/scoring.h"
+#include "eval/metrics.h"
+
+namespace hido {
+namespace eval {
+
+namespace {
+
+// Top `top_n` rows of a ranking, skipping rows with no covering projection:
+// an uncovered row carries no evidence and padding the flagged set with
+// arbitrary rows would just dilute precision for both sides equally.
+std::vector<size_t> TakeCovered(const std::vector<size_t>& ranked,
+                                const std::vector<char>& covered,
+                                size_t top_n) {
+  std::vector<size_t> rows;
+  rows.reserve(top_n);
+  for (const size_t row : ranked) {
+    if (rows.size() == top_n) break;
+    if (covered[row] != 0) rows.push_back(row);
+  }
+  return rows;
+}
+
+EnsembleEvalSide ScoreSide(const std::vector<size_t>& flagged,
+                           const std::vector<size_t>& planted,
+                           double seconds) {
+  EnsembleEvalSide side;
+  side.flagged = flagged.size();
+  side.recall = RecallOfPlanted(flagged, planted);
+  side.precision = PrecisionOfPlanted(flagged, planted);
+  side.seconds = seconds;
+  return side;
+}
+
+}  // namespace
+
+EnsembleEvalOutcome CompareEnsembleToSingle(
+    const EnsembleEvalParams& params) {
+  const GeneratedDataset generated = GenerateSubspaceOutliers(params.data);
+  const size_t top_n = params.eval_top_n != 0
+                           ? params.eval_top_n
+                           : generated.outlier_rows.size();
+
+  EnsembleEvalOutcome outcome;
+
+  {
+    DetectorConfig config = params.detector;
+    config.algorithm = SearchAlgorithm::kEvolutionary;
+    const DetectionResult result =
+        OutlierDetector(config).Detect(generated.data);
+    const std::vector<PointScore> scores =
+        ScoreAllPoints(result.grid, result.report.projections);
+    std::vector<char> covered(scores.size(), 0);
+    for (size_t row = 0; row < scores.size(); ++row) {
+      covered[row] = scores[row].covering_projections > 0 ? 1 : 0;
+    }
+    outcome.single_run =
+        ScoreSide(TakeCovered(RankRows(scores), covered, top_n),
+                  generated.outlier_rows, result.seconds);
+  }
+
+  {
+    ensemble::EnsembleConfig config;
+    config.base = params.detector;
+    config.ensemble = params.ensemble;
+    const ensemble::EnsembleDetectionResult result =
+        ensemble::EnsembleDetector(config).Detect(generated.data);
+    std::vector<char> covered(result.scores.size(), 0);
+    for (size_t row = 0; row < result.scores.size(); ++row) {
+      covered[row] = result.scores[row].covering_projections > 0 ? 1 : 0;
+    }
+    outcome.ensemble =
+        ScoreSide(TakeCovered(result.ranked_rows, covered, top_n),
+                  generated.outlier_rows, result.seconds);
+  }
+
+  return outcome;
+}
+
+}  // namespace eval
+}  // namespace hido

@@ -67,6 +67,10 @@
 //   counter detect.points_flagged invariant
 //   counter detect.projections_reported invariant
 //   counter detect.runs invariant
+//   counter ensemble.members_run invariant
+//   counter ensemble.points_scored variant client-dependent (serving path)
+//   counter ensemble.projections_reported invariant
+//   counter ensemble.runs invariant
 //   counter grid.builds invariant
 //   counter grid.cells_indexed invariant
 //   counter grid.points_indexed invariant
@@ -86,14 +90,20 @@
 //   counter serve.shed.requests variant client-dependent
 //   counter serve.timeouts variant client-dependent
 //   counter serve.<endpoint>.requests variant client-dependent
+//   counter snapshot.v2.loads variant client-dependent (loads count swaps)
+//   counter snapshot.v2.saves invariant one per ensemble serialization
+//   gauge ensemble.cache.hit_amplification_pct variant worker-interleaving dependent
 //   gauge pool.queue_high_water variant scheduling-dependent
 //   gauge pool.tasks_executed variant scheduling-dependent
 //   gauge pool.workers variant configuration of the shared pool at capture
 //   gauge serve.conn.active variant client-dependent; 0 after a clean drain
 //   gauge serve.model.generation variant client-dependent
+//   histogram ensemble.combine.seconds variant wall-clock
+//   histogram ensemble.member.duration_seconds variant wall-clock
 //   histogram search.restart_generations invariant
 //   histogram serve.batch.size variant client-dependent
 //   histogram serve.<endpoint>.latency_seconds variant wall-clock
+//   histogram trace.<span>.seconds variant wall-clock
 // METRIC-CONTRACT-END
 
 #include <cstdint>

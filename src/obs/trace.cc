@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
 #include "common/macros.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace hido {
 namespace obs {
@@ -10,6 +12,17 @@ namespace {
 // The calling thread's open-span path, innermost last. Span names are
 // string literals, so storing pointers is safe for the spans' lifetimes.
 thread_local std::vector<const char*> tl_span_path;
+
+// Span duration buckets: 1us .. 100s, 1-2-5 per decade — spans wrap phases
+// (a grid build, a whole search), so the range runs from trivial test
+// fixtures to long production fits.
+const std::vector<double>& SpanBounds() {
+  static const std::vector<double> bounds{
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3,
+      2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,
+      5.0,  10.0, 20.0, 50.0, 100.0};
+  return bounds;
+}
 
 }  // namespace
 
@@ -39,6 +52,15 @@ void Tracer::Reset() {
 }
 
 void Tracer::Record(const std::vector<const char*>& path, double seconds) {
+  // Distribution companion to the aggregated tree: one trace.<span>.seconds
+  // histogram per span *name* (the closing leaf, path-independent, so one
+  // instrument aggregates a span wherever it nests). Spans wrap phases, so
+  // the registry lookup per close is cheap relative to the span itself;
+  // SetEnabled(false) skips Record entirely, keeping the disabled baseline
+  // at one relaxed load.
+  MetricsRegistry::Global()
+      .GetHistogram(StrFormat("trace.%s.seconds", path.back()), SpanBounds())
+      .Observe(seconds);
   MutexLock lock(mu_);
   TraceNode* node = &root_;
   for (const char* name : path) {

@@ -19,9 +19,16 @@
 //     thread counts; telemetry keeps it segregated from the deterministic
 //     counter sections.
 //
+// Each span close also feeds a `trace.<span>.seconds` histogram in the
+// metrics registry, keyed by the span's *name* (the path leaf), so span
+// durations get distributions next to the tree's totals. The histograms
+// are wall-clock and therefore `variant` in the telemetry contract
+// (obs/telemetry.h): their presence is thread-invariant, their contents
+// are not, and the invariance tests compare only the invariant set.
+//
 // Disabling (Tracer::SetEnabled(false)) makes span construction one
 // relaxed atomic load and nothing else — the cheap baseline the overhead
-// micro-bench compares against.
+// micro-bench compares against — and records neither tree nor histograms.
 
 #include <atomic>
 #include <chrono>

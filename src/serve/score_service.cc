@@ -160,7 +160,7 @@ std::string ScoreService::HandleOne(const ServeRequest& request) {
 std::string ScoreService::HandleScore(const std::string& args) {
   const std::shared_ptr<const ModelSnapshot> snapshot = Current();
   if (snapshot == nullptr) return "err no model published";
-  const size_t dims = snapshot->model.quantizer.num_cols();
+  const size_t dims = snapshot->num_dims();
 
   const std::vector<std::string> fields = Split(args, ',');
   if (fields.size() != dims) {
@@ -180,6 +180,19 @@ std::string ScoreService::HandleScore(const std::string& args) {
     }
     values[i] = parsed.value();
   }
+  // Ensemble generations score through the combined model; the `members`
+  // field (kept before `gen=` so clients that parse the generation suffix
+  // keep working) tells clients which orientation the score has — combined
+  // ensemble scores are higher-is-stronger, single-model sparsity scores
+  // are more-negative-is-stronger.
+  if (snapshot->is_ensemble()) {
+    const ensemble::EnsemblePointScore score =
+        snapshot->ensemble->Score(values);
+    return StrFormat("ok score=%.17g covering=%zu members=%zu gen=%llu",
+                     score.score, score.covering_projections,
+                     snapshot->ensemble->members.size(),
+                     static_cast<unsigned long long>(snapshot->generation));
+  }
   const PointScore score = snapshot->model.Score(values);
   return StrFormat("ok score=%.17g covering=%zu gen=%llu",
                    score.sparsity_score, score.covering_projections,
@@ -189,15 +202,20 @@ std::string ScoreService::HandleScore(const std::string& args) {
 std::string ScoreService::HandleInfo() {
   const std::shared_ptr<const ModelSnapshot> snapshot = Current();
   if (snapshot == nullptr) return "err no model published";
-  return StrFormat(
+  std::string response = StrFormat(
       "ok gen=%llu dims=%zu phi=%zu projections=%zu points=%zu "
       "algorithm=%s seed=%llu",
       static_cast<unsigned long long>(snapshot->generation),
-      snapshot->model.quantizer.num_cols(),
-      snapshot->model.quantizer.num_ranges(),
-      snapshot->model.projections.size(), snapshot->model.num_points,
+      snapshot->num_dims(), static_cast<size_t>(snapshot->info.phi),
+      snapshot->num_projections(), snapshot->num_points(),
       snapshot->info.algorithm.c_str(),
       static_cast<unsigned long long>(snapshot->info.seed));
+  if (snapshot->is_ensemble()) {
+    response += StrFormat(
+        " members=%zu combiner=%s", snapshot->ensemble->members.size(),
+        ensemble::CombinerKindToString(snapshot->ensemble->combiner));
+  }
+  return response;
 }
 
 std::string ScoreService::HandleStats() {
@@ -220,8 +238,8 @@ std::string ScoreService::HandleSwap(const std::string& args) {
   if (!loaded.ok()) {
     return "err " + loaded.status().message();
   }
-  const size_t dims = loaded.value()->model.quantizer.num_cols();
-  const size_t projections = loaded.value()->model.projections.size();
+  const size_t dims = loaded.value()->num_dims();
+  const size_t projections = loaded.value()->num_projections();
   const uint64_t gen = Publish(std::move(loaded.value()));
   swaps_->Add();
   return StrFormat("ok swapped gen=%llu dims=%zu projections=%zu",

@@ -32,6 +32,14 @@
 // "nan", "null") become NaN coordinates, which never match a cube
 // condition (same contract as ScoreNewPoint).
 //
+// Ensemble generations (a v2 snapshot published or swapped in): `score`
+// answers `ok score=<s> covering=<n> members=<E> gen=<g>` where <s> is the
+// *combined* ensemble score (higher = stronger outlier, unlike the
+// single-model sparsity score), and `info` appends ` members=<E>
+// combiner=<name>`. Single and ensemble generations swap interchangeably
+// with zero downtime — dims compatibility is the client's contract, as it
+// already is between two single-model snapshots.
+//
 // All public methods are thread-safe; Process() may be called from many
 // threads concurrently (each call fans its batch onto the pool).
 

@@ -6,6 +6,8 @@
 #include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/detector.h"
+#include "ensemble/ensemble_detector.h"
+#include "obs/metrics.h"
 
 namespace hido {
 namespace serve {
@@ -13,9 +15,39 @@ namespace serve {
 namespace {
 
 constexpr char kMagic[] = "hido-snapshot";
-constexpr char kVersion[] = "v1";
+constexpr char kVersionSingle[] = "v1";
+constexpr char kVersionEnsemble[] = "v2";
+
+std::string SerializeHeader(const ModelSnapshot& snapshot,
+                            const char* version) {
+  std::string out = StrFormat("%s %s\n", kMagic, version);
+  out += StrFormat("algorithm %s\n", snapshot.info.algorithm.c_str());
+  out += StrFormat("seed %llu",
+                   static_cast<unsigned long long>(snapshot.info.seed));
+  out += "\n";
+  out += StrFormat("phi %llu\n",
+                   static_cast<unsigned long long>(snapshot.info.phi));
+  out += StrFormat(
+      "target_dim %llu\n",
+      static_cast<unsigned long long>(snapshot.info.target_dim));
+  return out;
+}
 
 }  // namespace
+
+size_t ModelSnapshot::num_dims() const {
+  return ensemble.has_value() ? ensemble->num_dims()
+                              : model.quantizer.num_cols();
+}
+
+size_t ModelSnapshot::num_projections() const {
+  return ensemble.has_value() ? ensemble->num_projections()
+                              : model.projections.size();
+}
+
+size_t ModelSnapshot::num_points() const {
+  return ensemble.has_value() ? ensemble->num_points() : model.num_points;
+}
 
 ModelSnapshot MakeSnapshot(const DetectionResult& result,
                            const Dataset& data, uint64_t seed) {
@@ -30,19 +62,61 @@ ModelSnapshot MakeSnapshot(const DetectionResult& result,
   return snapshot;
 }
 
+ModelSnapshot MakeEnsembleSnapshot(
+    const ensemble::EnsembleDetectionResult& result, const Dataset& data,
+    uint64_t seed) {
+  ModelSnapshot snapshot;
+  snapshot.info.algorithm = "ensemble";
+  snapshot.info.seed = seed;
+  snapshot.info.phi = result.phi;
+  snapshot.info.target_dim = result.target_dim;
+
+  std::vector<std::string> column_names;
+  column_names.reserve(data.num_cols());
+  for (size_t c = 0; c < data.num_cols(); ++c) {
+    column_names.push_back(data.ColumnName(c));
+  }
+
+  ensemble::EnsembleModel model;
+  model.combiner = result.combiner;
+  model.members.reserve(result.members.size());
+  for (const ensemble::EnsembleMemberResult& member : result.members) {
+    ensemble::EnsembleMemberModel fitted;
+    fitted.kind = member.kind;
+    fitted.seed = member.seed;
+    fitted.score_scale = member.score_scale;
+    fitted.model.quantizer = result.grid.quantizer();
+    fitted.model.num_points = result.grid.num_points();
+    fitted.model.column_names = column_names;
+    fitted.model.projections = member.projections;
+    model.members.push_back(std::move(fitted));
+  }
+  snapshot.ensemble = std::move(model);
+  return snapshot;
+}
+
 std::string SerializeSnapshot(const ModelSnapshot& snapshot) {
-  std::string out = StrFormat("%s %s\n", kMagic, kVersion);
-  out += StrFormat("algorithm %s\n", snapshot.info.algorithm.c_str());
-  out += StrFormat("seed %llu",
-                   static_cast<unsigned long long>(snapshot.info.seed));
-  out += "\n";
-  out += StrFormat("phi %llu\n",
-                   static_cast<unsigned long long>(snapshot.info.phi));
-  out += StrFormat(
-      "target_dim %llu\n",
-      static_cast<unsigned long long>(snapshot.info.target_dim));
-  out += "model\n";
-  out += SerializeModel(snapshot.model);
+  if (!snapshot.ensemble.has_value()) {
+    std::string out = SerializeHeader(snapshot, kVersionSingle);
+    out += "model\n";
+    out += SerializeModel(snapshot.model);
+    return out;
+  }
+  obs::MetricsRegistry::Global().GetCounter("snapshot.v2.saves").Add(1);
+  std::string out = SerializeHeader(snapshot, kVersionEnsemble);
+  out += StrFormat("combiner %s\n",
+                   ensemble::CombinerKindToString(snapshot.ensemble->combiner));
+  out += StrFormat("members %zu\n", snapshot.ensemble->members.size());
+  for (size_t i = 0; i < snapshot.ensemble->members.size(); ++i) {
+    const ensemble::EnsembleMemberModel& member =
+        snapshot.ensemble->members[i];
+    const std::string model_text = SerializeModel(member.model);
+    out += StrFormat("member %zu %s %llu scale %.17g model_bytes %zu\n", i,
+                     ensemble::MemberKindToString(member.kind),
+                     static_cast<unsigned long long>(member.seed),
+                     member.score_scale, model_text.size());
+    out += model_text;
+  }
   return out;
 }
 
@@ -51,8 +125,9 @@ Result<ModelSnapshot> ParseSnapshot(const std::string& text) {
     return Status::ParseError("snapshot: " + what);
   };
 
-  // Header lines up to the bare "model" marker; the rest is the embedded
-  // model text handled by core/model_io.h.
+  // Header lines up to the version's payload marker ("model" for v1, the
+  // "members" count for v2); the payload is the embedded model text(s)
+  // handled by core/model_io.h.
   size_t cursor = 0;
   auto next_line = [&](std::string* line) -> bool {
     if (cursor >= text.size()) return false;
@@ -71,17 +146,23 @@ Result<ModelSnapshot> ParseSnapshot(const std::string& text) {
   if (!next_line(&line)) return fail("empty input");
   const std::vector<std::string> magic = Split(std::string(Trim(line)), ' ');
   if (magic.size() != 2 || magic[0] != kMagic) return fail("bad magic");
-  if (magic[1] != kVersion) {
-    return fail(StrFormat("unsupported version '%s' (this build reads %s)",
-                          magic[1].c_str(), kVersion));
+  const bool is_ensemble = magic[1] == kVersionEnsemble;
+  if (magic[1] != kVersionSingle && !is_ensemble) {
+    return fail(StrFormat("unsupported version '%s' (this build reads %s/%s)",
+                          magic[1].c_str(), kVersionSingle,
+                          kVersionEnsemble));
   }
 
   ModelSnapshot snapshot;
-  bool saw_model = false;
+  if (is_ensemble) snapshot.info.algorithm = "ensemble";
+  ensemble::CombinerKind combiner =
+      ensemble::CombinerKind::kMeanNormalized;
+  bool saw_payload = false;
+  uint64_t num_members = 0;
   while (next_line(&line)) {
     const std::string trimmed(Trim(line));
-    if (trimmed == "model") {
-      saw_model = true;
+    if (!is_ensemble && trimmed == "model") {
+      saw_payload = true;
       break;
     }
     const size_t space = trimmed.find(' ');
@@ -90,28 +171,98 @@ Result<ModelSnapshot> ParseSnapshot(const std::string& text) {
     }
     const std::string key = trimmed.substr(0, space);
     const std::string value = trimmed.substr(space + 1);
-    if (key == "algorithm") {
-      if (value != "evolutionary" && value != "brute-force") {
-        return fail("unknown algorithm '" + value + "'");
-      }
-      snapshot.info.algorithm = value;
-    } else if (key == "seed" || key == "phi" || key == "target_dim") {
+    if (is_ensemble && key == "members") {
       const Result<int64_t> parsed = ParseInt(value);
-      if (!parsed.ok() || parsed.value() < 0) {
+      if (!parsed.ok() || parsed.value() < 1) {
+        return fail("bad members '" + value + "'");
+      }
+      num_members = static_cast<uint64_t>(parsed.value());
+      saw_payload = true;
+      break;
+    }
+    if (key == "algorithm") {
+      const bool known = is_ensemble
+                             ? value == "ensemble"
+                             : value == "evolutionary" ||
+                                   value == "brute-force";
+      if (!known) return fail("unknown algorithm '" + value + "'");
+      snapshot.info.algorithm = value;
+    } else if (key == "combiner") {
+      if (!ensemble::ParseCombinerKind(value, &combiner)) {
+        return fail("unknown combiner '" + value + "'");
+      }
+    } else if (key == "seed" || key == "phi" || key == "target_dim") {
+      // Full-range unsigned parse: RNG-derived seeds use all 64 bits.
+      const Result<uint64_t> parsed = ParseUInt(value);
+      if (!parsed.ok()) {
         return fail("bad " + key + " '" + value + "'");
       }
-      const uint64_t v = static_cast<uint64_t>(parsed.value());
+      const uint64_t v = parsed.value();
       if (key == "seed") snapshot.info.seed = v;
       if (key == "phi") snapshot.info.phi = v;
       if (key == "target_dim") snapshot.info.target_dim = v;
     }
     // Unknown keys are ignored: additive header extensions stay readable.
   }
-  if (!saw_model) return fail("missing model section");
+  if (!saw_payload) {
+    return fail(is_ensemble ? "missing members section"
+                            : "missing model section");
+  }
 
-  Result<SparseModel> model = ParseModel(text.substr(cursor));
-  if (!model.ok()) return model.status();
-  snapshot.model = std::move(model.value());
+  if (!is_ensemble) {
+    Result<SparseModel> model = ParseModel(text.substr(cursor));
+    if (!model.ok()) return model.status();
+    snapshot.model = std::move(model.value());
+    return snapshot;
+  }
+
+  ensemble::EnsembleModel loaded;
+  loaded.combiner = combiner;
+  loaded.members.reserve(num_members);
+  for (uint64_t i = 0; i < num_members; ++i) {
+    if (!next_line(&line)) {
+      return fail(StrFormat("missing member %llu",
+                            static_cast<unsigned long long>(i)));
+    }
+    const std::vector<std::string> fields =
+        Split(std::string(Trim(line)), ' ');
+    if (fields.size() != 8 || fields[0] != "member" ||
+        fields[4] != "scale" || fields[6] != "model_bytes") {
+      return fail("malformed member line '" + line + "'");
+    }
+    const Result<int64_t> index = ParseInt(fields[1]);
+    if (!index.ok() || index.value() < 0 ||
+        static_cast<uint64_t>(index.value()) != i) {
+      return fail(StrFormat("member %llu out of order",
+                            static_cast<unsigned long long>(i)));
+    }
+    ensemble::EnsembleMemberModel member;
+    if (!ensemble::ParseMemberKind(fields[2], &member.kind)) {
+      return fail("unknown member kind '" + fields[2] + "'");
+    }
+    const Result<uint64_t> seed = ParseUInt(fields[3]);
+    if (!seed.ok()) {
+      return fail("bad member seed '" + fields[3] + "'");
+    }
+    member.seed = seed.value();
+    const Result<double> scale = ParseDouble(fields[5]);
+    if (!scale.ok()) return fail("bad member scale '" + fields[5] + "'");
+    member.score_scale = scale.value();
+    const Result<int64_t> bytes = ParseInt(fields[7]);
+    if (!bytes.ok() || bytes.value() < 0 ||
+        cursor + static_cast<size_t>(bytes.value()) > text.size()) {
+      return fail("bad member model_bytes '" + fields[7] + "'");
+    }
+    const size_t length = static_cast<size_t>(bytes.value());
+    Result<SparseModel> model = ParseModel(text.substr(cursor, length));
+    if (!model.ok()) return model.status();
+    member.model = std::move(model.value());
+    cursor += length;
+    loaded.members.push_back(std::move(member));
+  }
+  if (cursor != text.size()) return fail("trailing bytes after last member");
+  snapshot.ensemble = std::move(loaded);
+  obs::MetricsRegistry::Global().GetCounter("snapshot.v2.loads").Add(1);
   return snapshot;
 }
 

@@ -3,12 +3,12 @@
 
 // The immutable model snapshot produced by `hido fit` and consumed by
 // `hido serve` / the ScoreService: a versioned envelope around the
-// persistable SparseModel (core/model_io.h) plus the fit provenance needed
-// to audit what is being served. A snapshot is written once (atomic
-// write-rename) and never mutated; refits publish a *new* snapshot and the
-// service swaps a shared_ptr (see serve/score_service.h).
+// persistable model plus the fit provenance needed to audit what is being
+// served. A snapshot is written once (atomic write-rename) and never
+// mutated; refits publish a *new* snapshot and the service swaps a
+// shared_ptr (see serve/score_service.h).
 //
-// Format (text, one header block then the embedded model):
+// v1 (single model; written by non-ensemble fits, readable forever):
 //
 //   hido-snapshot v1
 //   algorithm evolutionary
@@ -18,26 +18,54 @@
 //   model
 //   <core/model_io.h text format to EOF>
 //
-// Any other version line is rejected (forward compatibility stays
-// explicit), as is a missing or malformed model section.
+// v2 (ensemble; written when `hido fit --ensemble=E` ran): the header
+// carries the combiner and member count, then one length-prefixed block
+// per member. The byte length makes each embedded model self-delimiting,
+// so the member parser never guesses where one model ends:
+//
+//   hido-snapshot v2
+//   algorithm ensemble
+//   seed 42
+//   phi 10
+//   target_dim 3
+//   combiner mean
+//   members 2
+//   member 0 ga 7811 scale 4.25 model_bytes 431
+//   <exactly 431 bytes of core/model_io.h text>
+//   member 1 anneal 9310 scale 3.5 model_bytes 407
+//   <exactly 407 bytes ...>
+//
+// Both versions: unknown *header keys* are ignored (additive extensions
+// stay readable); unknown versions, algorithms, kinds, and malformed
+// content are rejected. Serialize(Parse(x)) == x — the byte-fixpoint
+// property both formats are tested for. Ensemble scoring semantics,
+// including the kBreadthFirst→kMax degradation for single points, live in
+// ensemble/combiner.h.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
 #include "core/model_io.h"
+#include "ensemble/ensemble_model.h"
 
 namespace hido {
 
 struct DetectionResult;  // core/detector.h
 class Dataset;           // data/dataset.h
 
+namespace ensemble {
+struct EnsembleDetectionResult;  // ensemble/ensemble_detector.h
+}  // namespace ensemble
+
 namespace serve {
 
 /// Fit provenance carried alongside the model.
 struct SnapshotInfo {
-  std::string algorithm = "evolutionary";  ///< "evolutionary"|"brute-force"
+  /// "evolutionary" | "brute-force" (v1) | "ensemble" (v2).
+  std::string algorithm = "evolutionary";
   uint64_t seed = 0;        ///< detector seed the fit ran with
   uint64_t phi = 0;         ///< ranges per attribute used at fit time
   uint64_t target_dim = 0;  ///< projection dimensionality used at fit time
@@ -47,20 +75,42 @@ struct SnapshotInfo {
 /// when a ScoreService publishes the snapshot; it is not serialized.
 struct ModelSnapshot {
   SnapshotInfo info;        ///< fit provenance
-  SparseModel model;        ///< quantizer + abnormal projections
+  /// Single-model payload (v1 snapshots; empty when `ensemble` is set).
+  SparseModel model;
+  /// Ensemble payload (v2 snapshots; nullopt for v1). The service
+  /// dispatches on presence, so single and ensemble generations swap
+  /// interchangeably with zero downtime.
+  std::optional<ensemble::EnsembleModel> ensemble;
   uint64_t generation = 0;  ///< publish order, 1-based; 0 = unpublished
+
+  /// True when this snapshot serves an ensemble (v2 payload).
+  bool is_ensemble() const { return ensemble.has_value(); }
+  /// Input dimensionality the served model expects.
+  size_t num_dims() const;
+  /// Abnormal projections served (summed over members for ensembles).
+  size_t num_projections() const;
+  /// Training-set size recorded at fit time.
+  size_t num_points() const;
 };
 
-/// Builds a snapshot from a finished detection run (fit path). `data`
+/// Builds a v1 snapshot from a finished detection run (fit path). `data`
 /// supplies the column names and must be the dataset that was fitted on.
 ModelSnapshot MakeSnapshot(const DetectionResult& result,
                            const Dataset& data, uint64_t seed);
 
-/// Canonical text form (deterministic bytes for a given snapshot).
+/// Builds a v2 snapshot from a finished ensemble run: one member model per
+/// ensemble member (each sharing the run's grid quantizer) plus the
+/// combiner configuration. `data` supplies the column names.
+ModelSnapshot MakeEnsembleSnapshot(
+    const ensemble::EnsembleDetectionResult& result, const Dataset& data,
+    uint64_t seed);
+
+/// Canonical text form (deterministic bytes for a given snapshot; v1 or v2
+/// chosen by the payload).
 std::string SerializeSnapshot(const ModelSnapshot& snapshot);
 
-/// Parses the text form. Unknown versions and malformed content are
-/// ParseErrors; unknown *header keys* are ignored so v1 readers tolerate
+/// Parses either text form. Unknown versions and malformed content are
+/// ParseErrors; unknown *header keys* are ignored so readers tolerate
 /// additive extensions.
 Result<ModelSnapshot> ParseSnapshot(const std::string& text);
 

@@ -108,6 +108,29 @@ TEST(ParseIntTest, OverflowIsARangeErrorNotSaturation) {
   }
 }
 
+TEST(ParseUIntTest, ValidAndInvalid) {
+  EXPECT_EQ(ParseUInt("42").value(), 42u);
+  EXPECT_EQ(ParseUInt(" 7 ").value(), 7u);
+  EXPECT_EQ(ParseUInt("+7").value(), 7u);
+  EXPECT_EQ(ParseUInt("0").value(), 0u);
+  EXPECT_FALSE(ParseUInt("").ok());
+  EXPECT_FALSE(ParseUInt("-1").ok());
+  EXPECT_FALSE(ParseUInt("4.5").ok());
+  EXPECT_FALSE(ParseUInt("x").ok());
+  EXPECT_FALSE(ParseUInt("+-7").ok());
+}
+
+TEST(ParseUIntTest, FullUint64RangeParses) {
+  // The reason ParseUInt exists: RNG-derived seeds above INT64_MAX, which
+  // ParseInt rejects as out of range.
+  EXPECT_EQ(ParseUInt("18446744073709551615").value(),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(ParseUInt("9223372036854775808").value(),
+            uint64_t{9223372036854775808u});
+  EXPECT_FALSE(ParseInt("9223372036854775808").ok());
+  EXPECT_FALSE(ParseUInt("18446744073709551616").ok());  // 2^64
+}
+
 TEST(IsMissingTokenTest, RecognizedSpellings) {
   EXPECT_TRUE(IsMissingToken(""));
   EXPECT_TRUE(IsMissingToken("?"));

@@ -1,6 +1,7 @@
 #include "common/top_k.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -61,6 +62,68 @@ TEST(TopKTest, CustomComparatorKeepsLargest) {
   TopK<int, std::greater<int>> top(2);
   for (int v : {5, 1, 9, 3}) top.Offer(v);
   EXPECT_EQ(top.SortedCopy(), (std::vector<int>{9, 5}));
+}
+
+// ------------------------------------------------- tie determinism --
+//
+// Callers that need deterministic results (BestSet's (sparsity, key) order,
+// the ensemble's (score, row) ranking) feed TopK a *total* order: a
+// comparator that breaks score ties by a unique index. These tests pin the
+// contract that makes that sufficient — with a total order, the retained
+// set and its sorted output are insertion-order invariant.
+
+using ScoredItem = std::pair<double, size_t>;  // (score, unique index)
+
+struct ScoreThenIndex {
+  bool operator()(const ScoredItem& a, const ScoredItem& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  }
+};
+
+TEST(TopKTest, TotalOrderBreaksScoreTiesByIndex) {
+  TopK<ScoredItem, ScoreThenIndex> top(3);
+  // Four items tied on score: only the three lowest indices survive, and
+  // the cut is by index, not by arrival order.
+  for (const size_t index : {7u, 2u, 9u, 4u}) {
+    top.Offer({1.0, index});
+  }
+  EXPECT_EQ(top.SortedCopy(),
+            (std::vector<ScoredItem>{{1.0, 2}, {1.0, 4}, {1.0, 7}}));
+  // A tied item above the cut is rejected; one below displaces the worst.
+  EXPECT_FALSE(top.Offer({1.0, 8}));
+  EXPECT_TRUE(top.Offer({1.0, 1}));
+  EXPECT_EQ(top.SortedCopy(),
+            (std::vector<ScoredItem>{{1.0, 1}, {1.0, 2}, {1.0, 4}}));
+}
+
+TEST(TopKTest, TiedResultsAreInsertionOrderInvariant) {
+  std::vector<ScoredItem> items;
+  for (size_t index = 0; index < 12; ++index) {
+    items.push_back({static_cast<double>(index % 3), index});
+  }
+  std::vector<ScoredItem> baseline;
+  std::vector<ScoredItem> permuted = items;
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Fisher-Yates with the repo Rng, so the trial set is deterministic.
+    for (size_t i = permuted.size(); i > 1; --i) {
+      std::swap(permuted[i - 1], permuted[rng.UniformIndex(i)]);
+    }
+    TopK<ScoredItem, ScoreThenIndex> top(5);
+    for (const ScoredItem& item : permuted) top.Offer(item);
+    const std::vector<ScoredItem> sorted = top.TakeSorted();
+    if (trial == 0) {
+      baseline = sorted;
+      // The 5 best under (score, index): scores 0 (indices 0,3,6,9) then
+      // the lowest-index score-1 item.
+      EXPECT_EQ(baseline, (std::vector<ScoredItem>{
+                              {0.0, 0}, {0.0, 3}, {0.0, 6}, {0.0, 9},
+                              {1.0, 1}}));
+    } else {
+      EXPECT_EQ(sorted, baseline) << "trial " << trial;
+    }
+  }
 }
 
 TEST(TopKTest, MatchesFullSortOnRandomData) {

@@ -1,0 +1,194 @@
+// Unit tests for the ensemble combiners (ensemble/combiner.h) and member
+// descriptors (ensemble/member.h): name round-trips, mix parsing, seed
+// derivation, normalization scales, the per-kind combine semantics, and
+// the deterministic (score, covering, row) ranking order.
+
+#include "ensemble/combiner.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ensemble/member.h"
+
+namespace hido {
+namespace ensemble {
+namespace {
+
+PointScore Score(size_t row, double sparsity, size_t covering) {
+  PointScore s;
+  s.row = row;
+  s.sparsity_score = sparsity;
+  s.covering_projections = covering;
+  return s;
+}
+
+TEST(MemberKindTest, NamesRoundTrip) {
+  for (const MemberKind kind :
+       {MemberKind::kGa, MemberKind::kRandomSubspace, MemberKind::kHillClimb,
+        MemberKind::kAnneal}) {
+    MemberKind parsed;
+    ASSERT_TRUE(ParseMemberKind(MemberKindToString(kind), &parsed))
+        << MemberKindToString(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  MemberKind parsed;
+  EXPECT_FALSE(ParseMemberKind("genetic", &parsed));
+  EXPECT_FALSE(ParseMemberKind("", &parsed));
+}
+
+TEST(MemberKindTest, ParseMemberMixAcceptsCycles) {
+  const Result<std::vector<MemberKind>> mix =
+      ParseMemberMix("ga,random-subspace,anneal");
+  ASSERT_TRUE(mix.ok()) << mix.status().ToString();
+  EXPECT_EQ(mix.value(),
+            (std::vector<MemberKind>{MemberKind::kGa,
+                                     MemberKind::kRandomSubspace,
+                                     MemberKind::kAnneal}));
+  EXPECT_FALSE(ParseMemberMix("").ok());
+  EXPECT_FALSE(ParseMemberMix("ga,,anneal").ok());
+  EXPECT_FALSE(ParseMemberMix("ga,warp-drive").ok());
+}
+
+TEST(MemberKindTest, ResolveMemberKindsCyclesAndDefaultsToGa) {
+  const std::vector<MemberKind> mix = {MemberKind::kGa,
+                                       MemberKind::kHillClimb};
+  EXPECT_EQ(ResolveMemberKinds(mix, 5),
+            (std::vector<MemberKind>{MemberKind::kGa, MemberKind::kHillClimb,
+                                     MemberKind::kGa, MemberKind::kHillClimb,
+                                     MemberKind::kGa}));
+  EXPECT_EQ(ResolveMemberKinds({}, 3),
+            (std::vector<MemberKind>{MemberKind::kGa, MemberKind::kGa,
+                                     MemberKind::kGa}));
+}
+
+TEST(MemberKindTest, DeriveMemberSeedIsDeterministicAndDecorrelated) {
+  EXPECT_EQ(DeriveMemberSeed(42, 0), DeriveMemberSeed(42, 0));
+  EXPECT_NE(DeriveMemberSeed(42, 0), DeriveMemberSeed(42, 1));
+  EXPECT_NE(DeriveMemberSeed(42, 0), DeriveMemberSeed(43, 0));
+  // Stream 0 is reserved for non-ensemble runs: no member may collide with
+  // the seed a plain single run at the same master seed would use.
+  EXPECT_NE(DeriveMemberSeed(42, 0), 42u);
+}
+
+TEST(CombinerKindTest, NamesRoundTrip) {
+  for (const CombinerKind kind :
+       {CombinerKind::kBreadthFirst, CombinerKind::kCumulativeSum,
+        CombinerKind::kMax, CombinerKind::kMeanNormalized}) {
+    CombinerKind parsed;
+    ASSERT_TRUE(ParseCombinerKind(CombinerKindToString(kind), &parsed))
+        << CombinerKindToString(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  CombinerKind parsed;
+  EXPECT_FALSE(ParseCombinerKind("median", &parsed));
+}
+
+TEST(CombinerTest, MemberScoreScaleIsMaxAbnormality) {
+  // Abnormality = -sparsity for covered rows; uncovered rows contribute 0.
+  EXPECT_DOUBLE_EQ(
+      MemberScoreScale({Score(0, -4.0, 2), Score(1, -1.5, 1),
+                        Score(2, 0.0, 0)}),
+      4.0);
+  // No coverage at all (or only non-sparse cubes): scale degrades to 1.0
+  // so normalization never divides by zero.
+  EXPECT_DOUBLE_EQ(MemberScoreScale({Score(0, 0.0, 0)}), 1.0);
+  EXPECT_DOUBLE_EQ(MemberScoreScale({Score(0, 2.0, 3)}), 1.0);
+  EXPECT_DOUBLE_EQ(MemberScoreScale({}), 1.0);
+}
+
+// Two members over three rows; member 0 found row 0 strongly, member 1
+// found row 2 strongly. Scales are 4 and 2.
+std::vector<std::vector<PointScore>> TwoMembers() {
+  return {{Score(0, -4.0, 2), Score(1, -1.0, 1), Score(2, 0.0, 0)},
+          {Score(0, 0.0, 0), Score(1, -1.0, 1), Score(2, -2.0, 2)}};
+}
+
+TEST(CombinerTest, MeanNormalizedAveragesScaledAbnormalities) {
+  const std::vector<EnsemblePointScore> combined = CombineMemberScores(
+      CombinerKind::kMeanNormalized, TwoMembers(), {4.0, 2.0});
+  ASSERT_EQ(combined.size(), 3u);
+  EXPECT_DOUBLE_EQ(combined[0].score, (4.0 / 4.0 + 0.0) / 2);
+  EXPECT_DOUBLE_EQ(combined[1].score, (1.0 / 4.0 + 1.0 / 2.0) / 2);
+  EXPECT_DOUBLE_EQ(combined[2].score, (0.0 + 2.0 / 2.0) / 2);
+  // Covering projections sum over members.
+  EXPECT_EQ(combined[0].covering_projections, 2u);
+  EXPECT_EQ(combined[1].covering_projections, 2u);
+  EXPECT_EQ(combined[2].covering_projections, 2u);
+}
+
+TEST(CombinerTest, MaxTakesStrongestMemberInRawSparsityUnits) {
+  // kMax is deliberately unnormalized: members share one grid/objective, so
+  // member 0's depth-4 find must outrank member 1's depth-2 find even
+  // though each is its own member's maximum.
+  const std::vector<EnsemblePointScore> combined =
+      CombineMemberScores(CombinerKind::kMax, TwoMembers(), {4.0, 2.0});
+  EXPECT_DOUBLE_EQ(combined[0].score, 4.0);
+  EXPECT_DOUBLE_EQ(combined[1].score, 1.0);
+  EXPECT_DOUBLE_EQ(combined[2].score, 2.0);
+}
+
+TEST(CombinerTest, CumulativeSumAddsRawAbnormalities) {
+  const std::vector<EnsemblePointScore> combined = CombineMemberScores(
+      CombinerKind::kCumulativeSum, TwoMembers(), {4.0, 2.0});
+  EXPECT_DOUBLE_EQ(combined[0].score, 4.0);
+  EXPECT_DOUBLE_EQ(combined[1].score, 2.0);
+  EXPECT_DOUBLE_EQ(combined[2].score, 2.0);
+}
+
+TEST(CombinerTest, BreadthFirstScoresByFirstAppearance) {
+  // Member rankings (RankRows: most negative sparsity first, covered rows
+  // only matter): member 0 -> [0, 1], member 1 -> [2, 1]. Breadth-first
+  // interleave: depth 0 visits 0 then 2, depth 1 visits 1 (both members).
+  const std::vector<EnsemblePointScore> combined = CombineMemberScores(
+      CombinerKind::kBreadthFirst, TwoMembers(), {4.0, 2.0});
+  // First appearances over n=3 rows: row 0 at position 0, row 2 at 1,
+  // row 1 at 2 -> scores (3-0)/3, (3-1)/3, (3-2)/3.
+  EXPECT_DOUBLE_EQ(combined[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(combined[2].score, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(combined[1].score, 1.0 / 3.0);
+}
+
+TEST(CombinerTest, UncoveredEverywhereScoresZero) {
+  const std::vector<std::vector<PointScore>> members = {
+      {Score(0, 0.0, 0)}, {Score(0, 0.0, 0)}};
+  for (const CombinerKind kind :
+       {CombinerKind::kBreadthFirst, CombinerKind::kCumulativeSum,
+        CombinerKind::kMax, CombinerKind::kMeanNormalized}) {
+    const std::vector<EnsemblePointScore> combined =
+        CombineMemberScores(kind, members, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(combined[0].score, 0.0)
+        << CombinerKindToString(kind);
+    EXPECT_EQ(combined[0].covering_projections, 0u);
+  }
+}
+
+TEST(CombinerTest, CombinePointMatchesMaxForBreadthFirst) {
+  // A single out-of-sample point has no population to rank against, so
+  // kBreadthFirst degrades to kMax (documented in serve/snapshot.h).
+  const std::vector<PointScore> point = {Score(0, -3.0, 1),
+                                         Score(0, -1.0, 2)};
+  const std::vector<double> scales = {4.0, 2.0};
+  const EnsemblePointScore bf =
+      CombinePoint(CombinerKind::kBreadthFirst, point, scales);
+  const EnsemblePointScore mx = CombinePoint(CombinerKind::kMax, point,
+                                             scales);
+  EXPECT_DOUBLE_EQ(bf.score, mx.score);
+  EXPECT_EQ(bf.covering_projections, 3u);
+}
+
+TEST(CombinerTest, RankEnsembleRowsIsATotalOrder) {
+  // Ties on score break by covering (more first), then row (lower first).
+  std::vector<EnsemblePointScore> scores(4);
+  scores[0] = {0, 0.5, 1};
+  scores[1] = {1, 0.5, 3};
+  scores[2] = {2, 0.9, 1};
+  scores[3] = {3, 0.5, 3};
+  EXPECT_EQ(RankEnsembleRows(scores),
+            (std::vector<size_t>{2, 1, 3, 0}));
+}
+
+}  // namespace
+}  // namespace ensemble
+}  // namespace hido

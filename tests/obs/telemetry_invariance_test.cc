@@ -36,6 +36,15 @@ bool IsThreadVariant(const std::string& name) {
          name.rfind("cube.cache.shared.", 0) == 0;
 }
 
+// Histograms documented as wall-clock (`variant` in the contract): span
+// durations (trace.<span>.seconds), member/combine durations, and the
+// serve-side latency family. Their *presence* is thread-invariant; their
+// bucket contents are timing and stay out of the compared bytes.
+bool IsThreadVariantHistogram(const std::string& name) {
+  return name.rfind("trace.", 0) == 0 || name.rfind("serve.", 0) == 0 ||
+         name.rfind("ensemble.", 0) == 0;
+}
+
 // Flattens a report to bytes so runs can be compared for the documented
 // bit-identical-results contract.
 std::string SerializeReport(const OutlierReport& report) {
@@ -85,7 +94,11 @@ std::string DetectAndSerializeInvariantSections(
       filtered.metrics.counters.push_back(counter);
     }
   }
-  filtered.metrics.histograms = telemetry.metrics.histograms;
+  for (const HistogramSample& histogram : telemetry.metrics.histograms) {
+    if (!IsThreadVariantHistogram(histogram.name)) {
+      filtered.metrics.histograms.push_back(histogram);
+    }
+  }
   // Gauges (pool.*) and timing are wall-clock/schedule territory by
   // definition; they stay out of the compared bytes.
   return SerializeRunTelemetry(filtered);

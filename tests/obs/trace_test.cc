@@ -1,22 +1,37 @@
 #include "obs/trace.h"
 
+#include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
+
+#include "obs/metrics.h"
 
 namespace hido {
 namespace obs {
 namespace {
 
-// The tests share the global tracer (spans always record there), so each
-// one starts from a clean tree.
+// The tests share the global tracer and metrics registry (spans always
+// record there), so each one starts from a clean tree and registry.
 class TraceTest : public ::testing::Test {
  protected:
   void SetUp() override {
     Tracer::Global().SetEnabled(true);
     Tracer::Global().Reset();
+    MetricsRegistry::Global().ResetForTest();
   }
 };
+
+// The trace.<span>.seconds histogram for `span`, or a zeroed sample when
+// the span never recorded.
+HistogramSample SpanHistogram(const std::string& span) {
+  const MetricsSnapshot snapshot =
+      MetricsRegistry::Global().TakeSnapshot();
+  for (const HistogramSample& sample : snapshot.histograms) {
+    if (sample.name == "trace." + span + ".seconds") return sample;
+  }
+  return HistogramSample{};
+}
 
 TEST_F(TraceTest, NestedSpansBuildAHierarchy) {
   {
@@ -86,6 +101,45 @@ TEST_F(TraceTest, ResetClearsTheTree) {
   }
   Tracer::Global().Reset();
   EXPECT_TRUE(Tracer::Global().TakeSnapshot().children.empty());
+}
+
+// ---------------------------------------------- duration histograms --
+
+TEST_F(TraceTest, SpanCloseFeedsDurationHistogram) {
+  for (int i = 0; i < 3; ++i) {
+    const TraceSpan span("timed_phase");
+  }
+  const HistogramSample sample = SpanHistogram("timed_phase");
+  EXPECT_EQ(sample.name, "trace.timed_phase.seconds");
+  EXPECT_EQ(sample.snapshot.total_count, 3u);
+  EXPECT_GE(sample.snapshot.sum, 0.0);
+}
+
+// The histogram is keyed by the span's *name* (the path leaf), so the same
+// phase aggregates into one distribution no matter where in the tree it
+// ran — and the presence/count of histograms stays thread-invariant even
+// though the recorded times are not.
+TEST_F(TraceTest, HistogramKeysByLeafNameAcrossPathsAndThreads) {
+  {
+    const TraceSpan outer("h_outer");
+    const TraceSpan inner("h_leaf");
+  }
+  std::thread worker([] { const TraceSpan span("h_leaf"); });
+  worker.join();
+  EXPECT_EQ(SpanHistogram("h_leaf").snapshot.total_count, 2u);
+  EXPECT_EQ(SpanHistogram("h_outer").snapshot.total_count, 1u);
+}
+
+// SetEnabled(false) must suppress the histograms along with the tree: the
+// disabled span is the overhead baseline and may not touch the registry.
+TEST_F(TraceTest, DisabledTracerRecordsNoHistograms) {
+  Tracer::Global().SetEnabled(false);
+  {
+    const TraceSpan span("silent");
+  }
+  Tracer::Global().SetEnabled(true);
+  EXPECT_EQ(SpanHistogram("silent").snapshot.total_count, 0u);
+  EXPECT_TRUE(SpanHistogram("silent").name.empty());  // never registered
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "common/string_util.h"
 #include "core/detector.h"
 #include "data/generators/synthetic.h"
+#include "ensemble/ensemble_detector.h"
 
 namespace hido {
 namespace serve {
@@ -249,6 +250,94 @@ TEST(ScoreServiceTest, ConcurrentSwapsLoseNoRequests) {
 
   EXPECT_EQ(failures.load(), 0u);
   EXPECT_EQ(service.generation(), 51u);
+}
+
+// ------------------------------------------------------- ensemble v2 --
+
+std::shared_ptr<ModelSnapshot> FitEnsembleSnapshot(const GeneratedDataset& g,
+                                                   uint64_t seed = 3) {
+  ensemble::EnsembleConfig config;
+  config.base.phi = 5;
+  config.base.target_dim = 2;
+  config.base.num_projections = 6;
+  config.base.evolution.population_size = 24;
+  config.base.evolution.max_generations = 10;
+  config.base.evolution.stagnation_generations = 0;
+  config.base.evolution.restarts = 1;
+  config.base.seed = seed;
+  config.ensemble.num_members = 3;
+  config.ensemble.combiner = ensemble::CombinerKind::kMeanNormalized;
+  return std::make_shared<ModelSnapshot>(MakeEnsembleSnapshot(
+      ensemble::EnsembleDetector(config).Detect(g.data), g.data, seed));
+}
+
+// Ensemble score responses carry members=<E> (placed before gen=, which
+// smoke tooling locates with a reverse search) and match the in-memory
+// EnsembleModel byte for byte.
+TEST(ScoreServiceTest, EnsembleScoreMatchesDirectModelScore) {
+  const GeneratedDataset g = MakeData();
+  std::shared_ptr<ModelSnapshot> snapshot = FitEnsembleSnapshot(g);
+  const ensemble::EnsembleModel model = *snapshot->ensemble;
+  ScoreService service;
+  EXPECT_EQ(service.Publish(std::move(snapshot)), 1u);
+
+  for (size_t row = 0; row < g.data.num_rows(); row += 17) {
+    const ensemble::EnsemblePointScore expected =
+        model.Score(g.data.Row(row));
+    EXPECT_EQ(service.Handle("score " + CsvRow(g.data, row)),
+              StrFormat("ok score=%.17g covering=%zu members=3 gen=1",
+                        expected.score, expected.covering_projections))
+        << "row " << row;
+  }
+}
+
+TEST(ScoreServiceTest, EnsembleInfoReportsMembersAndCombiner) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitEnsembleSnapshot(g, /*seed=*/5));
+  const std::string info = service.Handle("info");
+  EXPECT_NE(info.find("ok gen=1"), std::string::npos) << info;
+  EXPECT_NE(info.find("algorithm=ensemble"), std::string::npos) << info;
+  EXPECT_NE(info.find("members=3"), std::string::npos) << info;
+  EXPECT_NE(info.find("combiner=mean"), std::string::npos) << info;
+  EXPECT_NE(info.find("seed=5"), std::string::npos) << info;
+}
+
+// The zero-downtime swap criterion for the ensemble subsystem: a serving
+// process moves single -> ensemble -> single through `swap` with every
+// request answered and the response shape tracking the model kind.
+TEST(ScoreServiceTest, SwapBetweenSingleAndEnsembleGenerations) {
+  const GeneratedDataset g = MakeData();
+  ScoreService service;
+  service.Publish(FitSnapshot(g, /*seed=*/3));
+  const std::string line = "score " + CsvRow(g.data, 0);
+  ASSERT_EQ(service.Handle(line).substr(0, 8), "ok score");
+
+  const std::string ensemble_path =
+      ::testing::TempDir() + "/swap_to_ensemble.hido";
+  ASSERT_TRUE(SaveSnapshot(*FitEnsembleSnapshot(g, /*seed=*/7),
+                           ensemble_path)
+                  .ok());
+  EXPECT_EQ(service.Handle("swap " + ensemble_path).substr(0, 16),
+            "ok swapped gen=2");
+  const std::string ensemble_response = service.Handle(line);
+  EXPECT_NE(ensemble_response.find(" members=3 gen=2"), std::string::npos)
+      << ensemble_response;
+  EXPECT_TRUE(service.Current()->is_ensemble());
+
+  const std::string single_path =
+      ::testing::TempDir() + "/swap_to_single.hido";
+  ASSERT_TRUE(SaveSnapshot(*FitSnapshot(g, /*seed=*/3), single_path).ok());
+  EXPECT_EQ(service.Handle("swap " + single_path).substr(0, 16),
+            "ok swapped gen=3");
+  const std::string single_response = service.Handle(line);
+  EXPECT_EQ(single_response.find("members="), std::string::npos)
+      << single_response;
+  EXPECT_NE(single_response.find("gen=3"), std::string::npos)
+      << single_response;
+  EXPECT_FALSE(service.Current()->is_ensemble());
+  std::remove(ensemble_path.c_str());
+  std::remove(single_path.c_str());
 }
 
 TEST(ScoreServiceTest, ShutdownSetsFlagAndAcknowledges) {

@@ -10,6 +10,7 @@
 #include "core/detector.h"
 #include "core/scoring.h"
 #include "data/generators/synthetic.h"
+#include "ensemble/ensemble_detector.h"
 
 namespace hido {
 namespace serve {
@@ -96,10 +97,10 @@ TEST(SnapshotTest, UnknownVersionRejectedWithClearMessage) {
   std::string text = SerializeSnapshot(snapshot);
   const size_t pos = text.find("v1");
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, 2, "v2");
+  text.replace(pos, 2, "v3");
   const Result<ModelSnapshot> parsed = ParseSnapshot(text);
   ASSERT_FALSE(parsed.ok());
-  EXPECT_NE(parsed.status().message().find("unsupported version 'v2'"),
+  EXPECT_NE(parsed.status().message().find("unsupported version 'v3'"),
             std::string::npos)
       << parsed.status().ToString();
 }
@@ -127,6 +128,154 @@ TEST(SnapshotTest, MalformedInputsRejected) {
 
 TEST(SnapshotTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadSnapshot("/no/such/snapshot.hido").ok());
+}
+
+// ------------------------------------------------------------------- v2 --
+
+ensemble::EnsembleDetectionResult FitEnsemble(const GeneratedDataset& g) {
+  ensemble::EnsembleConfig config;
+  config.base.phi = 5;
+  config.base.target_dim = 2;
+  config.base.num_projections = 6;
+  config.base.evolution.population_size = 24;
+  config.base.evolution.max_generations = 10;
+  config.base.evolution.stagnation_generations = 0;
+  config.base.evolution.restarts = 1;
+  config.base.seed = 3;
+  config.ensemble.num_members = 3;
+  config.ensemble.combiner = ensemble::CombinerKind::kMeanNormalized;
+  config.ensemble.mix = {ensemble::MemberKind::kGa,
+                         ensemble::MemberKind::kRandomSubspace,
+                         ensemble::MemberKind::kAnneal};
+  config.ensemble.subspace_evaluations = 2000;
+  config.ensemble.local_evaluations = 2000;
+  return ensemble::EnsembleDetector(config).Detect(g.data);
+}
+
+// The v2 acceptance criterion: save -> load -> save is a byte fixpoint,
+// and every ensemble field (combiner, member kinds, full-range 64-bit
+// seeds, scales) survives the trip.
+TEST(SnapshotTest, EnsembleRoundTripIsByteFixpoint) {
+  const GeneratedDataset g = MakeData();
+  const ensemble::EnsembleDetectionResult result = FitEnsemble(g);
+  const ModelSnapshot snapshot = MakeEnsembleSnapshot(result, g.data, 3);
+  ASSERT_TRUE(snapshot.is_ensemble());
+  EXPECT_EQ(snapshot.info.algorithm, "ensemble");
+  EXPECT_EQ(snapshot.num_projections(),
+            result.members[0].projections.size() +
+                result.members[1].projections.size() +
+                result.members[2].projections.size());
+
+  const std::string text = SerializeSnapshot(snapshot);
+  EXPECT_EQ(text.rfind("hido-snapshot v2\n", 0), 0u);
+  const Result<ModelSnapshot> back = ParseSnapshot(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(back.value().is_ensemble());
+  EXPECT_EQ(back.value().ensemble->combiner, result.combiner);
+  ASSERT_EQ(back.value().ensemble->members.size(), result.members.size());
+  for (size_t i = 0; i < result.members.size(); ++i) {
+    EXPECT_EQ(back.value().ensemble->members[i].kind,
+              result.members[i].kind);
+    EXPECT_EQ(back.value().ensemble->members[i].seed,
+              result.members[i].seed);
+    EXPECT_EQ(StrFormat("%.17g",
+                        back.value().ensemble->members[i].score_scale),
+              StrFormat("%.17g", result.members[i].score_scale));
+  }
+  EXPECT_EQ(SerializeSnapshot(back.value()), text);
+}
+
+// Serving parity: a reloaded v2 snapshot scores every training row
+// byte-identically to the pre-save in-memory ensemble model.
+TEST(SnapshotTest, ReloadedEnsembleSnapshotScoresByteIdentical) {
+  const GeneratedDataset g = MakeData();
+  const ModelSnapshot snapshot =
+      MakeEnsembleSnapshot(FitEnsemble(g), g.data, 3);
+  const std::string path =
+      ::testing::TempDir() + "/snapshot_ensemble_rt.hido";
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+  const Result<std::shared_ptr<ModelSnapshot>> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.value()->is_ensemble());
+  for (size_t row = 0; row < g.data.num_rows(); ++row) {
+    const std::vector<double> values = g.data.Row(row);
+    const ensemble::EnsemblePointScore direct =
+        snapshot.ensemble->Score(values);
+    const ensemble::EnsemblePointScore served =
+        loaded.value()->ensemble->Score(values);
+    EXPECT_EQ(StrFormat("%.17g", served.score),
+              StrFormat("%.17g", direct.score))
+        << "row " << row;
+    EXPECT_EQ(served.covering_projections, direct.covering_projections)
+        << "row " << row;
+  }
+}
+
+// Seeds are raw Rng::Next64 values, so the member parser must accept the
+// full uint64_t range — a signed parse truncates at INT64_MAX.
+TEST(SnapshotTest, EnsembleMemberSeedsAboveInt64MaxRoundTrip) {
+  const GeneratedDataset g = MakeData();
+  ModelSnapshot snapshot = MakeEnsembleSnapshot(FitEnsemble(g), g.data, 3);
+  snapshot.ensemble->members[0].seed = 0xFFFFFFFFFFFFFFFFull;
+  snapshot.info.seed = 0xFFFFFFFFFFFFFFFEull;
+  const Result<ModelSnapshot> back =
+      ParseSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().ensemble->members[0].seed, 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(back.value().info.seed, 0xFFFFFFFFFFFFFFFEull);
+}
+
+TEST(SnapshotTest, EnsembleMalformedInputsRejected) {
+  const GeneratedDataset g = MakeData();
+  const std::string good =
+      SerializeSnapshot(MakeEnsembleSnapshot(FitEnsemble(g), g.data, 3));
+
+  // Truncated mid-member: the length prefix points past EOF.
+  EXPECT_FALSE(ParseSnapshot(good.substr(0, good.size() - 40)).ok());
+  // Trailing junk after the last member block.
+  EXPECT_FALSE(ParseSnapshot(good + "junk").ok());
+  {
+    std::string text = good;
+    const size_t pos = text.find("member 1 ");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 9, "member 2 ");  // out-of-order member index
+    EXPECT_FALSE(ParseSnapshot(text).ok());
+  }
+  {
+    std::string text = good;
+    const size_t pos = text.find(" ga ");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 4, " zz ");  // unknown member kind
+    EXPECT_FALSE(ParseSnapshot(text).ok());
+  }
+  {
+    std::string text = good;
+    const size_t pos = text.find("combiner mean");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 13, "combiner none");  // unknown combiner
+    EXPECT_FALSE(ParseSnapshot(text).ok());
+  }
+  // v2 header with a v1 payload marker: no members line, no model.
+  EXPECT_FALSE(
+      ParseSnapshot("hido-snapshot v2\nalgorithm ensemble\nmodel\n").ok());
+  // members count with no member blocks behind it.
+  EXPECT_FALSE(
+      ParseSnapshot(
+          "hido-snapshot v2\nalgorithm ensemble\ncombiner max\nmembers 2\n")
+          .ok());
+}
+
+// A v1 snapshot parsed by this build stays a single-model snapshot; the
+// ensemble payload is strictly additive.
+TEST(SnapshotTest, SingleSnapshotHasNoEnsemblePayload) {
+  const GeneratedDataset g = MakeData();
+  const ModelSnapshot snapshot = MakeSnapshot(Fit(g), g.data, 3);
+  const Result<ModelSnapshot> back =
+      ParseSnapshot(SerializeSnapshot(snapshot));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.value().is_ensemble());
+  EXPECT_EQ(back.value().num_dims(), g.data.num_cols());
 }
 
 }  // namespace

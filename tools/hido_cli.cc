@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <utility>
@@ -42,6 +43,7 @@
 #include "data/column_stats.h"
 #include "data/csv.h"
 #include "data/encoding.h"
+#include "ensemble/ensemble_detector.h"
 #include "eval/table.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -198,6 +200,18 @@ void AddSearchFlags(FlagParser& flags) {
   flags.AddDouble("deadline", 0.0,
                   "wall-clock budget in seconds (0: none); an expired run "
                   "still reports its best-so-far projections");
+  flags.AddInt("ensemble", 0,
+               "run an E-member subspace ensemble instead of one search "
+               "(0: off); members share the grid and the cube cache and "
+               "results stay bit-identical across --threads/--cache-mode");
+  flags.AddString("combiner", "mean",
+                  "ensemble score combiner: breadth-first | cumsum | max | "
+                  "mean");
+  flags.AddString("ensemble-mix", "",
+                  "comma-separated member-kind cycle for --ensemble "
+                  "(ga | random-subspace | hill-climb | anneal); member i "
+                  "runs entry i mod len (empty: all ga, i.e. decorrelated "
+                  "restarts)");
 }
 
 // Translates the AddSearchFlags values into a DetectorConfig (everything
@@ -246,6 +260,63 @@ Status SearchConfigFromFlags(const FlagParser& flags,
   return Status::Ok();
 }
 
+// True when --ensemble asked for the meta-detector (E >= 1).
+bool WantsEnsemble(const FlagParser& flags) {
+  return flags.GetInt("ensemble") > 0;
+}
+
+// Layers the --ensemble/--combiner/--ensemble-mix flags over an already
+// translated DetectorConfig. Call only when WantsEnsemble.
+Status EnsembleConfigFromFlags(const FlagParser& flags,
+                               const DetectorConfig& base,
+                               ensemble::EnsembleConfig* config) {
+  config->base = base;
+  config->ensemble.num_members =
+      static_cast<size_t>(flags.GetInt("ensemble"));
+  if (!ParseCombinerKind(flags.GetString("combiner"),
+                         &config->ensemble.combiner)) {
+    return Status::InvalidArgument(
+        "unknown --combiner (breadth-first | cumsum | max | mean)");
+  }
+  if (!flags.GetString("ensemble-mix").empty()) {
+    Result<std::vector<ensemble::MemberKind>> mix =
+        ensemble::ParseMemberMix(flags.GetString("ensemble-mix"));
+    if (!mix.ok()) return mix.status();
+    config->ensemble.mix = std::move(mix.value());
+  }
+  return Status::Ok();
+}
+
+// Member summary + top combined rows for `detect --ensemble`; shared shape
+// with the single-run projection table so the two modes read alike.
+void PrintEnsembleResult(const ensemble::EnsembleDetectionResult& result,
+                         size_t rank_n) {
+  TablePrinter members({"member", "kind", "seed", "projections", "scale",
+                        "evaluations"});
+  for (size_t i = 0; i < result.members.size(); ++i) {
+    const ensemble::EnsembleMemberResult& m = result.members[i];
+    members.AddRow({StrFormat("%zu", i),
+                    ensemble::MemberKindToString(m.kind),
+                    StrFormat("%llu", static_cast<unsigned long long>(m.seed)),
+                    StrFormat("%zu", m.projections.size()),
+                    StrFormat("%.3f", m.score_scale),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(m.evaluations))});
+  }
+  members.Print();
+
+  const size_t show = rank_n == 0 ? 10 : rank_n;
+  std::printf("\ntop %zu rows by combined %s score:\n",
+              std::min(show, result.ranked_rows.size()),
+              ensemble::CombinerKindToString(result.combiner));
+  for (size_t i = 0; i < result.ranked_rows.size() && i < show; ++i) {
+    const ensemble::EnsemblePointScore& s =
+        result.scores[result.ranked_rows[i]];
+    std::printf("  row %-6zu score %-8.3f covering projections %zu\n",
+                s.row, s.score, s.covering_projections);
+  }
+}
+
 // ---------------------------------------------------------------- detect --
 
 int RunDetect(const std::vector<std::string>& args) {
@@ -285,6 +356,71 @@ int RunDetect(const std::vector<std::string>& args) {
   DetectorConfig config;
   const Status configured = SearchConfigFromFlags(flags, &config);
   if (!configured.ok()) return Fail(configured);
+
+  if (WantsEnsemble(flags)) {
+    // Checkpointing is a single-search feature: one shared checkpoint path
+    // would be clobbered by every member, and report/model artifacts are
+    // per-projection-report which an ensemble does not produce. `hido fit
+    // --ensemble` is the persistence path (snapshot v2).
+    for (const char* incompatible :
+         {"checkpoint", "resume", "output", "save-model"}) {
+      if (!flags.GetString(incompatible).empty()) {
+        return Fail(Status::InvalidArgument(StrFormat(
+            "--%s does not apply to --ensemble runs (use `hido fit "
+            "--ensemble` to persist an ensemble snapshot)",
+            incompatible)));
+      }
+    }
+    config.stop = &control.token();
+    ensemble::EnsembleConfig ensemble_config;
+    const Status layered =
+        EnsembleConfigFromFlags(flags, config, &ensemble_config);
+    if (!layered.ok()) return Fail(layered);
+
+    const ensemble::EnsembleDetector detector(ensemble_config);
+    const ensemble::EnsembleDetectionResult result = [&] {
+      const obs::TraceSpan span("detect");
+      return detector.Detect(data.value());
+    }();
+    control.ReportIfStopped();
+
+    std::printf("detected with phi=%zu, k=%zu (ensemble of %zu, %s "
+                "combiner) in %.3fs%s: %zu member projections\n\n",
+                result.phi, result.target_dim, result.members.size(),
+                ensemble::CombinerKindToString(result.combiner),
+                result.seconds, result.completed ? "" : " [incomplete]",
+                std::accumulate(
+                    result.members.begin(), result.members.end(), size_t{0},
+                    [](size_t total, const ensemble::EnsembleMemberResult& m) {
+                      return total + m.projections.size();
+                    }));
+    PrintEnsembleResult(result,
+                        static_cast<size_t>(flags.GetInt("rank")));
+
+    obs::TelemetryRow telemetry_config{
+        {"input", flags.GetString("input")},
+        {"algorithm", "ensemble"},
+        {"phi", static_cast<uint64_t>(result.phi)},
+        {"target_dim", static_cast<uint64_t>(result.target_dim)},
+        {"ensemble", static_cast<uint64_t>(result.members.size())},
+        {"combiner", ensemble::CombinerKindToString(result.combiner)},
+        {"ensemble_mix", flags.GetString("ensemble-mix")},
+        {"seed", static_cast<uint64_t>(config.seed)},
+        {"threads", static_cast<uint64_t>(config.num_threads)},
+        {"cache_mode", CubeCacheModeToString(config.cache_mode)},
+        {"cache_capacity", static_cast<uint64_t>(config.cache_capacity)},
+    };
+    obs::TelemetryRow result_row{
+        {"completed", result.completed},
+        {"stop_cause", StopCauseToString(result.stop_cause)},
+        {"members_run", static_cast<uint64_t>(result.members.size())},
+        {"rows", static_cast<uint64_t>(data.value().num_rows())},
+        {"dims", static_cast<uint64_t>(data.value().num_cols())},
+    };
+    return EmitTelemetry(flags, "hido detect",
+                         std::move(telemetry_config),
+                         {std::move(result_row)});
+  }
 
   config.evolution.checkpoint_path = flags.GetString("checkpoint");
   config.evolution.checkpoint_every_generations =
@@ -422,6 +558,57 @@ int RunFit(const std::vector<std::string>& args) {
   const Status configured = SearchConfigFromFlags(flags, &config);
   if (!configured.ok()) return Fail(configured);
   config.stop = &control.token();
+
+  if (WantsEnsemble(flags)) {
+    ensemble::EnsembleConfig ensemble_config;
+    const Status layered =
+        EnsembleConfigFromFlags(flags, config, &ensemble_config);
+    if (!layered.ok()) return Fail(layered);
+
+    const ensemble::EnsembleDetector detector(ensemble_config);
+    const ensemble::EnsembleDetectionResult result = [&] {
+      const obs::TraceSpan span("fit");
+      return detector.Detect(data.value());
+    }();
+    control.ReportIfStopped();
+
+    // Same degrade-not-fail contract as the single path: an interrupted
+    // ensemble snapshots the members that finished.
+    const serve::ModelSnapshot snapshot =
+        serve::MakeEnsembleSnapshot(result, data.value(), config.seed);
+    const Status saved =
+        serve::SaveSnapshot(snapshot, flags.GetString("out"));
+    if (!saved.ok()) return Fail(saved);
+    std::printf("wrote snapshot to %s (%zu members, %zu projections over "
+                "%zu dims, phi=%zu, ensemble/%s%s)\n",
+                flags.GetString("out").c_str(),
+                snapshot.ensemble->members.size(),
+                snapshot.num_projections(), snapshot.num_dims(), result.phi,
+                ensemble::CombinerKindToString(result.combiner),
+                result.completed ? "" : ", incomplete");
+
+    obs::TelemetryRow telemetry_config{
+        {"input", flags.GetString("input")},
+        {"out", flags.GetString("out")},
+        {"algorithm", "ensemble"},
+        {"phi", static_cast<uint64_t>(result.phi)},
+        {"target_dim", static_cast<uint64_t>(result.target_dim)},
+        {"ensemble", static_cast<uint64_t>(result.members.size())},
+        {"combiner", ensemble::CombinerKindToString(result.combiner)},
+        {"seed", static_cast<uint64_t>(config.seed)},
+        {"threads", static_cast<uint64_t>(config.num_threads)},
+    };
+    obs::TelemetryRow result_row{
+        {"completed", result.completed},
+        {"stop_cause", StopCauseToString(result.stop_cause)},
+        {"projections_reported",
+         static_cast<uint64_t>(snapshot.num_projections())},
+        {"rows", static_cast<uint64_t>(data.value().num_rows())},
+        {"dims", static_cast<uint64_t>(data.value().num_cols())},
+    };
+    return EmitTelemetry(flags, "hido fit", std::move(telemetry_config),
+                         {std::move(result_row)});
+  }
 
   const OutlierDetector detector(config);
   const DetectionResult result = [&] {
