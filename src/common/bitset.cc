@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/bitset_kernels.h"
+
 namespace hido {
 
 DynamicBitset::DynamicBitset(size_t size)
@@ -39,25 +41,24 @@ void DynamicBitset::MaskTail() {
 }
 
 size_t DynamicBitset::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
-  return total;
+  return ActiveKernels().count(words_.data(), words_.size());
 }
 
 void DynamicBitset::AndWith(const DynamicBitset& other) {
   HIDO_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-  }
+  ActiveKernels().and_with(words_.data(), other.words_.data(), words_.size());
 }
 
 size_t DynamicBitset::AndCount(const DynamicBitset& other) const {
   HIDO_CHECK(size_ == other.size_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
+  return ActiveKernels().and_count(words_.data(), other.words_.data(),
+                                   words_.size());
+}
+
+size_t DynamicBitset::AndCountInto(const DynamicBitset& other) {
+  HIDO_CHECK(size_ == other.size_);
+  return ActiveKernels().and_count_into(words_.data(), other.words_.data(),
+                                        words_.size());
 }
 
 void DynamicBitset::AppendSetBits(std::vector<uint32_t>& out) const {

@@ -49,6 +49,10 @@ class DynamicBitset {
   /// Precondition: equal sizes.
   size_t AndCount(const DynamicBitset& other) const;
 
+  /// Fused AndWith + Count in one pass: intersects in place and returns
+  /// the number of surviving bits. Precondition: equal sizes.
+  size_t AndCountInto(const DynamicBitset& other);
+
   /// Appends the indices of all set bits to `out`, ascending.
   void AppendSetBits(std::vector<uint32_t>& out) const;
 

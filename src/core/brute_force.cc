@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "grid/posting_container.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -62,11 +63,12 @@ class Worker {
     const double probability = grid_.RangeFraction(dim, cell);
     ++stats_.nodes_visited;
     if (k == 1) {
-      ScoreLeaf(grid_.PostingList(dim, cell).size(), probability);
+      ScoreLeaf(grid_.RangeCardinality(dim, cell), probability);
     } else {
+      const PostingContainer& root = grid_.Container(dim, cell);
       DynamicBitset& root_bits = level_bits_[0];
-      root_bits = grid_.Members(dim, cell);
-      const size_t count = root_bits.Count();
+      root.MaterializeInto(root_bits);
+      const size_t count = root.cardinality();
       if (count == 0 && shared_.options.prune_empty_subtrees &&
           shared_.options.require_non_empty) {
         ++stats_.subtrees_pruned;
@@ -152,18 +154,20 @@ class Worker {
       for (uint32_t cell = 0; cell < grid_.phi(); ++cell) {
         ++stats_.nodes_visited;
         if (ShouldStop()) return false;
-        const DynamicBitset& members = grid_.Members(dim, cell);
+        const PostingContainer& members = grid_.Container(dim, cell);
         const DynamicBitset& current = CurrentBits(depth);
         const double next_probability =
             probability * grid_.RangeFraction(dim, cell);
         conditions_.push_back({static_cast<uint32_t>(dim), cell});
         if (leaf_level) {
-          ScoreLeaf(current.AndCount(members), next_probability);
+          ScoreLeaf(members.AndCountWith(current), next_probability);
         } else {
+          // Fused intersect+count: AndInto hands back the new cardinality,
+          // so the empty-subtree prune needs no second pass.
           DynamicBitset& next = level_bits_[depth];
-          next = members;
-          next.AndWith(current);
-          if (next.Count() == 0 && shared_.options.prune_empty_subtrees &&
+          next = current;
+          const size_t next_count = members.AndInto(next);
+          if (next_count == 0 && shared_.options.prune_empty_subtrees &&
               shared_.options.require_non_empty) {
             // Every extension of an empty cube is empty and unreportable.
             ++stats_.subtrees_pruned;

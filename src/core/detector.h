@@ -71,6 +71,12 @@ struct DetectorConfig {
   /// per-worker tables or the shared table). 0 keeps the mode's default;
   /// ignored when cache_mode == kOff.
   size_t cache_capacity = 0;
+  /// Grid ranges with fewer members than this become sorted-array
+  /// containers instead of bitmaps (GridModel::Options::array_threshold).
+  /// 0 forces all bitmaps; GridModel::kAutoArrayThreshold (the default)
+  /// resolves to num_rows / 32. An encoding knob only: reports are
+  /// byte-identical at every value.
+  size_t container_threshold = GridModel::kAutoArrayThreshold;
   /// Worker threads for whichever search runs. 0 keeps the per-algorithm
   /// settings in `evolution` / `brute_force` untouched; any other value
   /// overrides both. The evolutionary determinism contract (same seed ⇒

@@ -131,6 +131,7 @@ EnsembleDetectionResult EnsembleDetector::Detect(const Dataset& data) const {
   GridModel::Options gopts;
   gopts.phi = result.phi;
   gopts.mode = base.binning;
+  gopts.array_threshold = base.container_threshold;
   Result<GridModel> grid = GridModel::Build(data, gopts, base.stop);
   if (!grid.ok()) {
     result.completed = false;

@@ -48,9 +48,9 @@ CubeCounter::CubeCounter(const GridModel& grid)
 CubeCounter::CubeCounter(const GridModel& grid, const Options& options)
     : grid_(&grid), options_(options), scratch_(grid.num_points()) {}
 
-const DynamicBitset& CubeCounter::MembersOf(uint64_t packed) const {
-  return grid_->Members(static_cast<size_t>(packed >> 32),
-                        static_cast<uint32_t>(packed & 0xffffffffu));
+const PostingContainer& CubeCounter::ContainerOf(uint64_t packed) const {
+  return grid_->Container(static_cast<size_t>(packed >> 32),
+                          static_cast<uint32_t>(packed & 0xffffffffu));
 }
 
 size_t CubeCounter::Count(const std::vector<DimRange>& conditions) {
@@ -132,84 +132,105 @@ size_t CubeCounter::DispatchWithPrefix(
     return Dispatch(conditions, strategy);
   }
   const CubeKey prefix_key(key.begin(), key.end() - 1);
-  if (const std::shared_ptr<const DynamicBitset> prefix =
+  if (const std::shared_ptr<const PostingContainer> prefix =
           shared->LookupPrefix(prefix_key)) {
     ++stats_.prefix_counts;
-    return prefix->AndCount(MembersOf(key.back()));
+    return prefix->AndCount(ContainerOf(key.back()));
   }
   if (strategy == CountingStrategy::kAuto) {
     strategy = Choose(conditions);
   }
   if (strategy != CountingStrategy::kBitset) {
-    // Postings/naive computations never materialize the prefix bitset, so
-    // there is nothing cheap to store; count the plain way.
+    // Postings/naive computations never materialize the prefix, so there
+    // is nothing cheap to store; count the plain way.
     return Dispatch(conditions, strategy);
   }
   // Intersect in sorted-key order so the running bitset after k-1 steps is
   // exactly the prefix entry (the count is order-independent either way).
+  // The fused AndInto hands back each intermediate cardinality, so the
+  // prefix's array-vs-bitmap representation choice costs no extra pass —
+  // a prefix intersection may densify or sparsify, and the cache stores
+  // whichever form it lands in.
   ++stats_.bitset_counts;
-  scratch_ = MembersOf(key[0]);
+  ContainerOf(key[0]).MaterializeInto(scratch_);
+  size_t prefix_cardinality = ContainerOf(key[0]).cardinality();
   for (size_t i = 1; i + 1 < key.size(); ++i) {
-    scratch_.AndWith(MembersOf(key[i]));
+    prefix_cardinality = ContainerOf(key[i]).AndInto(scratch_);
   }
-  const size_t count = scratch_.AndCount(MembersOf(key.back()));
-  shared->InsertPrefix(prefix_key, scratch_);
+  const size_t count = ContainerOf(key.back()).AndCountWith(scratch_);
+  shared->InsertPrefix(
+      prefix_key, PostingContainer::FromBitmap(scratch_, prefix_cardinality,
+                                               grid_->array_threshold()));
   return count;
 }
 
 CountingStrategy CubeCounter::Choose(
     const std::vector<DimRange>& conditions) const {
   if (conditions.size() == 1) return CountingStrategy::kPostingList;
-  // Posting intersection touches ~sum of list lengths; the bitset path
-  // touches k * N/64 words regardless of selectivity. Prefer postings when
-  // the smallest list is already tiny.
+  // Container representation folds into the strategy choice: an array
+  // container is sparse by construction, and probing its few ids against
+  // the other conditions beats streaming every bitmap word. With all
+  // bitmaps, posting intersection still wins when the smallest range is
+  // tiny relative to the k * N/64 words the bitset path always touches.
   size_t smallest = grid_->num_points();
+  bool any_array = false;
   for (const DimRange& c : conditions) {
-    smallest = std::min(smallest, grid_->PostingList(c.dim, c.cell).size());
+    const PostingContainer& container = grid_->Container(c.dim, c.cell);
+    smallest = std::min(smallest, container.cardinality());
+    any_array |= container.kind() == PostingContainer::Kind::kArray;
   }
+  if (any_array) return CountingStrategy::kPostingList;
   const size_t words = grid_->num_points() / 64 + 1;
   return (smallest * 4 < words) ? CountingStrategy::kPostingList
                                 : CountingStrategy::kBitset;
 }
 
 size_t CubeCounter::CountBitset(const std::vector<DimRange>& conditions) {
+  // Forced-bitset counting must handle array containers too (kAuto only
+  // sends all-bitmap cubes here): the container intersections below cover
+  // every representation pairing.
   if (conditions.size() == 1) {
-    return grid_->PostingList(conditions[0].dim, conditions[0].cell).size();
+    return grid_->RangeCardinality(conditions[0].dim, conditions[0].cell);
   }
   if (conditions.size() == 2) {
-    return grid_->Members(conditions[0].dim, conditions[0].cell)
-        .AndCount(grid_->Members(conditions[1].dim, conditions[1].cell));
+    return grid_->Container(conditions[0].dim, conditions[0].cell)
+        .AndCount(grid_->Container(conditions[1].dim, conditions[1].cell));
   }
-  scratch_ = grid_->Members(conditions[0].dim, conditions[0].cell);
+  grid_->Container(conditions[0].dim, conditions[0].cell)
+      .MaterializeInto(scratch_);
   for (size_t i = 1; i + 1 < conditions.size(); ++i) {
-    scratch_.AndWith(grid_->Members(conditions[i].dim, conditions[i].cell));
+    grid_->Container(conditions[i].dim, conditions[i].cell)
+        .AndInto(scratch_);
   }
   const DimRange& last = conditions.back();
-  return scratch_.AndCount(grid_->Members(last.dim, last.cell));
+  return grid_->Container(last.dim, last.cell).AndCountWith(scratch_);
 }
 
 size_t CubeCounter::CountPostings(
     const std::vector<DimRange>& conditions) const {
-  // Intersect starting from the shortest list.
-  std::vector<const std::vector<uint32_t>*> lists;
-  lists.reserve(conditions.size());
+  // Intersect starting from the smallest container: its ids seed the
+  // candidate list, and every other container is probed via Contains
+  // (O(1) on bitmaps, binary search on arrays).
+  std::vector<const PostingContainer*> containers;
+  containers.reserve(conditions.size());
   for (const DimRange& c : conditions) {
-    lists.push_back(&grid_->PostingList(c.dim, c.cell));
+    containers.push_back(&grid_->Container(c.dim, c.cell));
   }
-  std::sort(lists.begin(), lists.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  if (lists.front()->empty()) return 0;
-  if (lists.size() == 1) return lists.front()->size();
+  std::sort(containers.begin(), containers.end(),
+            [](const PostingContainer* a, const PostingContainer* b) {
+              return a->cardinality() < b->cardinality();
+            });
+  if (containers.front()->cardinality() == 0) return 0;
+  if (containers.size() == 1) return containers.front()->cardinality();
 
-  std::vector<uint32_t> current = *lists.front();
-  std::vector<uint32_t> next;
-  for (size_t i = 1; i < lists.size() && !current.empty(); ++i) {
-    const std::vector<uint32_t>& other = *lists[i];
-    next.clear();
-    next.reserve(current.size());
-    std::set_intersection(current.begin(), current.end(), other.begin(),
-                          other.end(), std::back_inserter(next));
-    current.swap(next);
+  std::vector<uint32_t> current = containers.front()->ToIds();
+  for (size_t i = 1; i < containers.size() && !current.empty(); ++i) {
+    const PostingContainer& other = *containers[i];
+    size_t kept = 0;
+    for (uint32_t id : current) {
+      if (other.Contains(id)) current[kept++] = id;
+    }
+    current.resize(kept);
   }
   return current.size();
 }
@@ -226,20 +247,23 @@ size_t CubeCounter::CountNaive(
 std::vector<uint32_t> CubeCounter::CoveredPoints(
     const std::vector<DimRange>& conditions) const {
   ValidateConditions(*grid_, conditions);
-  std::vector<const std::vector<uint32_t>*> lists;
-  lists.reserve(conditions.size());
+  std::vector<const PostingContainer*> containers;
+  containers.reserve(conditions.size());
   for (const DimRange& c : conditions) {
-    lists.push_back(&grid_->PostingList(c.dim, c.cell));
+    containers.push_back(&grid_->Container(c.dim, c.cell));
   }
-  std::sort(lists.begin(), lists.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  std::vector<uint32_t> current = *lists.front();
-  std::vector<uint32_t> next;
-  for (size_t i = 1; i < lists.size() && !current.empty(); ++i) {
-    next.clear();
-    std::set_intersection(current.begin(), current.end(), lists[i]->begin(),
-                          lists[i]->end(), std::back_inserter(next));
-    current.swap(next);
+  std::sort(containers.begin(), containers.end(),
+            [](const PostingContainer* a, const PostingContainer* b) {
+              return a->cardinality() < b->cardinality();
+            });
+  std::vector<uint32_t> current = containers.front()->ToIds();
+  for (size_t i = 1; i < containers.size() && !current.empty(); ++i) {
+    const PostingContainer& other = *containers[i];
+    size_t kept = 0;
+    for (uint32_t id : current) {
+      if (other.Contains(id)) current[kept++] = id;
+    }
+    current.resize(kept);
   }
   return current;
 }

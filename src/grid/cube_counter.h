@@ -128,15 +128,16 @@ class CubeCounter {
   size_t Dispatch(const std::vector<DimRange>& conditions,
                   CountingStrategy strategy);
   /// As Dispatch, but first tries to finish the cube from a shared cached
-  /// (k-1)-prefix bitset, and stores the prefix it computes on a miss.
+  /// (k-1)-prefix container, and stores the prefix it computes on a miss
+  /// (in whichever representation — array or bitmap — it lands in).
   size_t DispatchWithPrefix(const std::vector<DimRange>& conditions,
                             const CubeKey& key, CountingStrategy strategy);
   size_t CountBitset(const std::vector<DimRange>& conditions);
   size_t CountPostings(const std::vector<DimRange>& conditions) const;
   size_t CountNaive(const std::vector<DimRange>& conditions) const;
   CountingStrategy Choose(const std::vector<DimRange>& conditions) const;
-  /// The membership bitset of one packed key element.
-  const DynamicBitset& MembersOf(uint64_t packed) const;
+  /// The membership container of one packed key element.
+  const PostingContainer& ContainerOf(uint64_t packed) const;
 
   const GridModel* grid_;
   Options options_;

@@ -1,7 +1,9 @@
 #include "grid/grid_model.h"
 
+#include <string>
 #include <utility>
 
+#include "common/bitset_kernels.h"
 #include "common/macros.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -36,14 +38,19 @@ Result<GridModel> GridModel::Build(const Dataset& data,
 
   const size_t d = data.num_cols();
   const size_t phi = options.phi;
+  model.array_threshold_ = options.array_threshold == kAutoArrayThreshold
+                               ? data.num_rows() / 32
+                               : options.array_threshold;
   model.cells_.assign(d, std::vector<uint32_t>(data.num_rows()));
-  model.members_.assign(d * phi, DynamicBitset(data.num_rows()));
-  model.postings_.assign(d * phi, {});
+  model.containers_.assign(d * phi, PostingContainer());
 
+  size_t array_containers = 0;
+  std::vector<std::vector<uint32_t>> range_ids(phi);
   for (size_t dim = 0; dim < d; ++dim) {
     if (stop != nullptr && stop->ShouldStop()) {
       return StopStatus(*stop, "grid build");
     }
+    for (auto& ids : range_ids) ids.clear();
     for (size_t row = 0; row < data.num_rows(); ++row) {
       if (stop != nullptr && row % kPollStride == kPollStride - 1 &&
           stop->ShouldStop()) {
@@ -55,15 +62,35 @@ Result<GridModel> GridModel::Build(const Dataset& data,
       }
       const uint32_t cell = model.quantizer_.CellOf(dim, data.Get(row, dim));
       model.cells_[dim][row] = cell;
-      const size_t idx = dim * phi + cell;
-      model.members_[idx].Set(row);
-      model.postings_[idx].push_back(static_cast<uint32_t>(row));
+      range_ids[cell].push_back(static_cast<uint32_t>(row));
+    }
+    // Rows were scanned ascending, so each range's ids arrive sorted and
+    // the container choice is purely its cardinality vs. the threshold.
+    for (uint32_t cell = 0; cell < phi; ++cell) {
+      PostingContainer container = PostingContainer::FromIds(
+          std::move(range_ids[cell]), data.num_rows(),
+          model.array_threshold_);
+      range_ids[cell] = {};
+      if (container.kind() == PostingContainer::Kind::kArray) {
+        ++array_containers;
+      }
+      model.containers_[dim * phi + cell] = std::move(container);
     }
   }
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("grid.builds").Add(1);
   registry.GetCounter("grid.points_indexed").Add(data.num_rows());
   registry.GetCounter("grid.cells_indexed").Add(data.num_rows() * d);
+  registry.GetCounter("grid.containers.array").Add(array_containers);
+  registry.GetCounter("grid.containers.bitmap")
+      .Add(d * phi - array_containers);
+  // Which counting kernel serves the bitmap legs of this grid's counts.
+  // Published here (not in src/common, which cannot depend on obs) so the
+  // gauge appears exactly when a counting workload exists.
+  registry
+      .GetGauge(std::string("cube.kernel.") +
+                KernelKindName(ActiveKernelKind()))
+      .Set(1);
   return model;
 }
 
@@ -73,18 +100,18 @@ size_t GridModel::IndexOf(size_t dim, uint32_t cell) const {
   return dim * phi() + cell;
 }
 
-const DynamicBitset& GridModel::Members(size_t dim, uint32_t cell) const {
-  return members_[IndexOf(dim, cell)];
+const PostingContainer& GridModel::Container(size_t dim,
+                                             uint32_t cell) const {
+  return containers_[IndexOf(dim, cell)];
 }
 
-const std::vector<uint32_t>& GridModel::PostingList(size_t dim,
-                                                    uint32_t cell) const {
-  return postings_[IndexOf(dim, cell)];
+size_t GridModel::RangeCardinality(size_t dim, uint32_t cell) const {
+  return containers_[IndexOf(dim, cell)].cardinality();
 }
 
 double GridModel::RangeFraction(size_t dim, uint32_t cell) const {
   if (num_points_ == 0) return 0.0;
-  return static_cast<double>(postings_[IndexOf(dim, cell)].size()) /
+  return static_cast<double>(containers_[IndexOf(dim, cell)].cardinality()) /
          static_cast<double>(num_points_);
 }
 

@@ -4,11 +4,13 @@
 // The discretized view of a dataset plus the per-range membership indexes
 // that make cube counting fast.
 //
-// For every (dimension, range) pair the model stores both a bitset over the
-// points and a sorted posting list of point ids. Counting the points inside
-// a k-dimensional cube is then the popcount of the AND of k bitsets (or an
-// intersection of k posting lists) — the single hot operation of both the
-// brute-force and the evolutionary search.
+// For every (dimension, range) pair the model stores one hybrid
+// PostingContainer: dense ranges keep a bitmap over the points, sparse
+// ranges (cardinality below the array threshold, Roaring-style) a sorted
+// id array. Counting the points inside a k-dimensional cube is then a
+// chain of container intersections — the single hot operation of both the
+// brute-force and the evolutionary search — with the bitmap legs routed
+// through the SIMD counting kernels (common/bitset_kernels.h).
 
 #include <cstdint>
 #include <limits>
@@ -18,6 +20,7 @@
 #include "common/run_control.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "grid/posting_container.h"
 #include "grid/quantizer.h"
 
 namespace hido {
@@ -42,10 +45,20 @@ class GridModel {
   static constexpr uint32_t kMissingCell =
       std::numeric_limits<uint32_t>::max();
 
+  /// Sentinel for Options::array_threshold: resolve to num_points / 32,
+  /// the memory break-even of a 4-byte id array vs. one bit per point.
+  static constexpr size_t kAutoArrayThreshold =
+      std::numeric_limits<size_t>::max();
+
   /// Discretization parameters.
   struct Options {
     size_t phi = 10;                           ///< ranges per attribute
     BinningMode mode = BinningMode::kEquiDepth;  ///< equi-depth/equi-width
+    /// Ranges with cardinality below this become sorted-array containers;
+    /// denser ranges keep the bitmap. 0 forces all bitmaps;
+    /// kAutoArrayThreshold resolves to num_points / 32 at build time.
+    /// A pure encoding knob: counts and reports are identical at any value.
+    size_t array_threshold = kAutoArrayThreshold;
   };
 
   /// Creates an empty model; use Build to obtain a usable one.
@@ -72,11 +85,15 @@ class GridModel {
     return cells_[dim][row];
   }
 
-  /// Bitset of the points whose `dim` coordinate lies in `cell`.
-  const DynamicBitset& Members(size_t dim, uint32_t cell) const;
+  /// Membership container of the points whose `dim` coordinate lies in
+  /// `cell` (bitmap or sorted array, per the array threshold).
+  const PostingContainer& Container(size_t dim, uint32_t cell) const;
 
-  /// Sorted point ids whose `dim` coordinate lies in `cell`.
-  const std::vector<uint32_t>& PostingList(size_t dim, uint32_t cell) const;
+  /// Number of points whose `dim` coordinate lies in `cell`.
+  size_t RangeCardinality(size_t dim, uint32_t cell) const;
+
+  /// The resolved array threshold containers were built with.
+  size_t array_threshold() const { return array_threshold_; }
 
   /// Empirical fraction of points in (dim, cell) — ~1/phi under equi-depth,
   /// skewed under ties. Used by the empirical expectation model.
@@ -89,12 +106,12 @@ class GridModel {
 
  private:
   size_t num_points_ = 0;
+  size_t array_threshold_ = 0;
   Quantizer quantizer_;
   // cells_[dim][row]: discretized coordinate (kMissingCell when missing).
   std::vector<std::vector<uint32_t>> cells_;
-  // members_[dim * phi + cell], postings_[dim * phi + cell].
-  std::vector<DynamicBitset> members_;
-  std::vector<std::vector<uint32_t>> postings_;
+  // containers_[dim * phi + cell]: hybrid membership set of the range.
+  std::vector<PostingContainer> containers_;
 
   size_t IndexOf(size_t dim, uint32_t cell) const;
 };

@@ -107,7 +107,7 @@ void SharedCubeCache::InsertCount(const CubeKey& key, size_t count) {
   }
 }
 
-std::shared_ptr<const DynamicBitset> SharedCubeCache::LookupPrefix(
+std::shared_ptr<const PostingContainer> SharedCubeCache::LookupPrefix(
     const CubeKey& key) {
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
@@ -122,15 +122,16 @@ std::shared_ptr<const DynamicBitset> SharedCubeCache::LookupPrefix(
   return nullptr;
 }
 
-void SharedCubeCache::InsertPrefix(const CubeKey& key, DynamicBitset bits) {
+void SharedCubeCache::InsertPrefix(const CubeKey& key,
+                                   PostingContainer prefix) {
   if (prefix_per_shard_ == 0) return;
-  auto entry = std::make_shared<const DynamicBitset>(std::move(bits));
+  auto entry = std::make_shared<const PostingContainer>(std::move(prefix));
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
   if (shard.prefixes.size() >= prefix_per_shard_ &&
       shard.prefixes.find(key) == shard.prefixes.end()) {
-    // Prefix entries hold one bit per point — a real clear releases that
-    // memory, unlike the count table's generation trick.
+    // Prefix entries can hold one bit per point — a real clear releases
+    // that memory, unlike the count table's generation trick.
     shard.stats.prefix_evictions += shard.prefixes.size();
     shard.prefixes.clear();
   }

@@ -17,10 +17,12 @@
 //    missing and lazily overwritten, instead of rebuilding the
 //    unordered_map on every overflow.
 //  * The *prefix* table maps the first k-1 conditions of a k-cube to their
-//    intersection bitset, so a query whose (k-1)-prefix was seen before is
-//    finished with a single AND+popcount (see CubeCounter::Count). Prefix
-//    entries are heavy (one bit per point), so this table is small and is
-//    really cleared when full, releasing the memory.
+//    intersection — stored as a hybrid PostingContainer in whichever
+//    representation (bitmap or sorted array) the intersection landed in —
+//    so a query whose (k-1)-prefix was seen before is finished with a
+//    single container intersection (see CubeCounter::Count). Prefix
+//    entries are heavy (up to one bit per point), so this table is small
+//    and is really cleared when full, releasing the memory.
 //
 // Concurrency: N lock-striped shards (common::Mutex, checked by Clang TSA);
 // a lookup or insert locks exactly one shard. Determinism: cube counts are
@@ -34,10 +36,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/bitset.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "grid/grid_model.h"
+#include "grid/posting_container.h"
 
 namespace hido {
 
@@ -66,9 +68,9 @@ class SharedCubeCache {
     /// Lock stripes; rounded up to a power of two, at least 1. 16 covers
     /// the pool sizes the searches deploy.
     size_t num_shards = 16;
-    /// Total prefix-bitset entries across all shards (0 disables prefix
-    /// memoization). Each entry holds one bit per grid point, so keep this
-    /// orders of magnitude below `capacity`.
+    /// Total prefix entries across all shards (0 disables prefix
+    /// memoization). An entry can hold one bit per grid point, so keep
+    /// this orders of magnitude below `capacity`.
     size_t prefix_capacity = 1u << 12;
   };
 
@@ -82,8 +84,8 @@ class SharedCubeCache {
     uint64_t evictions = 0;   ///< live entries dropped by generation-clears
     uint64_t prefix_hits = 0;        ///< prefix probes served
     uint64_t prefix_misses = 0;      ///< prefix probes that missed
-    uint64_t prefix_insertions = 0;  ///< prefix bitsets stored
-    uint64_t prefix_evictions = 0;   ///< prefix bitsets dropped by clears
+    uint64_t prefix_insertions = 0;  ///< prefix containers stored
+    uint64_t prefix_evictions = 0;   ///< prefix containers dropped by clears
   };
 
   /// A cache with default capacities.
@@ -102,13 +104,14 @@ class SharedCubeCache {
   /// pure-function value.
   void InsertCount(const CubeKey& key, size_t count);
 
-  /// Fetches the intersection bitset stored for the prefix `key`, or null
-  /// on a miss. The returned bitset is immutable and safe to read while
-  /// other workers insert.
-  std::shared_ptr<const DynamicBitset> LookupPrefix(const CubeKey& key);
+  /// Fetches the intersection container stored for the prefix `key`, or
+  /// null on a miss. The returned container is immutable and safe to read
+  /// while other workers insert.
+  std::shared_ptr<const PostingContainer> LookupPrefix(const CubeKey& key);
 
-  /// Stores the intersection bitset for the prefix `key`.
-  void InsertPrefix(const CubeKey& key, DynamicBitset bits);
+  /// Stores the intersection container for the prefix `key` — in whichever
+  /// representation the intersection landed in (see PostingContainer).
+  void InsertPrefix(const CubeKey& key, PostingContainer prefix);
 
   /// True when prefix memoization is enabled (prefix_capacity > 0).
   bool prefix_enabled() const { return prefix_per_shard_ > 0; }
@@ -137,7 +140,7 @@ class SharedCubeCache {
     uint64_t generation HIDO_GUARDED_BY(mu) = 0;
     /// Number of current-generation entries in `counts`.
     size_t live HIDO_GUARDED_BY(mu) = 0;
-    std::unordered_map<CubeKey, std::shared_ptr<const DynamicBitset>,
+    std::unordered_map<CubeKey, std::shared_ptr<const PostingContainer>,
                        CubeKeyHash>
         prefixes HIDO_GUARDED_BY(mu);
     Stats stats HIDO_GUARDED_BY(mu);

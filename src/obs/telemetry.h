@@ -73,6 +73,8 @@
 //   counter ensemble.runs invariant
 //   counter grid.builds invariant
 //   counter grid.cells_indexed invariant
+//   counter grid.containers.array variant representation mix follows the container threshold
+//   counter grid.containers.bitmap variant representation mix follows the container threshold
 //   counter grid.points_indexed invariant
 //   counter run.stops.<cause> invariant omitted for clean completion
 //   counter search.crossovers invariant
@@ -92,6 +94,7 @@
 //   counter serve.<endpoint>.requests variant client-dependent
 //   counter snapshot.v2.loads variant client-dependent (loads count swaps)
 //   counter snapshot.v2.saves invariant one per ensemble serialization
+//   gauge cube.kernel.<kernel> variant which counting kernel served the run
 //   gauge ensemble.cache.hit_amplification_pct variant worker-interleaving dependent
 //   gauge pool.queue_high_water variant scheduling-dependent
 //   gauge pool.tasks_executed variant scheduling-dependent

@@ -30,7 +30,7 @@ TEST(CubeCounterTest, SingleConditionMatchesPostingList) {
   const GridModel grid = MakeGrid(500, 3, 5, 1);
   CubeCounter counter(grid);
   for (uint32_t cell = 0; cell < 5; ++cell) {
-    EXPECT_EQ(counter.Count({{0, cell}}), grid.PostingList(0, cell).size());
+    EXPECT_EQ(counter.Count({{0, cell}}), grid.RangeCardinality(0, cell));
   }
 }
 
@@ -163,6 +163,91 @@ TEST(CubeCounterTest, FullConjunctionOfOnePointCell) {
   EXPECT_GE(counter.Count(conditions), 1u);
   const std::vector<uint32_t> covered = counter.CoveredPoints(conditions);
   EXPECT_NE(std::find(covered.begin(), covered.end(), 42u), covered.end());
+}
+
+// Counts are identical at any container threshold: forcing every range to
+// a bitmap, every range to a sorted array, or the auto mix changes only
+// the representation each query intersects, never the result. Each
+// counter's serving-path stats still reconcile with its query total.
+TEST(CubeCounterTest, CountsAgreeAcrossContainerThresholds) {
+  const Dataset data = GenerateUniform(500, 5, 21);
+  GridModel::Options all_bitmaps;
+  all_bitmaps.phi = 4;
+  all_bitmaps.array_threshold = 0;
+  GridModel::Options all_arrays;
+  all_arrays.phi = 4;
+  all_arrays.array_threshold = 501;  // every range is sparser than this
+  GridModel::Options mixed;
+  mixed.phi = 4;  // auto threshold: rows/32
+  const GridModel bitmap_grid = GridModel::Build(data, all_bitmaps);
+  const GridModel array_grid = GridModel::Build(data, all_arrays);
+  const GridModel mixed_grid = GridModel::Build(data, mixed);
+
+  CubeCounter bitmap_counter(bitmap_grid);
+  CubeCounter array_counter(array_grid);
+  CubeCounter mixed_counter(mixed_grid);
+  Rng rng(23);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t k = 1 + rng.UniformIndex(4);
+    const std::vector<DimRange> conditions =
+        RandomConditions(bitmap_grid, k, rng);
+    const size_t expected = bitmap_counter.Count(conditions);
+    EXPECT_EQ(array_counter.Count(conditions), expected);
+    EXPECT_EQ(mixed_counter.Count(conditions), expected);
+  }
+  for (const CubeCounter* counter :
+       {&bitmap_counter, &array_counter, &mixed_counter}) {
+    const CubeCounter::Stats& s = counter->stats();
+    EXPECT_EQ(s.queries, s.cache_hits + s.shared_hits + s.prefix_counts +
+                             s.bitset_counts + s.posting_counts +
+                             s.naive_counts);
+  }
+}
+
+// The strategy fold: when every container in the cube is an array, auto
+// mode routes the query to the posting-list path (probing a handful of
+// sorted ids beats streaming bitmap words).
+TEST(CubeCounterTest, ChooseRoutesAllArrayCubesToPostings) {
+  const Dataset data = GenerateUniform(400, 4, 25);
+  GridModel::Options opts;
+  opts.phi = 3;
+  opts.array_threshold = 401;  // force every range to array form
+  const GridModel grid = GridModel::Build(data, opts);
+  CubeCounter::Options copts;
+  copts.cache_capacity = 0;
+  CubeCounter counter(grid, copts);
+  Rng rng(27);
+  for (int trial = 0; trial < 20; ++trial) {
+    counter.Count(RandomConditions(grid, 2 + rng.UniformIndex(3), rng));
+  }
+  const CubeCounter::Stats& s = counter.stats();
+  EXPECT_EQ(s.posting_counts, s.queries);
+  EXPECT_EQ(s.bitset_counts, 0u);
+}
+
+// A forced bitset strategy stays correct even when the grid holds array
+// containers (the bitset path materializes them on the fly).
+TEST(CubeCounterTest, ForcedBitsetCorrectOnArrayContainers) {
+  const Dataset data = GenerateUniform(400, 4, 29);
+  GridModel::Options opts;
+  opts.phi = 3;
+  opts.array_threshold = 401;
+  const GridModel forced = GridModel::Build(data, opts);
+  opts.array_threshold = 0;
+  const GridModel reference = GridModel::Build(data, opts);
+  CubeCounter forced_counter(forced);
+  CubeCounter reference_counter(reference);
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::vector<DimRange> conditions =
+        RandomConditions(forced, 1 + rng.UniformIndex(4), rng);
+    EXPECT_EQ(
+        forced_counter.CountUncached(conditions, CountingStrategy::kBitset),
+        reference_counter.CountUncached(conditions, CountingStrategy::kBitset));
+    EXPECT_EQ(
+        forced_counter.CountUncached(conditions, CountingStrategy::kPostingList),
+        reference_counter.CountUncached(conditions, CountingStrategy::kNaive));
+  }
 }
 
 TEST(CubeCounterDeathTest, EmptyConditionsAbort) {

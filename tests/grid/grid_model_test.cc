@@ -42,17 +42,53 @@ TEST(GridModelTest, MembershipsPartitionThePoints) {
   for (size_t d = 0; d < 3; ++d) {
     size_t total = 0;
     for (uint32_t cell = 0; cell < 6; ++cell) {
-      const DynamicBitset& members = grid.Members(d, cell);
-      EXPECT_EQ(members.Count(), grid.PostingList(d, cell).size());
-      total += members.Count();
-      // Posting list agrees with bitset contents.
-      for (uint32_t row : grid.PostingList(d, cell)) {
-        EXPECT_TRUE(members.Test(row));
+      const PostingContainer& members = grid.Container(d, cell);
+      EXPECT_EQ(members.cardinality(), grid.RangeCardinality(d, cell));
+      EXPECT_EQ(members.ToIds().size(), members.cardinality());
+      total += members.cardinality();
+      // Id view agrees with membership tests and the cell assignment.
+      for (uint32_t row : members.ToIds()) {
+        EXPECT_TRUE(members.Contains(row));
         EXPECT_EQ(grid.Cell(row, d), cell);
       }
     }
     EXPECT_EQ(total, 333u);  // every point in exactly one range per dim
   }
+}
+
+TEST(GridModelTest, ContainerRepresentationFollowsThreshold) {
+  const Dataset ds = GenerateUniform(256, 2, 17);
+  // All-bitmap grid (threshold 0 means no range is "sparse enough").
+  GridModel::Options dense_opts;
+  dense_opts.phi = 4;
+  dense_opts.array_threshold = 0;
+  const GridModel dense = GridModel::Build(ds, dense_opts);
+  // All-array grid: every range is below rows + 1.
+  GridModel::Options sparse_opts;
+  sparse_opts.phi = 4;
+  sparse_opts.array_threshold = 257;
+  const GridModel sparse = GridModel::Build(ds, sparse_opts);
+  for (size_t d = 0; d < 2; ++d) {
+    for (uint32_t cell = 0; cell < 4; ++cell) {
+      EXPECT_EQ(dense.Container(d, cell).kind(),
+                PostingContainer::Kind::kBitmap);
+      EXPECT_EQ(sparse.Container(d, cell).kind(),
+                PostingContainer::Kind::kArray);
+      // Representation is an encoding choice: identical member sets.
+      EXPECT_EQ(dense.Container(d, cell).ToIds(),
+                sparse.Container(d, cell).ToIds());
+    }
+  }
+  EXPECT_EQ(dense.array_threshold(), 0u);
+  EXPECT_EQ(sparse.array_threshold(), 257u);
+}
+
+TEST(GridModelTest, AutoThresholdResolvesToRowsOver32) {
+  const Dataset ds = GenerateUniform(320, 1, 19);
+  GridModel::Options opts;
+  opts.phi = 4;
+  const GridModel grid = GridModel::Build(ds, opts);
+  EXPECT_EQ(grid.array_threshold(), 10u);
 }
 
 TEST(GridModelTest, RangeFractionsSumToOne) {
@@ -82,7 +118,7 @@ TEST(GridModelTest, MissingValuesGetMissingCell) {
   // Missing rows appear in no membership set of that dim.
   size_t total = 0;
   for (uint32_t cell = 0; cell < 2; ++cell) {
-    total += grid.Members(0, cell).Count();
+    total += grid.RangeCardinality(0, cell);
   }
   EXPECT_EQ(total, 2u);
 }
@@ -161,7 +197,7 @@ TEST(GridModelDeathTest, BadCellAborts) {
   GridModel::Options opts;
   opts.phi = 2;
   const GridModel grid = GridModel::Build(ds, opts);
-  EXPECT_DEATH(grid.Members(0, 5), "cell");
+  EXPECT_DEATH(grid.Container(0, 5), "cell");
 }
 
 }  // namespace

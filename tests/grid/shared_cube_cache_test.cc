@@ -15,6 +15,13 @@ GridModel MakeGrid(size_t n, size_t d, size_t phi, uint64_t seed) {
   return GridModel::Build(GenerateUniform(n, d, seed), opts);
 }
 
+// A prefix entry kept in bitmap form (threshold 0: never sparsify).
+PostingContainer BitmapPrefix(DynamicBitset bits) {
+  const size_t cardinality = bits.Count();
+  return PostingContainer::FromBitmap(std::move(bits), cardinality,
+                                      /*array_threshold=*/0);
+}
+
 std::vector<DimRange> RandomConditions(const GridModel& grid, size_t k,
                                        Rng& rng) {
   std::vector<DimRange> conditions;
@@ -65,7 +72,7 @@ TEST(SharedCubeCacheTest, ZeroCapacityDisablesTables) {
   cache.InsertCount(key, 7);
   size_t count = 0;
   EXPECT_FALSE(cache.LookupCount(key, &count));
-  cache.InsertPrefix(key, DynamicBitset(8));
+  cache.InsertPrefix(key, BitmapPrefix(DynamicBitset(8)));
   EXPECT_EQ(cache.LookupPrefix(key), nullptr);
   EXPECT_EQ(cache.stats().insertions, 0u);
   EXPECT_EQ(cache.stats().prefix_insertions, 0u);
@@ -99,7 +106,7 @@ TEST(SharedCubeCacheTest, ClearDropsEverything) {
   SharedCubeCache cache;
   const CubeKey key = PackCubeKey({{0, 1}, {1, 0}});
   cache.InsertCount(key, 3);
-  cache.InsertPrefix(key, DynamicBitset(16));
+  cache.InsertPrefix(key, BitmapPrefix(DynamicBitset(16)));
   cache.Clear();
   size_t count = 0;
   EXPECT_FALSE(cache.LookupCount(key, &count));
@@ -116,14 +123,33 @@ TEST(SharedCubeCacheTest, PrefixStoreRoundTrip) {
   bits.Set(7);
   const CubeKey key = PackCubeKey({{0, 0}, {1, 1}});
   EXPECT_EQ(cache.LookupPrefix(key), nullptr);
-  cache.InsertPrefix(key, bits);
-  const std::shared_ptr<const DynamicBitset> stored = cache.LookupPrefix(key);
+  cache.InsertPrefix(key, BitmapPrefix(bits));
+  const std::shared_ptr<const PostingContainer> stored =
+      cache.LookupPrefix(key);
   ASSERT_NE(stored, nullptr);
-  EXPECT_EQ(*stored, bits);
+  EXPECT_EQ(stored->kind(), PostingContainer::Kind::kBitmap);
+  EXPECT_EQ(stored->ToIds(), std::vector<uint32_t>({3, 7}));
   const SharedCubeCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.prefix_hits, 1u);
   EXPECT_EQ(stats.prefix_misses, 1u);
   EXPECT_EQ(stats.prefix_insertions, 1u);
+}
+
+// A prefix whose intersection is sparse enough lands in array form, and a
+// later query is finished from it with identical counts.
+TEST(SharedCubeCacheTest, PrefixEntriesMaySparsifyToArrays) {
+  SharedCubeCache cache;
+  DynamicBitset bits(512);
+  bits.Set(5);
+  bits.Set(300);
+  const CubeKey key = PackCubeKey({{0, 0}, {1, 1}});
+  cache.InsertPrefix(
+      key, PostingContainer::FromBitmap(bits, 2, /*array_threshold=*/16));
+  const std::shared_ptr<const PostingContainer> stored =
+      cache.LookupPrefix(key);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->kind(), PostingContainer::Kind::kArray);
+  EXPECT_EQ(stored->ToIds(), std::vector<uint32_t>({5, 300}));
 }
 
 TEST(SharedCubeCacheTest, PrefixTableReallyClearsWhenFull) {
@@ -132,7 +158,7 @@ TEST(SharedCubeCacheTest, PrefixTableReallyClearsWhenFull) {
   options.num_shards = 1;
   SharedCubeCache cache(options);
   for (uint32_t cell = 0; cell < 3; ++cell) {
-    cache.InsertPrefix(PackCubeKey({{0, cell}}), DynamicBitset(8));
+    cache.InsertPrefix(PackCubeKey({{0, cell}}), BitmapPrefix(DynamicBitset(8)));
   }
   // Third insert found the table full and cleared the two residents first.
   const SharedCubeCache::Stats stats = cache.stats();

@@ -179,6 +179,58 @@ TEST(NoRawMutexRule, AnnotatedWrapperIsClean) {
 }
 
 // ---------------------------------------------------------------------------
+// simd-confinement
+
+TEST(SimdConfinementRule, FlagsIntrinsicsOutsideKernelFiles) {
+  EXPECT_TRUE(HasRule(
+      LintContent("src/grid/fast.cc",
+                  "__m256i v = _mm256_loadu_si256(ptr);\n"),
+      "simd-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/core/x.cc", "#include <immintrin.h>\n"),
+      "simd-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/common/bitset.cc",
+                  "#if defined(__AVX2__)\nint x;\n#endif\n"),
+      "simd-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/serve/s.cc",
+                  "if (__builtin_cpu_supports(\"avx2\")) {}\n"),
+      "simd-confinement"));
+  EXPECT_TRUE(HasRule(
+      LintContent("src/grid/neon.cc", "auto v = vcntq_u8(bytes);\n"),
+      "simd-confinement"));
+}
+
+TEST(SimdConfinementRule, AllowedOnlyInKernelFiles) {
+  EXPECT_TRUE(LintContent("src/common/bitset_kernels.cc",
+                          "__m256i v = _mm256_and_si256(a, b);\n")
+                  .empty());
+  // Exact-file allowlist: a sibling gets no free pass.
+  EXPECT_TRUE(HasRule(
+      LintContent("src/common/bitset_kernels_extra.cc",
+                  "__m256i v = _mm256_and_si256(a, b);\n"),
+      "simd-confinement"));
+}
+
+TEST(SimdConfinementRule, DoesNotFlagKernelTableUsers) {
+  // Routing through the dispatch table — the sanctioned pattern — is
+  // clean, as are identifiers that merely mention a kernel kind.
+  const std::string clean =
+      "const BitsetKernels& k = ActiveKernels();\n"
+      "size_t c = k.and_count(a, b, n);\n"
+      "ScopedKernelOverride forced(KernelKind::kAvx2);\n";
+  EXPECT_TRUE(LintContent("src/grid/cube_counter.cc", clean).empty());
+}
+
+TEST(SimdConfinementRule, CommentsAndStringsDoNotTrip) {
+  const std::string prose =
+      "// the avx2 path calls _mm256_and_si256 under the hood\n"
+      "const char* doc = \"__AVX2__\";\n";
+  EXPECT_TRUE(LintContent("src/core/doc.cc", prose).empty());
+}
+
+// ---------------------------------------------------------------------------
 // no-stdio-in-core
 
 TEST(NoStdioInCoreRule, FlagsStdioUnderCoreOnly) {
@@ -527,10 +579,10 @@ TEST(RuleTable, ListsEveryRuleOnce) {
   std::vector<std::string> names;
   for (const RuleInfo& rule : Rules()) names.push_back(rule.name);
   const std::vector<std::string> expected = {
-      "no-exceptions",    "no-raw-random", "no-raw-mutex",
-      "no-stdio-in-core", "no-naked-new",  "header-guard",
-      "include-order",    "doc-comment",   "layering",
-      "metric-contract"};
+      "no-exceptions", "no-raw-random",    "no-raw-mutex",
+      "no-stdio-in-core", "no-naked-new",  "simd-confinement",
+      "header-guard",  "include-order",    "doc-comment",
+      "layering",      "metric-contract"};
   EXPECT_EQ(names, expected);
 }
 

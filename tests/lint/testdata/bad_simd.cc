@@ -1,0 +1,14 @@
+// Lint fixture: trips the simd-confinement rule. Never compiled.
+#include <immintrin.h>
+
+unsigned long long AndLane(const unsigned long long* a,
+                           const unsigned long long* b) {
+#if defined(__AVX2__)
+  __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  __m256i vand = _mm256_and_si256(va, vb);
+  return static_cast<unsigned long long>(_mm256_extract_epi64(vand, 0));
+#else
+  return a[0] & b[0];
+#endif
+}

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bitset_kernels.h"
 #include "common/run_control.h"
 #include "common/string_util.h"
 #include "core/detector.h"
@@ -33,7 +34,10 @@ bool IsThreadVariant(const std::string& name) {
          name == "counter.prefix_counts" || name == "counter.bitset_counts" ||
          name == "counter.posting_counts" || name == "counter.naive_counts" ||
          name == "counter.cache_evictions" || name == "counter.cache_clears" ||
-         name.rfind("cube.cache.shared.", 0) == 0;
+         name.rfind("cube.cache.shared.", 0) == 0 ||
+         // Configuration-variant, same contract section: the grid's
+         // array/bitmap split follows the container threshold.
+         name.rfind("grid.containers.", 0) == 0;
 }
 
 // Histograms documented as wall-clock (`variant` in the contract): span
@@ -67,7 +71,8 @@ std::string SerializeReport(const OutlierReport& report) {
 std::string DetectAndSerializeInvariantSections(
     const Dataset& data, size_t threads,
     CubeCacheMode cache_mode = CubeCacheMode::kPrivate,
-    std::string* report_bytes = nullptr) {
+    std::string* report_bytes = nullptr,
+    size_t container_threshold = GridModel::kAutoArrayThreshold) {
   MetricsRegistry::Global().ResetForTest();
   Tracer::Global().Reset();
 
@@ -82,6 +87,7 @@ std::string DetectAndSerializeInvariantSections(
   config.seed = 29;
   config.num_threads = threads;
   config.cache_mode = cache_mode;
+  config.container_threshold = container_threshold;
   const DetectionResult result = OutlierDetector(config).Detect(data);
   EXPECT_TRUE(result.completed);
   if (report_bytes != nullptr) *report_bytes = SerializeReport(result.report);
@@ -139,6 +145,36 @@ TEST(TelemetryInvarianceTest,
           << "mode=" << CubeCacheModeToString(mode) << " threads=" << threads;
       EXPECT_EQ(report, baseline_report)
           << "mode=" << CubeCacheModeToString(mode) << " threads=" << threads;
+    }
+  }
+}
+
+// The counting-substrate acceptance criterion (kernels + containers are
+// encoding knobs): the report and invariant telemetry sections are
+// byte-identical under every counting kernel this host can run and every
+// container-threshold extreme, alone and crossed with threads.
+TEST(TelemetryInvarianceTest,
+     ReportAndInvariantCountersAreIdenticalAcrossKernelsAndContainers) {
+  const Dataset data = GenerateUniform(300, 8, 13);
+  std::string baseline_report;
+  const std::string baseline = DetectAndSerializeInvariantSections(
+      data, 1, CubeCacheMode::kPrivate, &baseline_report);
+  ASSERT_FALSE(baseline_report.empty());
+  for (const KernelKind kind : AvailableKernels()) {
+    const ScopedKernelOverride forced(kind);
+    for (const size_t threshold :
+         {size_t{0}, size_t{301}, GridModel::kAutoArrayThreshold}) {
+      for (const size_t threads : {1u, 8u}) {
+        std::string report;
+        const std::string sections = DetectAndSerializeInvariantSections(
+            data, threads, CubeCacheMode::kShared, &report, threshold);
+        EXPECT_EQ(sections, baseline)
+            << "kernel=" << KernelKindName(kind)
+            << " threshold=" << threshold << " threads=" << threads;
+        EXPECT_EQ(report, baseline_report)
+            << "kernel=" << KernelKindName(kind)
+            << " threshold=" << threshold << " threads=" << threads;
+      }
     }
   }
 }

@@ -47,9 +47,9 @@ TEST_P(GridProperty, RangesPartitionPresentPoints) {
   for (size_t dim = 0; dim < d_; ++dim) {
     size_t total = 0;
     for (uint32_t cell = 0; cell < phi_; ++cell) {
-      const DynamicBitset& members = grid_.Members(dim, cell);
-      EXPECT_EQ(members.Count(), grid_.PostingList(dim, cell).size());
-      total += members.Count();
+      const PostingContainer& members = grid_.Container(dim, cell);
+      EXPECT_EQ(members.cardinality(), members.ToIds().size());
+      total += members.cardinality();
     }
     EXPECT_EQ(total, data_.PresentCount(dim));
   }
@@ -63,7 +63,7 @@ TEST_P(GridProperty, CellAssignmentsConsistent) {
         EXPECT_EQ(cell, GridModel::kMissingCell);
       } else {
         ASSERT_LT(cell, phi_);
-        EXPECT_TRUE(grid_.Members(dim, cell).Test(row));
+        EXPECT_TRUE(grid_.Container(dim, cell).Contains(row));
       }
     }
   }

@@ -197,6 +197,11 @@ void AddSearchFlags(FlagParser& flags) {
   flags.AddInt("cache-capacity", 0,
                "cube cache entry budget for the selected --cache-mode "
                "(0: mode default)");
+  flags.AddInt("container-threshold", -1,
+               "grid ranges with fewer members than this are stored as "
+               "sorted-array containers instead of bitmaps (-1: auto, "
+               "rows/32; 0: all bitmaps); reports are byte-identical at "
+               "any value");
   flags.AddDouble("deadline", 0.0,
                   "wall-clock budget in seconds (0: none); an expired run "
                   "still reports its best-so-far projections");
@@ -229,6 +234,10 @@ Status SearchConfigFromFlags(const FlagParser& flags,
   }
   config->cache_capacity =
       static_cast<size_t>(flags.GetInt("cache-capacity"));
+  const int64_t container_threshold = flags.GetInt("container-threshold");
+  config->container_threshold =
+      container_threshold < 0 ? GridModel::kAutoArrayThreshold
+                              : static_cast<size_t>(container_threshold);
   const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
   config->num_threads = threads == 0 ? HardwareThreads() : threads;
   if (flags.GetString("algorithm") == "brute-force") {

@@ -109,6 +109,21 @@ const std::vector<TokenRule>& TokenRules() {
        {},
        "naked new; use std::make_unique/containers, or suppress with a "
        "justified leaked-singleton escape"},
+      {"simd-confinement",
+       "SIMD intrinsics and architecture macros live only in "
+       "src/common/bitset_kernels.*; everything else goes through the "
+       "kernel table",
+       std::regex(R"(\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[id]?\b)"
+                  R"(|\bimmintrin\.h\b|\barm_neon\.h\b|\bv\w+q_[us]\d+\s*\()"
+                  R"(|\b__builtin_cpu_supports\b|\b__AVX2__\b|\b__ARM_NEON\b)"),
+       {},
+       // Exact files, like no-raw-mutex: a new vectorized component does
+       // not get a free pass by sitting next to the kernels — it adds an
+       // entry to the BitsetKernels table instead.
+       {"src/common/bitset_kernels.h", "src/common/bitset_kernels.cc"},
+       {},
+       "SIMD intrinsic/architecture macro outside bitset_kernels.*; route "
+       "through the BitsetKernels table (common/bitset_kernels.h)"},
   };
   return *rules;
 }
@@ -325,6 +340,10 @@ const std::vector<RuleInfo>& Rules() {
       {"no-naked-new",
        "allocations are owned by containers or smart pointers; a bare new "
        "needs a per-line justification"},
+      {"simd-confinement",
+       "SIMD intrinsics and architecture macros live only in "
+       "src/common/bitset_kernels.*; everything else goes through the "
+       "kernel table"},
       {"header-guard", ".h files carry the canonical HIDO_<PATH>_H_ guard"},
       {"include-order",
        "each contiguous #include block is sorted and style-pure"},

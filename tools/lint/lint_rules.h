@@ -27,6 +27,13 @@
 //                    only sanctioned exception is a leaked-on-purpose
 //                    process singleton, escaped per line with a comment
 //                    justifying the leak.
+//   simd-confinement SIMD intrinsics, vector types, and architecture
+//                    macros (__AVX2__, __ARM_NEON, __builtin_cpu_supports)
+//                    outside src/common/bitset_kernels.* — portable code
+//                    reaches vector speed through the BitsetKernels
+//                    dispatch table, never by scattering #ifdef'd
+//                    intrinsics. The allowlist is exact-file, like
+//                    no-raw-mutex.
 //   header-guard     .h files carry the canonical HIDO_<PATH>_H_ guard.
 //   include-order    each contiguous #include block is internally sorted
 //                    and does not mix <system> with "project" includes.
